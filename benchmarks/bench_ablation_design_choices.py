@@ -1,0 +1,122 @@
+"""Ablation benchmarks for SSS design choices called out in the paper.
+
+Two implementation decisions the paper highlights in its evaluation section
+are ablated here:
+
+* **Prioritized network queues** — "the Remove message has a very high
+  priority because it enables external commits".  The ablation runs the same
+  workload with the per-message-type priorities collapsed to a single class
+  and compares throughput: disabling priorities must not *improve* SSS, and
+  typically hurts it once the network queues fill up.
+* **Snapshot-queue metadata cost** — the vector-clock wire compression the
+  paper mentions as the mitigation for metadata overhead.  The codec is
+  exercised directly on clock traces captured from a running cluster and the
+  achieved compression ratio is reported (the protocol itself always ships
+  whole clocks inside the simulation, so this ablation quantifies the saving
+  rather than changing protocol behaviour).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import SETTINGS, run_once
+from repro.clocks.compression import VCCodec
+from repro.common.config import ClusterConfig, NetworkConfig, WorkloadConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_experiment
+from repro.network.message import MessagePriority
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_message_priorities(benchmark, monkeypatch):
+    n_nodes = SETTINGS.node_counts[-1]
+    workload = WorkloadConfig(read_only_fraction=0.5)
+
+    def run(flatten_priorities: bool) -> float:
+        if flatten_priorities:
+            # Collapse every priority class to BULK so the per-node inbound
+            # queues degrade to plain FIFO.
+            monkeypatch.setattr(
+                MessagePriority, "__int__", lambda self: 3, raising=False
+            )
+        else:
+            monkeypatch.undo()
+        config = ClusterConfig(
+            n_nodes=n_nodes,
+            n_keys=SETTINGS.n_keys,
+            replication_degree=2,
+            clients_per_node=SETTINGS.clients_per_node,
+            seed=SETTINGS.seed,
+            network=NetworkConfig(),
+        )
+        result = run_experiment(
+            "sss",
+            config,
+            workload,
+            duration_us=SETTINGS.duration_us,
+            warmup_us=SETTINGS.warmup_us,
+        )
+        return result.metrics.throughput_ktps
+
+    def sweep():
+        with_priorities = run(flatten_priorities=False)
+        without_priorities = run(flatten_priorities=True)
+        monkeypatch.undo()
+        return {"prioritized": with_priorities, "flat-fifo": without_priorities}
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            "Ablation: per-message-type network priorities (SSS, 50% read-only)",
+            ["throughput KTx/s"],
+            {name: [value] for name, value in results.items()},
+        )
+    )
+    # Removing the priority queues must not make SSS faster.
+    assert results["flat-fifo"] <= results["prioritized"] * 1.10
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_vector_clock_compression(benchmark):
+    """Quantify the wire saving of the delta codec on realistic clock traces."""
+
+    def measure():
+        config = ClusterConfig(
+            n_nodes=SETTINGS.node_counts[-1],
+            n_keys=SETTINGS.n_keys,
+            replication_degree=2,
+            clients_per_node=2,
+            seed=SETTINGS.seed,
+        )
+        result = run_experiment(
+            "sss",
+            config,
+            WorkloadConfig(read_only_fraction=0.5),
+            duration_us=40_000,
+            warmup_us=0,
+            record_history=True,
+            keep_cluster=True,
+        )
+        # Replay the per-node sequence of commit vector clocks through the
+        # codec, as the wire layer would between a fixed pair of peers.
+        ratios = []
+        for node in result.cluster.nodes:
+            codec = VCCodec(size=config.n_nodes)
+            history = [
+                codec.encode("peer", entry.vc) for entry in node.nlog.entries()
+            ]
+            ratio = codec.compression_ratio(history)
+            if ratio is not None:
+                ratios.append(ratio)
+        return sum(ratios) / len(ratios) if ratios else 1.0
+
+    ratio = run_once(benchmark, measure)
+    print(f"\nAblation: delta codec ships {ratio * 100:.0f}% of the dense "
+          "vector-clock bytes on commit-log traces at this cluster size; the "
+          "saving grows with the clock width (cluster size), which is the "
+          "regime the paper's compression remark targets")
+    # The codec must never be worse than the dense encoding, and at the small
+    # benchmark cluster size the saving is expectedly modest.
+    assert 0.0 < ratio <= 1.0

@@ -1,0 +1,87 @@
+"""Figure 3: throughput of SSS vs 2PC-baseline vs Walter.
+
+The paper varies the percentage of read-only transactions (20 %, 50 %, 80 %)
+and the node count (5-20) with replication degree 2 and two key-space sizes.
+Expected shape: Walter >= SSS >= 2PC-baseline at every point; the SSS-Walter
+gap narrows as the read-only share grows (2x -> 1.1x in the paper); the
+SSS / 2PC-baseline gap widens (up to 7x in the paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import SETTINGS, ktps_rows, run_once, throughput_sweep
+from repro.harness.reporting import format_table
+
+PROTOCOLS = ("sss", "2pc", "walter")
+
+
+def _sweep(read_only_fraction: float):
+    return throughput_sweep(
+        PROTOCOLS,
+        SETTINGS.node_counts,
+        read_only_fraction,
+        replication_degree=2,
+    )
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("read_only_pct", [20, 50, 80])
+def test_fig3_throughput(benchmark, read_only_pct):
+    read_only_fraction = read_only_pct / 100.0
+
+    def sweep():
+        return _sweep(read_only_fraction)
+
+    results = run_once(benchmark, sweep)
+    rows = ktps_rows(results)
+    print()
+    print(
+        format_table(
+            f"Figure 3 ({read_only_pct}% read-only): throughput (KTx/s), "
+            f"{SETTINGS.n_keys} keys, rf=2",
+            [f"{n} nodes" for n in SETTINGS.node_counts],
+            rows,
+        )
+    )
+
+    largest = SETTINGS.node_counts[-1]
+    sss = results["sss"][largest].throughput_ktps
+    twopc = results["2pc"][largest].throughput_ktps
+    walter = results["walter"][largest].throughput_ktps
+
+    # Shape assertions (loose: simulator, scaled-down sweep).
+    assert walter >= sss * 0.95, "Walter (PSI) should lead or match SSS"
+    if read_only_pct >= 50:
+        assert sss > twopc, "SSS must beat 2PC-baseline in read-dominated workloads"
+
+    # The paper reports 2PC-baseline abort rates well above SSS's because its
+    # read-only transactions validate and can abort.
+    assert (
+        results["2pc"][largest].abort_rate >= results["sss"][largest].abort_rate
+    )
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_walter_gap_narrows_with_read_only_share(benchmark):
+    """The SSS-to-Walter gap shrinks as read-only transactions dominate."""
+
+    def sweep():
+        gaps = {}
+        for read_only_fraction in (0.2, 0.8):
+            largest = SETTINGS.node_counts[-1]
+            results = throughput_sweep(
+                ("sss", "walter"), [largest], read_only_fraction
+            )
+            walter = results["walter"][largest].throughput_ktps
+            sss = results["sss"][largest].throughput_ktps
+            gaps[read_only_fraction] = walter / max(sss, 1e-9)
+        return gaps
+
+    gaps = run_once(benchmark, sweep)
+    print(f"\nWalter/SSS throughput ratio: 20% read-only = {gaps[0.2]:.2f}, "
+          f"80% read-only = {gaps[0.8]:.2f}")
+    assert gaps[0.8] <= gaps[0.2] * 1.15, (
+        "the Walter advantage should not grow when read-only transactions dominate"
+    )

@@ -1,0 +1,67 @@
+"""Figure 4(a): maximum attainable throughput, SSS vs 2PC-baseline.
+
+Each datapoint sweeps the number of closed-loop clients per node and reports
+the best throughput reached (the paper: "the number of clients per nodes
+differs per reported datapoint").  Expected shape: SSS stays ahead, but the
+2PC-baseline closes part of the gap it shows in Figure 3 because its lighter
+read path leaves CPU available for more clients.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import SETTINGS, run_once
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import find_saturation_throughput
+
+CLIENT_SWEEP = (1, 3, 6)
+
+
+def _max_throughput(protocol: str, n_nodes: int) -> float:
+    config = ClusterConfig(
+        n_nodes=n_nodes,
+        n_keys=SETTINGS.n_keys,
+        replication_degree=2,
+        clients_per_node=SETTINGS.clients_per_node,
+        seed=SETTINGS.seed,
+    )
+    workload = WorkloadConfig(read_only_fraction=0.5)
+    best = find_saturation_throughput(
+        protocol,
+        config,
+        workload,
+        client_counts=CLIENT_SWEEP,
+        duration_us=SETTINGS.duration_us,
+        warmup_us=SETTINGS.warmup_us,
+    )
+    return best.throughput_ktps
+
+
+@pytest.mark.benchmark(group="fig4a")
+def test_fig4a_max_attainable_throughput(benchmark):
+    def sweep():
+        results = {}
+        for protocol in ("sss", "2pc"):
+            results[protocol] = {
+                n: _max_throughput(protocol, n) for n in SETTINGS.node_counts
+            }
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = {name: list(series.values()) for name, series in results.items()}
+    print()
+    print(
+        format_table(
+            "Figure 4(a): maximum attainable throughput (KTx/s), 50% read-only",
+            [f"{n} nodes" for n in SETTINGS.node_counts],
+            rows,
+        )
+    )
+
+    largest = SETTINGS.node_counts[-1]
+    assert results["sss"][largest] > 0
+    assert results["2pc"][largest] > 0
+    # SSS keeps the lead at its saturation point on read-dominated mixes.
+    assert results["sss"][largest] >= results["2pc"][largest] * 0.9

@@ -1,0 +1,57 @@
+"""Figure 4(b): external-commit latency, SSS vs 2PC-baseline.
+
+The paper measures begin-to-external-commit latency at 20 nodes, 50 %
+read-only, 5k keys, varying the clients per node (1, 3, 5, 10).  Expected
+shape: below saturation SSS's latency is roughly half the 2PC-baseline's
+(read-only transactions skip the 2PC round entirely); the advantage shrinks
+as the client count pushes the system toward saturation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import SETTINGS, run_once, run_point
+from repro.harness.reporting import format_table
+
+CLIENT_COUNTS = (1, 3, 5, 10)
+
+
+@pytest.mark.benchmark(group="fig4b")
+def test_fig4b_external_commit_latency(benchmark):
+    n_nodes = SETTINGS.node_counts[-1]
+
+    def sweep():
+        results = {}
+        for protocol in ("sss", "2pc"):
+            results[protocol] = {}
+            for clients in CLIENT_COUNTS:
+                metrics = run_point(
+                    protocol,
+                    n_nodes,
+                    read_only_fraction=0.5,
+                    clients_per_node=clients,
+                )
+                results[protocol][clients] = metrics.latency.mean_ms
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = {name: list(series.values()) for name, series in results.items()}
+    print()
+    print(
+        format_table(
+            f"Figure 4(b): mean external-commit latency (ms), {n_nodes} nodes, "
+            "50% read-only",
+            [f"{c} clients" for c in CLIENT_COUNTS],
+            rows,
+            value_format="{:.3f}",
+        )
+    )
+
+    # Below saturation SSS answers faster than the 2PC-baseline.
+    low_load_clients = CLIENT_COUNTS[0]
+    assert results["sss"][low_load_clients] < results["2pc"][low_load_clients]
+    # Latency grows (or at least does not shrink) with the client count for
+    # both systems: the closed loop pushes them toward saturation.
+    assert results["sss"][CLIENT_COUNTS[-1]] >= results["sss"][low_load_clients] * 0.8
+    assert results["2pc"][CLIENT_COUNTS[-1]] >= results["2pc"][low_load_clients] * 0.8

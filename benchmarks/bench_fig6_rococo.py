@@ -1,0 +1,58 @@
+"""Figure 6: SSS vs ROCOCO vs 2PC-baseline (no replication).
+
+The paper disables replication for a fair comparison with ROCOCO and uses 5k
+keys.  Expected shape: with a write-intensive mix (20 % read-only) ROCOCO is
+slightly ahead of SSS (the paper reports SSS within ~13 %), and both are well
+ahead of the 2PC-baseline; with a read-intensive mix (80 % read-only) SSS
+overtakes ROCOCO (whose read-only transactions wait for conflicting writers
+and can abort) and leads the 2PC-baseline by a large factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import SETTINGS, ktps_rows, run_once, throughput_sweep
+from repro.harness.reporting import format_table
+
+PROTOCOLS = ("sss", "rococo", "2pc")
+
+
+@pytest.mark.benchmark(group="fig6")
+@pytest.mark.parametrize("read_only_pct", [20, 80])
+def test_fig6_no_replication(benchmark, read_only_pct):
+    read_only_fraction = read_only_pct / 100.0
+
+    def sweep():
+        return throughput_sweep(
+            PROTOCOLS,
+            SETTINGS.node_counts,
+            read_only_fraction,
+            replication_degree=1,
+        )
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            f"Figure 6 ({read_only_pct}% read-only): throughput (KTx/s), "
+            "no replication",
+            [f"{n} nodes" for n in SETTINGS.node_counts],
+            ktps_rows(results),
+        )
+    )
+
+    largest = SETTINGS.node_counts[-1]
+    sss = results["sss"][largest].throughput_ktps
+    rococo = results["rococo"][largest].throughput_ktps
+    twopc = results["2pc"][largest].throughput_ktps
+
+    if read_only_pct == 20:
+        # Write-intensive: ROCOCO competitive or slightly ahead; SSS must not
+        # trail it by much, and 2PC-baseline must not win.
+        assert sss >= rococo * 0.75
+        assert max(sss, rococo) >= twopc * 0.95
+    else:
+        # Read-intensive: SSS ahead of ROCOCO and clearly ahead of 2PC.
+        assert sss >= rococo * 0.95
+        assert sss > twopc

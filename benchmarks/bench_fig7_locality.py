@@ -1,0 +1,49 @@
+"""Figure 7: throughput with 80 % read-only transactions and 50 % locality.
+
+Half of the accessed keys are drawn from the keys replicated on the client's
+node, which raises contention (fewer distinct keys per client) while letting
+read-only transactions hit their local replica.  Expected shape: same
+ordering as Figure 3(c) — Walter ahead, SSS next, 2PC-baseline last with a
+wide margin (paper: SSS more than 3.5x faster than 2PC-baseline) — but SSS
+does not close the gap to Walter the way it does without locality, because
+of contention on the snapshot queues of the locally popular keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import SETTINGS, ktps_rows, run_once, throughput_sweep
+from repro.harness.reporting import format_table
+
+PROTOCOLS = ("sss", "2pc", "walter")
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_locality(benchmark):
+    def sweep():
+        return throughput_sweep(
+            PROTOCOLS,
+            SETTINGS.node_counts,
+            read_only_fraction=0.8,
+            replication_degree=2,
+            locality_fraction=0.5,
+        )
+
+    results = run_once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            "Figure 7: throughput (KTx/s), 80% read-only, 50% locality, rf=2",
+            [f"{n} nodes" for n in SETTINGS.node_counts],
+            ktps_rows(results),
+        )
+    )
+
+    largest = SETTINGS.node_counts[-1]
+    sss = results["sss"][largest].throughput_ktps
+    twopc = results["2pc"][largest].throughput_ktps
+    walter = results["walter"][largest].throughput_ktps
+
+    assert sss > twopc, "SSS must lead 2PC-baseline under locality"
+    assert walter >= sss * 0.95, "Walter keeps the lead under locality"

@@ -1,0 +1,72 @@
+"""Figure 8: speedup of SSS as read-only transactions grow from 2 to 16 keys.
+
+At 15 nodes and 80 % read-only transactions (no replication), the paper plots
+the throughput ratio of SSS over ROCOCO and over the 2PC-baseline while the
+number of keys read by read-only transactions grows from 2 to 16.  Expected
+shape: the SSS/ROCOCO speedup grows with the read-set size (1.2x -> 2.2x in
+the paper) because ROCOCO's read-only transactions abort and wait more as
+they touch more keys; the SSS/2PC speedup grows more slowly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import SETTINGS, run_once, run_point
+from repro.harness.reporting import format_table
+
+READ_ONLY_SIZES = (2, 4, 8, 16)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_read_only_size_speedup(benchmark):
+    n_nodes = SETTINGS.node_counts[-1]
+
+    def sweep():
+        throughput = {"sss": {}, "rococo": {}, "2pc": {}}
+        for size in READ_ONLY_SIZES:
+            for protocol in throughput:
+                metrics = run_point(
+                    protocol,
+                    n_nodes,
+                    read_only_fraction=0.8,
+                    replication_degree=1,
+                    read_only_txn_keys=size,
+                )
+                throughput[protocol][size] = metrics.throughput_ktps
+        return throughput
+
+    throughput = run_once(benchmark, sweep)
+    speedups = {
+        "SSS/ROCOCO": [
+            throughput["sss"][size] / max(throughput["rococo"][size], 1e-9)
+            for size in READ_ONLY_SIZES
+        ],
+        "SSS/2PC": [
+            throughput["sss"][size] / max(throughput["2pc"][size], 1e-9)
+            for size in READ_ONLY_SIZES
+        ],
+    }
+    print()
+    print(
+        format_table(
+            f"Figure 8: speedup of SSS, {n_nodes} nodes, 80% read-only, "
+            "no replication",
+            [f"{size} reads" for size in READ_ONLY_SIZES],
+            speedups,
+            value_format="{:.2f}",
+        )
+    )
+    print(
+        format_table(
+            "Raw throughput (KTx/s)",
+            [f"{size} reads" for size in READ_ONLY_SIZES],
+            {name: list(series.values()) for name, series in throughput.items()},
+        )
+    )
+
+    rococo_speedups = speedups["SSS/ROCOCO"]
+    # The advantage over ROCOCO must not shrink as read-only transactions get
+    # longer, and must be clearly larger at 16 keys than at 2 keys.
+    assert rococo_speedups[-1] >= rococo_speedups[0] * 0.95
+    assert rococo_speedups[-1] >= 1.0

@@ -1,0 +1,131 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark follows the same pattern:
+
+1. sweep the figure's parameters at a scaled-down size (see
+   :class:`repro.harness.experiments.BenchmarkScale`) so the whole suite runs
+   in minutes of wall-clock time on a laptop;
+2. print the table of committed-transactions-per-second series that mirrors
+   the paper's figure;
+3. assert the qualitative *shape* the paper reports (who wins, how the gap
+   moves) — absolute numbers are not comparable because the substrate is a
+   simulator rather than the authors' CloudLab testbed;
+4. register the sweep with ``pytest-benchmark`` (one round, one iteration) so
+   ``pytest benchmarks/ --benchmark-only`` reports the wall-clock cost of
+   regenerating each figure.
+
+Environment knobs:
+
+* ``REPRO_BENCH_DURATION_US`` — simulated microseconds per datapoint
+  (default 80 000).
+* ``REPRO_BENCH_NODES`` — comma-separated node counts for the sweeps
+  (default ``3,6``).
+* ``REPRO_BENCH_KEYS`` — number of keys (default 400).
+* ``REPRO_BENCH_CLIENTS`` — closed-loop clients per node (default 3).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.harness.metrics import ExperimentMetrics
+from repro.harness.runner import run_experiment
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _env_ints(name: str, default: Tuple[int, ...]) -> Tuple[int, ...]:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    return tuple(int(part) for part in raw.split(",") if part)
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Scaled-down sweep parameters used by the benchmark suite."""
+
+    node_counts: Tuple[int, ...] = _env_ints("REPRO_BENCH_NODES", (3, 6))
+    n_keys: int = _env_int("REPRO_BENCH_KEYS", 400)
+    clients_per_node: int = _env_int("REPRO_BENCH_CLIENTS", 3)
+    duration_us: float = float(_env_int("REPRO_BENCH_DURATION_US", 80_000))
+    warmup_us: float = 15_000.0
+    seed: int = 2024
+
+
+SETTINGS = BenchSettings()
+
+
+def run_point(
+    protocol: str,
+    n_nodes: int,
+    read_only_fraction: float,
+    replication_degree: int = 2,
+    read_only_txn_keys: int = 2,
+    locality_fraction: float = 0.0,
+    clients_per_node: int | None = None,
+    n_keys: int | None = None,
+    seed_offset: int = 0,
+) -> ExperimentMetrics:
+    """Run one datapoint and return its metrics."""
+    config = ClusterConfig(
+        n_nodes=n_nodes,
+        n_keys=n_keys if n_keys is not None else SETTINGS.n_keys,
+        replication_degree=min(replication_degree, n_nodes),
+        clients_per_node=(
+            clients_per_node
+            if clients_per_node is not None
+            else SETTINGS.clients_per_node
+        ),
+        seed=SETTINGS.seed + seed_offset,
+    )
+    workload = WorkloadConfig(
+        read_only_fraction=read_only_fraction,
+        read_only_txn_keys=read_only_txn_keys,
+        locality_fraction=locality_fraction,
+    )
+    result = run_experiment(
+        protocol,
+        config,
+        workload,
+        duration_us=SETTINGS.duration_us,
+        warmup_us=SETTINGS.warmup_us,
+    )
+    return result.metrics
+
+
+def throughput_sweep(
+    protocols: Sequence[str],
+    node_counts: Sequence[int],
+    read_only_fraction: float,
+    **kwargs,
+) -> Dict[str, Dict[int, ExperimentMetrics]]:
+    """Sweep protocols x node counts at one read-only fraction."""
+    results: Dict[str, Dict[int, ExperimentMetrics]] = {}
+    for protocol in protocols:
+        results[protocol] = {}
+        for n_nodes in node_counts:
+            results[protocol][n_nodes] = run_point(
+                protocol, n_nodes, read_only_fraction, **kwargs
+            )
+    return results
+
+
+def ktps_rows(
+    sweep: Dict[str, Dict[int, ExperimentMetrics]]
+) -> Dict[str, list]:
+    """Throughput rows (KTx/s) keyed by protocol for format_table."""
+    rows = {}
+    for protocol, by_nodes in sweep.items():
+        rows[protocol] = [metrics.throughput_ktps for metrics in by_nodes.values()]
+    return rows
+
+
+def run_once(benchmark, func):
+    """Register ``func`` with pytest-benchmark as a single-shot measurement."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

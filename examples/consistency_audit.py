@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Consistency audit: machine-check the paper's correctness claims.
+
+Section IV of the paper argues that every history executed by SSS is
+externally consistent by showing that its Direct Serialization Graph (with
+real-time ordering edges) is acyclic.  This example makes the argument
+empirical: it runs the same mixed YCSB workload on all four protocols with
+history recording enabled, builds the DSG of each history and reports which
+consistency levels hold.
+
+Expected output: SSS and the 2PC-baseline pass every check; ROCOCO passes
+the serializability checks; Walter (PSI) passes the per-transaction snapshot
+check but is allowed to fail external consistency / serializability because
+it only guarantees Parallel Snapshot Isolation.
+
+Run with::
+
+    python examples/consistency_audit.py
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.consistency.checkers import (
+    check_external_consistency,
+    check_serializability,
+    check_snapshot_reads,
+)
+from repro.harness.runner import run_experiment
+
+PROTOCOLS = ("sss", "2pc", "rococo", "walter")
+
+
+def audit(protocol: str):
+    config = ClusterConfig(
+        n_nodes=4, n_keys=60, replication_degree=2 if protocol != "rococo" else 1,
+        clients_per_node=2, seed=17,
+    )
+    workload = WorkloadConfig(read_only_fraction=0.5)
+    result = run_experiment(
+        protocol,
+        config,
+        workload,
+        duration_us=40_000,
+        warmup_us=0,
+        record_history=True,
+        keep_cluster=True,
+    )
+    history = result.cluster.history
+    return history, result.metrics
+
+
+def main() -> None:
+    for protocol in PROTOCOLS:
+        history, metrics = audit(protocol)
+        external = check_external_consistency(history)
+        serializable = check_serializability(history)
+        snapshots = check_snapshot_reads(history)
+        print(f"=== {protocol} ===")
+        print(
+            f"  committed={len(history.committed)} aborted={len(history.aborted)} "
+            f"throughput={metrics.throughput_ktps:.1f} KTx/s"
+        )
+        for check in (external, serializable, snapshots):
+            print("  " + check.summary())
+            for violation in check.violations[:3]:
+                print("      " + violation)
+        print()
+    print(
+        "SSS and the 2PC-baseline provide external consistency; Walter provides\n"
+        "PSI only, so cycles in its graph are expected rather than a bug."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Read-dominated analytics workload: abort-free long read-only transactions.
+
+The paper motivates SSS with read-dominated real-world workloads: long
+read-only transactions (analytical scans over many keys) must neither abort
+nor force a centralized synchronization point.  This example runs a YCSB-like
+mix of 80 % read-only transactions whose read-set size grows from 2 to 16
+keys — the Figure 8 configuration — on SSS, on the 2PC-baseline and on
+ROCOCO, and reports throughput, abort rate and read-only latency for each.
+
+Run with::
+
+    python examples/read_dominated_analytics.py
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_experiment
+
+PROTOCOLS = ("sss", "rococo", "2pc")
+READ_SET_SIZES = (2, 8, 16)
+
+
+def main() -> None:
+    throughput_rows = {protocol: [] for protocol in PROTOCOLS}
+    abort_rows = {protocol: [] for protocol in PROTOCOLS}
+    latency_rows = {protocol: [] for protocol in PROTOCOLS}
+
+    for size in READ_SET_SIZES:
+        for protocol in PROTOCOLS:
+            config = ClusterConfig(
+                n_nodes=5,
+                n_keys=400,
+                replication_degree=1,
+                clients_per_node=3,
+                seed=31,
+            )
+            workload = WorkloadConfig(
+                read_only_fraction=0.8, read_only_txn_keys=size
+            )
+            result = run_experiment(
+                protocol, config, workload, duration_us=60_000, warmup_us=10_000
+            )
+            metrics = result.metrics
+            throughput_rows[protocol].append(metrics.throughput_ktps)
+            abort_rows[protocol].append(metrics.abort_rate * 100.0)
+            latency_rows[protocol].append(metrics.read_only_latency.mean_ms)
+
+    columns = [f"{size} reads" for size in READ_SET_SIZES]
+    print(format_table("Throughput (KTx/s), 80% read-only, 5 nodes", columns, throughput_rows))
+    print()
+    print(format_table("Abort rate (%)", columns, abort_rows, value_format="{:.2f}"))
+    print()
+    print(
+        format_table(
+            "Read-only transaction latency (ms)",
+            columns,
+            latency_rows,
+            value_format="{:.3f}",
+        )
+    )
+    print(
+        "\nSSS's read-only transactions are abort-free regardless of length;"
+        "\nROCOCO's and the 2PC-baseline's read-only transactions abort or wait"
+        "\nmore as they touch more keys, which is where SSS's speedup comes from"
+        "\n(Figure 8 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) work on
+environments without the ``wheel`` package (e.g. offline machines).
+"""
+
+from setuptools import setup
+
+setup()

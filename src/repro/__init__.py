@@ -1,0 +1,38 @@
+"""Reproduction of *SSS: Scalable Key-Value Store with External Consistent
+and Abort-free Read-only Transactions* (ICDCS 2019).
+
+The top-level package re-exports the entry points most users need:
+
+* :class:`~repro.core.cluster.SSSCluster` — build a simulated SSS deployment
+  and run transactions against it.
+* :class:`~repro.common.config.ClusterConfig` /
+  :class:`~repro.common.config.WorkloadConfig` — experiment configuration.
+* :func:`~repro.consistency.checkers.check_external_consistency` — verify a
+  recorded history against the paper's correctness criterion.
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the full system
+inventory and the per-figure experiment index.
+"""
+
+from repro.common.config import ClusterConfig, NetworkConfig, WorkloadConfig
+from repro.consistency.checkers import (
+    check_external_consistency,
+    check_serializability,
+    check_snapshot_reads,
+)
+from repro.core.cluster import SSSCluster
+from repro.core.session import Session
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "NetworkConfig",
+    "SSSCluster",
+    "Session",
+    "WorkloadConfig",
+    "__version__",
+    "check_external_consistency",
+    "check_serializability",
+    "check_snapshot_reads",
+]

@@ -1,0 +1,46 @@
+"""Competitor protocols re-implemented on the same substrate as SSS.
+
+The paper compares SSS against three systems, all re-implemented on the same
+software infrastructure for fairness; this package does the same on top of
+the simulated substrate:
+
+* :mod:`repro.baselines.twopc` — the 2PC-baseline: every transaction
+  (read-only included) validates its reads and commits through two-phase
+  commit over a single-version store.  Externally consistent, but read-only
+  transactions can abort.
+* :mod:`repro.baselines.walter` — Walter: Parallel Snapshot Isolation with
+  per-node sequence numbers forming vector timestamps, preferred sites, a
+  fast local commit path and asynchronous propagation.  Weaker than
+  serializability; read-only transactions never abort and never wait.
+* :mod:`repro.baselines.rococo` — ROCOCO: a two-round dependency-collecting
+  protocol with deferrable pieces; update transactions never abort, read-only
+  transactions use an optimistic two-round snapshot read that retries when a
+  concurrent update slips in between the rounds.
+
+Every baseline exposes the same facade as :class:`repro.core.SSSCluster`
+(``session`` / ``spawn`` / ``run`` / ``history``), so the benchmark harness
+treats all four protocols uniformly.
+"""
+
+from repro.baselines.base import BaselineCluster, BaseProtocolNode
+from repro.baselines.rococo import RococoCluster, RococoNode
+from repro.baselines.twopc import TwoPCCluster, TwoPCNode
+from repro.baselines.walter import WalterCluster, WalterNode
+
+__all__ = [
+    "BaseProtocolNode",
+    "BaselineCluster",
+    "RococoCluster",
+    "RococoNode",
+    "TwoPCCluster",
+    "TwoPCNode",
+    "WalterCluster",
+    "WalterNode",
+]
+
+PROTOCOL_CLUSTERS = {
+    "2pc": TwoPCCluster,
+    "walter": WalterCluster,
+    "rococo": RococoCluster,
+}
+"""Name-to-cluster map used by the harness (``"sss"`` is added there)."""

@@ -1,0 +1,390 @@
+"""ROCOCO — a two-round, dependency-collecting external-consistent protocol.
+
+ROCOCO (Mu et al., OSDI 2014) splits each transaction into *pieces*, one per
+accessed key, and runs two rounds:
+
+1. **Dispatch round** — the coordinator ships every piece to the server
+   owning its key.  The server buffers the piece, records the transaction in
+   the key's pending list and replies with the set of transactions currently
+   pending on that key (the observed dependencies).
+2. **Commit round** — the coordinator aggregates the dependency information,
+   assigns the transaction its position in the execution order and asks every
+   involved server to execute.  A server executes the buffered piece only
+   after every pending transaction ordered before it has executed on that key
+   (deferrable pieces are thereby reordered instead of aborted), then replies
+   with the read value.  Update transactions therefore never abort.
+
+Read-only transactions are *not* abort-free in ROCOCO: the reproduction
+implements them, following the paper's description ("its read-only are not
+abort-free and they need to wait for all conflicting update transactions in
+order to execute"), as an optimistic two-round snapshot read — each key is
+read once per round, a read waits while update pieces are pending on the key,
+and the transaction aborts (and is retried by the client) whenever a key's
+version changed between the two rounds.  The abort probability therefore
+grows with the number of keys read, which is what produces the Figure 8
+trend.
+
+The paper disables replication when comparing against ROCOCO; this
+implementation accordingly routes every piece to the key's primary replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.base import BaseProtocolNode, BaselineCluster
+from repro.common.errors import TransactionStateError
+from repro.common.ids import TransactionId
+from repro.core.metadata import TransactionMeta, TransactionPhase
+from repro.network.message import Message, MessagePriority
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass
+class PieceDispatch(Message):
+    """Round 1: buffer a piece and collect dependencies."""
+
+    txn_id: TransactionId = None
+    key: object = None
+    is_write: bool = False
+    write_value: object = None
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.COMMIT
+
+    def size_estimate(self) -> int:
+        return 56
+
+
+@dataclass
+class PieceDispatchReply(Message):
+    txn_id: TransactionId = None
+    key: object = None
+    deps: Tuple[TransactionId, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.COMMIT
+
+    def size_estimate(self) -> int:
+        return 40 + 16 * len(self.deps)
+
+
+@dataclass
+class PieceCommit(Message):
+    """Round 2: execute the buffered piece in dependency order."""
+
+    txn_id: TransactionId = None
+    key: object = None
+    order: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.COMMIT
+
+    def size_estimate(self) -> int:
+        return 48
+
+
+@dataclass
+class PieceExecuted(Message):
+    txn_id: TransactionId = None
+    key: object = None
+    value: object = None
+    version: int = 0
+    writer: Optional[TransactionId] = None
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.CONTROL
+
+    def size_estimate(self) -> int:
+        return 56
+
+
+@dataclass
+class SnapshotRead(Message):
+    """Read-only transactions: one round of key reads."""
+
+    txn_id: TransactionId = None
+    key: object = None
+    wait_for_pending: bool = True
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.READ
+
+    def size_estimate(self) -> int:
+        return 40
+
+
+@dataclass
+class SnapshotReadReturn(Message):
+    txn_id: TransactionId = None
+    key: object = None
+    value: object = None
+    version: int = 0
+    writer: Optional[TransactionId] = None
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.READ
+
+    def size_estimate(self) -> int:
+        return 56
+
+
+@dataclass
+class _RococoKey:
+    """Server-side state of one key."""
+
+    value: object = 0
+    version: int = 0
+    writer: Optional[TransactionId] = None
+
+
+@dataclass
+class _PendingPiece:
+    txn_id: TransactionId
+    is_write: bool
+    write_value: object
+    order: Optional[float] = None  # assigned by the commit round
+    executed: bool = False
+
+
+class RococoNode(BaseProtocolNode):
+    """One node of the ROCOCO store."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._data: Dict[object, _RococoKey] = {}
+        # Per-key pending pieces of dispatched-but-not-executed transactions.
+        self._pending: Dict[object, Dict[TransactionId, _PendingPiece]] = {}
+        self.register_handler(PieceDispatch, self.on_dispatch)
+        self.register_handler(PieceCommit, self.on_commit)
+        self.register_handler(SnapshotRead, self.on_snapshot_read)
+        # Signal notified whenever a pending set or a key version changes.
+        self._progress = self.sim.signal(name=f"rococo-progress@{self.node_id}")
+
+    # ------------------------------------------------------------------
+    def preload(self, keys, initial_value=0) -> None:
+        for key in keys:
+            if self.primary(key) == self.node_id:
+                self._data[key] = _RococoKey(value=initial_value)
+
+    # ------------------------------------------------------------------
+    # Server-side handlers
+    # ------------------------------------------------------------------
+    def on_dispatch(self, message: PieceDispatch):
+        yield self.cpu(self.service.queue_op_us)
+        pending = self._pending.setdefault(message.key, {})
+        deps = tuple(pending.keys())
+        pending[message.txn_id] = _PendingPiece(
+            txn_id=message.txn_id,
+            is_write=message.is_write,
+            write_value=message.write_value,
+        )
+        self._progress.notify()
+        self.counters["pieces_dispatched"] += 1
+        self.respond(
+            message,
+            PieceDispatchReply(txn_id=message.txn_id, key=message.key, deps=deps),
+        )
+
+    def on_commit(self, message: PieceCommit):
+        key = message.key
+        pending = self._pending.setdefault(key, {})
+        piece = pending.get(message.txn_id)
+        if piece is None:  # pragma: no cover - defensive (dispatch lost)
+            piece = _PendingPiece(message.txn_id, is_write=False, write_value=None)
+            pending[message.txn_id] = piece
+        piece.order = message.order
+        self._progress.notify()
+
+        # Deferrable execution: wait until no pending piece on this key is
+        # ordered before us.  Pieces that are still in their dispatch round
+        # (order not assigned yet) are also waited for — their commit round
+        # will assign an order shortly and executing ahead of them could
+        # order the two transactions differently on different keys, which is
+        # exactly what ROCOCO's dependency tracking prevents.
+        def ready() -> bool:
+            for other in pending.values():
+                if other.txn_id == message.txn_id or other.executed:
+                    continue
+                if other.order is None or other.order < message.order:
+                    return False
+            return True
+
+        if not ready():
+            self.counters["piece_waits"] += 1
+            yield self.sim.condition(ready, self._progress, name=f"piece:{message.txn_id}")
+
+        yield self.cpu(self.service.commit_apply_us)
+        state = self._data.setdefault(key, _RococoKey())
+        read_value = state.value
+        read_version = state.version
+        read_writer = state.writer
+        if piece.is_write:
+            state.value = piece.write_value
+            state.version += 1
+            state.writer = message.txn_id
+        piece.executed = True
+        del pending[message.txn_id]
+        self._progress.notify()
+        self.counters["pieces_executed"] += 1
+        self.respond(
+            message,
+            PieceExecuted(
+                txn_id=message.txn_id,
+                key=key,
+                value=read_value,
+                version=read_version,
+                writer=read_writer,
+            ),
+        )
+
+    def on_snapshot_read(self, message: SnapshotRead):
+        key = message.key
+        if message.wait_for_pending:
+            pending = self._pending.setdefault(key, {})
+
+            def no_pending_writers() -> bool:
+                return not any(piece.is_write for piece in pending.values())
+
+            if not no_pending_writers():
+                self.counters["read_only_waits"] += 1
+                yield self.sim.condition(
+                    no_pending_writers, self._progress, name=f"ro-wait:{message.txn_id}"
+                )
+        yield self.cpu(self.service.read_local_us)
+        state = self._data.setdefault(key, _RococoKey())
+        self.respond(
+            message,
+            SnapshotReadReturn(
+                txn_id=message.txn_id,
+                key=key,
+                value=state.value,
+                version=state.version,
+                writer=state.writer,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Coordinator side (Session interface)
+    # ------------------------------------------------------------------
+    def txn_read(self, meta: TransactionMeta, key: object):
+        """Reads are collected lazily.
+
+        ROCOCO executes a transaction's pieces during the commit round, so an
+        update transaction's "read" simply registers interest in the key; the
+        actual value is produced when the piece executes.  To keep the
+        Session API uniform the registered read returns the key's current
+        value from the primary (a dispatch-round observation); update
+        transactions in the paper's workload do not branch on read values.
+
+        Read-only transactions perform their first-round snapshot read here.
+        """
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"read after completion of {meta}")
+        if key in meta.write_set:
+            return meta.write_set[key]
+        reply = yield self.request(
+            self.primary(key),
+            SnapshotRead(
+                txn_id=meta.txn_id, key=key, wait_for_pending=meta.is_read_only
+            ),
+        )
+        meta.record_read(
+            key=key,
+            value=reply.value,
+            version_vc=meta.vc,
+            writer=reply.writer,
+            served_by=reply.sender,
+        )
+        meta.read_set[key].version_number = reply.version  # type: ignore[attr-defined]
+        self.counters["client_reads"] += 1
+        return reply.value
+
+    def txn_commit(self, meta: TransactionMeta):
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"double commit of {meta}")
+        if meta.is_read_only:
+            return (yield from self._commit_read_only(meta))
+        return (yield from self._commit_update(meta))
+
+    # ------------------------------------------------------------------
+    def _commit_read_only(self, meta: TransactionMeta):
+        """Second-round validation of the snapshot read."""
+        meta.phase = TransactionPhase.PREPARING
+        events = {}
+        for key, record in meta.read_set.items():
+            events[key] = self.request(
+                self.primary(key),
+                SnapshotRead(txn_id=meta.txn_id, key=key, wait_for_pending=True),
+            )
+        for key, event in events.items():
+            reply: SnapshotReadReturn = yield event
+            first_version = getattr(meta.read_set[key], "version_number", 0)
+            if reply.version != first_version:
+                self.counters["read_only_validation_failures"] += 1
+                return self._finish_abort(meta, reason="read-only-validation")
+        return self._finish_commit(meta, "read_only_commits")
+
+    def _commit_update(self, meta: TransactionMeta):
+        meta.phase = TransactionPhase.PREPARING
+        meta.prepare_time = self.sim.now
+        txn_id = meta.txn_id
+
+        # Every accessed key becomes one piece routed to the key's primary.
+        pieces: Dict[object, bool] = {}
+        for key in meta.read_set:
+            pieces[key] = False
+        for key in meta.write_set:
+            pieces[key] = True
+
+        # Round 1: dispatch.
+        dispatch_events = []
+        for key, is_write in pieces.items():
+            dispatch_events.append(
+                self.request(
+                    self.primary(key),
+                    PieceDispatch(
+                        txn_id=txn_id,
+                        key=key,
+                        is_write=is_write,
+                        write_value=meta.write_set.get(key),
+                    ),
+                )
+            )
+        yield self.sim.all_of(dispatch_events)
+
+        # Order position: the dispatch-round completion instant is unique per
+        # coordinator (simulated time plus a per-transaction tie-breaker) and
+        # consistent across every key of the transaction.
+        order = self.sim.now + (txn_id.seq % 997) * 1e-6
+        meta.internal_commit_time = self.sim.now
+        # Pieces execute in ``order`` on every involved server, so the order
+        # value doubles as the per-key version-order hint for the checker.
+        meta.version_hints = {key: order for key in meta.write_set}
+
+        # Round 2: commit / execute.
+        commit_events = [
+            self.request(
+                self.primary(key), PieceCommit(txn_id=txn_id, key=key, order=order)
+            )
+            for key in pieces
+        ]
+        yield self.sim.all_of(commit_events)
+        for event in commit_events:
+            executed: PieceExecuted = event.value
+            if executed.key in meta.read_set:
+                record = meta.read_set[executed.key]
+                record.value = executed.value
+                record.writer = executed.writer
+        self.counters["two_round_commits"] += 1
+        return self._finish_commit(meta, "update_commits")
+
+
+class RococoCluster(BaselineCluster):
+    """Cluster facade for the ROCOCO baseline."""
+
+    node_class = RococoNode
+    protocol_name = "rococo"

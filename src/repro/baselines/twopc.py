@@ -1,0 +1,317 @@
+"""The 2PC-baseline competitor.
+
+From the paper's evaluation section: "all transactions execute as SSS's
+update transactions; read-only transactions validate their execution,
+therefore they can abort; and no multi-version data repository is deployed.
+As SSS, 2PC-baseline guarantees external consistency."
+
+Concretely:
+
+* Each node keeps a *single-version* store: one value and one monotonically
+  increasing version number per key.
+* Reads contact every replica of the key, use the fastest reply and remember
+  the version number observed.
+* Commit — for **every** transaction, read-only included — runs two-phase
+  commit over the replicas of the read and write sets: prepare acquires
+  shared locks on reads and exclusive locks on writes and validates that the
+  read version numbers are still current; decide applies the writes (bumping
+  the per-key version) and releases locks; the client is informed after every
+  participant acknowledged the decision (which is what makes the protocol
+  externally consistent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.baselines.base import BaseProtocolNode, BaselineCluster
+from repro.common.errors import TransactionStateError
+from repro.common.ids import TransactionId
+from repro.core.metadata import TransactionMeta, TransactionPhase
+from repro.network.message import Message, MessagePriority
+from repro.storage.locks import LockTable
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass
+class ReadRequest2PC(Message):
+    txn_id: TransactionId = None
+    key: object = None
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.READ
+
+    def size_estimate(self) -> int:
+        return 40
+
+
+@dataclass
+class ReadReturn2PC(Message):
+    txn_id: TransactionId = None
+    key: object = None
+    value: object = None
+    version: int = 0
+    writer: Optional[TransactionId] = None
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.READ
+
+    def size_estimate(self) -> int:
+        return 56
+
+
+@dataclass
+class Prepare2PC(Message):
+    txn_id: TransactionId = None
+    read_versions: Tuple[Tuple[object, int], ...] = ()
+    write_items: Tuple[Tuple[object, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.COMMIT
+
+    def size_estimate(self) -> int:
+        return 48 + 24 * len(self.read_versions) + 32 * len(self.write_items)
+
+
+@dataclass
+class Vote2PC(Message):
+    txn_id: TransactionId = None
+    success: bool = False
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.COMMIT
+
+    def size_estimate(self) -> int:
+        return 40
+
+
+@dataclass
+class Decide2PC(Message):
+    txn_id: TransactionId = None
+    outcome: bool = False
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.CONTROL
+
+    def size_estimate(self) -> int:
+        return 40
+
+
+@dataclass
+class DecideAck2PC(Message):
+    txn_id: TransactionId = None
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.CONTROL
+
+    def size_estimate(self) -> int:
+        return 32
+
+
+@dataclass
+class _KeyState:
+    """Single-version record of one key."""
+
+    value: object = 0
+    version: int = 0
+    writer: Optional[TransactionId] = None
+
+
+class TwoPCNode(BaseProtocolNode):
+    """One node of the 2PC-baseline store."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._data: Dict[object, _KeyState] = {}
+        self.locks = LockTable(self.sim, name=f"2pc-locks@{self.node_id}")
+        # Participant state for in-flight rounds.
+        self._prepared: Dict[TransactionId, Prepare2PC] = {}
+        self.register_handler(ReadRequest2PC, self.on_read_request)
+        self.register_handler(Prepare2PC, self.on_prepare)
+        self.register_handler(Decide2PC, self.on_decide)
+
+    # ------------------------------------------------------------------
+    def preload(self, keys, initial_value=0) -> None:
+        for key in keys:
+            if self.is_replica_of(key):
+                self._data[key] = _KeyState(value=initial_value)
+
+    # ------------------------------------------------------------------
+    # Server-side handlers
+    # ------------------------------------------------------------------
+    def on_read_request(self, message: ReadRequest2PC):
+        yield self.cpu(self.service.read_local_us)
+        state = self._data.get(message.key, _KeyState())
+        self.respond(
+            message,
+            ReadReturn2PC(
+                txn_id=message.txn_id,
+                key=message.key,
+                value=state.value,
+                version=state.version,
+                writer=state.writer,
+            ),
+        )
+
+    def on_prepare(self, message: Prepare2PC):
+        txn_id = message.txn_id
+        local_reads = tuple(
+            (key, version)
+            for key, version in message.read_versions
+            if self.is_replica_of(key)
+        )
+        local_writes = tuple(
+            (key, value)
+            for key, value in message.write_items
+            if self.is_replica_of(key)
+        )
+        write_keys = tuple(key for key, _value in local_writes)
+        read_keys = tuple(key for key, _version in local_reads)
+
+        yield self.cpu(
+            self.service.lock_op_us * max(1, len(read_keys) + len(write_keys))
+        )
+        locked = yield from self.locks.acquire_all(
+            txn_id,
+            exclusive_keys=write_keys,
+            shared_keys=read_keys,
+            timeout_us=self.config.timeouts.lock_timeout_us,
+        )
+        success = locked
+        if locked:
+            yield self.cpu(self.service.validate_key_us * max(1, len(read_keys)))
+            for key, version in local_reads:
+                current = self._data.get(key, _KeyState())
+                if current.version != version:
+                    success = False
+                    break
+        if not success and locked:
+            self.locks.release(txn_id, list(write_keys) + list(read_keys))
+        if success:
+            self._prepared[txn_id] = Prepare2PC(
+                txn_id=txn_id, read_versions=local_reads, write_items=local_writes
+            )
+        self.counters["prepares"] += 1
+        self.respond(message, Vote2PC(txn_id=txn_id, success=success))
+
+    def on_decide(self, message: Decide2PC):
+        txn_id = message.txn_id
+        prepared = self._prepared.pop(txn_id, None)
+        if prepared is not None:
+            read_keys = [key for key, _version in prepared.read_versions]
+            write_keys = [key for key, _value in prepared.write_items]
+            if message.outcome:
+                yield self.cpu(
+                    self.service.commit_apply_us * max(1, len(write_keys))
+                )
+                for key, value in prepared.write_items:
+                    state = self._data.setdefault(key, _KeyState())
+                    state.value = value
+                    state.version += 1
+                    state.writer = txn_id
+                self.counters["applies"] += 1
+            self.locks.release(txn_id, read_keys + write_keys)
+        self.respond(message, DecideAck2PC(txn_id=txn_id))
+
+    # ------------------------------------------------------------------
+    # Coordinator side (Session interface)
+    # ------------------------------------------------------------------
+    def txn_read(self, meta: TransactionMeta, key: object):
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"read after completion of {meta}")
+        if key in meta.write_set:
+            return meta.write_set[key]
+
+        events = [
+            self.request(replica, ReadRequest2PC(txn_id=meta.txn_id, key=key))
+            for replica in self.replicas(key)
+        ]
+        if len(events) == 1:
+            reply: ReadReturn2PC = yield events[0]
+        else:
+            yield self.sim.any_of(events)
+            reply = next(event.value for event in events if event.triggered)
+        meta.record_read(
+            key=key,
+            value=reply.value,
+            version_vc=meta.vc.with_entry(0, 0),
+            writer=reply.writer,
+            served_by=reply.sender,
+        )
+        # The scalar version number is what validation uses; stash it in the
+        # read record via the metadata's generic container.
+        meta.read_set[key].version_number = reply.version  # type: ignore[attr-defined]
+        self.counters["client_reads"] += 1
+        return reply.value
+
+    def txn_commit(self, meta: TransactionMeta):
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"double commit of {meta}")
+        meta.phase = TransactionPhase.PREPARING
+        meta.prepare_time = self.sim.now
+        txn_id = meta.txn_id
+
+        read_versions = tuple(
+            (key, getattr(record, "version_number", 0))
+            for key, record in meta.read_set.items()
+        )
+        write_items = tuple(meta.write_set.items())
+        participants: Set[int] = set(
+            self.placement.replicas_of(list(meta.read_set) + list(meta.write_set))
+        )
+        participants.add(self.node_id)
+
+        # Prepare phase.
+        vote_events = [
+            self.request(
+                participant,
+                Prepare2PC(
+                    txn_id=txn_id,
+                    read_versions=read_versions,
+                    write_items=write_items,
+                ),
+            )
+            for participant in sorted(participants)
+        ]
+        outcome = True
+        timeout = self.sim.timeout(self.config.timeouts.prepare_timeout_us)
+        pending = list(vote_events)
+        while pending:
+            yield self.sim.any_of(pending + [timeout])
+            if timeout.triggered and not any(event.triggered for event in pending):
+                outcome = False
+                break
+            done = [event for event in pending if event.triggered]
+            pending = [event for event in pending if not event.triggered]
+            for event in done:
+                vote: Vote2PC = event.value
+                if not vote.success:
+                    outcome = False
+            if not outcome:
+                break
+
+        # Decide phase; wait for every participant's acknowledgement so the
+        # client response order matches the data-store state (external
+        # consistency).
+        ack_events = [
+            self.request(participant, Decide2PC(txn_id=txn_id, outcome=outcome))
+            for participant in sorted(participants)
+        ]
+        if outcome:
+            meta.internal_commit_time = self.sim.now
+        yield self.sim.all_of(ack_events)
+
+        if not outcome:
+            return self._finish_abort(meta, reason="validation-or-lock")
+        counter = "update_commits" if meta.is_update else "read_only_commits"
+        return self._finish_commit(meta, counter)
+
+
+class TwoPCCluster(BaselineCluster):
+    """Cluster facade for the 2PC-baseline."""
+
+    node_class = TwoPCNode
+    protocol_name = "2pc"

@@ -1,0 +1,141 @@
+"""The vector clock value type.
+
+A :class:`VectorClock` is an immutable tuple of non-negative integers, one
+entry per node in the system.  The operations match the ones used by the SSS
+pseudo-code:
+
+* ``vc[i]`` — read entry *i* (``T.VC[i]``, ``NodeVC[i]``);
+* :meth:`merge` — entry-wise maximum (``max(commitVC, VCj)``);
+* :meth:`increment` — copy with entry *i* incremented (``NodeVC[i]++``);
+* :meth:`with_entry` — copy with entry *i* replaced (the ``xactVN``
+  assignment in Algorithm 1, lines 21–24);
+* ``<=`` and ``<`` — the partial order defined in Section IV
+  (``v1 <= v2`` iff every entry of ``v1`` is <= the corresponding entry of
+  ``v2``; ``v1 < v2`` additionally requires strict inequality somewhere).
+
+Immutability is deliberate: vector clocks are used as version identifiers and
+dictionary keys by the storage layer, and sharing mutable clocks between the
+coordinator and participants of a 2PC round would be a correctness hazard.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+class VectorClock:
+    """Immutable fixed-width vector clock."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[int]):
+        entries_tuple: Tuple[int, ...] = tuple(int(entry) for entry in entries)
+        if any(entry < 0 for entry in entries_tuple):
+            raise ValueError(f"vector clock entries must be >= 0: {entries_tuple}")
+        self._entries = entries_tuple
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def zeros(cls, size: int) -> "VectorClock":
+        """The all-zero clock of width ``size``."""
+        if size < 1:
+            raise ValueError("vector clock size must be >= 1")
+        return cls((0,) * size)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> Tuple[int, ...]:
+        return self._entries
+
+    def __getitem__(self, index: int) -> int:
+        return self._entries[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------ operations
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Entry-wise maximum of the two clocks."""
+        self._check_compatible(other)
+        return VectorClock(
+            max(a, b) for a, b in zip(self._entries, other._entries)
+        )
+
+    def increment(self, index: int, amount: int = 1) -> "VectorClock":
+        """Copy of this clock with ``entries[index] += amount``."""
+        if not 0 <= index < len(self._entries):
+            raise IndexError(f"entry {index} out of range for size {self.size}")
+        entries = list(self._entries)
+        entries[index] += amount
+        return VectorClock(entries)
+
+    def with_entry(self, index: int, value: int) -> "VectorClock":
+        """Copy of this clock with ``entries[index] = value``."""
+        if not 0 <= index < len(self._entries):
+            raise IndexError(f"entry {index} out of range for size {self.size}")
+        entries = list(self._entries)
+        entries[index] = int(value)
+        return VectorClock(entries)
+
+    def with_entries(self, indices: Sequence[int], value: int) -> "VectorClock":
+        """Copy with every entry in ``indices`` set to ``value``.
+
+        This is the Algorithm 1 step that sets all write-replica entries to
+        the transaction version number ``xactVN``.
+        """
+        entries = list(self._entries)
+        for index in indices:
+            if not 0 <= index < len(entries):
+                raise IndexError(f"entry {index} out of range for size {self.size}")
+            entries[index] = int(value)
+        return VectorClock(entries)
+
+    def max_over(self, indices: Sequence[int]) -> int:
+        """Maximum of the entries selected by ``indices`` (``xactVN``)."""
+        if not indices:
+            raise ValueError("max_over requires at least one index")
+        return max(self._entries[index] for index in indices)
+
+    # ------------------------------------------------------------ comparisons
+    def _check_compatible(self, other: "VectorClock") -> None:
+        if not isinstance(other, VectorClock):
+            raise TypeError(f"expected VectorClock, got {type(other).__name__}")
+        if other.size != self.size:
+            raise ValueError(
+                f"vector clock size mismatch: {self.size} vs {other.size}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorClock) and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __le__(self, other: "VectorClock") -> bool:
+        self._check_compatible(other)
+        return all(a <= b for a, b in zip(self._entries, other._entries))
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self._entries != other._entries
+
+    def __ge__(self, other: "VectorClock") -> bool:
+        self._check_compatible(other)
+        return all(a >= b for a, b in zip(self._entries, other._entries))
+
+    def __gt__(self, other: "VectorClock") -> bool:
+        return self >= other and self._entries != other._entries
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True when neither clock is <= the other."""
+        return not (self <= other) and not (other <= self)
+
+    # ------------------------------------------------------------ display
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VC{list(self._entries)}"

@@ -1,0 +1,197 @@
+"""Configuration dataclasses for clusters, networks and workloads.
+
+All experiment knobs used by the paper's evaluation (Section V) appear here:
+node count, replication degree, number of keys, percentage of read-only
+transactions, read-set sizes, access locality and clients per node.  The
+defaults match the paper's default configuration (replication degree 2,
+10 clients per node, 2-key update transactions, 2-key read-only
+transactions, uniform access).
+
+Times are expressed in *microseconds of simulated time* throughout the
+library; the paper reports a ~20 microsecond message delivery latency on its
+Infiniband test-bed, which is the default here as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+MICROSECOND = 1.0
+MILLISECOND = 1_000.0
+SECOND = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the simulated message-passing network.
+
+    Attributes
+    ----------
+    base_latency_us:
+        Mean one-way message latency in microseconds (paper: ~20 us).
+    jitter_us:
+        Half-width of the uniform jitter added to every message.
+    bandwidth_msgs_per_us:
+        Per-node outgoing message service rate used to model network
+        congestion; ``0`` disables the congestion model.
+    priority_levels:
+        Number of distinct priority levels for per-message-type queues.
+    """
+
+    base_latency_us: float = 20.0
+    jitter_us: float = 4.0
+    bandwidth_msgs_per_us: float = 0.35
+    priority_levels: int = 4
+
+    def validate(self) -> None:
+        if self.base_latency_us < 0:
+            raise ConfigurationError("base_latency_us must be >= 0")
+        if self.jitter_us < 0:
+            raise ConfigurationError("jitter_us must be >= 0")
+        if self.priority_levels < 1:
+            raise ConfigurationError("priority_levels must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServiceTimeConfig:
+    """CPU service times charged by a node for local protocol steps.
+
+    These model the per-operation processing cost of the Java implementation
+    (version-chain traversal, lock table access, queue maintenance).  They are
+    what makes a node saturate when too many clients inject requests, which is
+    required to reproduce the saturation behaviour in Figures 4 and 5.
+    """
+
+    read_local_us: float = 4.0
+    write_buffer_us: float = 1.0
+    version_walk_us: float = 0.4
+    lock_op_us: float = 1.0
+    validate_key_us: float = 0.8
+    queue_op_us: float = 0.8
+    commit_apply_us: float = 2.0
+    message_handling_us: float = 2.0
+
+    def validate(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class TimeoutConfig:
+    """Protocol timeouts (microseconds)."""
+
+    lock_timeout_us: float = 1_000.0
+    """Lock acquisition timeout; the paper sets 1 ms on its cluster."""
+
+    prepare_timeout_us: float = 50_000.0
+    """2PC coordinator wait for votes before declaring the round failed."""
+
+    starvation_threshold_us: float = 20_000.0
+    """Queued-writer age beyond which read-only reads apply back-off."""
+
+    backoff_initial_us: float = 100.0
+    backoff_max_us: float = 5_000.0
+
+    def validate(self) -> None:
+        if self.lock_timeout_us <= 0:
+            raise ConfigurationError("lock_timeout_us must be > 0")
+        if self.prepare_timeout_us <= 0:
+            raise ConfigurationError("prepare_timeout_us must be > 0")
+        if self.backoff_initial_us <= 0 or self.backoff_max_us < self.backoff_initial_us:
+            raise ConfigurationError("invalid back-off window")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of a simulated cluster.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes (the paper evaluates 5, 10, 15 and 20).
+    n_keys:
+        Number of shared keys (paper: 5 000 or 10 000).
+    replication_degree:
+        Number of replicas per key (paper: 2; 1 for ROCOCO comparisons).
+    clients_per_node:
+        Closed-loop clients co-located with every node (paper: 10).
+    seed:
+        Root seed from which every random stream in the cluster is derived.
+    """
+
+    n_nodes: int = 5
+    n_keys: int = 5_000
+    replication_degree: int = 2
+    clients_per_node: int = 10
+    seed: int = 1
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    service: ServiceTimeConfig = field(default_factory=ServiceTimeConfig)
+    timeouts: TimeoutConfig = field(default_factory=TimeoutConfig)
+
+    def validate(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError("n_nodes must be >= 1")
+        if self.n_keys < 1:
+            raise ConfigurationError("n_keys must be >= 1")
+        if not 1 <= self.replication_degree <= self.n_nodes:
+            raise ConfigurationError(
+                "replication_degree must be between 1 and n_nodes "
+                f"(got {self.replication_degree} with {self.n_nodes} nodes)"
+            )
+        if self.clients_per_node < 0:
+            raise ConfigurationError("clients_per_node must be >= 0")
+        self.network.validate()
+        self.service.validate()
+        self.timeouts.validate()
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """YCSB-style workload description (Section V of the paper).
+
+    Attributes
+    ----------
+    read_only_fraction:
+        Fraction of transactions that are read-only (paper: 0.2 / 0.5 / 0.8).
+    update_txn_keys:
+        Keys read *and* written by an update transaction (paper: 2).
+    read_only_txn_keys:
+        Keys read by a read-only transaction (paper: 2, up to 16 in Fig. 8).
+    key_distribution:
+        ``"uniform"`` or ``"zipfian"`` key popularity.
+    zipf_theta:
+        Skew of the zipfian distribution, ignored for uniform access.
+    locality_fraction:
+        Probability that an accessed key is chosen among keys replicated on
+        the client's local node (paper Fig. 7 uses 0.5).
+    think_time_us:
+        Client think time between transactions; 0 reproduces the paper's
+        closed loop with immediate re-issue.
+    """
+
+    read_only_fraction: float = 0.5
+    update_txn_keys: int = 2
+    read_only_txn_keys: int = 2
+    key_distribution: str = "uniform"
+    zipf_theta: float = 0.7
+    locality_fraction: float = 0.0
+    think_time_us: float = 0.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.read_only_fraction <= 1.0:
+            raise ConfigurationError("read_only_fraction must be in [0, 1]")
+        if self.update_txn_keys < 1:
+            raise ConfigurationError("update_txn_keys must be >= 1")
+        if self.read_only_txn_keys < 1:
+            raise ConfigurationError("read_only_txn_keys must be >= 1")
+        if self.key_distribution not in ("uniform", "zipfian"):
+            raise ConfigurationError(
+                f"unknown key_distribution {self.key_distribution!r}"
+            )
+        if not 0.0 <= self.locality_fraction <= 1.0:
+            raise ConfigurationError("locality_fraction must be in [0, 1]")
+        if self.think_time_us < 0:
+            raise ConfigurationError("think_time_us must be >= 0")

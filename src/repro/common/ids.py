@@ -1,0 +1,60 @@
+"""Identifier types for nodes, transactions and clients.
+
+Identifiers are deliberately simple value objects (ints and small frozen
+dataclasses) so that they hash quickly, sort deterministically and print in a
+readable form in traces and test failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+NodeId = int
+"""Nodes are identified by their dense index ``0 .. n_nodes - 1``.
+
+Using the dense index directly means a node identifier doubles as the index
+of that node's entry inside every vector clock, which is how the paper's
+pseudo-code (``T.VC[i]``, ``NodeVC[i]``) addresses vector entries.
+"""
+
+
+@dataclass(frozen=True, order=True)
+class TransactionId:
+    """Globally unique transaction identifier.
+
+    The identifier is a pair ``(node, seq)``: the node where the transaction
+    was started (its coordinator) and a per-node monotonically increasing
+    sequence number.  The pair is unique without any coordination between
+    nodes, which mirrors how a real deployment would generate identifiers.
+    """
+
+    node: NodeId
+    seq: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"T{self.node}.{self.seq}"
+
+
+@dataclass
+class TxnIdGenerator:
+    """Per-node factory of :class:`TransactionId` values."""
+
+    node: NodeId
+    _next_seq: int = field(default=0)
+
+    def next_id(self) -> TransactionId:
+        """Return a fresh identifier for a transaction coordinated by ``node``."""
+        txn_id = TransactionId(self.node, self._next_seq)
+        self._next_seq += 1
+        return txn_id
+
+
+@dataclass(frozen=True, order=True)
+class ClientId:
+    """Identifier of a closed-loop client, co-located with a node."""
+
+    node: NodeId
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"C{self.node}.{self.index}"

@@ -1,0 +1,37 @@
+"""History recording and consistency checking.
+
+The paper argues correctness (Section IV) by showing that the Direct
+Serialization Graph (DSG) of every executed history — extended with edges for
+the order in which transactions return to their clients — is acyclic.  This
+package makes that argument mechanically checkable on the histories produced
+by the simulated clusters:
+
+* :class:`~repro.consistency.history.HistoryRecorder` — collects committed
+  and aborted transactions with their read/write sets, version identities and
+  external-commit timestamps.
+* :mod:`repro.consistency.dsg` — builds the DSG (wr / ww / rw dependency
+  edges plus completion-order edges) with :mod:`networkx`.
+* :mod:`repro.consistency.checkers` — external consistency, serializability
+  and snapshot-isolation style checks used by tests, property tests and the
+  ``consistency_audit`` example.
+"""
+
+from repro.consistency.checkers import (
+    CheckResult,
+    check_external_consistency,
+    check_serializability,
+    check_snapshot_reads,
+)
+from repro.consistency.dsg import DependencyEdge, build_dsg
+from repro.consistency.history import CommittedTransaction, HistoryRecorder
+
+__all__ = [
+    "CheckResult",
+    "CommittedTransaction",
+    "DependencyEdge",
+    "HistoryRecorder",
+    "build_dsg",
+    "check_external_consistency",
+    "check_serializability",
+    "check_snapshot_reads",
+]

@@ -1,0 +1,189 @@
+"""Consistency checkers over recorded histories.
+
+Four checks are provided, matching the guarantees of the protocols in this
+repository:
+
+* :func:`check_external_consistency` — external consistency in its standard
+  formal reading (strict serializability): the DSG extended with the
+  real-time *precedence* order (Ti completed before Tj began) must be
+  acyclic.  SSS and the 2PC-baseline must pass it; Walter (PSI) fails it
+  under adversarial interleavings.
+* :func:`check_update_completion_order` — the paper's Statement 1: the
+  update-only sub-history must additionally respect the order in which
+  clients received their responses (up to the observability tolerance — two
+  responses closer together than one network latency cannot be ordered by
+  any external observer).
+* :func:`check_serializability` — DSG acyclicity with dependency edges only.
+* :func:`check_snapshot_reads` — every read observed a committed version and
+  the versions observed by one transaction form a consistent cut (the
+  "consistent view" part of Statements 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.ids import TransactionId
+from repro.consistency.dsg import build_dsg, find_cycle, install_order
+from repro.consistency.history import CommittedTransaction, HistoryRecorder
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one consistency check."""
+
+    ok: bool
+    name: str
+    violations: List[str] = field(default_factory=list)
+    checked_transactions: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        detail = f" ({len(self.violations)} violations)" if self.violations else ""
+        return (
+            f"[{status}] {self.name}: "
+            f"{self.checked_transactions} transactions{detail}"
+        )
+
+
+def _transactions(history) -> Sequence[CommittedTransaction]:
+    if isinstance(history, HistoryRecorder):
+        return history.committed
+    return list(history)
+
+
+def _render_cycle(cycle) -> str:
+    parts = []
+    for source, _target, kind in cycle:
+        label = source if not isinstance(source, tuple) else "~rt~"
+        parts.append(f"{label}({kind})")
+    return " -> ".join(str(part) for part in parts)
+
+
+def _cycle_check(
+    transactions: Sequence[CommittedTransaction],
+    name: str,
+    realtime: str,
+    completion_tolerance_us: float = 25.0,
+) -> CheckResult:
+    graph = build_dsg(
+        transactions,
+        realtime=realtime,
+        completion_tolerance_us=completion_tolerance_us,
+    )
+    cycle = find_cycle(graph)
+    violations = [] if cycle is None else [f"cycle: {_render_cycle(cycle)}"]
+    return CheckResult(
+        ok=cycle is None,
+        name=name,
+        violations=violations,
+        checked_transactions=len(transactions),
+    )
+
+
+# ----------------------------------------------------------------------
+# DSG based checks
+# ----------------------------------------------------------------------
+def check_external_consistency(history) -> CheckResult:
+    """Strict-serializability reading of external consistency."""
+    return _cycle_check(
+        _transactions(history), "external-consistency", realtime="precedence"
+    )
+
+
+def check_serializability(history) -> CheckResult:
+    """DSG acyclicity with dependency edges only."""
+    return _cycle_check(
+        _transactions(history), "serializability", realtime="none"
+    )
+
+
+def check_update_completion_order(
+    history, tolerance_us: float = 25.0
+) -> CheckResult:
+    """Statement 1: the update-only sub-history respects client response order."""
+    updates = [txn for txn in _transactions(history) if txn.is_update]
+    return _cycle_check(
+        updates,
+        "update-completion-order",
+        realtime="completion",
+        completion_tolerance_us=tolerance_us,
+    )
+
+
+# ----------------------------------------------------------------------
+# Snapshot / read-value checks
+# ----------------------------------------------------------------------
+def check_snapshot_reads(history) -> CheckResult:
+    """Reads observe committed versions and form per-transaction consistent cuts."""
+    transactions = _transactions(history)
+    by_id: Dict[TransactionId, CommittedTransaction] = {
+        txn.txn_id: txn for txn in transactions
+    }
+    violations: List[str] = []
+
+    version_order = {
+        key: [txn.txn_id for txn in writers]
+        for key, writers in install_order(transactions).items()
+    }
+
+    def writer_position(key: object, writer: Optional[TransactionId]) -> int:
+        if writer is None:
+            return -1
+        order = version_order.get(key, [])
+        try:
+            return order.index(writer)
+        except ValueError:
+            return -2  # writer unknown / uncommitted
+
+    for txn in transactions:
+        observed: List[Tuple[object, int]] = []
+        for read in txn.reads:
+            if read.writer is not None and read.writer not in by_id:
+                violations.append(
+                    f"{txn.txn_id} read {read.key!r} from uncommitted/unknown "
+                    f"writer {read.writer}"
+                )
+                continue
+            observed.append((read.key, writer_position(read.key, read.writer)))
+
+        # Consistent-cut property: if the transaction observed key A at the
+        # version produced by writer W, it must not have observed, for any
+        # other key B that W also wrote, a version older than W's.
+        for key_a, pos_a in observed:
+            if pos_a < 0:
+                continue
+            writer_a = version_order[key_a][pos_a]
+            writer_a_txn = by_id[writer_a]
+            for key_b, pos_b in observed:
+                if key_a == key_b:
+                    continue
+                if key_b in writer_a_txn.writes:
+                    required_pos = version_order[key_b].index(writer_a)
+                    if pos_b < required_pos:
+                        violations.append(
+                            f"{txn.txn_id} observed {key_a!r} from {writer_a} "
+                            f"but an older version of {key_b!r} that {writer_a} "
+                            "already overwrote"
+                        )
+
+    return CheckResult(
+        ok=not violations,
+        name="snapshot-reads",
+        violations=violations,
+        checked_transactions=len(transactions),
+    )
+
+
+def run_all_checks(history) -> List[CheckResult]:
+    """Run every checker; convenience for examples and reports."""
+    return [
+        check_external_consistency(history),
+        check_serializability(history),
+        check_update_completion_order(history),
+        check_snapshot_reads(history),
+    ]

@@ -1,0 +1,26 @@
+"""The SSS concurrency control — the paper's primary contribution.
+
+The package implements Algorithms 1-6 of the paper on top of the simulated
+substrate:
+
+* :mod:`repro.core.metadata` — per-transaction metadata (``T.VC``,
+  ``T.hasRead``, read/write sets, ``PropagatedSet``, phase timestamps).
+* :mod:`repro.core.messages` — the protocol's wire messages (ReadRequest /
+  ReadReturn, Prepare / Vote / Decide, Ack, Remove).
+* :mod:`repro.core.node` — :class:`SSSNode`, one protocol node: version
+  selection for read-only transactions (Algorithm 6), 2PC participant logic
+  (Algorithm 2), pre-commit / external-commit handling (Algorithms 3-4) and
+  Remove propagation.
+* :mod:`repro.core.coordinator` — client-side transaction execution at the
+  coordinator (Algorithm 5 reads, Algorithm 1 commit).
+* :mod:`repro.core.session` — the user-facing transaction handle.
+* :mod:`repro.core.cluster` — :class:`SSSCluster`, the public facade that
+  assembles a simulated cluster and runs transactions against it.
+"""
+
+from repro.core.cluster import SSSCluster
+from repro.core.metadata import TransactionMeta, TransactionPhase
+from repro.core.node import SSSNode
+from repro.core.session import Session
+
+__all__ = ["SSSCluster", "SSSNode", "Session", "TransactionMeta", "TransactionPhase"]

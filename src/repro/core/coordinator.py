@@ -1,0 +1,311 @@
+"""Client-side transaction execution at the coordinator node.
+
+In SSS a client is co-located with a node; that node coordinates every
+transaction the client starts.  :class:`CoordinatorMixin` adds the
+coordinator role to :class:`repro.core.node.SSSNode`:
+
+* :meth:`begin_transaction` — create the transaction metadata.
+* :meth:`txn_read` — Algorithm 5: snapshot the local ``NLog.mostRecentVC`` on
+  the first read, contact every replica of the key, take the fastest answer,
+  merge the returned vector clock into ``T.VC``, mark ``hasRead`` and
+  accumulate the propagated set.
+* :meth:`txn_write` — buffer the write in the write-set (lazy update).
+* :meth:`txn_commit` — Algorithm 1: read-only transactions reply to the
+  client immediately and send ``Remove``; update transactions run 2PC
+  (prepare, votes, decide), then wait for the ``ExternalAck`` of every write
+  replica before the client is informed (the external commit).
+
+All methods that involve waiting are generators intended to be driven with
+``yield from`` inside a simulation process (see :class:`repro.core.session.Session`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from repro.clocks.vector_clock import VectorClock
+from repro.common.errors import TransactionStateError
+from repro.common.ids import TransactionId, TxnIdGenerator
+from repro.core.messages import (
+    Decide,
+    ExternalAck,
+    Prepare,
+    ReadRequest,
+    ReadReturn,
+    Remove,
+    Vote,
+)
+from repro.core.metadata import TransactionMeta, TransactionPhase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+
+
+class CoordinatorMixin:
+    """Coordinator-role methods mixed into :class:`repro.core.node.SSSNode`."""
+
+    def _init_coordinator_state(self) -> None:
+        self._txn_ids = TxnIdGenerator(self.node_id)
+        # External-commit bookkeeping: txn -> (event, nodes still to ack).
+        self._ack_waits: Dict[TransactionId, Tuple["Event", Set[int]]] = {}
+        self.coordinated: Dict[TransactionId, TransactionMeta] = {}
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+    def begin_transaction(self, read_only: bool) -> TransactionMeta:
+        """Create the metadata of a transaction coordinated by this node."""
+        meta = TransactionMeta(
+            txn_id=self._txn_ids.next_id(),
+            coordinator=self.node_id,
+            is_update=not read_only,
+            n_nodes=self.config.n_nodes,
+        )
+        meta.begin_time = self.sim.now
+        self.coordinated[meta.txn_id] = meta
+        self.counters["begun"] += 1
+        return meta
+
+    def txn_read(self, meta: TransactionMeta, key: object):
+        """Algorithm 5: read ``key`` on behalf of ``meta`` (generator)."""
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"read after commit/abort in {meta}")
+
+        # Line 2-4: reads of keys in the write-set observe the buffered value.
+        if key in meta.write_set:
+            return meta.write_set[key]
+
+        # Lines 5-7: the first read snapshots the local commit log.
+        if not meta.first_read_done:
+            meta.vc = self.nlog.most_recent_vc
+            meta.first_read_done = True
+
+        # Lines 8-10: contact every replica, use the fastest answer.
+        replicas = self.replicas(key)
+        request_events = []
+        for replica in replicas:
+            request = ReadRequest(
+                txn_id=meta.txn_id,
+                key=key,
+                vc=meta.vc,
+                has_read=tuple(meta.has_read),
+                is_update=meta.is_update,
+            )
+            request_events.append(self.request(replica, request))
+        if len(request_events) == 1:
+            reply: ReadReturn = yield request_events[0]
+        else:
+            yield self.sim.any_of(request_events)
+            reply = next(
+                event.value for event in request_events if event.triggered
+            )
+
+        served_by = reply.sender
+        # Lines 11-14: merge visibility information and record the read.
+        meta.mark_has_read(served_by)
+        meta.merge_vc(reply.max_vc)
+        meta.record_read(
+            key=key,
+            value=reply.value,
+            version_vc=reply.version_vc,
+            writer=reply.writer,
+            served_by=served_by,
+        )
+        if reply.propagated:
+            meta.add_propagated(reply.propagated)
+            # Remember (on the serving node) where those reader entries have
+            # been shipped so Remove messages can be forwarded later.  The
+            # serving node is remote; it records the propagation when sending
+            # the reply — see ReadReturn handling below in the node — but the
+            # coordinator also records it for the Decide fan-out it will do.
+        self.counters["client_reads"] += 1
+        return reply.value
+
+    def txn_write(self, meta: TransactionMeta, key: object, value: object) -> None:
+        """Buffer a write (lazy update); visible only after commit."""
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"write after commit/abort in {meta}")
+        if meta.is_read_only:
+            raise TransactionStateError(
+                f"{meta.txn_id} was declared read-only but issued a write"
+            )
+        meta.record_write(key, value)
+        self.counters["client_writes"] += 1
+
+    def txn_abort(self, meta: TransactionMeta) -> None:
+        """Client-requested abort before commit.
+
+        Buffered writes are simply dropped.  A read-only transaction that
+        already issued reads has left entries in the snapshot queues of its
+        read keys; those are cleaned up exactly as on commit (by sending
+        ``Remove``), otherwise it could block update transactions forever.
+        """
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"abort after completion of {meta}")
+        if meta.is_read_only and meta.read_set:
+            self._commit_read_only(meta)
+        meta.phase = TransactionPhase.ABORTED
+        meta.abort_reason = "client-abort"
+        meta.abort_time = self.sim.now
+        self.counters["client_aborts"] += 1
+
+    # ------------------------------------------------------------------
+    # Commit — Algorithm 1
+    # ------------------------------------------------------------------
+    def txn_commit(self, meta: TransactionMeta):
+        """Commit ``meta``; returns True on (external) commit, False on abort."""
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"double commit of {meta}")
+
+        if not meta.write_set:
+            return self._commit_read_only(meta)
+        return (yield from self._commit_update(meta))
+
+    def _commit_read_only(self, meta: TransactionMeta) -> bool:
+        """Lines 2-8: read-only transactions return immediately, then Remove."""
+        meta.phase = TransactionPhase.EXTERNALLY_COMMITTED
+        meta.external_commit_time = self.sim.now
+        meta.commit_vc = meta.vc
+        self.counters["read_only_commits"] += 1
+        if self.history is not None:
+            self.history.record_commit(meta)
+
+        notified: Set[int] = set()
+        for key in meta.read_set:
+            for replica in self.replicas(key):
+                # One Remove per (replica, keys) pair; group keys per replica.
+                notified.add(replica)
+        for replica in notified:
+            keys = tuple(
+                key
+                for key in meta.read_set
+                if replica in self.replicas(key)
+            )
+            self.send(replica, Remove(txn_id=meta.txn_id, keys=keys))
+        return True
+
+    def _commit_update(self, meta: TransactionMeta):
+        """Lines 9-26 plus the external-commit wait (Algorithm 4 acks)."""
+        meta.phase = TransactionPhase.PREPARING
+        meta.prepare_time = self.sim.now
+        txn_id = meta.txn_id
+
+        participants = set(self.placement.replicas_of(
+            list(meta.read_set) + list(meta.write_set)
+        ))
+        participants.add(self.node_id)
+        write_replicas = set(self.placement.replicas_of(list(meta.write_set)))
+
+        # Prepare phase.
+        read_versions = tuple(
+            (key, record.version_vc) for key, record in meta.read_set.items()
+        )
+        vote_events = []
+        for participant in sorted(participants):
+            prepare = Prepare(
+                txn_id=txn_id,
+                vc=meta.vc,
+                read_versions=read_versions,
+                write_items=tuple(meta.write_set.items()),
+            )
+            vote_events.append(self.request(participant, prepare))
+
+        commit_vc = meta.vc
+        outcome = True
+        timeout = self.sim.timeout(self.config.timeouts.prepare_timeout_us)
+        pending = list(vote_events)
+        while pending:
+            yield self.sim.any_of(pending + [timeout])
+            if timeout.triggered and not any(e.triggered for e in pending):
+                outcome = False
+                break
+            done = [event for event in pending if event.triggered]
+            pending = [event for event in pending if not event.triggered]
+            for event in done:
+                vote: Vote = event.value
+                if not vote.success:
+                    outcome = False
+                else:
+                    commit_vc = commit_vc.merge(vote.vc)
+            if not outcome:
+                break
+
+        if outcome:
+            # Lines 21-24: every write-replica entry takes the transaction
+            # version number (the maximum across the write replicas).
+            write_indices = sorted(write_replicas)
+            xact_vn = commit_vc.max_over(write_indices)
+            commit_vc = commit_vc.with_entries(write_indices, xact_vn)
+            meta.commit_vc = commit_vc
+            # The transaction version number orders this transaction against
+            # every other writer of the same keys (the commit queues install
+            # versions in xactVN order), which is what the consistency
+            # checker uses to recover per-key version orders.
+            meta.version_hints = {key: float(xact_vn) for key in meta.write_set}
+
+        # Register for the external acks *before* the decision is sent so an
+        # ack arriving instantly (loopback) is not lost.
+        ack_event = None
+        if outcome:
+            ack_event = self.sim.event(name=f"external:{txn_id}")
+            self._ack_waits[txn_id] = (ack_event, set(write_replicas))
+
+        # Propagated read-only entries whose Remove already passed through
+        # this node must not be re-inserted anywhere: the Remove will not be
+        # forwarded again, so a stale insertion would block the written keys'
+        # pre-commit forever.
+        propagated = tuple(
+            entry
+            for entry in meta.propagated_set
+            if entry.txn_id not in self._removed_readers
+        )
+        for participant in sorted(participants):
+            self.send(
+                participant,
+                Decide(
+                    txn_id=txn_id,
+                    commit_vc=commit_vc if outcome else meta.vc,
+                    outcome=outcome,
+                    propagated=propagated,
+                ),
+            )
+            if outcome and propagated:
+                for entry in propagated:
+                    self.note_propagation(entry.txn_id, participant)
+
+        if not outcome:
+            meta.phase = TransactionPhase.ABORTED
+            meta.abort_reason = meta.abort_reason or "validation-or-lock"
+            meta.abort_time = self.sim.now
+            self.counters["update_aborts"] += 1
+            if self.history is not None:
+                self.history.record_abort(meta)
+            return False
+
+        meta.phase = TransactionPhase.INTERNALLY_COMMITTED
+        meta.internal_commit_time = self.sim.now
+
+        # External commit: wait for every write replica's pre-commit ack.
+        meta.phase = TransactionPhase.PRE_COMMIT
+        yield ack_event
+        meta.phase = TransactionPhase.EXTERNALLY_COMMITTED
+        meta.external_commit_time = self.sim.now
+        self.counters["update_commits"] += 1
+        if self.history is not None:
+            self.history.record_commit(meta)
+        return True
+
+    # ------------------------------------------------------------------
+    # ExternalAck handling
+    # ------------------------------------------------------------------
+    def on_external_ack(self, message: ExternalAck) -> None:
+        """Collect pre-commit acks; fire the wait event when all arrived."""
+        waiting = self._ack_waits.get(message.txn_id)
+        if waiting is None:
+            return
+        event, remaining = waiting
+        remaining.discard(message.sender)
+        if not remaining:
+            del self._ack_waits[message.txn_id]
+            if not event.triggered:
+                event.succeed()

@@ -1,0 +1,163 @@
+"""Wire messages of the SSS protocol.
+
+Message priorities follow the paper's implementation note: messages that
+unblock other transactions (Remove, Ack, Decide) are served first by the
+per-node network queues, 2PC prepare/vote traffic next, read traffic after
+that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.clocks.vector_clock import VectorClock
+from repro.common.ids import NodeId, TransactionId
+from repro.core.metadata import PropagatedEntry
+from repro.network.message import Message, MessagePriority
+
+
+def _vc_size(vc: Optional[VectorClock]) -> int:
+    return 8 * vc.size if vc is not None else 0
+
+
+@dataclass
+class ReadRequest(Message):
+    """Algorithm 5 line 9: request one key from a replica."""
+
+    txn_id: TransactionId = None
+    key: object = None
+    vc: VectorClock = None
+    has_read: Tuple[bool, ...] = ()
+    is_update: bool = False
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.READ
+
+    def size_estimate(self) -> int:
+        return 48 + _vc_size(self.vc) + len(self.has_read)
+
+
+@dataclass
+class ReadReturn(Message):
+    """Algorithm 6 line 28: value, snapshot vector clock and propagated set."""
+
+    txn_id: TransactionId = None
+    key: object = None
+    value: object = None
+    max_vc: VectorClock = None
+    version_vc: VectorClock = None
+    writer: Optional[TransactionId] = None
+    propagated: Tuple[PropagatedEntry, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.READ
+
+    def size_estimate(self) -> int:
+        return 64 + _vc_size(self.max_vc) + _vc_size(self.version_vc) + 16 * len(
+            self.propagated
+        )
+
+
+@dataclass
+class Prepare(Message):
+    """2PC prepare carrying the read and write keys stored by the participant.
+
+    ``read_versions`` pairs every read key with the commit vector clock of
+    the version the transaction actually observed; participants validate that
+    the key has not been overwritten since (the paper's validation intent:
+    "abort if some read key has been overwritten meanwhile").
+    """
+
+    txn_id: TransactionId = None
+    vc: VectorClock = None
+    read_versions: Tuple[Tuple[object, VectorClock], ...] = ()
+    write_items: Tuple[Tuple[object, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.COMMIT
+
+    @property
+    def read_keys(self) -> Tuple[object, ...]:
+        return tuple(key for key, _vc in self.read_versions)
+
+    def size_estimate(self) -> int:
+        per_read = 16 + (8 * self.vc.size if self.vc is not None else 0)
+        return (
+            64
+            + _vc_size(self.vc)
+            + per_read * len(self.read_versions)
+            + 32 * len(self.write_items)
+        )
+
+
+@dataclass
+class Vote(Message):
+    """2PC vote with the participant's proposed commit vector clock."""
+
+    txn_id: TransactionId = None
+    vc: VectorClock = None
+    success: bool = False
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.COMMIT
+
+    def size_estimate(self) -> int:
+        return 48 + _vc_size(self.vc)
+
+
+@dataclass
+class Decide(Message):
+    """2PC decision carrying the final commit vector clock and outcome.
+
+    The coordinator also ships the transaction's ``PropagatedSet`` so that
+    write replicas can re-insert the propagated read-only entries into the
+    written keys' snapshot queues when the pre-commit phase starts
+    (Algorithm 3, lines 4-6).
+    """
+
+    txn_id: TransactionId = None
+    commit_vc: VectorClock = None
+    outcome: bool = False
+    propagated: Tuple[PropagatedEntry, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.CONTROL
+
+    def size_estimate(self) -> int:
+        return 56 + _vc_size(self.commit_vc) + 16 * len(self.propagated)
+
+
+@dataclass
+class ExternalAck(Message):
+    """Algorithm 4 line 5: a write replica finished its pre-commit wait."""
+
+    txn_id: TransactionId = None
+    snapshot: int = 0
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.CONTROL
+
+    def size_estimate(self) -> int:
+        return 40
+
+
+@dataclass
+class Remove(Message):
+    """Notification that a read-only transaction returned to its client.
+
+    ``keys`` restricts the cleanup to the snapshot queues of the given keys
+    when provided; an empty tuple means "every local queue containing the
+    transaction" (used when the message is forwarded along anti-dependency
+    propagation chains, where the forwarding node does not know which keys
+    the entry reached).
+    """
+
+    txn_id: TransactionId = None
+    keys: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.CONTROL
+
+    def size_estimate(self) -> int:
+        return 32 + 16 * len(self.keys)

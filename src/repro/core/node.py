@@ -1,0 +1,542 @@
+"""One SSS protocol node.
+
+:class:`SSSNode` is the server side of the protocol: it stores a shard of the
+multi-version key space and answers the messages defined in
+:mod:`repro.core.messages`:
+
+* ``ReadRequest`` — version selection for read-only and update transactions
+  (Algorithm 6), including the ``wait until NLog.mostRecentVC[i] >= T.VC[i]``
+  gate, the Visible/Excluded set computation, snapshot-queue insertion and
+  the starvation-avoidance back-off.
+* ``Prepare`` / ``Decide`` — 2PC participant logic (Algorithm 2): lock
+  acquisition, read-set validation, proposed vector clock, commit-queue
+  insertion, and the ordered apply of ready transactions at the queue head
+  followed by the start of their pre-commit phase (Algorithm 3).
+* ``Remove`` — snapshot-queue cleanup when a read-only transaction returns
+  to its client, with forwarding along anti-dependency propagation chains.
+
+The client-side execution of transactions (Algorithm 5 reads and the
+Algorithm 1 commit) lives in :class:`repro.core.coordinator.CoordinatorMixin`,
+which this class inherits: in SSS the coordinator of a transaction is simply
+the node its client is co-located with.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.clocks.vector_clock import VectorClock
+from repro.common.config import ClusterConfig
+from repro.common.ids import NodeId, TransactionId
+from repro.core.coordinator import CoordinatorMixin
+from repro.core.messages import (
+    Decide,
+    ExternalAck,
+    Prepare,
+    ReadRequest,
+    ReadReturn,
+    Remove,
+    Vote,
+)
+from repro.core.metadata import PropagatedEntry
+from repro.network.node import NetworkedNode
+from repro.replication.placement import KeyPlacement
+from repro.storage.commit_queue import CommitQueue
+from repro.storage.locks import LockTable
+from repro.storage.mvstore import MultiVersionStore
+from repro.storage.nlog import NLog, NLogEntry
+from repro.storage.snapshot_queue import (
+    READ_KIND,
+    SQueueEntry,
+    WRITE_KIND,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.consistency.history import HistoryRecorder
+    from repro.network.transport import Network
+    from repro.sim.engine import Simulation
+
+
+class _PreparedState:
+    """Book-keeping for a transaction this node prepared as a 2PC participant."""
+
+    __slots__ = ("read_keys", "write_items", "is_write_replica")
+
+    def __init__(
+        self,
+        read_keys: Tuple[object, ...],
+        write_items: Tuple[Tuple[object, object], ...],
+        is_write_replica: bool,
+    ):
+        self.read_keys = read_keys
+        self.write_items = write_items
+        self.is_write_replica = is_write_replica
+
+
+class SSSNode(CoordinatorMixin, NetworkedNode):
+    """A node of the SSS key-value store."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        network: "Network",
+        node_id: NodeId,
+        placement: KeyPlacement,
+        config: ClusterConfig,
+        history: Optional["HistoryRecorder"] = None,
+        strict_visibility: bool = False,
+    ):
+        super().__init__(sim, network, node_id, service=config.service)
+        self.placement = placement
+        self.config = config
+        self.history = history
+        self.strict_visibility = strict_visibility
+        n_nodes = config.n_nodes
+
+        # Data plane.
+        self.store = MultiVersionStore(node_id, sim=sim)
+        self.locks = LockTable(sim, name=f"locks@{node_id}")
+        self.nlog = NLog(node_id, n_nodes, sim=sim)
+        self.commit_queue = CommitQueue(node_id, sim=sim)
+        self.node_vc = VectorClock.zeros(n_nodes)
+
+        # Participant-side state for in-flight 2PC rounds.
+        self._prepared: Dict[TransactionId, _PreparedState] = {}
+        # Decisions that arrived before (or without) a matching Prepare.
+        self._decided_early: Dict[TransactionId, Decide] = {}
+        # Per-transaction write payloads waiting in the commit queue.
+        self._pending_writes: Dict[TransactionId, Tuple[Tuple[object, object], ...]] = {}
+        self._pending_propagated: Dict[TransactionId, Tuple[PropagatedEntry, ...]] = {}
+
+        # Remove-forwarding: reader transaction -> nodes we shipped its
+        # snapshot-queue entry to (via ReadReturn propagated sets or Decide).
+        self._forward_map: Dict[TransactionId, Set[NodeId]] = defaultdict(set)
+        # Readers already removed; late propagated insertions are suppressed.
+        self._removed_readers: Set[TransactionId] = set()
+        # Local index: reader transaction -> keys whose squeue holds it.
+        self._reader_keys: Dict[TransactionId, Set[object]] = defaultdict(set)
+        # Starvation back-off: per-key consecutive back-off count.
+        self._backoff_level: Dict[object, int] = defaultdict(int)
+
+        # Coordinator-side state (owned by CoordinatorMixin helpers).
+        self._init_coordinator_state()
+
+        # Metrics counters.
+        self.counters = defaultdict(int)
+
+        # Message handlers.
+        self.register_handler(ReadRequest, self.on_read_request)
+        self.register_handler(Prepare, self.on_prepare)
+        self.register_handler(Decide, self.on_decide)
+        self.register_handler(ExternalAck, self.on_external_ack)
+        self.register_handler(Remove, self.on_remove)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def replicas(self, key: object) -> Tuple[NodeId, ...]:
+        return self.placement.replicas(key)
+
+    def is_replica_of(self, key: object) -> bool:
+        return self.placement.is_replica(self.node_id, key)
+
+    def preload(self, keys, initial_value=0) -> None:
+        """Install version zero of the local replicas of ``keys``."""
+        local = [key for key in keys if self.is_replica_of(key)]
+        self.store.preload(local, initial_value=initial_value, n_nodes=self.config.n_nodes)
+
+    # ------------------------------------------------------------------
+    # ReadRequest handling — Algorithm 6
+    # ------------------------------------------------------------------
+    def on_read_request(self, message: ReadRequest):
+        """Version-selection handler (runs as a simulation process)."""
+        key = message.key
+        i = self.node_id
+        service = self.service
+
+        if message.is_update:
+            # Lines 23-27: update transactions read the latest version and
+            # collect the key's queued read-only entries for propagation.
+            yield self.cpu(service.read_local_us)
+            max_vc = self.nlog.most_recent_vc
+            squeue = self.store.squeue(key)
+            propagated = tuple(
+                PropagatedEntry(entry.txn_id, entry.insertion_snapshot)
+                for entry in squeue.readers()
+            )
+            # Remember where those reader entries are shipped so that their
+            # Remove can be forwarded along the anti-dependency chain.
+            for entry in propagated:
+                self.note_propagation(entry.txn_id, message.sender)
+            version = self.store.latest(key)
+            self.counters["reads_update"] += 1
+            self.respond(
+                message,
+                ReadReturn(
+                    txn_id=message.txn_id,
+                    key=key,
+                    value=version.value,
+                    max_vc=max_vc,
+                    version_vc=version.vc,
+                    writer=version.writer,
+                    propagated=propagated,
+                ),
+            )
+            return
+
+        # ---- read-only transactions -------------------------------------
+        reader_vc = message.vc
+        has_read = list(message.has_read)
+        squeue = self.store.squeue(key)
+
+        # Starvation avoidance: back off when the key's writers have been
+        # stuck in the snapshot queue for longer than the threshold, giving
+        # them a chance to externally commit before we enqueue yet another
+        # reader in front of them.
+        yield from self._starvation_backoff(key, squeue)
+
+        if not has_read[i]:
+            # Line 5: wait until every transaction already inside the
+            # reader's visibility bound has internally committed locally.
+            target = reader_vc[i]
+            if self.nlog.most_recent_vc[i] < target:
+                self.counters["read_waits"] += 1
+                yield self.sim.condition(
+                    lambda: self.nlog.most_recent_vc[i] >= target,
+                    self.nlog.signal,
+                    name=f"read-wait:{message.txn_id}",
+                )
+            yield self.cpu(service.read_local_us)
+
+            # Lines 6-9: visible snapshot minus pre-committing writers above
+            # the reader's bound.
+            excluded_entries = squeue.writers_above(reader_vc[i])
+            excluded_vcs = self._excluded_vcs(key, excluded_entries)
+            max_vc = self.nlog.visible_max_vc(
+                reader_vc, has_read, excluded_vcs, strict=self.strict_visibility
+            )
+            insertion_snapshot = max_vc[i]
+        else:
+            # Lines 15-21: this node already served this transaction before;
+            # the visibility bound is the transaction's own vector clock.
+            yield self.cpu(service.read_local_us)
+            max_vc = reader_vc
+            insertion_snapshot = max_vc[i]
+            excluded_vcs = set()
+
+        # Line 10 / 17: leave a trace of the read in the snapshot queue.
+        self._insert_reader(key, message.txn_id, insertion_snapshot)
+
+        # Lines 11-14 / 18-21: walk the version chain newest-to-oldest until a
+        # version within the visibility bound (and not excluded) is found.
+        version = self._select_version(key, has_read, max_vc, excluded_vcs)
+        yield self.cpu(service.version_walk_us * max(1, len(self.store.chain(key))))
+
+        self.counters["reads_read_only"] += 1
+        self.respond(
+            message,
+            ReadReturn(
+                txn_id=message.txn_id,
+                key=key,
+                value=version.value,
+                max_vc=max_vc,
+                version_vc=version.vc,
+                writer=version.writer,
+                propagated=(),
+            ),
+        )
+
+    def _excluded_vcs(self, key: object, excluded_entries) -> Set[VectorClock]:
+        """Commit vector clocks of the excluded (pre-committing) writers."""
+        excluded: Set[VectorClock] = set()
+        if not excluded_entries:
+            return excluded
+        excluded_ids = {entry.txn_id for entry in excluded_entries}
+        for version in self.store.chain(key).newest_to_oldest():
+            if version.writer in excluded_ids:
+                excluded.add(version.vc)
+                excluded_ids.discard(version.writer)
+                if not excluded_ids:
+                    break
+        return excluded
+
+    def _select_version(
+        self,
+        key: object,
+        has_read: List[bool],
+        max_vc: VectorClock,
+        excluded_vcs: Set[VectorClock],
+    ):
+        """Newest version within the visibility bound and not excluded."""
+        i = self.node_id
+        chain = self.store.chain(key)
+        for version in chain.newest_to_oldest():
+            if version.vc in excluded_vcs and version.vc[i] > max_vc[i]:
+                continue
+            out_of_bound = False
+            for w, flag in enumerate(has_read):
+                if flag and version.vc[w] > max_vc[w]:
+                    out_of_bound = True
+                    break
+            if not out_of_bound and version.vc[i] <= max_vc[i]:
+                return version
+        # The preloaded version zero is visible to everyone; reaching this
+        # point means the key was never preloaded on this node.
+        raise KeyError(f"node {self.node_id} has no visible version of {key!r}")
+
+    def _insert_reader(self, key: object, txn_id: TransactionId, snapshot: int) -> None:
+        if txn_id in self._removed_readers:
+            return
+        self.store.squeue(key).insert(SQueueEntry(txn_id, snapshot, READ_KIND))
+        self._reader_keys[txn_id].add(key)
+
+    def _starvation_backoff(self, key: object, squeue):
+        """Exponential back-off of read-only reads on starving keys."""
+        timeouts = self.config.timeouts
+        age = squeue.oldest_writer_age(self.sim.now)
+        if age is not None and age > timeouts.starvation_threshold_us:
+            level = min(self._backoff_level[key], 6)
+            delay = min(
+                timeouts.backoff_initial_us * (2**level), timeouts.backoff_max_us
+            )
+            self._backoff_level[key] += 1
+            self.counters["starvation_backoffs"] += 1
+            yield self.sim.timeout(delay)
+        else:
+            self._backoff_level[key] = 0
+        return None
+
+    # ------------------------------------------------------------------
+    # Prepare / Decide — Algorithm 2
+    # ------------------------------------------------------------------
+    def on_prepare(self, message: Prepare):
+        """2PC prepare: lock, validate, vote (runs as a process)."""
+        txn_id = message.txn_id
+        service = self.service
+        local_read_versions = tuple(
+            (k, vc) for k, vc in message.read_versions if self.is_replica_of(k)
+        )
+        local_reads = tuple(k for k, _vc in local_read_versions)
+        local_writes = tuple(
+            (k, v) for k, v in message.write_items if self.is_replica_of(k)
+        )
+        write_keys = tuple(k for k, _v in local_writes)
+
+        yield self.cpu(service.lock_op_us * max(1, len(local_reads) + len(write_keys)))
+        locked = yield from self.locks.acquire_all(
+            txn_id,
+            exclusive_keys=write_keys,
+            shared_keys=local_reads,
+            timeout_us=self.config.timeouts.lock_timeout_us,
+        )
+
+        outcome = locked
+        if locked:
+            yield self.cpu(service.validate_key_us * max(1, len(local_reads)))
+            outcome = self._validate(local_read_versions)
+
+        if not outcome:
+            if locked:
+                self.locks.release(txn_id, list(write_keys) + list(local_reads))
+            self.counters["prepare_rejects"] += 1
+            self.respond(
+                message, Vote(txn_id=txn_id, vc=message.vc, success=False)
+            )
+            return
+
+        is_write_replica = bool(local_writes)
+        if is_write_replica:
+            # Lines 8-11: propose NodeVC with the local entry incremented and
+            # enqueue the transaction as pending.
+            self.node_vc = self.node_vc.increment(self.node_id)
+            prep_vc = self.node_vc
+            self.commit_queue.put(txn_id, prep_vc)
+        else:
+            prep_vc = self.nlog.most_recent_vc
+
+        self._prepared[txn_id] = _PreparedState(local_reads, local_writes, is_write_replica)
+        self._pending_writes[txn_id] = local_writes
+        self.counters["prepares"] += 1
+        self.respond(message, Vote(txn_id=txn_id, vc=prep_vc, success=True))
+
+        # A decision that raced ahead of this prepare is applied now.
+        early = self._decided_early.pop(txn_id, None)
+        if early is not None:
+            self._apply_decide(early)
+
+    def _validate(self, read_versions) -> bool:
+        """Algorithm 1 lines 27-33: reject overwritten read keys.
+
+        The pseudo-code compares the latest version against ``T.VC[i]``; the
+        text states the intent — "abort if some read key has been overwritten
+        meanwhile" — so the check compares the latest local version against
+        the version the transaction actually read (the two coincide when the
+        read was served by this replica, and the version-based form also
+        rejects stale reads served by a lagging replica).
+        """
+        i = self.node_id
+        for key, read_vc in read_versions:
+            chain = self.store.chain(key)
+            if len(chain) == 0:
+                continue
+            if chain.latest.vc[i] > read_vc[i]:
+                return False
+        return True
+
+    def on_decide(self, message: Decide) -> None:
+        """2PC decision (Algorithm 2 lines 16-28)."""
+        if message.txn_id not in self._prepared:
+            # Prepare still in flight (possible with prioritized queues):
+            # stash the decision and apply it right after the vote.
+            self._decided_early[message.txn_id] = message
+            return
+        self._apply_decide(message)
+
+    def _apply_decide(self, message: Decide) -> None:
+        txn_id = message.txn_id
+        state = self._prepared.get(txn_id)
+        if state is None:  # pragma: no cover - defensive
+            return
+        if message.outcome:
+            self.node_vc = self.node_vc.merge(message.commit_vc)
+            if state.is_write_replica:
+                self._pending_propagated[txn_id] = message.propagated
+                self.commit_queue.update(txn_id, message.commit_vc)
+            else:
+                # Read-only participants are done once the decision arrives.
+                self.locks.release(txn_id, state.read_keys)
+                del self._prepared[txn_id]
+                self._pending_writes.pop(txn_id, None)
+        else:
+            self.commit_queue.remove(txn_id)
+            self.locks.release(
+                txn_id, [k for k, _v in state.write_items] + list(state.read_keys)
+            )
+            del self._prepared[txn_id]
+            self._pending_writes.pop(txn_id, None)
+            self.counters["participant_aborts"] += 1
+        self._drain_commit_queue()
+
+    # ------------------------------------------------------------------
+    # Commit-queue head processing + pre-commit (Algorithms 2 l.29-36, 3, 4)
+    # ------------------------------------------------------------------
+    def _drain_commit_queue(self) -> None:
+        """Apply every ready transaction standing at the commit-queue head."""
+        while self.commit_queue.head_is_ready():
+            entry = self.commit_queue.head()
+            self._apply_internal_commit(entry.txn_id, entry.vc)
+
+    def _apply_internal_commit(self, txn_id: TransactionId, commit_vc: VectorClock) -> None:
+        state = self._prepared.pop(txn_id, None)
+        write_items = self._pending_writes.pop(txn_id, ())
+        propagated = self._pending_propagated.pop(txn_id, ())
+        write_keys = tuple(k for k, _v in write_items)
+
+        for key, value in write_items:
+            self.store.install(key, value, commit_vc, writer=txn_id)
+        self.nlog.append(
+            NLogEntry(
+                txn_id=txn_id,
+                vc=commit_vc,
+                write_keys=write_keys,
+                commit_time=self.sim.now,
+            )
+        )
+        self.commit_queue.remove(txn_id)
+        if state is not None:
+            self.locks.release(txn_id, list(write_keys) + list(state.read_keys))
+        self.counters["internal_commits"] += 1
+
+        # Algorithm 3: enter the pre-commit phase for the local written keys.
+        self.sim.process(
+            self._pre_commit(txn_id, commit_vc, write_keys, propagated),
+            name=f"precommit:{txn_id}@{self.node_id}",
+        )
+
+    def _pre_commit(self, txn_id, commit_vc, write_keys, propagated):
+        """Algorithms 3 and 4: snapshot-queue insertion, wait, ack."""
+        i = self.node_id
+        snapshot = commit_vc[i]
+        coordinator = txn_id.node
+
+        for key in write_keys:
+            squeue = self.store.squeue(key)
+            squeue.insert(SQueueEntry(txn_id, snapshot, WRITE_KIND))
+            for entry in propagated:
+                if entry.txn_id in self._removed_readers:
+                    continue
+                squeue.insert(
+                    SQueueEntry(entry.txn_id, entry.snapshot, READ_KIND)
+                )
+                self._reader_keys[entry.txn_id].add(key)
+            yield self.cpu(self.service.queue_op_us)
+
+        # Algorithm 4: wait, per written key, until no entry with a smaller
+        # insertion-snapshot remains in the queue.  The pattern in the
+        # pseudo-code (`<T'.id, T'.sid, −>`) covers readers *and* writers, so
+        # conflicting update transactions hand their clients the responses in
+        # serialization order; the prose emphasises the read-only case because
+        # that is the one that can hold a writer for a long time.
+        for key in write_keys:
+            squeue = self.store.squeue(key)
+            if squeue.has_entry_below(snapshot, exclude_txn=txn_id):
+                self.counters["precommit_waits"] += 1
+                yield self.sim.condition(
+                    lambda sq=squeue: not sq.has_entry_below(
+                        snapshot, exclude_txn=txn_id
+                    ),
+                    squeue.signal,
+                    name=f"precommit-wait:{txn_id}",
+                )
+            squeue.remove(txn_id)
+
+        self.counters["external_acks_sent"] += 1
+        self.send(coordinator, ExternalAck(txn_id=txn_id, snapshot=snapshot))
+
+    # ------------------------------------------------------------------
+    # Remove handling and forwarding
+    # ------------------------------------------------------------------
+    def on_remove(self, message: Remove) -> None:
+        """Delete a returned read-only transaction from local snapshot queues."""
+        txn_id = message.txn_id
+        self._removed_readers.add(txn_id)
+        keys = set(message.keys) if message.keys else set()
+        keys |= self._reader_keys.pop(txn_id, set())
+        for key in keys:
+            if self.store.has_key(key) or key in self.store.squeues():
+                self.store.squeue(key).remove(txn_id)
+        self.counters["removes_handled"] += 1
+
+        # Forward along the anti-dependency propagation chain: every node we
+        # shipped this reader's entry to must clean up as well.
+        for destination in self._forward_map.pop(txn_id, set()):
+            if destination != self.node_id:
+                self.send(destination, Remove(txn_id=txn_id, keys=()))
+
+    def note_propagation(self, reader: TransactionId, destination: NodeId) -> None:
+        """Record that ``reader``'s queue entry was shipped to ``destination``."""
+        if destination == self.node_id:
+            return
+        if reader in self._removed_readers:
+            # The reader already returned to its client; its entries are being
+            # (or have been) cleaned up, so there is nothing to forward later.
+            return
+        self._forward_map[reader].add(destination)
+
+    # ------------------------------------------------------------------
+    # Introspection used by the harness and tests
+    # ------------------------------------------------------------------
+    def queued_writer_count(self) -> int:
+        """Number of update transactions currently held in local squeues."""
+        return sum(
+            len(squeue.writers()) for squeue in self.store.squeues().values()
+        )
+
+    def stats(self) -> Dict[str, int]:
+        stats = dict(self.counters)
+        stats["nlog_length"] = len(self.nlog)
+        stats["commit_queue_length"] = len(self.commit_queue)
+        stats["messages_handled"] = self.messages_handled
+        stats["lock_timeouts"] = self.locks.timeout_count
+        return stats

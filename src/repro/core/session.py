@@ -1,0 +1,102 @@
+"""User-facing transaction handle.
+
+A :class:`Session` represents one client co-located with a node.  Its methods
+mirror the paper's transaction model — ``begin``, ``read``, ``write``,
+``commit``, ``abort`` — and are driven from inside a simulation process with
+``yield from``::
+
+    def workload(session):
+        session.begin(read_only=False)
+        balance = yield from session.read("account-1")
+        session.write("account-1", balance + 10)
+        committed = yield from session.commit()
+
+The session enforces the state machine of a transaction (no operations after
+commit, no writes in read-only transactions) and keeps the last transaction's
+metadata available for inspection (latency, phase timestamps, read/write
+sets), which the example programs and the harness rely on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.common.errors import TransactionStateError
+from repro.core.metadata import TransactionMeta
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import SSSNode
+
+
+class Session:
+    """A client session bound to one coordinator node."""
+
+    def __init__(self, node: "SSSNode", client_index: int = 0):
+        self.node = node
+        self.client_index = client_index
+        self.current: Optional[TransactionMeta] = None
+        self.completed: List[TransactionMeta] = []
+        self.keep_history = True
+
+    # ------------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    def begin(self, read_only: bool = False) -> TransactionMeta:
+        """Start a new transaction coordinated by this session's node."""
+        if self.current is not None:
+            raise TransactionStateError(
+                "previous transaction still open; commit or abort it first"
+            )
+        self.current = self.node.begin_transaction(read_only=read_only)
+        return self.current
+
+    def read(self, key: object):
+        """Read ``key`` inside the open transaction (generator)."""
+        meta = self._require_open()
+        value = yield from self.node.txn_read(meta, key)
+        return value
+
+    def write(self, key: object, value: object) -> None:
+        """Buffer a write inside the open transaction."""
+        meta = self._require_open()
+        self.node.txn_write(meta, key, value)
+
+    def commit(self):
+        """Commit the open transaction; returns True on commit (generator)."""
+        meta = self._require_open()
+        committed = yield from self.node.txn_commit(meta)
+        self._finish(meta)
+        return committed
+
+    def abort(self) -> None:
+        """Abandon the open transaction without contacting other nodes.
+
+        Only legal before ``commit``; buffered writes are dropped and any
+        protocol-specific cleanup (e.g. SSS read-only transactions leaving
+        snapshot-queue entries behind) is delegated to the node's
+        ``txn_abort`` hook so that an abandoned transaction cannot block
+        other transactions forever.
+        """
+        meta = self._require_open()
+        self.node.txn_abort(meta)
+        self._finish(meta)
+
+    # ------------------------------------------------------------------
+    @property
+    def last(self) -> Optional[TransactionMeta]:
+        """Metadata of the most recently finished transaction."""
+        return self.completed[-1] if self.completed else None
+
+    def _require_open(self) -> TransactionMeta:
+        if self.current is None:
+            raise TransactionStateError("no open transaction; call begin() first")
+        return self.current
+
+    def _finish(self, meta: TransactionMeta) -> None:
+        self.current = None
+        if self.keep_history:
+            self.completed.append(meta)
+        else:  # keep only the latest to bound memory in long runs
+            self.completed = [meta]

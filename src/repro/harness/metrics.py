@@ -1,0 +1,168 @@
+"""Aggregation of experiment measurements.
+
+:class:`ExperimentMetrics` collapses the per-client statistics collected by
+the closed-loop clients into the quantities the paper's figures report:
+throughput in committed transactions per (simulated) second, abort rate,
+latency mean and percentiles, and the internal-commit / pre-commit breakdown
+of update transaction latency (Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common.config import SECOND
+from repro.workload.ycsb import ClientStats
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Mean and percentile summary of a latency sample (microseconds)."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return cls(count=0, mean_us=0.0, p50_us=0.0, p95_us=0.0, p99_us=0.0, max_us=0.0)
+        ordered = sorted(samples)
+
+        def percentile(fraction: float) -> float:
+            index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+            return ordered[index]
+
+        return cls(
+            count=len(ordered),
+            mean_us=sum(ordered) / len(ordered),
+            p50_us=percentile(0.50),
+            p95_us=percentile(0.95),
+            p99_us=percentile(0.99),
+            max_us=ordered[-1],
+        )
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean_us / 1_000.0
+
+
+@dataclass
+class ExperimentMetrics:
+    """Aggregated outcome of one experiment run."""
+
+    protocol: str
+    n_nodes: int
+    measured_duration_us: float
+    committed: int = 0
+    committed_update: int = 0
+    committed_read_only: int = 0
+    aborted: int = 0
+    latency: LatencySummary = field(
+        default_factory=lambda: LatencySummary.from_samples(())
+    )
+    update_latency: LatencySummary = field(
+        default_factory=lambda: LatencySummary.from_samples(())
+    )
+    read_only_latency: LatencySummary = field(
+        default_factory=lambda: LatencySummary.from_samples(())
+    )
+    internal_latency: LatencySummary = field(
+        default_factory=lambda: LatencySummary.from_samples(())
+    )
+    precommit_wait: LatencySummary = field(
+        default_factory=lambda: LatencySummary.from_samples(())
+    )
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_clients(
+        cls,
+        protocol: str,
+        n_nodes: int,
+        clients: Iterable[ClientStats],
+        measured_duration_us: float,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> "ExperimentMetrics":
+        clients = list(clients)
+        latencies: List[float] = []
+        update_latencies: List[float] = []
+        read_only_latencies: List[float] = []
+        internal_latencies: List[float] = []
+        precommit_waits: List[float] = []
+        committed = committed_update = committed_read_only = aborted = 0
+        for stats in clients:
+            committed += stats.committed
+            committed_update += stats.committed_update
+            committed_read_only += stats.committed_read_only
+            aborted += stats.aborted
+            latencies.extend(stats.latencies_us)
+            update_latencies.extend(stats.update_latencies_us)
+            read_only_latencies.extend(stats.read_only_latencies_us)
+            internal_latencies.extend(stats.internal_latencies_us)
+            precommit_waits.extend(stats.precommit_waits_us)
+        return cls(
+            protocol=protocol,
+            n_nodes=n_nodes,
+            measured_duration_us=measured_duration_us,
+            committed=committed,
+            committed_update=committed_update,
+            committed_read_only=committed_read_only,
+            aborted=aborted,
+            latency=LatencySummary.from_samples(latencies),
+            update_latency=LatencySummary.from_samples(update_latencies),
+            read_only_latency=LatencySummary.from_samples(read_only_latencies),
+            internal_latency=LatencySummary.from_samples(internal_latencies),
+            precommit_wait=LatencySummary.from_samples(precommit_waits),
+            extra=dict(extra or {}),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_tps(self) -> float:
+        """Committed transactions per simulated second."""
+        if self.measured_duration_us <= 0:
+            return 0.0
+        return self.committed / (self.measured_duration_us / SECOND)
+
+    @property
+    def throughput_ktps(self) -> float:
+        """Committed transactions per simulated second, in thousands."""
+        return self.throughput_tps / 1_000.0
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.committed + self.aborted
+        if attempts == 0:
+            return 0.0
+        return self.aborted / attempts
+
+    @property
+    def precommit_fraction(self) -> float:
+        """Share of update-transaction latency spent between internal and
+        external commit (Figure 5's red bar)."""
+        if self.update_latency.count == 0 or self.update_latency.mean_us == 0:
+            return 0.0
+        return self.precommit_wait.mean_us / self.update_latency.mean_us
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary used by the reports and EXPERIMENTS.md generation."""
+        return {
+            "protocol": self.protocol,
+            "n_nodes": self.n_nodes,
+            "throughput_ktps": round(self.throughput_ktps, 3),
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "abort_rate": round(self.abort_rate, 4),
+            "latency_mean_ms": round(self.latency.mean_ms, 4),
+            "update_latency_mean_ms": round(self.update_latency.mean_ms, 4),
+            "read_only_latency_mean_ms": round(self.read_only_latency.mean_ms, 4),
+            "precommit_fraction": round(self.precommit_fraction, 4),
+            **self.extra,
+        }

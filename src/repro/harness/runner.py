@@ -1,0 +1,162 @@
+"""Experiment runner.
+
+:func:`run_experiment` builds a cluster for the requested protocol, starts
+``clients_per_node`` closed-loop clients on every node, runs the simulation
+for a warm-up window followed by a measurement window, and aggregates the
+client statistics into :class:`~repro.harness.metrics.ExperimentMetrics`.
+
+:func:`find_saturation_throughput` is the Figure 4(a) procedure: it sweeps
+the number of clients per node and reports the best throughput achieved —
+"the number of clients per node differs per reported datapoint".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.harness.cluster import build_cluster
+from repro.harness.metrics import ExperimentMetrics
+from repro.workload.profiles import WorkloadGenerator
+from repro.workload.ycsb import ClientStats, closed_loop_client
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    protocol: str
+    config: ClusterConfig
+    workload: WorkloadConfig
+    metrics: ExperimentMetrics
+    clients: List[ClientStats] = field(default_factory=list)
+    node_counters: Dict[str, int] = field(default_factory=dict)
+    cluster: Optional[object] = None
+
+    @property
+    def throughput_ktps(self) -> float:
+        return self.metrics.throughput_ktps
+
+
+def run_experiment(
+    protocol: str,
+    config: ClusterConfig,
+    workload: WorkloadConfig,
+    duration_us: float = 200_000.0,
+    warmup_us: float = 40_000.0,
+    record_history: bool = False,
+    keep_cluster: bool = False,
+    keys: Optional[Sequence[object]] = None,
+) -> ExperimentResult:
+    """Run one (protocol, configuration, workload) experiment.
+
+    Parameters
+    ----------
+    duration_us:
+        Total simulated time, including the warm-up window.
+    warmup_us:
+        Simulated time during which client statistics are not recorded (the
+        system fills its pipelines and reaches steady state).
+    record_history:
+        Record every committed transaction for consistency checking (slows
+        the run down and grows memory; off for benchmarks).
+    keep_cluster:
+        Keep the cluster object on the result (tests use it to inspect node
+        state); off by default so large runs can be garbage collected.
+    """
+    config.validate()
+    workload.validate()
+    cluster = build_cluster(protocol, config=config, keys=keys, record_history=record_history)
+
+    all_stats: List[ClientStats] = []
+    for node_id in range(config.n_nodes):
+        for client_index in range(config.clients_per_node):
+            session = cluster.session(node_id)
+            rng = cluster.sim.rng.stream(f"workload.n{node_id}.c{client_index}")
+            generator = WorkloadGenerator(
+                workload,
+                cluster.keys,
+                rng,
+                placement=cluster.placement,
+                node_id=node_id,
+            )
+            stats = ClientStats(node_id=node_id, client_index=client_index)
+            all_stats.append(stats)
+            cluster.spawn(
+                closed_loop_client(
+                    session,
+                    generator,
+                    stats,
+                    deadline_us=duration_us,
+                    warmup_us=warmup_us,
+                    think_time_us=workload.think_time_us,
+                ),
+                name=f"client-{node_id}-{client_index}",
+            )
+
+    cluster.run(until=duration_us)
+    measured = max(duration_us - warmup_us, 1.0)
+    extra: Dict[str, float] = {}
+    counters = cluster.total_counters()
+    if "starvation_backoffs" in counters:
+        extra["starvation_backoffs"] = counters["starvation_backoffs"]
+    metrics = ExperimentMetrics.from_clients(
+        protocol=protocol,
+        n_nodes=config.n_nodes,
+        clients=all_stats,
+        measured_duration_us=measured,
+        extra=extra,
+    )
+    return ExperimentResult(
+        protocol=protocol,
+        config=config,
+        workload=workload,
+        metrics=metrics,
+        clients=all_stats,
+        node_counters=dict(counters),
+        cluster=cluster if keep_cluster else None,
+    )
+
+
+def run_trials(
+    protocol: str,
+    config: ClusterConfig,
+    workload: WorkloadConfig,
+    trials: int = 1,
+    **kwargs,
+) -> List[ExperimentResult]:
+    """Run ``trials`` independent repetitions with derived seeds."""
+    results = []
+    for trial in range(trials):
+        trial_config = replace(config, seed=config.seed + 1_000 * trial)
+        results.append(run_experiment(protocol, trial_config, workload, **kwargs))
+    return results
+
+
+def average_throughput_ktps(results: Sequence[ExperimentResult]) -> float:
+    """Mean throughput over a list of trial results."""
+    if not results:
+        return 0.0
+    return sum(result.throughput_ktps for result in results) / len(results)
+
+
+def find_saturation_throughput(
+    protocol: str,
+    config: ClusterConfig,
+    workload: WorkloadConfig,
+    client_counts: Sequence[int] = (1, 3, 5, 10, 15),
+    **kwargs,
+) -> ExperimentResult:
+    """Figure 4(a): best throughput over a sweep of clients per node."""
+    best: Optional[ExperimentResult] = None
+    for clients in client_counts:
+        swept = replace(config, clients_per_node=clients)
+        result = run_experiment(protocol, swept, workload, **kwargs)
+        if best is None or result.throughput_ktps > best.throughput_ktps:
+            best = result
+    assert best is not None
+    best.metrics.extra["saturation_clients_per_node"] = float(
+        best.config.clients_per_node
+    )
+    return best

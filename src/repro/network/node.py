@@ -1,0 +1,139 @@
+"""Base class for protocol nodes.
+
+:class:`NetworkedNode` provides the machinery every protocol node (SSS, the
+2PC baseline, Walter, ROCOCO) needs:
+
+* a prioritized inbound message queue fed by the :class:`~repro.network.transport.Network`,
+* a dispatcher process that drains the queue, charging a per-message CPU
+  handling cost (this is what makes a node saturate under load),
+* handler registration by message class — handlers may be plain functions or
+  generator functions; generator handlers are spawned as simulation
+  processes so they can block on further events,
+* request/response helpers that correlate replies to requests via
+  ``reply_to`` and return awaitable events.
+
+Protocol subclasses register their handlers in ``__init__`` and use
+``self.send`` / ``self.request`` / ``self.respond``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Type
+
+from repro.common.config import ServiceTimeConfig
+from repro.common.ids import NodeId
+from repro.network.message import Message
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.transport import Network
+    from repro.sim.engine import Simulation
+
+
+class NetworkedNode:
+    """A cluster node attached to a :class:`~repro.network.transport.Network`."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        network: "Network",
+        node_id: NodeId,
+        service: Optional[ServiceTimeConfig] = None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        self.service = service or ServiceTimeConfig()
+        self._inbound = Store(sim, name=f"node{node_id}.inbound")
+        self._handlers: Dict[Type[Message], Callable] = {}
+        self._pending_replies: Dict[int, Event] = {}
+        self._dispatcher = sim.process(self._dispatch_loop(), name=f"node{node_id}.dispatcher")
+        self.messages_handled = 0
+        network.register(self)
+
+    # ------------------------------------------------------------- handlers
+    def register_handler(self, message_type: Type[Message], handler: Callable) -> None:
+        """Register ``handler`` for messages of ``message_type``.
+
+        The handler receives the message as its single argument.  If the
+        handler is a generator function it is spawned as a new simulation
+        process, allowing it to ``yield`` further events (remote calls, lock
+        waits, condition waits).
+        """
+        self._handlers[message_type] = handler
+
+    # ------------------------------------------------------------- messaging
+    def send(self, destination: NodeId, message: Message) -> None:
+        """Fire-and-forget send."""
+        self.network.send(self.node_id, destination, message)
+
+    def request(self, destination: NodeId, message: Message) -> Event:
+        """Send ``message`` and return an event firing with the reply.
+
+        The reply is matched by the responder calling :meth:`respond` with
+        the original request, which copies the request's ``msg_id`` into the
+        response's ``reply_to`` field.
+        """
+        event = self.sim.event(name=f"reply-to-{message.msg_id}")
+        self._pending_replies[message.msg_id] = event
+        self.network.send(self.node_id, destination, message)
+        return event
+
+    def respond(self, request: Message, response: Message) -> None:
+        """Send ``response`` back to the sender of ``request``."""
+        response.reply_to = request.msg_id
+        self.network.send(self.node_id, request.sender, response)
+
+    # ------------------------------------------------------------ inbound path
+    def enqueue(self, message: Message) -> None:
+        """Called by the transport when a message arrives at this node."""
+        self._inbound.put(message, priority=int(message.priority))
+
+    def _dispatch_loop(self):
+        """Drain the inbound queue, charging CPU time per message."""
+        while True:
+            message = yield self._inbound.get()
+            if self.service.message_handling_us > 0:
+                yield self.sim.timeout(self.service.message_handling_us)
+            self.messages_handled += 1
+            self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        # Replies to outstanding requests complete the request event directly
+        # and bypass handler dispatch.
+        if message.reply_to is not None:
+            pending = self._pending_replies.pop(message.reply_to, None)
+            if pending is not None and not pending.triggered:
+                pending.succeed(message)
+                return
+        handler = self._lookup_handler(type(message))
+        if handler is None:
+            raise LookupError(
+                f"node {self.node_id} has no handler for {message.type_name}"
+            )
+        if inspect.isgeneratorfunction(handler):
+            self.sim.process(
+                handler(message),
+                name=f"node{self.node_id}.{message.type_name}",
+            )
+        else:
+            handler(message)
+
+    def _lookup_handler(self, message_type: Type[Message]) -> Optional[Callable]:
+        handler = self._handlers.get(message_type)
+        if handler is not None:
+            return handler
+        for klass, candidate in self._handlers.items():
+            if issubclass(message_type, klass):
+                return candidate
+        return None
+
+    # ------------------------------------------------------------ conveniences
+    def cpu(self, micros: float) -> Event:
+        """Return a timeout modelling ``micros`` of local CPU work."""
+        return self.sim.timeout(micros)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} id={self.node_id}>"

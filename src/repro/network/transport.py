@@ -1,0 +1,167 @@
+"""The cluster interconnect.
+
+:class:`Network` connects the nodes of a simulated cluster.  Sending a
+message stamps it with sender/destination, charges the sender's outgoing link
+(a simple M/D/1-style busy-until model that produces congestion when a node
+emits messages faster than the link service rate), samples a propagation
+latency and schedules delivery into the destination node's prioritized
+inbound queue.
+
+Reliability model: channels are reliable unless an endpoint has crashed, in
+which case messages to or from that node are dropped — exactly the paper's
+crash-stop assumption ("messages are guaranteed to be eventually delivered
+unless a crash happens at the sender or receiver node").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from repro.common.config import NetworkConfig
+from repro.common.ids import NodeId
+from repro.network.latency import LatencyModel, UniformLatency
+from repro.network.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+    from repro.network.node import NetworkedNode
+
+
+class NetworkStats:
+    """Counters of network activity, aggregated per message type."""
+
+    def __init__(self) -> None:
+        self.sent: Dict[str, int] = defaultdict(int)
+        self.delivered: Dict[str, int] = defaultdict(int)
+        self.dropped: Dict[str, int] = defaultdict(int)
+        self.bytes_sent: int = 0
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.sent.values())
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(self.delivered.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "sent": self.total_sent,
+            "delivered": self.total_delivered,
+            "dropped": self.total_dropped,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class Network:
+    """Reliable asynchronous message transport between cluster nodes."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        config: Optional[NetworkConfig] = None,
+        latency_model: Optional[LatencyModel] = None,
+    ):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.latency_model = latency_model or UniformLatency(
+            base=self.config.base_latency_us, jitter=self.config.jitter_us
+        )
+        self._nodes: Dict[NodeId, "NetworkedNode"] = {}
+        self._crashed: set[NodeId] = set()
+        self._link_busy_until: Dict[NodeId, float] = defaultdict(float)
+        self._rng = sim.rng.stream("network.latency")
+        self.stats = NetworkStats()
+
+    # ---------------------------------------------------------------- nodes
+    def register(self, node: "NetworkedNode") -> None:
+        """Attach ``node`` to the network; its id must be unique."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"node {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: NodeId) -> "NetworkedNode":
+        return self._nodes[node_id]
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        return sorted(self._nodes)
+
+    # --------------------------------------------------------------- crashes
+    def crash(self, node_id: NodeId) -> None:
+        """Mark ``node_id`` as crashed; its traffic is dropped from now on."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: NodeId) -> None:
+        """Clear the crashed flag (crash-recovery experiments only)."""
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        return node_id in self._crashed
+
+    # ---------------------------------------------------------------- sending
+    def send(self, sender: NodeId, destination: NodeId, message: Message) -> None:
+        """Send ``message`` from ``sender`` to ``destination``.
+
+        Local sends (``sender == destination``) skip the propagation latency
+        but still pay the dispatcher's handling cost, mirroring a loopback
+        fast path.
+        """
+        message.sender = sender
+        message.destination = destination
+        message.send_time = self.sim.now
+        self.stats.sent[message.type_name] += 1
+        self.stats.bytes_sent += message.size_estimate()
+
+        if sender in self._crashed or destination in self._crashed:
+            self.stats.dropped[message.type_name] += 1
+            return
+
+        delay = self._transmission_delay(sender, message)
+        if sender != destination:
+            delay += self.latency_model.sample(self._rng)
+
+        def deliver() -> None:
+            if destination in self._crashed:
+                self.stats.dropped[message.type_name] += 1
+                return
+            message.deliver_time = self.sim.now
+            self.stats.delivered[message.type_name] += 1
+            self._nodes[destination].enqueue(message)
+
+        self.sim.call_after(delay, deliver)
+
+    def broadcast(
+        self, sender: NodeId, destinations: Iterable[NodeId], message_factory
+    ) -> None:
+        """Send one message per destination, created by ``message_factory()``.
+
+        A factory is required (rather than one shared message instance)
+        because the transport mutates sender/destination/timestamps on the
+        message object.
+        """
+        for destination in destinations:
+            self.send(sender, destination, message_factory())
+
+    # ------------------------------------------------------------- congestion
+    def _transmission_delay(self, sender: NodeId, message: Message) -> float:
+        """Queueing delay on the sender's outgoing link.
+
+        Each message occupies the link for ``1 / bandwidth`` microseconds;
+        messages queue FIFO behind the link's busy-until horizon.  With the
+        default rate this is negligible at low load and grows once a node
+        emits messages faster than the link drains them, producing the
+        saturation knees visible in the paper's throughput curves.
+        """
+        rate = self.config.bandwidth_msgs_per_us
+        if rate <= 0:
+            return 0.0
+        service = 1.0 / rate
+        start = max(self.sim.now, self._link_busy_until[sender])
+        self._link_busy_until[sender] = start + service
+        return (start + service) - self.sim.now

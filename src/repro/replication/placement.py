@@ -1,0 +1,113 @@
+"""The look-up function mapping keys to their replica nodes.
+
+:class:`KeyPlacement` deterministically assigns each key to
+``replication_degree`` distinct nodes.  The default placement hashes the key
+to a starting node and takes the following ``r - 1`` nodes round-robin, which
+spreads load evenly and gives every node an equal share of primaries —
+matching the paper's "no predefined partitioning scheme" model while staying
+a pure local computation (no directory service required).
+
+The placement also answers the locality queries used by the Figure 7
+experiment (keys that have a replica on a given node), and provides balance
+statistics used by tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import NodeId
+
+
+def _stable_hash(key: object) -> int:
+    """Deterministic 64-bit hash of a key (independent of PYTHONHASHSEED)."""
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def hash_placement(key: object, n_nodes: int, replication_degree: int) -> Tuple[NodeId, ...]:
+    """Replica set of ``key``: hash-selected primary plus successors."""
+    primary = _stable_hash(key) % n_nodes
+    return tuple((primary + offset) % n_nodes for offset in range(replication_degree))
+
+
+class KeyPlacement:
+    """Deterministic key-to-replicas mapping shared by every node.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the cluster.
+    replication_degree:
+        Number of replicas per key (1 disables replication, as in the
+        ROCOCO comparison experiments).
+    keys:
+        Optional concrete key space; providing it precomputes the mapping and
+        the per-node key lists used by locality-aware workloads.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        replication_degree: int,
+        keys: Sequence[object] = (),
+    ):
+        if n_nodes < 1:
+            raise ConfigurationError("n_nodes must be >= 1")
+        if not 1 <= replication_degree <= n_nodes:
+            raise ConfigurationError(
+                "replication_degree must be between 1 and n_nodes"
+            )
+        self.n_nodes = n_nodes
+        self.replication_degree = replication_degree
+        self._cache: Dict[object, Tuple[NodeId, ...]] = {}
+        self._local_keys: Dict[NodeId, List[object]] = {
+            node: [] for node in range(n_nodes)
+        }
+        for key in keys:
+            replicas = self.replicas(key)
+            for node in replicas:
+                self._local_keys[node].append(key)
+
+    # ------------------------------------------------------------- look-up
+    def replicas(self, key: object) -> Tuple[NodeId, ...]:
+        """Nodes storing ``key`` (primary first)."""
+        if key not in self._cache:
+            self._cache[key] = hash_placement(
+                key, self.n_nodes, self.replication_degree
+            )
+        return self._cache[key]
+
+    def replicas_of(self, keys) -> Tuple[NodeId, ...]:
+        """Union of the replica sets of ``keys`` (sorted, deduplicated)."""
+        nodes = set()
+        for key in keys:
+            nodes.update(self.replicas(key))
+        return tuple(sorted(nodes))
+
+    def primary(self, key: object) -> NodeId:
+        """First replica of ``key`` (ROCOCO's preferred node, Walter's
+        preferred site)."""
+        return self.replicas(key)[0]
+
+    def is_replica(self, node: NodeId, key: object) -> bool:
+        return node in self.replicas(key)
+
+    # ------------------------------------------------------------- locality
+    def local_keys(self, node: NodeId) -> List[object]:
+        """Keys that have a replica on ``node`` (requires ``keys`` at init)."""
+        return list(self._local_keys.get(node, []))
+
+    # ------------------------------------------------------------- statistics
+    def load_per_node(self) -> Dict[NodeId, int]:
+        """Number of keys replicated on each node (requires ``keys`` at init)."""
+        return {node: len(keys) for node, keys in self._local_keys.items()}
+
+    def balance_ratio(self) -> float:
+        """Max/min keys per node; 1.0 is perfectly balanced."""
+        loads = [len(keys) for keys in self._local_keys.values() if keys]
+        if not loads:
+            return 1.0
+        return max(loads) / max(1, min(loads))

@@ -1,0 +1,157 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulation` owns the virtual clock and the event heap.  Everything in
+the reproduction — network message delivery, protocol handler execution,
+client think time, lock timeouts — is expressed as events scheduled on one
+:class:`Simulation` instance, which makes runs fully deterministic and
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Condition, Event, Signal, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+
+class Simulation:
+    """Event loop and virtual clock for one simulated cluster run.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the :class:`~repro.sim.rng.RngRegistry`; every random
+        stream used by the cluster is derived from it.
+    """
+
+    def __init__(self, seed: int = 1):
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.rng = RngRegistry(seed)
+        self._crashed: List[Tuple[Process, BaseException]] = []
+        self._event_count = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far (useful for progress stats)."""
+        return self._event_count
+
+    # --------------------------------------------------------------- creation
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event firing ``delay`` microseconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a broadcast :class:`Signal` for condition waiters."""
+        return Signal(self, name=name)
+
+    def condition(
+        self, predicate: Callable[[], bool], signals, name: str = ""
+    ) -> Condition:
+        """Create a :class:`Condition` firing when ``predicate()`` is true."""
+        if isinstance(signals, Signal):
+            signals = [signals]
+        return Condition(self, predicate, signals, name=name)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, generator, name: str = "") -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -------------------------------------------------------------- scheduling
+    def _push(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        """Schedule ``event``'s callbacks to run ``delay`` from now."""
+        self._push(self._now + delay, lambda: self._dispatch(event))
+
+    def _schedule_callback(
+        self, event: Optional[Event], callback: Callable[[Optional[Event]], None]
+    ) -> None:
+        """Schedule a single callback with ``event`` as argument, at ``now``."""
+        self._push(self._now, lambda: callback(event))
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule an arbitrary zero-argument callable at absolute ``time``."""
+        self._push(time, callback)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule an arbitrary zero-argument callable ``delay`` from now."""
+        self._push(self._now + delay, callback)
+
+    def _dispatch(self, event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def _note_crashed_process(self, process: Process, exc: BaseException) -> None:
+        self._crashed.append((process, exc))
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Absolute simulated time at which to stop.  ``None`` runs until no
+            scheduled events remain.
+
+        Returns
+        -------
+        float
+            The simulation time at which the loop stopped.
+
+        Raises
+        ------
+        Exception
+            If any process died with an uncaught exception during the run,
+            the first such exception is re-raised after the loop stops, so
+            protocol bugs never fail silently.
+        """
+        while self._heap:
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            self._event_count += 1
+            callback()
+            if self._crashed:
+                process, exc = self._crashed[0]
+                raise SimulationError(
+                    f"process {process.name!r} crashed at t={self._now:.1f}"
+                ) from exc
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,240 @@
+"""Awaitable primitives for the discrete-event simulation engine.
+
+Processes (see :mod:`repro.sim.process`) communicate with the engine by
+yielding instances of the classes defined here.  The design follows the
+classic SimPy model: an :class:`Event` is a one-shot occurrence that carries a
+value, a :class:`Timeout` is an event scheduled at ``now + delay``, and the
+composite events :class:`AnyOf` / :class:`AllOf` fire when one / all of their
+children have fired.
+
+In addition to the SimPy-style primitives, the engine provides
+:class:`Signal` and :class:`Condition`.  The SSS pseudo-code contains several
+``wait until <predicate over mutable node state>`` steps (for example a read
+request waiting until ``NLog.mostRecentVC[i] >= T.VC[i]``, or the pre-commit
+phase waiting until no older read-only transaction remains in a snapshot
+queue).  A :class:`Condition` binds such a predicate to one or more
+:class:`Signal` objects; whenever a signal is notified the predicate is
+re-evaluated and, if true, the condition fires.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+from repro.common.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Simulation
+
+# Sentinel distinguishing "not yet fired" from "fired with value None".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence inside the simulation.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    makes it *triggered* and schedules all registered callbacks to run at the
+    current simulation time.  Processes waiting on the event are resumed with
+    the event's value, or have the failure exception thrown into them.
+    """
+
+    def __init__(self, sim: "Simulation", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._value = _PENDING
+        self._exception: Optional[BaseException] = None
+        self.callbacks: List[Callable[["Event"], None]] = []
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self):
+        """The value the event succeeded with."""
+        if not self.triggered:
+            raise SimulationError(f"event {self!r} has not been triggered yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value=None) -> "Event":
+        """Mark the event as successful and schedule its callbacks."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event as failed; waiters get ``exception`` thrown."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event triggers.
+
+        If the event already triggered the callback is scheduled immediately
+        (still asynchronously, preserving run-to-completion semantics).
+        """
+        if self.triggered:
+            self.sim._schedule_callback(self, callback)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "triggered" if self.triggered else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state} at t={self.sim.now:.1f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after it was created."""
+
+    def __init__(self, sim: "Simulation", delay: float, value=None, name: str = ""):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name or f"timeout({delay})")
+        self.delay = delay
+        sim.call_after(delay, lambda: self._fire(value))
+
+    def _fire(self, value) -> None:
+        if not self.triggered:
+            Event.succeed(self, value)
+
+
+class AnyOf(Event):
+    """Composite event that fires when *any* child event fires.
+
+    The value is a dict mapping the already-triggered child events to their
+    values at the time the composite fired.
+    """
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, _child: Event) -> None:
+        if self.triggered:
+            return
+        if _child.exception is not None:
+            self.fail(_child.exception)
+            return
+        self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self.events if e.triggered and e.ok}
+
+
+class AllOf(Event):
+    """Composite event that fires when *all* child events have fired."""
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            raise SimulationError("AllOf requires at least one event")
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({e: e._value for e in self.events})
+
+
+class Signal:
+    """A broadcast notification channel for :class:`Condition` waiters.
+
+    Protocol state that ``wait until`` predicates read (the node's NLog, a
+    key's snapshot queue, the commit queue) owns a :class:`Signal`; every
+    mutation calls :meth:`notify`, which re-evaluates all conditions bound to
+    the signal.
+    """
+
+    def __init__(self, sim: "Simulation", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._conditions: List["Condition"] = []
+
+    def attach(self, condition: "Condition") -> None:
+        self._conditions.append(condition)
+
+    def detach(self, condition: "Condition") -> None:
+        if condition in self._conditions:
+            self._conditions.remove(condition)
+
+    def notify(self) -> None:
+        """Re-evaluate every attached condition, firing those now true."""
+        # Iterate over a copy: firing a condition detaches it.
+        for condition in list(self._conditions):
+            condition.evaluate()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Signal {self.name!r} waiters={len(self._conditions)}>"
+
+
+class Condition(Event):
+    """Event that fires as soon as ``predicate()`` becomes true.
+
+    The predicate is evaluated once at construction time (so conditions that
+    are already satisfied fire immediately) and then again every time one of
+    the bound signals is notified.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        predicate: Callable[[], bool],
+        signals: Iterable[Signal],
+        name: str = "",
+    ):
+        super().__init__(sim, name=name or "condition")
+        self.predicate = predicate
+        self.signals = list(signals)
+        for signal in self.signals:
+            signal.attach(self)
+        self.evaluate()
+
+    def evaluate(self) -> None:
+        """Fire the condition if its predicate currently holds."""
+        if self.triggered:
+            return
+        if self.predicate():
+            for signal in self.signals:
+                signal.detach(self)
+            self.succeed()
+
+    def cancel(self) -> None:
+        """Detach from all signals without firing (used on process kill)."""
+        for signal in self.signals:
+            signal.detach(self)

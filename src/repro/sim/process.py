@@ -1,0 +1,125 @@
+"""Generator-based cooperative processes for the simulation engine.
+
+A process body is a Python generator function.  Each ``yield`` hands an
+awaitable (:class:`~repro.sim.events.Event` or subclass) back to the engine;
+the process is resumed when that awaitable triggers, receiving the awaitable's
+value as the result of the ``yield`` expression.  A process is itself an
+:class:`~repro.sim.events.Event` that triggers with the generator's return
+value, so processes can wait for each other.
+
+Example
+-------
+::
+
+    def client(sim, store):
+        yield Timeout(sim, 10)                 # think for 10 us
+        value = yield store.read("x")          # wait for a read to complete
+        return value
+
+    proc = sim.process(client(sim, store))
+    sim.run()
+    assert proc.value == ...
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.events import Condition, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+
+class ProcessKilled(Exception):
+    """Thrown into a process generator when :meth:`Process.kill` is called."""
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process triggers (as an event) when its generator returns or raises.
+    A generator ``return value`` becomes the process's event value; an
+    uncaught exception makes the process fail, which propagates to any
+    process waiting on it and, if nothing waits, surfaces from
+    :meth:`Simulation.run` to avoid silently swallowed errors.
+    """
+
+    def __init__(self, sim: "Simulation", generator: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "Process requires a generator (did you forget to call the "
+                "generator function?)"
+            )
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._killed = False
+        # Start the process asynchronously at the current time.
+        self.sim._schedule_callback(None, self._resume)
+
+    # -- engine interface ---------------------------------------------------
+    def _resume(self, event: Optional[Event]) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if event is None:
+                target = self.generator.send(None)
+            elif event.exception is not None:
+                target = self.generator.throw(event.exception)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled:
+            self.succeed(None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must propagate any failure
+            self.fail(exc)
+            self.sim._note_crashed_process(self, exc)
+            return
+
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    # -- public API -----------------------------------------------------------
+    def kill(self) -> None:
+        """Terminate the process at the next opportunity.
+
+        The process generator receives :class:`ProcessKilled` at its current
+        yield point; ``finally`` blocks run normally.  Killing an already
+        finished process is a no-op.
+        """
+        if self.triggered or self._killed:
+            return
+        self._killed = True
+        waiting = self._waiting_on
+        if isinstance(waiting, Condition):
+            waiting.cancel()
+        self._waiting_on = None
+        try:
+            self.generator.throw(ProcessKilled())
+        except (StopIteration, ProcessKilled):
+            pass
+        except BaseException as exc:  # noqa: BLE001
+            self.fail(exc)
+            self.sim._note_crashed_process(self, exc)
+            return
+        if not self.triggered:
+            self.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process generator has not finished."""
+        return not self.triggered

@@ -1,0 +1,105 @@
+"""Simulated synchronization resources.
+
+Two generic resources are provided on top of the event primitives:
+
+* :class:`SimLock` — a FIFO mutual-exclusion lock whose ``acquire`` returns an
+  event; used for coarse node-level critical sections (e.g. the ``atomically``
+  annotation on the Decide handler in Algorithm 2).
+* :class:`Store` — an unbounded FIFO queue of items with blocking ``get``;
+  used to model per-node inbound message queues with priorities in the
+  network layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+
+class SimLock:
+    """FIFO mutual exclusion lock in simulated time."""
+
+    def __init__(self, sim: "Simulation", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        """Return an event that fires when the caller holds the lock."""
+        event = self.sim.event(name=f"lock-acquire:{self.name}")
+        if not self._locked:
+            self._locked = True
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release the lock, handing it to the next waiter if any."""
+        if not self._locked:
+            raise RuntimeError(f"release of unlocked SimLock {self.name!r}")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._locked = False
+
+
+class Store:
+    """Unbounded priority FIFO of items with blocking ``get``.
+
+    Items are dequeued in ``(priority, insertion order)`` order; lower
+    priority values are served first.  ``get`` returns an event that fires
+    with the next item once one is available.
+    """
+
+    def __init__(self, sim: "Simulation", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._items: List[Tuple[int, int, object]] = []
+        self._seq = 0
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item, priority: int = 0) -> None:
+        """Add ``item``; wake the oldest waiting getter if any."""
+        self._insert(item, priority)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(self._pop())
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        event = self.sim.event(name=f"store-get:{self.name}")
+        if self._items:
+            event.succeed(self._pop())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek(self) -> Optional[object]:
+        """Return the next item without removing it, or ``None`` if empty."""
+        if not self._items:
+            return None
+        return min(self._items)[2]
+
+    # -- internals --------------------------------------------------------
+    def _insert(self, item, priority: int) -> None:
+        self._items.append((priority, self._seq, item))
+        self._seq += 1
+
+    def _pop(self):
+        index = self._items.index(min(self._items))
+        _priority, _seq, item = self._items.pop(index)
+        return item

@@ -1,0 +1,130 @@
+"""The per-node commit queue (``CommitQ``).
+
+``CommitQ`` serializes the *apply* step of internally committing update
+transactions on each node: entries are ordered by the node-local component of
+their commit vector clock, a transaction's versions are installed only when
+it reaches the head of the queue with a ``ready`` status, and non-conflicting
+transactions therefore commit in the same relative order on every node they
+share (Section III-A).
+
+An entry is inserted as ``pending`` during the 2PC prepare phase carrying the
+proposed vector clock; the Decide message upgrades it to ``ready`` with the
+final commit vector clock, which may move the entry within the queue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.clocks.vector_clock import VectorClock
+from repro.common.ids import TransactionId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+    from repro.sim.events import Signal
+
+
+class CommitStatus(enum.Enum):
+    PENDING = "pending"
+    READY = "ready"
+
+
+@dataclass
+class CommitQueueEntry:
+    """One queued transaction ``<T, vc, status>``."""
+
+    txn_id: TransactionId
+    vc: VectorClock
+    status: CommitStatus = CommitStatus.PENDING
+    enqueue_time: float = field(default=0.0)
+
+    def order_key(self, node_index: int):
+        """Ordering key: the node-local vector clock entry, ties by id."""
+        return (self.vc[node_index], self.txn_id)
+
+
+class CommitQueue:
+    """Ordered queue of transactions committing at one node."""
+
+    def __init__(self, node_index: int, sim: Optional["Simulation"] = None):
+        self.node_index = node_index
+        self._entries: List[CommitQueueEntry] = []
+        self._signal: Optional["Signal"] = (
+            sim.signal(name=f"commitq:{node_index}") if sim is not None else None
+        )
+        self._sim = sim
+
+    # ------------------------------------------------------------ mutation
+    def put(self, txn_id: TransactionId, vc: VectorClock) -> CommitQueueEntry:
+        """Insert a ``pending`` entry with the proposed vector clock."""
+        if self.find(txn_id) is not None:
+            raise ValueError(f"{txn_id} already queued")
+        entry = CommitQueueEntry(
+            txn_id=txn_id,
+            vc=vc,
+            status=CommitStatus.PENDING,
+            enqueue_time=self._sim.now if self._sim is not None else 0.0,
+        )
+        self._entries.append(entry)
+        self._sort()
+        self._notify()
+        return entry
+
+    def update(self, txn_id: TransactionId, vc: VectorClock) -> CommitQueueEntry:
+        """Set the final commit vector clock and mark the entry ``ready``."""
+        entry = self.find(txn_id)
+        if entry is None:
+            raise KeyError(f"{txn_id} not in commit queue")
+        entry.vc = vc
+        entry.status = CommitStatus.READY
+        self._sort()
+        self._notify()
+        return entry
+
+    def remove(self, txn_id: TransactionId) -> bool:
+        """Drop the entry of ``txn_id`` (commit applied, or abort)."""
+        before = len(self._entries)
+        self._entries = [entry for entry in self._entries if entry.txn_id != txn_id]
+        removed = len(self._entries) != before
+        if removed:
+            self._notify()
+        return removed
+
+    # ------------------------------------------------------------- queries
+    def find(self, txn_id: TransactionId) -> Optional[CommitQueueEntry]:
+        for entry in self._entries:
+            if entry.txn_id == txn_id:
+                return entry
+        return None
+
+    def head(self) -> Optional[CommitQueueEntry]:
+        """The entry with the smallest node-local vector clock entry."""
+        return self._entries[0] if self._entries else None
+
+    def head_is_ready(self) -> bool:
+        head = self.head()
+        return head is not None and head.status is CommitStatus.READY
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[CommitQueueEntry]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------- internals
+    def _sort(self) -> None:
+        self._entries.sort(key=lambda entry: entry.order_key(self.node_index))
+
+    def _notify(self) -> None:
+        if self._signal is not None:
+            self._signal.notify()
+
+    @property
+    def signal(self) -> Optional["Signal"]:
+        """Signal notified on every mutation (drives head processing)."""
+        return self._signal
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CommitQueue node={self.node_index} len={len(self._entries)}>"

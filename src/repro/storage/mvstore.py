@@ -1,0 +1,110 @@
+"""The per-node multi-version key space.
+
+:class:`MultiVersionStore` owns, for every key replicated by the node, the
+version chain and the snapshot queue.  It also exposes bulk initialization
+(used to pre-load the YCSB key space before an experiment) and simple
+accounting used by the harness and the garbage-collection tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Optional
+
+from repro.clocks.vector_clock import VectorClock
+from repro.common.ids import TransactionId
+from repro.storage.snapshot_queue import SnapshotQueue
+from repro.storage.version import Version, VersionChain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+
+
+class MultiVersionStore:
+    """Multi-versioned key-value repository of one node."""
+
+    def __init__(
+        self,
+        node_index: int,
+        sim: Optional["Simulation"] = None,
+        max_versions_per_key: Optional[int] = None,
+    ):
+        self.node_index = node_index
+        self._sim = sim
+        self.max_versions_per_key = max_versions_per_key
+        self._chains: Dict[object, VersionChain] = {}
+        self._squeues: Dict[object, SnapshotQueue] = {}
+
+    # ------------------------------------------------------------ key space
+    def preload(self, keys: Iterable[object], initial_value=0, n_nodes: int = 1) -> None:
+        """Install version zero of every key with the all-zero vector clock."""
+        zero = VectorClock.zeros(n_nodes)
+        for key in keys:
+            chain = self._chain(key)
+            if len(chain) == 0:
+                chain.install(Version(value=initial_value, vc=zero, writer=None))
+
+    def has_key(self, key: object) -> bool:
+        return key in self._chains
+
+    def keys(self) -> Iterator[object]:
+        return iter(self._chains)
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    # ------------------------------------------------------------ versions
+    def _chain(self, key: object) -> VersionChain:
+        if key not in self._chains:
+            self._chains[key] = VersionChain(
+                key=key, max_length=self.max_versions_per_key
+            )
+        return self._chains[key]
+
+    def chain(self, key: object) -> VersionChain:
+        """The version chain of ``key`` (created empty if absent)."""
+        return self._chain(key)
+
+    def latest(self, key: object) -> Version:
+        """Most recent installed version of ``key``."""
+        return self._chain(key).latest
+
+    def install(
+        self,
+        key: object,
+        value,
+        vc: VectorClock,
+        writer: Optional[TransactionId] = None,
+    ) -> Version:
+        """Append a committed version of ``key`` and return it."""
+        version = Version(
+            value=value,
+            vc=vc,
+            writer=writer,
+            commit_time=self._sim.now if self._sim is not None else 0.0,
+        )
+        self._chain(key).install(version)
+        return version
+
+    # ------------------------------------------------------------ snapshot queues
+    def squeue(self, key: object) -> SnapshotQueue:
+        """The snapshot queue of ``key`` (created lazily)."""
+        if key not in self._squeues:
+            self._squeues[key] = SnapshotQueue(key, sim=self._sim)
+        return self._squeues[key]
+
+    def squeues(self) -> Dict[object, SnapshotQueue]:
+        """All instantiated snapshot queues (for GC accounting and tests)."""
+        return dict(self._squeues)
+
+    # ------------------------------------------------------------ accounting
+    def total_versions(self) -> int:
+        return sum(len(chain) for chain in self._chains.values())
+
+    def total_queued_entries(self) -> int:
+        return sum(len(queue) for queue in self._squeues.values())
+
+    def truncate_history(self, min_versions: int = 1) -> int:
+        """Drop old versions on every chain; return the number removed."""
+        return sum(
+            chain.truncate_before(min_versions) for chain in self._chains.values()
+        )

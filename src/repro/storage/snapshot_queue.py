@@ -1,0 +1,179 @@
+"""The snapshot queue (``SQueue``) — the heart of SSS's external consistency.
+
+Each key replicated by a node owns one :class:`SnapshotQueue`.  Entries are
+``<transaction id, insertion-snapshot, kind>`` tuples where the
+insertion-snapshot is the scalar value of the transaction's vector clock at
+this node's index at insertion time, and kind is ``"R"`` (read-only
+transaction, inserted at read time) or ``"W"`` (update transaction, inserted
+when it starts its Pre-Commit phase, i.e. only once its commit decision has
+been reached).
+
+Following the implementation note in the paper's evaluation section, the
+queue is physically split into a read-only part and an update part so that
+read-side scans (which only care about pending writers) and write-side scans
+(which only care about older readers) stay short under read-dominated
+workloads.
+
+The queue owns a :class:`~repro.sim.events.Signal` when constructed with a
+simulation: every mutation notifies the signal, which is what wakes update
+transactions waiting in their Pre-Commit phase (Algorithm 4's ``wait until``)
+and read-only back-off logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from repro.common.ids import TransactionId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulation
+    from repro.sim.events import Signal
+
+READ_KIND = "R"
+WRITE_KIND = "W"
+
+
+@dataclass(frozen=True)
+class SQueueEntry:
+    """One snapshot-queue entry ``<T.id, insertion-snapshot, kind>``."""
+
+    txn_id: TransactionId
+    insertion_snapshot: int
+    kind: str
+
+    def is_read_only(self) -> bool:
+        return self.kind == READ_KIND
+
+    def is_update(self) -> bool:
+        return self.kind == WRITE_KIND
+
+
+class SnapshotQueue:
+    """Ordered per-key queue of snapshot-queue entries."""
+
+    def __init__(self, key: object, sim: Optional["Simulation"] = None):
+        self.key = key
+        self._readers: List[SQueueEntry] = []
+        self._writers: List[SQueueEntry] = []
+        self._signal: Optional["Signal"] = (
+            sim.signal(name=f"squeue:{key}") if sim is not None else None
+        )
+        self._writer_enqueue_time: dict[TransactionId, float] = {}
+        self._sim = sim
+
+    # ------------------------------------------------------------- mutation
+    def insert(self, entry: SQueueEntry) -> None:
+        """Insert ``entry`` keeping each sub-queue ordered by snapshot.
+
+        Duplicate insertions of the same transaction with the same kind are
+        ignored: they occur naturally when anti-dependencies are propagated
+        to a key whose queue already holds the read-only transaction.
+        """
+        bucket = self._readers if entry.is_read_only() else self._writers
+        if any(existing.txn_id == entry.txn_id for existing in bucket):
+            return
+        index = len(bucket)
+        for position, existing in enumerate(bucket):
+            if entry.insertion_snapshot < existing.insertion_snapshot:
+                index = position
+                break
+        bucket.insert(index, entry)
+        if entry.is_update() and self._sim is not None:
+            self._writer_enqueue_time[entry.txn_id] = self._sim.now
+        self._notify()
+
+    def remove(self, txn_id: TransactionId) -> bool:
+        """Remove every entry of ``txn_id``; return True if anything removed."""
+        removed = False
+        for bucket in (self._readers, self._writers):
+            kept = [entry for entry in bucket if entry.txn_id != txn_id]
+            if len(kept) != len(bucket):
+                bucket[:] = kept
+                removed = True
+        self._writer_enqueue_time.pop(txn_id, None)
+        if removed:
+            self._notify()
+        return removed
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._readers) + len(self._writers)
+
+    def __contains__(self, txn_id: TransactionId) -> bool:
+        return any(entry.txn_id == txn_id for entry in self.entries())
+
+    def entries(self) -> Iterable[SQueueEntry]:
+        """All entries, readers then writers (each ordered by snapshot)."""
+        return list(self._readers) + list(self._writers)
+
+    def readers(self) -> List[SQueueEntry]:
+        return list(self._readers)
+
+    def writers(self) -> List[SQueueEntry]:
+        return list(self._writers)
+
+    def has_reader_below(self, snapshot: int) -> bool:
+        """True if a read-only entry with insertion-snapshot < ``snapshot`` exists.
+
+        This is the Algorithm 4 blocking condition described in the paper's
+        prose: an update transaction may only externally commit once no such
+        reader remains for any of its written keys.
+        """
+        return any(entry.insertion_snapshot < snapshot for entry in self._readers)
+
+    def has_entry_below(self, snapshot: int, exclude_txn=None) -> bool:
+        """True if *any* entry (reader or writer) has a smaller snapshot.
+
+        This is the literal Algorithm 4 pattern ``<T'.id, T'.sid, −>`` (the
+        kind is a wildcard): an update transaction also waits for conflicting
+        update transactions with smaller insertion snapshots, so conflicting
+        writers release their clients in serialization order.
+        """
+        for entry in self._readers:
+            if entry.insertion_snapshot < snapshot:
+                return True
+        for entry in self._writers:
+            if entry.txn_id == exclude_txn:
+                continue
+            if entry.insertion_snapshot < snapshot:
+                return True
+        return False
+
+    def writers_above(self, snapshot: int) -> List[SQueueEntry]:
+        """Update entries with insertion-snapshot > ``snapshot``.
+
+        Used by Algorithm 6 to build the ``ExcludedSet``: pre-committing
+        writers the reader must be serialized before.
+        """
+        return [
+            entry for entry in self._writers if entry.insertion_snapshot > snapshot
+        ]
+
+    def oldest_writer_age(self, now: float) -> Optional[float]:
+        """Age (in simulated time) of the oldest queued writer, if any.
+
+        The starvation-avoidance back-off uses this to detect keys whose
+        writers have been stuck behind readers for too long.
+        """
+        if not self._writer_enqueue_time:
+            return None
+        oldest = min(self._writer_enqueue_time.values())
+        return now - oldest
+
+    # -------------------------------------------------------------- signalling
+    @property
+    def signal(self) -> Optional["Signal"]:
+        """Signal notified on every mutation (``None`` outside a simulation)."""
+        return self._signal
+
+    def _notify(self) -> None:
+        if self._signal is not None:
+            self._signal.notify()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SQueue {self.key!r} readers={len(self._readers)} "
+            f"writers={len(self._writers)}>"
+        )

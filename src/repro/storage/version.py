@@ -1,0 +1,88 @@
+"""Multi-versioned values.
+
+Each key stores a chain of :class:`Version` objects, newest last.  A version
+records the value, the commit vector clock of the transaction that produced
+it, the writer's identifier and the simulated commit time (the latter only
+for tracing and metrics — the protocols never read physical time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.clocks.vector_clock import VectorClock
+from repro.common.ids import TransactionId
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of a key."""
+
+    value: object
+    vc: VectorClock
+    writer: Optional[TransactionId] = None
+    commit_time: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        writer = f" by {self.writer}" if self.writer is not None else ""
+        return f"<Version {self.value!r} {self.vc}{writer}>"
+
+
+@dataclass
+class VersionChain:
+    """Ordered chain of versions of one key (oldest first, newest last).
+
+    The chain supports the two access patterns used by the protocols:
+    ``latest`` (update transactions always read the most recent version) and
+    a backwards walk from the newest version used by read-only version
+    selection (Algorithm 6's ``ver <- ver.prev`` loop).
+    """
+
+    key: object
+    versions: List[Version] = field(default_factory=list)
+    max_length: Optional[int] = None
+    """Optional cap on retained history; ``None`` keeps every version."""
+
+    def __len__(self) -> int:
+        return len(self.versions)
+
+    def __iter__(self) -> Iterator[Version]:
+        return iter(self.versions)
+
+    @property
+    def latest(self) -> Version:
+        """The most recently installed version."""
+        if not self.versions:
+            raise KeyError(f"key {self.key!r} has no versions")
+        return self.versions[-1]
+
+    def install(self, version: Version) -> None:
+        """Append a new committed version (the ``apply`` step of commit).
+
+        Versions must be installed in the node's commit order; the commit
+        queue guarantees that ordering for every protocol in this repository.
+        """
+        self.versions.append(version)
+        if self.max_length is not None and len(self.versions) > self.max_length:
+            overflow = len(self.versions) - self.max_length
+            del self.versions[:overflow]
+
+    def newest_to_oldest(self) -> Iterator[Version]:
+        """Iterate versions starting from the most recent one."""
+        return reversed(self.versions)
+
+    def find_newest(self, predicate) -> Optional[Version]:
+        """Return the newest version satisfying ``predicate``, or ``None``."""
+        for version in self.newest_to_oldest():
+            if predicate(version):
+                return version
+        return None
+
+    def truncate_before(self, min_versions: int = 1) -> int:
+        """Drop old versions, keeping at least ``min_versions``; return count."""
+        if len(self.versions) <= min_versions:
+            return 0
+        dropped = len(self.versions) - min_versions
+        del self.versions[:dropped]
+        return dropped

@@ -1,0 +1,36 @@
+"""YCSB-style workload generation.
+
+The paper evaluates every protocol with a YCSB benchmark ported to the
+key-value API: update transactions read and write two keys, read-only
+transactions read two or more keys, key popularity is uniform (or locality
+biased in Figure 7), and clients operate in a closed loop.
+
+* :mod:`repro.workload.distributions` — key-popularity distributions
+  (uniform, zipfian) and the locality-biased selector.
+* :mod:`repro.workload.profiles` — transaction profiles (which keys are read
+  and written by one transaction instance).
+* :mod:`repro.workload.ycsb` — the closed-loop client process generator used
+  by the harness and the examples.
+"""
+
+from repro.workload.distributions import (
+    KeySelector,
+    LocalityKeySelector,
+    UniformKeySelector,
+    ZipfianKeySelector,
+    make_key_selector,
+)
+from repro.workload.profiles import TransactionSpec, WorkloadGenerator
+from repro.workload.ycsb import ClientStats, closed_loop_client
+
+__all__ = [
+    "ClientStats",
+    "KeySelector",
+    "LocalityKeySelector",
+    "TransactionSpec",
+    "UniformKeySelector",
+    "WorkloadGenerator",
+    "ZipfianKeySelector",
+    "closed_loop_client",
+    "make_key_selector",
+]

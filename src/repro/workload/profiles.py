@@ -1,0 +1,75 @@
+"""Transaction profiles: which keys a transaction reads and writes.
+
+The paper uses two profiles — update transactions that read and write two
+keys, and read-only transactions that read two or more keys.  The
+:class:`WorkloadGenerator` draws a :class:`TransactionSpec` per transaction
+according to the configured read-only fraction and key selector.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.config import WorkloadConfig
+from repro.replication.placement import KeyPlacement
+from repro.workload.distributions import KeySelector, make_key_selector
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """One transaction to execute: keys to read, keys to read-and-write."""
+
+    read_only: bool
+    read_keys: Tuple[object, ...]
+    write_keys: Tuple[object, ...]
+
+    @property
+    def all_keys(self) -> Tuple[object, ...]:
+        return tuple(dict.fromkeys(self.read_keys + self.write_keys))
+
+    def size(self) -> int:
+        return len(self.all_keys)
+
+
+class WorkloadGenerator:
+    """Per-client YCSB-style transaction spec generator.
+
+    Each client owns one generator instance so its random stream is
+    independent of every other client (see :class:`repro.sim.rng.RngRegistry`).
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadConfig,
+        keys: Sequence[object],
+        rng: random.Random,
+        placement: Optional[KeyPlacement] = None,
+        node_id: Optional[int] = None,
+    ):
+        workload.validate()
+        self.workload = workload
+        self.rng = rng
+        self.selector: KeySelector = make_key_selector(
+            workload, keys, placement=placement, node_id=node_id
+        )
+        self.generated = 0
+
+    def next_spec(self) -> TransactionSpec:
+        """Draw the next transaction specification."""
+        self.generated += 1
+        if self.rng.random() < self.workload.read_only_fraction:
+            keys = self.selector.select(self.rng, self.workload.read_only_txn_keys)
+            return TransactionSpec(
+                read_only=True, read_keys=tuple(keys), write_keys=()
+            )
+        keys = self.selector.select(self.rng, self.workload.update_txn_keys)
+        # The paper's update profile reads and writes the same two keys.
+        return TransactionSpec(
+            read_only=False, read_keys=tuple(keys), write_keys=tuple(keys)
+        )
+
+    def specs(self, count: int) -> List[TransactionSpec]:
+        """Draw ``count`` specifications (useful for tests and examples)."""
+        return [self.next_spec() for _ in range(count)]

@@ -1,0 +1,64 @@
+"""Shared pytest fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.core.cluster import SSSCluster
+from repro.sim.engine import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh deterministic simulation."""
+    return Simulation(seed=42)
+
+
+@pytest.fixture
+def small_config() -> ClusterConfig:
+    """A small cluster configuration used by integration tests."""
+    return ClusterConfig(
+        n_nodes=3,
+        n_keys=60,
+        replication_degree=2,
+        clients_per_node=2,
+        seed=13,
+    )
+
+
+@pytest.fixture
+def small_cluster(small_config) -> SSSCluster:
+    """A small SSS cluster with history recording enabled."""
+    return SSSCluster(small_config, record_history=True)
+
+
+@pytest.fixture
+def read_heavy_workload() -> WorkloadConfig:
+    return WorkloadConfig(read_only_fraction=0.8)
+
+
+def run_client_txn(cluster, session, *, reads=(), writes=(), read_only=False):
+    """Helper: run one transaction to completion and return (ok, meta, values).
+
+    ``writes`` is a mapping of key to value; ``reads`` an iterable of keys.
+    The helper spawns a process and runs the cluster to quiescence, so it is
+    only suitable for tests that drive transactions one at a time.
+    """
+    out = {}
+
+    def txn():
+        session.begin(read_only=read_only)
+        values = {}
+        for key in reads:
+            values[key] = yield from session.read(key)
+        for key, value in dict(writes).items():
+            session.write(key, value)
+        ok = yield from session.commit()
+        out["ok"] = ok
+        out["values"] = values
+        out["meta"] = session.last
+
+    cluster.spawn(txn())
+    cluster.run()
+    return out["ok"], out["meta"], out["values"]

@@ -1,0 +1,235 @@
+"""Basic end-to-end behaviour of the SSS protocol on a small cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import TransactionStateError
+from repro.core.cluster import SSSCluster
+from repro.core.metadata import TransactionPhase
+
+from tests.conftest import run_client_txn
+
+
+class TestSingleTransactions:
+    def test_read_initial_value(self, small_cluster):
+        session = small_cluster.session(0)
+        ok, meta, values = run_client_txn(
+            small_cluster, session, reads=["key-1"], read_only=True
+        )
+        assert ok is True
+        assert values["key-1"] == 0
+        assert meta.is_read_only
+
+    def test_update_then_read_back(self, small_cluster):
+        writer = small_cluster.session(0)
+        ok, meta, _ = run_client_txn(
+            small_cluster, writer, reads=["key-5"], writes={"key-5": 42}
+        )
+        assert ok is True
+        assert meta.committed
+
+        reader = small_cluster.session(1)
+        ok, _meta, values = run_client_txn(
+            small_cluster, reader, reads=["key-5"], read_only=True
+        )
+        assert ok is True
+        assert values["key-5"] == 42
+
+    def test_read_your_own_buffered_write(self, small_cluster):
+        session = small_cluster.session(0)
+        out = {}
+
+        def txn():
+            session.begin(read_only=False)
+            session.write("key-3", 99)
+            value = yield from session.read("key-3")
+            out["value"] = value
+            out["ok"] = yield from session.commit()
+
+        small_cluster.spawn(txn())
+        small_cluster.run()
+        assert out["value"] == 99
+        assert out["ok"] is True
+
+    def test_update_transaction_has_commit_vc(self, small_cluster):
+        session = small_cluster.session(2)
+        ok, meta, _ = run_client_txn(
+            small_cluster, session, reads=["key-9"], writes={"key-9": 7}
+        )
+        assert ok
+        assert meta.commit_vc is not None
+        # The commit vector clock carries the same value on every write
+        # replica's entry (the xactVN assignment of Algorithm 1).
+        replicas = small_cluster.placement.replicas("key-9")
+        values = {meta.commit_vc[node] for node in replicas}
+        assert len(values) == 1
+
+    def test_read_only_transaction_never_runs_2pc(self, small_cluster):
+        session = small_cluster.session(0)
+        run_client_txn(
+            small_cluster, session, reads=["key-2", "key-4"], read_only=True
+        )
+        counters = small_cluster.total_counters()
+        assert counters.get("prepares", 0) == 0
+        assert counters.get("read_only_commits", 0) == 1
+
+    def test_external_commit_time_after_internal(self, small_cluster):
+        session = small_cluster.session(0)
+        ok, meta, _ = run_client_txn(
+            small_cluster, session, reads=["key-7"], writes={"key-7": 1}
+        )
+        assert ok
+        assert meta.internal_commit_time is not None
+        assert meta.external_commit_time >= meta.internal_commit_time
+
+    def test_writes_visible_on_every_replica(self, small_cluster):
+        session = small_cluster.session(0)
+        run_client_txn(small_cluster, session, reads=["key-11"], writes={"key-11": 5})
+        for node_id in small_cluster.placement.replicas("key-11"):
+            node = small_cluster.node(node_id)
+            assert node.store.latest("key-11").value == 5
+
+
+class TestSessionStateMachine:
+    def test_write_in_read_only_transaction_rejected(self, small_cluster):
+        session = small_cluster.session(0)
+        session.begin(read_only=True)
+        with pytest.raises(TransactionStateError):
+            session.write("key-1", 1)
+
+    def test_double_begin_rejected(self, small_cluster):
+        session = small_cluster.session(0)
+        session.begin(read_only=True)
+        with pytest.raises(TransactionStateError):
+            session.begin(read_only=True)
+
+    def test_commit_without_begin_rejected(self, small_cluster):
+        session = small_cluster.session(0)
+        with pytest.raises(TransactionStateError):
+            # Driving the generator is needed to trigger the check.
+            next(session.commit())
+
+    def test_abort_drops_buffered_writes(self, small_cluster):
+        session = small_cluster.session(0)
+        session.begin(read_only=False)
+        session.write("key-20", 123)
+        session.abort()
+        assert session.last.aborted
+
+        reader = small_cluster.session(1)
+        ok, _meta, values = run_client_txn(
+            small_cluster, reader, reads=["key-20"], read_only=True
+        )
+        assert ok
+        assert values["key-20"] == 0
+
+    def test_abort_of_read_only_cleans_snapshot_queues(self, small_cluster):
+        session = small_cluster.session(0)
+        out = {}
+
+        def txn():
+            session.begin(read_only=True)
+            out["value"] = yield from session.read("key-30")
+            session.abort()
+
+        small_cluster.spawn(txn())
+        small_cluster.run()
+        for node_id in small_cluster.placement.replicas("key-30"):
+            node = small_cluster.node(node_id)
+            squeue = node.store.squeue("key-30")
+            assert len(squeue) == 0
+
+
+class TestValidationAndAborts:
+    def test_concurrent_conflicting_updates_one_aborts_or_serializes(self):
+        config = ClusterConfig(
+            n_nodes=2, n_keys=4, replication_degree=1, clients_per_node=1, seed=3
+        )
+        cluster = SSSCluster(config, record_history=True)
+        outcomes = []
+
+        def txn(session, delta):
+            session.begin(read_only=False)
+            value = yield from session.read("key-0")
+            session.write("key-0", value + delta)
+            ok = yield from session.commit()
+            outcomes.append(ok)
+
+        cluster.spawn(txn(cluster.session(0), 10))
+        cluster.spawn(txn(cluster.session(1), 100))
+        cluster.run()
+
+        committed = [ok for ok in outcomes if ok]
+        assert len(committed) >= 1
+        # The final value must reflect exactly the committed increments in
+        # sequence: serial execution of the winners.
+        node = cluster.node(cluster.placement.primary("key-0"))
+        final = node.store.latest("key-0").value
+        if len(committed) == 2:
+            assert final == 110
+        else:
+            assert final in (10, 100)
+        assert cluster.check_consistency().ok
+
+    def test_lost_update_prevented(self):
+        """Two read-modify-write increments never both read the old value and commit."""
+        config = ClusterConfig(
+            n_nodes=3, n_keys=10, replication_degree=2, clients_per_node=1, seed=9
+        )
+        cluster = SSSCluster(config, record_history=True)
+        committed = []
+
+        def increment(session):
+            session.begin(read_only=False)
+            value = yield from session.read("key-1")
+            session.write("key-1", value + 1)
+            ok = yield from session.commit()
+            committed.append(ok)
+
+        for node_id in range(3):
+            cluster.spawn(increment(cluster.session(node_id)))
+        cluster.run()
+
+        node = cluster.node(cluster.placement.primary("key-1"))
+        final = node.store.latest("key-1").value
+        assert final == sum(1 for ok in committed if ok)
+
+
+class TestSnapshotQueueLifecycle:
+    def test_remove_cleans_all_replicas(self, small_cluster):
+        session = small_cluster.session(0)
+        run_client_txn(
+            small_cluster, session, reads=["key-40", "key-41"], read_only=True
+        )
+        for key in ("key-40", "key-41"):
+            for node_id in small_cluster.placement.replicas(key):
+                assert len(small_cluster.node(node_id).store.squeue(key)) == 0
+
+    def test_no_writers_left_queued_after_quiescence(self, small_cluster):
+        sessions = [small_cluster.session(i % 3) for i in range(6)]
+
+        def update(session, key):
+            session.begin(read_only=False)
+            value = yield from session.read(key)
+            session.write(key, value + 1)
+            yield from session.commit()
+
+        def read(session, keys):
+            session.begin(read_only=True)
+            for key in keys:
+                yield from session.read(key)
+            yield from session.commit()
+
+        for index, session in enumerate(sessions):
+            key = f"key-{index % 4}"
+            if index % 2:
+                small_cluster.spawn(update(session, key))
+            else:
+                small_cluster.spawn(read(session, [key, f"key-{(index + 1) % 4}"]))
+        small_cluster.run()
+        for node in small_cluster.nodes:
+            assert node.queued_writer_count() == 0
+            assert len(node.commit_queue) == 0
+        assert small_cluster.check_consistency().ok

@@ -1,0 +1,148 @@
+"""Property-based tests of end-to-end protocol correctness.
+
+Random small workloads (random key counts, client placements, read/write
+mixes) are executed on SSS and the 2PC-baseline; every produced history must
+pass the external-consistency, serializability and snapshot-read checks, and
+the cluster must reach quiescence with no leaked snapshot-queue entries,
+locks or commit-queue entries.  Walter histories must never contain aborted
+read-only transactions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines.walter import WalterCluster
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.consistency.checkers import (
+    check_external_consistency,
+    check_serializability,
+    check_snapshot_reads,
+)
+from repro.core.cluster import SSSCluster
+from repro.harness.cluster import build_cluster
+from repro.workload.profiles import WorkloadGenerator
+from repro.workload.ycsb import ClientStats, closed_loop_client
+
+workload_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=1, max_value=10_000),
+        "n_nodes": st.integers(min_value=2, max_value=4),
+        "n_keys": st.integers(min_value=4, max_value=40),
+        "replication_degree": st.integers(min_value=1, max_value=2),
+        "clients_per_node": st.integers(min_value=1, max_value=2),
+        "read_only_fraction": st.sampled_from([0.0, 0.2, 0.5, 0.8, 1.0]),
+    }
+)
+
+
+def run_random_workload(protocol: str, params: dict, duration_us: float = 12_000.0):
+    """Run a short random closed-loop workload and return the cluster."""
+    config = ClusterConfig(
+        n_nodes=params["n_nodes"],
+        n_keys=params["n_keys"],
+        replication_degree=min(params["replication_degree"], params["n_nodes"]),
+        clients_per_node=params["clients_per_node"],
+        seed=params["seed"],
+    )
+    workload = WorkloadConfig(read_only_fraction=params["read_only_fraction"])
+    cluster = build_cluster(protocol, config=config, record_history=True)
+    for node_id in range(config.n_nodes):
+        for client_index in range(config.clients_per_node):
+            session = cluster.session(node_id)
+            generator = WorkloadGenerator(
+                workload,
+                cluster.keys,
+                cluster.sim.rng.stream(f"prop.{node_id}.{client_index}"),
+            )
+            cluster.spawn(
+                closed_loop_client(
+                    session,
+                    generator,
+                    ClientStats(node_id, client_index),
+                    deadline_us=duration_us,
+                )
+            )
+    # Run to quiescence so every in-flight transaction finishes.
+    cluster.run()
+    return cluster
+
+
+class TestSSSRandomWorkloads:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(workload_params)
+    def test_histories_are_externally_consistent(self, params):
+        cluster = run_random_workload("sss", params)
+        history = cluster.history
+        assert check_external_consistency(history).ok
+        assert check_serializability(history).ok
+        assert check_snapshot_reads(history).ok
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(workload_params)
+    def test_no_leaked_protocol_state_at_quiescence(self, params):
+        cluster = run_random_workload("sss", params)
+        assert isinstance(cluster, SSSCluster)
+        for node in cluster.nodes:
+            assert node.queued_writer_count() == 0, "pre-commit entries leaked"
+            assert len(node.commit_queue) == 0, "commit queue not drained"
+            assert node.locks.locked_keys() == [], "locks leaked"
+            assert node.locks.waiting_count() == 0
+            assert not node._ack_waits, "external-ack waits leaked"
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(workload_params)
+    def test_read_only_transactions_never_abort(self, params):
+        cluster = run_random_workload("sss", params)
+        read_only_aborts = [
+            txn for txn in cluster.history.aborted if not txn.is_update
+        ]
+        assert read_only_aborts == []
+
+
+class TestBaselineRandomWorkloads:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(workload_params)
+    def test_twopc_histories_are_externally_consistent(self, params):
+        cluster = run_random_workload("2pc", params)
+        assert check_external_consistency(cluster.history).ok
+        assert check_serializability(cluster.history).ok
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(workload_params)
+    def test_walter_read_only_transactions_never_abort(self, params):
+        cluster = run_random_workload("walter", params)
+        assert isinstance(cluster, WalterCluster)
+        assert all(txn.is_update for txn in cluster.history.aborted)
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(workload_params)
+    def test_rococo_update_transactions_never_abort(self, params):
+        params = dict(params, replication_degree=1)
+        cluster = run_random_workload("rococo", params)
+        assert all(not txn.is_update for txn in cluster.history.aborted)
+        assert check_serializability(cluster.history).ok

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the substrate data structures."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.compression import VCCodec
+from repro.clocks.vector_clock import VectorClock
+from repro.common.ids import TransactionId
+from repro.replication.placement import KeyPlacement
+from repro.storage.snapshot_queue import READ_KIND, WRITE_KIND, SnapshotQueue, SQueueEntry
+from repro.storage.version import Version, VersionChain
+
+# Reusable strategies -------------------------------------------------------
+entries = st.lists(st.integers(min_value=0, max_value=1_000), min_size=1, max_size=8)
+
+
+def clock_pairs(size: int = 5):
+    entry = st.integers(min_value=0, max_value=100)
+    clock = st.lists(entry, min_size=size, max_size=size).map(VectorClock)
+    return st.tuples(clock, clock)
+
+
+class TestVectorClockProperties:
+    @given(entries)
+    def test_merge_idempotent(self, values):
+        clock = VectorClock(values)
+        assert clock.merge(clock) == clock
+
+    @given(clock_pairs())
+    def test_merge_commutative_and_upper_bound(self, pair):
+        a, b = pair
+        merged = a.merge(b)
+        assert merged == b.merge(a)
+        assert a <= merged and b <= merged
+
+    @given(clock_pairs(), st.integers(min_value=0, max_value=4))
+    def test_increment_strictly_greater(self, pair, index):
+        clock, _ = pair
+        assert clock < clock.increment(index)
+
+    @given(clock_pairs())
+    def test_partial_order_antisymmetry(self, pair):
+        a, b = pair
+        if a <= b and b <= a:
+            assert a == b
+
+    @given(clock_pairs())
+    def test_exactly_one_relation_holds(self, pair):
+        a, b = pair
+        relations = [a == b, a < b, b < a, a.concurrent_with(b)]
+        assert sum(bool(r) for r in relations) == 1
+
+    @given(st.lists(st.lists(st.integers(0, 50), min_size=3, max_size=3), min_size=1, max_size=10))
+    def test_merge_associative_over_sequences(self, clock_lists):
+        clocks = [VectorClock(values) for values in clock_lists]
+        left = clocks[0]
+        for clock in clocks[1:]:
+            left = left.merge(clock)
+        right = clocks[-1]
+        for clock in reversed(clocks[:-1]):
+            right = clock.merge(right)
+        assert left == right
+
+
+class TestCodecProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=10_000), min_size=6, max_size=6),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_encode_decode_roundtrip_sequence(self, clock_values):
+        sender = VCCodec(size=6)
+        receiver = VCCodec(size=6)
+        for values in clock_values:
+            clock = VectorClock(values)
+            encoding = sender.encode("peer", clock)
+            assert receiver.decode("peer", encoding) == clock
+
+
+class TestPlacementProperties:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=12),
+        st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=40, unique=True),
+    )
+    def test_replica_sets_valid(self, n_nodes, degree, keys):
+        degree = min(degree, n_nodes)
+        placement = KeyPlacement(n_nodes=n_nodes, replication_degree=degree, keys=keys)
+        for key in keys:
+            replicas = placement.replicas(key)
+            assert len(replicas) == degree
+            assert len(set(replicas)) == degree
+            assert all(0 <= node < n_nodes for node in replicas)
+            assert placement.primary(key) == replicas[0]
+
+    @given(st.lists(st.integers(), min_size=1, max_size=50, unique=True))
+    def test_every_key_is_local_somewhere(self, keys):
+        placement = KeyPlacement(n_nodes=5, replication_degree=2, keys=keys)
+        covered = set()
+        for node in range(5):
+            covered.update(placement.local_keys(node))
+        assert covered == set(keys)
+
+
+class TestSnapshotQueueProperties:
+    ops = st.lists(
+        st.tuples(
+            st.sampled_from(["insert_r", "insert_w", "remove"]),
+            st.integers(min_value=0, max_value=15),   # txn seq
+            st.integers(min_value=0, max_value=100),  # snapshot
+        ),
+        max_size=60,
+    )
+
+    @given(ops)
+    def test_queue_invariants_under_random_operations(self, operations):
+        queue = SnapshotQueue("k")
+        alive = set()
+        for op, seq, snapshot in operations:
+            txn = TransactionId(0, seq)
+            if op == "insert_r":
+                queue.insert(SQueueEntry(txn, snapshot, READ_KIND))
+                alive.add(txn)
+            elif op == "insert_w":
+                queue.insert(SQueueEntry(txn, snapshot, WRITE_KIND))
+                alive.add(txn)
+            else:
+                queue.remove(txn)
+                alive.discard(txn)
+            # Invariant 1: sub-queues stay sorted by insertion snapshot.
+            reader_snapshots = [e.insertion_snapshot for e in queue.readers()]
+            writer_snapshots = [e.insertion_snapshot for e in queue.writers()]
+            assert reader_snapshots == sorted(reader_snapshots)
+            assert writer_snapshots == sorted(writer_snapshots)
+            # Invariant 2: at most one reader and one writer entry per txn.
+            reader_ids = [e.txn_id for e in queue.readers()]
+            writer_ids = [e.txn_id for e in queue.writers()]
+            assert len(reader_ids) == len(set(reader_ids))
+            assert len(writer_ids) == len(set(writer_ids))
+            # Invariant 3: membership matches the alive set we maintain.
+            for txn_id in alive:
+                pass  # txn may or may not be present (removed txns never are)
+        for op, seq, _snapshot in operations:
+            if op == "remove":
+                assert TransactionId(0, seq) not in queue or TransactionId(0, seq) in alive
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=50),
+    )
+    def test_has_reader_below_matches_definition(self, snapshots, bound):
+        queue = SnapshotQueue("k")
+        for index, snapshot in enumerate(snapshots):
+            queue.insert(SQueueEntry(TransactionId(0, index), snapshot, READ_KIND))
+        assert queue.has_reader_below(bound) == any(s < bound for s in snapshots)
+
+
+class TestVersionChainProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=40))
+    def test_walk_is_reverse_of_install_order(self, values):
+        chain = VersionChain(key="k")
+        for index, value in enumerate(values):
+            chain.install(Version(value, VectorClock([index])))
+        walked = [version.value for version in chain.newest_to_oldest()]
+        assert walked == list(reversed(values))
+        assert chain.latest.value == values[-1]
