@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import SETTINGS, run_once
+from benchmarks.common import RECORDER, SETTINGS, run_once
 from repro.clocks.compression import VCCodec
 from repro.common.config import ClusterConfig, NetworkConfig, WorkloadConfig
 from repro.harness.reporting import format_table
@@ -57,6 +57,7 @@ def test_ablation_message_priorities(benchmark, monkeypatch):
             duration_us=SETTINGS.duration_us,
             warmup_us=SETTINGS.warmup_us,
         )
+        RECORDER.record(result)
         return result.metrics.throughput_ktps
 
     def sweep():

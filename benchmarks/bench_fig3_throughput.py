@@ -11,7 +11,13 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import SETTINGS, ktps_rows, run_once, throughput_sweep
+from benchmarks.common import (
+    SETTINGS,
+    ktps_rows,
+    run_once,
+    shape_checks_enabled,
+    throughput_sweep,
+)
 from repro.harness.reporting import format_table
 
 PROTOCOLS = ("sss", "2pc", "walter")
@@ -46,6 +52,8 @@ def test_fig3_throughput(benchmark, read_only_pct):
         )
     )
 
+    if not shape_checks_enabled():
+        return
     largest = SETTINGS.node_counts[-1]
     sss = results["sss"][largest].throughput_ktps
     twopc = results["2pc"][largest].throughput_ktps
@@ -82,6 +90,7 @@ def test_fig3_walter_gap_narrows_with_read_only_share(benchmark):
     gaps = run_once(benchmark, sweep)
     print(f"\nWalter/SSS throughput ratio: 20% read-only = {gaps[0.2]:.2f}, "
           f"80% read-only = {gaps[0.8]:.2f}")
-    assert gaps[0.8] <= gaps[0.2] * 1.15, (
-        "the Walter advantage should not grow when read-only transactions dominate"
-    )
+    if shape_checks_enabled():
+        assert gaps[0.8] <= gaps[0.2] * 1.15, (
+            "the Walter advantage should not grow when read-only transactions dominate"
+        )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import SETTINGS, run_once
+from benchmarks.common import RECORDER, SETTINGS, run_once
 from repro.common.config import ClusterConfig, WorkloadConfig
 from repro.harness.reporting import format_table
 from repro.harness.runner import find_saturation_throughput
@@ -36,6 +36,7 @@ def _max_throughput(protocol: str, n_nodes: int) -> float:
         duration_us=SETTINGS.duration_us,
         warmup_us=SETTINGS.warmup_us,
     )
+    RECORDER.record(best)
     return best.throughput_ktps
 
 

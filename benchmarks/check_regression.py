@@ -1,0 +1,108 @@
+"""Benchmark-regression gate for CI.
+
+Compares the events/sec of a freshly produced ``BENCH_<figure>.json`` against
+the committed baseline under ``benchmarks/baselines/`` and exits non-zero
+when the current run is more than the allowed percentage slower.
+
+Usage::
+
+    python benchmarks/check_regression.py [--figure fig3]
+        [--current-dir DIR] [--baseline-dir DIR] [--threshold-pct 25]
+
+Environment overrides: ``REPRO_BENCH_OUT`` (current dir),
+``REPRO_BENCH_REGRESSION_PCT`` (threshold).
+
+The committed baseline is calibrated for the CI runner class (see the
+``provenance`` field inside the baseline file); refresh it deliberately with
+``--write-baseline`` when the runner class or the expected performance level
+changes, never to paper over a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", default="fig3")
+    parser.add_argument(
+        "--current-dir", default=os.environ.get("REPRO_BENCH_OUT", ".")
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines"),
+    )
+    parser.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_REGRESSION_PCT", 25.0)),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="Copy the current totals into the baseline file and exit.",
+    )
+    args = parser.parse_args()
+
+    current_path = os.path.join(args.current_dir, f"BENCH_{args.figure}.json")
+    baseline_path = os.path.join(args.baseline_dir, f"BENCH_{args.figure}.json")
+
+    if not os.path.exists(current_path):
+        print(
+            f"FAIL: no benchmark output at {current_path} — did the benchmark "
+            f"run emit BENCH_{args.figure}.json (REPRO_BENCH_OUT)?",
+            file=sys.stderr,
+        )
+        return 1
+    current = _load(current_path)
+    current_eps = current["totals"]["events_per_sec"]
+    current_tps = current["totals"]["committed_txns_per_wall_sec"]
+
+    if args.write_baseline:
+        os.makedirs(args.baseline_dir, exist_ok=True)
+        payload = {
+            "figure": args.figure,
+            "provenance": "written by check_regression.py --write-baseline",
+            "totals": current["totals"],
+        }
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline written: {baseline_path} (events/sec={current_eps})")
+        return 0
+
+    if not os.path.exists(baseline_path):
+        print(f"no committed baseline at {baseline_path}; skipping gate")
+        return 0
+
+    baseline = _load(baseline_path)
+    baseline_eps = baseline["totals"]["events_per_sec"]
+    floor = baseline_eps * (1.0 - args.threshold_pct / 100.0)
+
+    print(
+        f"figure={args.figure}  baseline events/sec={baseline_eps}  "
+        f"current events/sec={current_eps}  committed txns/wall-sec={current_tps}  "
+        f"allowed floor={floor:.0f} (-{args.threshold_pct:.0f}%)"
+    )
+    if current_eps < floor:
+        print(
+            f"FAIL: events/sec regressed by more than {args.threshold_pct:.0f}% "
+            f"({current_eps} < {floor:.0f})",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

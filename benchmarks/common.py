@@ -12,7 +12,17 @@ Every benchmark follows the same pattern:
    simulator rather than the authors' CloudLab testbed;
 4. register the sweep with ``pytest-benchmark`` (one round, one iteration) so
    ``pytest benchmarks/ --benchmark-only`` reports the wall-clock cost of
-   regenerating each figure.
+   regenerating each figure;
+5. emit a machine-readable ``BENCH_<figure>.json`` (via
+   :func:`flush_bench_json`) recording, per datapoint, the simulated
+   throughput *and* the simulator's own performance (events/sec, committed
+   transactions per wall second, wall-clock), so the perf trajectory of the
+   substrate is tracked PR-over-PR and CI can fail on regressions.
+
+Sweeps fan their independent datapoints across CPU cores with
+:class:`~concurrent.futures.ProcessPoolExecutor` (each datapoint is an
+isolated simulation with a fixed seed, so results are byte-identical to a
+serial run).
 
 Environment knobs:
 
@@ -22,22 +32,31 @@ Environment knobs:
   (default ``3,6``).
 * ``REPRO_BENCH_KEYS`` — number of keys (default 400).
 * ``REPRO_BENCH_CLIENTS`` — closed-loop clients per node (default 3).
+* ``REPRO_BENCH_PARALLEL`` — worker processes for sweeps (``0``/``1``
+  serial; default: all CPUs but one).
+* ``REPRO_BENCH_OUT`` — directory receiving the ``BENCH_*.json`` files
+  (default: current directory).
 """
 
 from __future__ import annotations
 
+import json
 import os
-from dataclasses import dataclass
-from typing import Dict, Iterable, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import ClusterConfig, WorkloadConfig
 from repro.harness.metrics import ExperimentMetrics
-from repro.harness.runner import run_experiment
+from repro.harness.runner import (
+    ExperimentPoint,
+    ExperimentResult,
+    run_experiment,
+    run_points,
+)
 
 
 def _env_int(name: str, default: int) -> int:
     return int(os.environ.get(name, default))
-
 
 def _env_ints(name: str, default: Tuple[int, ...]) -> Tuple[int, ...]:
     raw = os.environ.get(name)
@@ -61,6 +80,125 @@ class BenchSettings:
 SETTINGS = BenchSettings()
 
 
+def shape_checks_enabled() -> bool:
+    """Whether the paper's qualitative shape assertions should run.
+
+    The protocol-comparison shapes (who wins, how gaps move) need enough
+    simulated time to escape warm-up noise; the CI benchmark smoke runs with
+    a tiny ``REPRO_BENCH_DURATION_US`` purely to measure simulator
+    performance, where a marginal shape flip is meaningless.
+    """
+    return SETTINGS.duration_us >= 50_000
+
+
+# ----------------------------------------------------------------------
+# Machine-readable benchmark output (BENCH_<figure>.json)
+# ----------------------------------------------------------------------
+@dataclass
+class _BenchRecorder:
+    """Accumulates per-datapoint records until a figure flushes them."""
+
+    pending: List[Dict] = field(default_factory=list)
+    by_figure: Dict[str, List[Dict]] = field(default_factory=dict)
+
+    def record(self, result: ExperimentResult) -> None:
+        metrics = result.metrics
+        wall = float(metrics.extra.get("wall_seconds", 0.0))
+        events = float(metrics.extra.get("sim_events", 0.0))
+        self.pending.append(
+            {
+                "protocol": result.protocol,
+                "n_nodes": result.config.n_nodes,
+                "n_keys": result.config.n_keys,
+                "replication_degree": result.config.replication_degree,
+                "clients_per_node": result.config.clients_per_node,
+                "read_only_fraction": result.workload.read_only_fraction,
+                "seed": result.config.seed,
+                "duration_us": metrics.measured_duration_us,
+                "committed": metrics.committed,
+                "aborted": metrics.aborted,
+                "abort_rate": round(metrics.abort_rate, 4),
+                "throughput_ktps": round(metrics.throughput_ktps, 3),
+                "latency_mean_ms": round(metrics.latency.mean_ms, 4),
+                "sim_events": int(events),
+                "wall_seconds": round(wall, 4),
+                "events_per_sec": round(events / wall) if wall > 0 else 0,
+                "committed_txns_per_wall_sec": (
+                    round(metrics.committed / wall) if wall > 0 else 0
+                ),
+            }
+        )
+
+    def flush(self, figure: str) -> Dict:
+        """Assign pending datapoints to ``figure`` and write its JSON file."""
+        bucket = self.by_figure.setdefault(figure, [])
+        bucket.extend(self.pending)
+        self.pending = []
+        events = sum(point["sim_events"] for point in bucket)
+        wall = sum(point["wall_seconds"] for point in bucket)
+        committed = sum(point["committed"] for point in bucket)
+        payload = {
+            "figure": figure,
+            "schema_version": 1,
+            "settings": {
+                "node_counts": list(SETTINGS.node_counts),
+                "n_keys": SETTINGS.n_keys,
+                "clients_per_node": SETTINGS.clients_per_node,
+                "duration_us": SETTINGS.duration_us,
+                "seed": SETTINGS.seed,
+            },
+            "totals": {
+                "datapoints": len(bucket),
+                "sim_events": events,
+                "wall_seconds": round(wall, 4),
+                "events_per_sec": round(events / wall) if wall > 0 else 0,
+                "committed_txns": committed,
+                "committed_txns_per_wall_sec": (
+                    round(committed / wall) if wall > 0 else 0
+                ),
+            },
+            "datapoints": bucket,
+        }
+        out_dir = os.environ.get("REPRO_BENCH_OUT", ".")
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"BENCH_{figure}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return payload
+
+
+RECORDER = _BenchRecorder()
+
+
+def flush_bench_json(figure: str) -> Dict:
+    """Write ``BENCH_<figure>.json`` from the datapoints recorded so far."""
+    return RECORDER.flush(figure)
+
+
+# ----------------------------------------------------------------------
+# Sweep helpers
+# ----------------------------------------------------------------------
+def _point_config(
+    n_nodes: int,
+    replication_degree: int,
+    clients_per_node: Optional[int],
+    n_keys: Optional[int],
+    seed_offset: int,
+) -> ClusterConfig:
+    return ClusterConfig(
+        n_nodes=n_nodes,
+        n_keys=n_keys if n_keys is not None else SETTINGS.n_keys,
+        replication_degree=min(replication_degree, n_nodes),
+        clients_per_node=(
+            clients_per_node
+            if clients_per_node is not None
+            else SETTINGS.clients_per_node
+        ),
+        seed=SETTINGS.seed + seed_offset,
+    )
+
+
 def run_point(
     protocol: str,
     n_nodes: int,
@@ -72,17 +210,9 @@ def run_point(
     n_keys: int | None = None,
     seed_offset: int = 0,
 ) -> ExperimentMetrics:
-    """Run one datapoint and return its metrics."""
-    config = ClusterConfig(
-        n_nodes=n_nodes,
-        n_keys=n_keys if n_keys is not None else SETTINGS.n_keys,
-        replication_degree=min(replication_degree, n_nodes),
-        clients_per_node=(
-            clients_per_node
-            if clients_per_node is not None
-            else SETTINGS.clients_per_node
-        ),
-        seed=SETTINGS.seed + seed_offset,
+    """Run one datapoint (in-process) and return its metrics."""
+    config = _point_config(
+        n_nodes, replication_degree, clients_per_node, n_keys, seed_offset
     )
     workload = WorkloadConfig(
         read_only_fraction=read_only_fraction,
@@ -96,6 +226,7 @@ def run_point(
         duration_us=SETTINGS.duration_us,
         warmup_us=SETTINGS.warmup_us,
     )
+    RECORDER.record(result)
     return result.metrics
 
 
@@ -103,16 +234,42 @@ def throughput_sweep(
     protocols: Sequence[str],
     node_counts: Sequence[int],
     read_only_fraction: float,
-    **kwargs,
+    replication_degree: int = 2,
+    read_only_txn_keys: int = 2,
+    locality_fraction: float = 0.0,
+    clients_per_node: int | None = None,
+    n_keys: int | None = None,
+    seed_offset: int = 0,
 ) -> Dict[str, Dict[int, ExperimentMetrics]]:
-    """Sweep protocols x node counts at one read-only fraction."""
-    results: Dict[str, Dict[int, ExperimentMetrics]] = {}
-    for protocol in protocols:
-        results[protocol] = {}
-        for n_nodes in node_counts:
-            results[protocol][n_nodes] = run_point(
-                protocol, n_nodes, read_only_fraction, **kwargs
-            )
+    """Sweep protocols x node counts at one read-only fraction.
+
+    The datapoints are independent simulations and run in parallel across
+    CPU cores (``REPRO_BENCH_PARALLEL`` controls the fan-out); results are
+    identical to a serial sweep.
+    """
+    workload = WorkloadConfig(
+        read_only_fraction=read_only_fraction,
+        read_only_txn_keys=read_only_txn_keys,
+        locality_fraction=locality_fraction,
+    )
+    points = [
+        ExperimentPoint(
+            protocol=protocol,
+            config=_point_config(
+                n_nodes, replication_degree, clients_per_node, n_keys, seed_offset
+            ),
+            workload=workload,
+            duration_us=SETTINGS.duration_us,
+            warmup_us=SETTINGS.warmup_us,
+            label=(protocol, n_nodes),
+        )
+        for protocol in protocols
+        for n_nodes in node_counts
+    ]
+    results: Dict[str, Dict[int, ExperimentMetrics]] = {p: {} for p in protocols}
+    for (protocol, n_nodes), result in run_points(points):
+        RECORDER.record(result)
+        results[protocol][n_nodes] = result.metrics
     return results
 
 

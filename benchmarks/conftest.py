@@ -1,0 +1,28 @@
+"""Benchmark-suite fixtures.
+
+After every benchmark test, the datapoints it recorded through
+``benchmarks.common`` are flushed into the figure's machine-readable
+``BENCH_<figure>.json`` (the figure name is inferred from the module name:
+``bench_fig3_throughput`` -> ``fig3``).  Re-flushing after each test keeps
+the file complete even when only a subset of a figure's tests is selected.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from benchmarks.common import RECORDER, flush_bench_json
+
+
+def _figure_for_module(module_name: str) -> str:
+    match = re.search(r"bench_(fig\d+[ab]?|\w+?)_", module_name + "_")
+    return match.group(1) if match else module_name
+
+
+@pytest.fixture(autouse=True)
+def _flush_bench_datapoints(request):
+    yield
+    if RECORDER.pending:
+        flush_bench_json(_figure_for_module(request.module.__name__))

@@ -30,8 +30,8 @@ implementation accordingly routes every piece to the key's primary replica.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.baselines.base import BaseProtocolNode, BaselineCluster
 from repro.common.errors import TransactionStateError

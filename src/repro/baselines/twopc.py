@@ -22,7 +22,7 @@ Concretely:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.baselines.base import BaseProtocolNode, BaselineCluster
@@ -102,13 +102,24 @@ class Decide2PC(Message):
 
 @dataclass
 class DecideAck2PC(Message):
+    """Decide acknowledgement, carrying the installed per-key version numbers.
+
+    The version numbers are the participant's post-apply counters: the true
+    per-key installation order.  The coordinator records them as version
+    hints so the consistency checker does not have to fall back to response
+    order, which can disagree with the lock order when transactions with
+    different participant sets complete their decide rounds at different
+    speeds.
+    """
+
     txn_id: TransactionId = None
+    versions: Tuple[Tuple[object, int], ...] = ()
 
     def __post_init__(self) -> None:
         self.priority = MessagePriority.CONTROL
 
     def size_estimate(self) -> int:
-        return 32
+        return 32 + 24 * len(self.versions)
 
 
 @dataclass
@@ -200,6 +211,7 @@ class TwoPCNode(BaseProtocolNode):
     def on_decide(self, message: Decide2PC):
         txn_id = message.txn_id
         prepared = self._prepared.pop(txn_id, None)
+        installed = []
         if prepared is not None:
             read_keys = [key for key, _version in prepared.read_versions]
             write_keys = [key for key, _value in prepared.write_items]
@@ -212,9 +224,10 @@ class TwoPCNode(BaseProtocolNode):
                     state.value = value
                     state.version += 1
                     state.writer = txn_id
+                    installed.append((key, state.version))
                 self.counters["applies"] += 1
             self.locks.release(txn_id, read_keys + write_keys)
-        self.respond(message, DecideAck2PC(txn_id=txn_id))
+        self.respond(message, DecideAck2PC(txn_id=txn_id, versions=tuple(installed)))
 
     # ------------------------------------------------------------------
     # Coordinator side (Session interface)
@@ -306,6 +319,10 @@ class TwoPCNode(BaseProtocolNode):
 
         if not outcome:
             return self._finish_abort(meta, reason="validation-or-lock")
+        for event in ack_events:
+            ack: DecideAck2PC = event.value
+            for key, version in ack.versions:
+                meta.version_hints[key] = float(version)
         counter = "update_commits" if meta.is_update else "read_only_commits"
         return self._finish_commit(meta, counter)
 

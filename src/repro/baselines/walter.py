@@ -27,7 +27,7 @@ interleavings, which is demonstrated in the test suite).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.baselines.base import BaseProtocolNode, BaselineCluster

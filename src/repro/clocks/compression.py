@@ -52,15 +52,21 @@ class VCCodec:
         self._last_sent[peer] = clock
         if reference is None:
             return (self.DENSE, clock.entries)
-        deltas: List[Tuple[int, int]] = [
-            (index, value)
-            for index, (previous, value) in enumerate(zip(reference, clock))
-            if value != previous
-        ]
         # A delta entry costs roughly twice a dense entry (index + value), so
-        # the delta form only wins below half the width.
-        if len(deltas) * 2 >= self.size:
-            return (self.DENSE, clock.entries)
+        # the delta form only wins below half the width; bail out of the diff
+        # scan as soon as the delta form can no longer win.
+        budget = (self.size - 1) // 2
+        reference_entries = reference.entries
+        clock_entries = clock.entries
+        if reference_entries == clock_entries:
+            return (self.DELTA, ())
+        deltas: List[Tuple[int, int]] = []
+        for index, previous in enumerate(reference_entries):
+            value = clock_entries[index]
+            if value != previous:
+                if len(deltas) >= budget:
+                    return (self.DENSE, clock_entries)
+                deltas.append((index, value))
         return (self.DELTA, tuple(deltas))
 
     def decode(self, peer: object, encoding: Encoding) -> VectorClock:
@@ -74,10 +80,13 @@ class VCCodec:
                 raise ValueError(
                     f"delta encoding from unknown peer {peer!r} (no reference clock)"
                 )
-            entries = list(reference.entries)
-            for index, value in payload:
-                entries[index] = value
-            clock = VectorClock(entries)
+            if not payload:
+                clock = reference
+            else:
+                entries = list(reference.entries)
+                for index, value in payload:
+                    entries[index] = int(value)
+                clock = VectorClock._wrap(tuple(entries))
         else:
             raise ValueError(f"unknown encoding kind {kind!r}")
         if clock.size != self.size:

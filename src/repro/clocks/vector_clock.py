@@ -20,27 +20,46 @@ coordinator and participants of a 2PC round would be a correctness hazard.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, Tuple
+from operator import ge as _ge, le as _le
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 
 class VectorClock:
-    """Immutable fixed-width vector clock."""
+    """Immutable fixed-width vector clock.
 
-    __slots__ = ("_entries",)
+    The protocol hot path merges and compares clocks on every read, prepare
+    and decide, so the operations avoid Python-level loops and redundant
+    allocations: ``merge`` runs on C-level ``map(max, ...)`` and returns an
+    existing operand when it already dominates, the partial-order comparisons
+    short-circuit through ``all(map(op, ...))``, the hash is computed once
+    and cached, and internal results are wrapped through :meth:`_wrap`,
+    skipping the public constructor's validation of already-trusted entries.
+    """
+
+    __slots__ = ("_entries", "_hash")
 
     def __init__(self, entries: Iterable[int]):
         entries_tuple: Tuple[int, ...] = tuple(int(entry) for entry in entries)
         if any(entry < 0 for entry in entries_tuple):
             raise ValueError(f"vector clock entries must be >= 0: {entries_tuple}")
         self._entries = entries_tuple
+        self._hash: Optional[int] = None
 
     # ------------------------------------------------------------ constructors
+    @classmethod
+    def _wrap(cls, entries_tuple: Tuple[int, ...]) -> "VectorClock":
+        """Wrap an already-validated entry tuple without re-checking it."""
+        clock = object.__new__(cls)
+        clock._entries = entries_tuple
+        clock._hash = None
+        return clock
+
     @classmethod
     def zeros(cls, size: int) -> "VectorClock":
         """The all-zero clock of width ``size``."""
         if size < 1:
             raise ValueError("vector clock size must be >= 1")
-        return cls((0,) * size)
+        return cls._wrap((0,) * size)
 
     # ------------------------------------------------------------ accessors
     @property
@@ -62,11 +81,24 @@ class VectorClock:
 
     # ------------------------------------------------------------ operations
     def merge(self, other: "VectorClock") -> "VectorClock":
-        """Entry-wise maximum of the two clocks."""
-        self._check_compatible(other)
-        return VectorClock(
-            max(a, b) for a, b in zip(self._entries, other._entries)
-        )
+        """Entry-wise maximum of the two clocks.
+
+        Returns the dominating operand unchanged when one already covers the
+        other — merges against an up-to-date clock are the common case on
+        the read path and allocate nothing.
+        """
+        a = self._entries
+        b = other._entries if isinstance(other, VectorClock) else None
+        if b is None or len(a) != len(b):
+            self._check_compatible(other)
+        if a is b:
+            return self
+        merged = tuple(map(max, a, b))
+        if merged == a:
+            return self
+        if merged == b:
+            return other
+        return VectorClock._wrap(merged)
 
     def increment(self, index: int, amount: int = 1) -> "VectorClock":
         """Copy of this clock with ``entries[index] += amount``."""
@@ -74,15 +106,20 @@ class VectorClock:
             raise IndexError(f"entry {index} out of range for size {self.size}")
         entries = list(self._entries)
         entries[index] += amount
-        return VectorClock(entries)
+        return VectorClock._wrap(tuple(entries))
 
     def with_entry(self, index: int, value: int) -> "VectorClock":
         """Copy of this clock with ``entries[index] = value``."""
         if not 0 <= index < len(self._entries):
             raise IndexError(f"entry {index} out of range for size {self.size}")
+        value = int(value)
+        if value < 0:
+            raise ValueError(f"vector clock entries must be >= 0: {value}")
+        if self._entries[index] == value:
+            return self
         entries = list(self._entries)
-        entries[index] = int(value)
-        return VectorClock(entries)
+        entries[index] = value
+        return VectorClock._wrap(tuple(entries))
 
     def with_entries(self, indices: Sequence[int], value: int) -> "VectorClock":
         """Copy with every entry in ``indices`` set to ``value``.
@@ -90,12 +127,15 @@ class VectorClock:
         This is the Algorithm 1 step that sets all write-replica entries to
         the transaction version number ``xactVN``.
         """
+        value = int(value)
+        if value < 0:
+            raise ValueError(f"vector clock entries must be >= 0: {value}")
         entries = list(self._entries)
         for index in indices:
             if not 0 <= index < len(entries):
                 raise IndexError(f"entry {index} out of range for size {self.size}")
-            entries[index] = int(value)
-        return VectorClock(entries)
+            entries[index] = value
+        return VectorClock._wrap(tuple(entries))
 
     def max_over(self, indices: Sequence[int]) -> int:
         """Maximum of the entries selected by ``indices`` (``xactVN``)."""
@@ -113,21 +153,31 @@ class VectorClock:
             )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, VectorClock) and self._entries == other._entries
 
     def __hash__(self) -> int:
-        return hash(self._entries)
+        cached = self._hash
+        if cached is None:
+            cached = hash(self._entries)
+            self._hash = cached
+        return cached
 
     def __le__(self, other: "VectorClock") -> bool:
         self._check_compatible(other)
-        return all(a <= b for a, b in zip(self._entries, other._entries))
+        if self is other:
+            return True
+        return all(map(_le, self._entries, other._entries))
 
     def __lt__(self, other: "VectorClock") -> bool:
         return self <= other and self._entries != other._entries
 
     def __ge__(self, other: "VectorClock") -> bool:
         self._check_compatible(other)
-        return all(a >= b for a, b in zip(self._entries, other._entries))
+        if self is other:
+            return True
+        return all(map(_ge, self._entries, other._entries))
 
     def __gt__(self, other: "VectorClock") -> bool:
         return self >= other and self._entries != other._entries

@@ -95,6 +95,13 @@ class TimeoutConfig:
     backoff_initial_us: float = 100.0
     backoff_max_us: float = 5_000.0
 
+    external_done_wait_us: float = 400.0
+    """Bounded wait of a read-only read on a writer in the "ambiguous zone"
+    (internally committed locally, local pre-commit wait passed, external
+    commit not yet announced).  A handful of message round-trips is enough
+    for the ExternalDone notification to arrive in the common case; on
+    expiry the reader falls back to excluding the writer from its snapshot."""
+
     def validate(self) -> None:
         if self.lock_timeout_us <= 0:
             raise ConfigurationError("lock_timeout_us must be > 0")

@@ -18,7 +18,6 @@ pseudo-code (``T.VC[i]``, ``NodeVC[i]``) addresses vector entries.
 """
 
 
-@dataclass(frozen=True, order=True)
 class TransactionId:
     """Globally unique transaction identifier.
 
@@ -26,10 +25,52 @@ class TransactionId:
     was started (its coordinator) and a per-node monotonically increasing
     sequence number.  The pair is unique without any coordination between
     nodes, which mirrors how a real deployment would generate identifiers.
+
+    Implemented as a slotted value class with a precomputed hash rather than
+    a frozen dataclass: transaction ids key nearly every hot dictionary and
+    set in the protocol (snapshot queues, lock tables, pending maps), and the
+    dataclass-generated ``__hash__`` rebuilt a tuple on every lookup.
     """
 
-    node: NodeId
-    seq: int
+    __slots__ = ("node", "seq", "_hash")
+
+    def __init__(self, node: NodeId, seq: int):
+        object.__setattr__(self, "node", node)
+        object.__setattr__(self, "seq", seq)
+        object.__setattr__(self, "_hash", hash((node, seq)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("TransactionId is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, TransactionId)
+            and self.node == other.node
+            and self.seq == other.seq
+        )
+
+    def __lt__(self, other: "TransactionId") -> bool:
+        return (self.node, self.seq) < (other.node, other.seq)
+
+    def __le__(self, other: "TransactionId") -> bool:
+        return (self.node, self.seq) <= (other.node, other.seq)
+
+    def __gt__(self, other: "TransactionId") -> bool:
+        return (self.node, self.seq) > (other.node, other.seq)
+
+    def __ge__(self, other: "TransactionId") -> bool:
+        return (self.node, self.seq) >= (other.node, other.seq)
+
+    def __reduce__(self):
+        return (TransactionId, (self.node, self.seq))
+
+    def __repr__(self) -> str:
+        return f"TransactionId(node={self.node}, seq={self.seq})"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"T{self.node}.{self.seq}"

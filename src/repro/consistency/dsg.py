@@ -13,11 +13,14 @@ Version order
 -------------
 The per-key version order is recovered from the protocol-provided
 ``write_version_hints`` (SSS: the transaction version number ``xactVN``,
-which is exactly the order the commit queues install versions in; ROCOCO:
-the execution-order position).  When a protocol does not provide hints the
-order falls back to external-commit time, which is correct for lock-based
-protocols such as the 2PC-baseline where conflicting writers are strictly
-serialized before either client is answered.
+which is exactly the order the commit queues install versions in; the
+2PC-baseline: the participant's post-apply version counters; ROCOCO: the
+execution-order position).  When a protocol does not provide hints the
+order falls back to external-commit time.  Beware that the fallback is
+*not* generally correct even for lock-based protocols: two conflicting
+writers are strictly serialized at the key's replica, but the one applied
+second can answer its client first when its decide round spans fewer (or
+faster) participants, so protocols should supply hints.
 
 Real-time order
 ---------------

@@ -21,9 +21,8 @@ All methods that involve waiting are generators intended to be driven with
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Set, Tuple
 
-from repro.clocks.vector_clock import VectorClock
 from repro.common.errors import TransactionStateError
 from repro.common.ids import TransactionId, TxnIdGenerator
 from repro.core.messages import (
@@ -99,6 +98,14 @@ class CoordinatorMixin:
             reply = next(
                 event.value for event in request_events if event.triggered
             )
+            if not meta.is_update:
+                # Replicas that lose the fastest-answer race still inserted a
+                # snapshot-queue entry under *their* serialization decision,
+                # which this transaction does not adopt; clean those entries
+                # up as the losing replies arrive, or a stale entry could
+                # gate an unrelated writer's external commit against this
+                # reader's own external-commit dependency wait (deadlock).
+                self._cleanup_losing_replies(meta.txn_id, key, request_events, reply)
 
         served_by = reply.sender
         # Lines 11-14: merge visibility information and record the read.
@@ -111,6 +118,10 @@ class CoordinatorMixin:
             writer=reply.writer,
             served_by=served_by,
         )
+        if reply.writer_pending and reply.writer != meta.txn_id:
+            # External-commit dependency: this transaction's own client
+            # response must wait for the observed writer's client response.
+            meta.pending_writers.add(reply.writer)
         if reply.propagated:
             meta.add_propagated(reply.propagated)
             # Remember (on the serving node) where those reader entries have
@@ -120,6 +131,25 @@ class CoordinatorMixin:
             # coordinator also records it for the Decide fan-out it will do.
         self.counters["client_reads"] += 1
         return reply.value
+
+    def _cleanup_losing_replies(
+        self, txn_id: TransactionId, key: object, request_events, winner: ReadReturn
+    ) -> None:
+        """Retract snapshot-queue entries left by losing read replicas."""
+
+        def cleanup(event) -> None:
+            if event.ok and event._value is not winner:
+                losing: ReadReturn = event._value
+                self.send(
+                    losing.sender,
+                    Remove(txn_id=txn_id, keys=(key,), mark_returned=False),
+                )
+
+        for event in request_events:
+            if event.triggered:
+                cleanup(event)
+            else:
+                event.add_callback(cleanup)
 
     def txn_write(self, meta: TransactionMeta, key: object, value: object) -> None:
         """Buffer a write (lazy update); visible only after commit."""
@@ -158,8 +188,40 @@ class CoordinatorMixin:
             raise TransactionStateError(f"double commit of {meta}")
 
         if not meta.write_set:
+            yield from self._wait_pending_writers(meta)
             return self._commit_read_only(meta)
         return (yield from self._commit_update(meta))
+
+    def _wait_pending_writers(self, meta: TransactionMeta):
+        """Delay the client response until observed writers are external.
+
+        A transaction that read a version produced by a writer still in its
+        pre-commit phase is serialized *after* that writer; answering its
+        client earlier would publish the writer's state before the writer's
+        own client response, and a transaction started in between could then
+        be serialized before the writer — the external-consistency cycle the
+        snapshot queues exist to prevent.  The wait follows the serialization
+        order (observer waits for the observed), so it cannot deadlock.
+
+        The serving node subscribed this coordinator to each pending writer's
+        ExternalDone notification at read time, so by now the notification
+        has usually arrived and the wait is free.
+        """
+        if not meta.pending_writers:
+            return
+        still_pending = [
+            writer
+            for writer in sorted(meta.pending_writers)
+            if writer not in self._externally_done
+        ]
+        if not still_pending:
+            return
+        self.counters["external_dependency_waits"] += 1
+        events = [self.external_done_event(writer) for writer in still_pending]
+        if len(events) == 1:
+            yield events[0]
+        else:
+            yield self.sim.all_of(events)
 
     def _commit_read_only(self, meta: TransactionMeta) -> bool:
         """Lines 2-8: read-only transactions return immediately, then Remove."""
@@ -175,7 +237,7 @@ class CoordinatorMixin:
             for replica in self.replicas(key):
                 # One Remove per (replica, keys) pair; group keys per replica.
                 notified.add(replica)
-        for replica in notified:
+        for replica in sorted(notified):
             keys = tuple(
                 key
                 for key in meta.read_set
@@ -256,7 +318,9 @@ class CoordinatorMixin:
         # pre-commit forever.
         propagated = tuple(
             entry
-            for entry in meta.propagated_set
+            for entry in sorted(
+                meta.propagated_set, key=lambda e: (e.txn_id, e.snapshot)
+            )
             if entry.txn_id not in self._removed_readers
         )
         for participant in sorted(participants):
@@ -278,6 +342,9 @@ class CoordinatorMixin:
             meta.abort_reason = meta.abort_reason or "validation-or-lock"
             meta.abort_time = self.sim.now
             self.counters["update_aborts"] += 1
+            # Release any external-commit subscribers (none should exist for
+            # an aborted writer, but a dangling watcher must never hang).
+            self._external_commit_completed(txn_id, ())
             if self.history is not None:
                 self.history.record_abort(meta)
             return False
@@ -285,12 +352,15 @@ class CoordinatorMixin:
         meta.phase = TransactionPhase.INTERNALLY_COMMITTED
         meta.internal_commit_time = self.sim.now
 
-        # External commit: wait for every write replica's pre-commit ack.
+        # External commit: wait for every write replica's pre-commit ack and
+        # for every observed still-pre-committing writer's external commit.
         meta.phase = TransactionPhase.PRE_COMMIT
         yield ack_event
+        yield from self._wait_pending_writers(meta)
         meta.phase = TransactionPhase.EXTERNALLY_COMMITTED
         meta.external_commit_time = self.sim.now
         self.counters["update_commits"] += 1
+        self._external_commit_completed(txn_id, sorted(write_replicas))
         if self.history is not None:
             self.history.record_commit(meta)
         return True

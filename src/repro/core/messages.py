@@ -8,8 +8,8 @@ that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.clocks.vector_clock import VectorClock
 from repro.common.ids import NodeId, TransactionId
@@ -40,7 +40,14 @@ class ReadRequest(Message):
 
 @dataclass
 class ReadReturn(Message):
-    """Algorithm 6 line 28: value, snapshot vector clock and propagated set."""
+    """Algorithm 6 line 28: value, snapshot vector clock and propagated set.
+
+    ``writer_pending`` is set when the returned version's writer is not yet
+    known (at the serving node) to have externally committed.  The reader's
+    coordinator must then delay the transaction's own external commit until
+    that writer has externally committed, otherwise the client response would
+    leak state that no external observer is allowed to have seen yet.
+    """
 
     txn_id: TransactionId = None
     key: object = None
@@ -49,12 +56,13 @@ class ReadReturn(Message):
     version_vc: VectorClock = None
     writer: Optional[TransactionId] = None
     propagated: Tuple[PropagatedEntry, ...] = ()
+    writer_pending: bool = False
 
     def __post_init__(self) -> None:
         self.priority = MessagePriority.READ
 
     def size_estimate(self) -> int:
-        return 64 + _vc_size(self.max_vc) + _vc_size(self.version_vc) + 16 * len(
+        return 65 + _vc_size(self.max_vc) + _vc_size(self.version_vc) + 16 * len(
             self.propagated
         )
 
@@ -143,6 +151,49 @@ class ExternalAck(Message):
 
 
 @dataclass
+class ExternalDone(Message):
+    """Post-external-commit notification of a writer.
+
+    Sent by the writer's coordinator, after the writer's client has been
+    answered, to the writer's write replicas and to every node subscribed via
+    :class:`SubscribeExternal`.  Once received, a node knows the writer's
+    versions are safe to expose to clients without an external-commit
+    dependency wait (the writer's client already got its reply, so no
+    external observer can be surprised by the data).
+    """
+
+    txn_id: TransactionId = None
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.CONTROL
+
+    def size_estimate(self) -> int:
+        return 32
+
+
+@dataclass
+class SubscribeExternal(Message):
+    """Ask a writer's coordinator to notify ``target`` of the external commit.
+
+    Sent by a node that served a read from a version whose writer has not yet
+    externally committed; ``target`` is the coordinator of the reading
+    transaction, whose client response must wait for the writer's
+    (external-commit dependency).  Subscribing at read time lets the
+    notification travel while the reading transaction is still executing, so
+    the commit-time wait is usually already satisfied.
+    """
+
+    txn_id: TransactionId = None
+    target: NodeId = 0
+
+    def __post_init__(self) -> None:
+        self.priority = MessagePriority.CONTROL
+
+    def size_estimate(self) -> int:
+        return 36
+
+
+@dataclass
 class Remove(Message):
     """Notification that a read-only transaction returned to its client.
 
@@ -151,13 +202,21 @@ class Remove(Message):
     transaction" (used when the message is forwarded along anti-dependency
     propagation chains, where the forwarding node does not know which keys
     the entry reached).
+
+    ``mark_returned=False`` turns the message into a narrow entry cleanup
+    that does *not* mean the transaction finished: the coordinator sends it
+    to the replicas whose read replies lost the fastest-answer race, whose
+    snapshot-queue entries record a serialization decision the transaction
+    never adopted (and which could otherwise gate an unrelated writer's
+    external commit forever).
     """
 
     txn_id: TransactionId = None
     keys: Tuple[object, ...] = ()
+    mark_returned: bool = True
 
     def __post_init__(self) -> None:
         self.priority = MessagePriority.CONTROL
 
     def size_estimate(self) -> int:
-        return 32 + 16 * len(self.keys)
+        return 33 + 16 * len(self.keys)

@@ -70,6 +70,9 @@ class TransactionMeta:
     read_set: Dict[object, ReadRecord] = field(default_factory=dict)
     write_set: Dict[object, object] = field(default_factory=dict)
     propagated_set: Set[PropagatedEntry] = field(default_factory=set)
+    pending_writers: Set[TransactionId] = field(default_factory=set)
+    """Writers of observed versions not yet confirmed externally committed;
+    this transaction's own external commit must wait for all of them."""
     phase: TransactionPhase = TransactionPhase.EXECUTING
     first_read_done: bool = False
     commit_vc: Optional[VectorClock] = None

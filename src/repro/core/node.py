@@ -33,13 +33,15 @@ from repro.core.coordinator import CoordinatorMixin
 from repro.core.messages import (
     Decide,
     ExternalAck,
+    ExternalDone,
     Prepare,
     ReadRequest,
     ReadReturn,
     Remove,
+    SubscribeExternal,
     Vote,
 )
-from repro.core.metadata import PropagatedEntry
+from repro.core.metadata import PropagatedEntry, TransactionPhase
 from repro.network.node import NetworkedNode
 from repro.replication.placement import KeyPlacement
 from repro.storage.commit_queue import CommitQueue
@@ -118,6 +120,31 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
         self._reader_keys: Dict[TransactionId, Set[object]] = defaultdict(set)
         # Starvation back-off: per-key consecutive back-off count.
         self._backoff_level: Dict[object, int] = defaultdict(int)
+        # Writers whose external commit this node has been notified of: their
+        # versions may be handed to clients without an external-commit
+        # dependency wait.  (Preloaded versions have writer None and need no
+        # tracking.)  The set grows with the number of committed writers and
+        # is deliberately never pruned: "not in the set" *means* pending, so
+        # dropping an entry would silently re-gate old versions.  At
+        # simulation scale (<=1e6 transactions per run) this is cheap;
+        # GC-ing it would need a per-version done-bit instead.
+        self._externally_done: Set[TransactionId] = set()
+        # Largest node-local clock value among locally installed versions
+        # whose writer is known externally committed, and the per-writer
+        # local values feeding it (consumed on the Done notification).
+        self._done_local_watermark: int = -1
+        self._applied_local_value: Dict[TransactionId, int] = {}
+        # Per still-pending writer, the event local transactions wait on for
+        # the writer's ExternalDone notification.
+        self._ext_done_events: Dict[TransactionId, object] = {}
+        # Targets to notify when a transaction this node coordinates
+        # externally commits (fed by SubscribeExternal).
+        self._external_watchers: Dict[TransactionId, Set[NodeId]] = defaultdict(set)
+        # Per still-pending writer, the coordinator targets this node already
+        # forwarded subscriptions for (so one reader hammering a hot version
+        # does not flood the coordinator); pruned when the writer's
+        # ExternalDone arrives.
+        self._subscriptions_sent: Dict[TransactionId, Set[NodeId]] = defaultdict(set)
 
         # Coordinator-side state (owned by CoordinatorMixin helpers).
         self._init_coordinator_state()
@@ -130,6 +157,8 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
         self.register_handler(Prepare, self.on_prepare)
         self.register_handler(Decide, self.on_decide)
         self.register_handler(ExternalAck, self.on_external_ack)
+        self.register_handler(ExternalDone, self.on_external_done)
+        self.register_handler(SubscribeExternal, self.on_subscribe_external)
         self.register_handler(Remove, self.on_remove)
 
     # ------------------------------------------------------------------
@@ -164,6 +193,9 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
             propagated = tuple(
                 PropagatedEntry(entry.txn_id, entry.insertion_snapshot)
                 for entry in squeue.readers()
+                # Entries scoped to another carrier encode an anti-dependency
+                # on that carrier only; they do not travel further.
+                if entry.only_for is None
             )
             # Remember where those reader entries are shipped so that their
             # Remove can be forwarded along the anti-dependency chain.
@@ -181,6 +213,9 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
                     version_vc=version.vc,
                     writer=version.writer,
                     propagated=propagated,
+                    writer_pending=self._flag_pending_writer(
+                        version.writer, message.sender
+                    ),
                 ),
             )
             return
@@ -196,26 +231,59 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
         # reader in front of them.
         yield from self._starvation_backoff(key, squeue)
 
+        # Line 5: wait until every transaction already inside the reader's
+        # visibility bound has internally committed locally.  The NLog scalar
+        # alone is not enough: ``xactVN`` is copied to every write-replica
+        # coordinate, so two distinct installs can carry the same node-local
+        # value and the log can reach the bound while an install inside the
+        # bound still sits in the commit queue — serving then would let the
+        # reader observe the writer at one key and miss it at another.
+        target = reader_vc[i]
+        if (
+            self.nlog.most_recent_vc[i] < target
+            or self.commit_queue.has_entry_at_or_below(target)
+        ):
+            self.counters["read_waits"] += 1
+            yield self.sim.condition(
+                lambda: (
+                    self.nlog.most_recent_vc[i] >= target
+                    and not self.commit_queue.has_entry_at_or_below(target)
+                ),
+                [self.nlog.signal, self.commit_queue.signal],
+                name=f"read-wait:{message.txn_id}",
+            )
+
         if not has_read[i]:
-            # Line 5: wait until every transaction already inside the
-            # reader's visibility bound has internally committed locally.
-            target = reader_vc[i]
-            if self.nlog.most_recent_vc[i] < target:
-                self.counters["read_waits"] += 1
-                yield self.sim.condition(
-                    lambda: self.nlog.most_recent_vc[i] >= target,
-                    self.nlog.signal,
-                    name=f"read-wait:{message.txn_id}",
-                )
             yield self.cpu(service.read_local_us)
+
+            # A writer above the reader's bound that is not yet known to be
+            # externally committed either gets excluded from the snapshot
+            # (the reader is serialized before it, and the reader's queue
+            # entry delays the writer's client response), or — when the
+            # writer's local pre-commit wait has already passed, so an entry
+            # could no longer delay it — is briefly waited for until its
+            # ExternalDone notification arrives (ambiguous zone).  Without
+            # the wait, two readers bridging two independent such writers
+            # can each observe one and exclude the other, producing the
+            # contradictory serialization orders of the paper's Figure 2.
+            yield from self._resolve_ambiguous_writers(key, reader_vc, has_read)
 
             # Lines 6-9: visible snapshot minus pre-committing writers above
             # the reader's bound.
-            excluded_entries = squeue.writers_above(reader_vc[i])
-            excluded_vcs = self._excluded_vcs(key, excluded_entries)
+            excluded_vcs = self._excluded_vcs(key, reader_vc, has_read)
             max_vc = self.nlog.visible_max_vc(
                 reader_vc, has_read, excluded_vcs, strict=self.strict_visibility
             )
+            # Clamp the served bound below the oldest install still queued:
+            # the log's cumulative clock can already cover a queued install's
+            # node-local value (scalar collisions, see the line-5 wait), and
+            # serving such a bound would let the reader later accept that
+            # writer's versions elsewhere while having missed them here.
+            # The line-5 wait guarantees the floor lies above the reader's
+            # own bound, so reads stay non-blocking.
+            floor = self.commit_queue.min_pending_local()
+            if floor is not None and max_vc[i] >= floor:
+                max_vc = max_vc.with_entry(i, floor - 1)
             insertion_snapshot = max_vc[i]
         else:
             # Lines 15-21: this node already served this transaction before;
@@ -244,22 +312,152 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
                 version_vc=version.vc,
                 writer=version.writer,
                 propagated=(),
+                writer_pending=self._flag_pending_writer(
+                    version.writer, message.sender
+                ),
             ),
         )
 
-    def _excluded_vcs(self, key: object, excluded_entries) -> Set[VectorClock]:
-        """Commit vector clocks of the excluded (pre-committing) writers."""
+    def _flag_pending_writer(
+        self, writer: Optional[TransactionId], reader_coordinator: NodeId
+    ) -> bool:
+        """Flag (and subscribe for) a possibly still pre-committing writer.
+
+        Every version installed on this node belongs to a writer that went
+        through its pre-commit phase here; the writer's coordinator announces
+        the external commit with :class:`ExternalDone`, so "not yet announced"
+        is the safe (possibly slightly stale) notion of *pending*.  Preloaded
+        versions (``writer is None``) are never pending.  For a pending
+        writer, the reader's coordinator is subscribed to the writer's
+        external-commit notification right away so that by the time the
+        reading transaction commits the notification has usually arrived.
+        """
+        if writer is None or writer in self._externally_done:
+            return False
+        targets = self._subscriptions_sent[writer]
+        if reader_coordinator not in targets:
+            targets.add(reader_coordinator)
+            if writer.node == self.node_id:
+                self._register_external_watcher(writer, reader_coordinator)
+            else:
+                self.send(
+                    writer.node,
+                    SubscribeExternal(txn_id=writer, target=reader_coordinator),
+                )
+        return True
+
+    def _covered(self, vc: VectorClock, reader_vc: VectorClock, has_read) -> bool:
+        """True when the reader's bound admits ``vc`` on every read coordinate.
+
+        A covered writer must *not* be excluded from the reader's snapshot:
+        the reader's earlier reads were served under a bound that admits it
+        (it may even have observed the writer's version of another key), so
+        the reader is serialized after the writer and excluding it here would
+        fracture the reader's snapshot — and deadlock the reader's
+        external-commit dependency wait against the writer's pre-commit wait.
+        """
+        if not any(has_read):
+            return False
+        return all(
+            not flag or vc[index] <= reader_vc[index]
+            for index, flag in enumerate(has_read)
+        )
+
+    def _excluded_vcs(
+        self, key: object, reader_vc: VectorClock, has_read
+    ) -> Set[VectorClock]:
+        """Commit clocks of writers the reader must not observe (ExcludedSet).
+
+        A version above the reader's bound whose writer has neither
+        externally committed (as far as this node knows) nor is covered by
+        the reader's bound is excluded: the reader is serialized before that
+        writer, and its snapshot-queue entry (inserted below the writer's
+        snapshot) delays the writer's client response while the reader is
+        outstanding.
+        """
+        i = self.node_id
+        bound = reader_vc[i]
         excluded: Set[VectorClock] = set()
-        if not excluded_entries:
-            return excluded
-        excluded_ids = {entry.txn_id for entry in excluded_entries}
+        done = self._externally_done
+        watermark = self._done_local_watermark
         for version in self.store.chain(key).newest_to_oldest():
-            if version.writer in excluded_ids:
-                excluded.add(version.vc)
-                excluded_ids.discard(version.writer)
-                if not excluded_ids:
-                    break
+            vc = version.vc
+            if vc[i] <= bound:
+                break
+            writer = version.writer
+            if writer is None or writer in done:
+                continue
+            if vc[i] <= watermark:
+                # Excluding this writer would cap the reader's bound below an
+                # already-done writer's local value; the ambiguous-zone wait
+                # handles it instead (see _ambiguous_writers).
+                continue
+            if not self._covered(vc, reader_vc, has_read):
+                excluded.add(vc)
         return excluded
+
+    def _ambiguous_writers(
+        self, key: object, reader_vc: VectorClock, has_read
+    ) -> List[TransactionId]:
+        """Writers above the reader's bound in the "ambiguous zone".
+
+        Such a writer is internally committed here, has already passed its
+        local pre-commit wait for ``key`` (its snapshot-queue entry is gone,
+        so a reader entry could no longer delay its client response), but is
+        not yet known to be externally committed.  Excluding it outright
+        would serialize the reader before a writer that may answer its
+        client first — the reader waits briefly for the writer's
+        ExternalDone instead.
+        """
+        i = self.node_id
+        bound = reader_vc[i]
+        done = self._externally_done
+        watermark = self._done_local_watermark
+        squeue = self.store.squeue(key)
+        ambiguous: List[TransactionId] = []
+        for version in self.store.chain(key).newest_to_oldest():
+            vc = version.vc
+            if vc[i] <= bound:
+                break
+            writer = version.writer
+            if writer is None or writer in done:
+                continue
+            if self._covered(vc, reader_vc, has_read):
+                continue
+            if vc[i] > watermark and squeue.has_writer(writer):
+                # Still locally gated and above every done writer's local
+                # value: plain exclusion is coherent (and the reader's queue
+                # entry will delay the writer's client response).
+                continue
+            ambiguous.append(writer)
+        return ambiguous
+
+    def _resolve_ambiguous_writers(
+        self, key: object, reader_vc: VectorClock, has_read
+    ):
+        """Bounded wait until ambiguous-zone writers announce ExternalDone.
+
+        The wait is bounded (``external_done_wait_us``) so that circular
+        read-versus-pre-commit wait patterns cannot stall the cluster; on
+        expiry the remaining writers are excluded, accepting the small risk
+        that a notification delayed beyond the bound costs a stale (but
+        still serializable-before) read.
+        """
+        deadline = None
+        while True:
+            ambiguous = self._ambiguous_writers(key, reader_vc, has_read)
+            if not ambiguous:
+                return
+            if deadline is None:
+                deadline = self.sim.now + self.config.timeouts.external_done_wait_us
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                self.counters["ambiguous_wait_timeouts"] += 1
+                return
+            self.counters["ambiguous_waits"] += 1
+            events = [self.external_done_event(writer) for writer in ambiguous]
+            events.append(self.sim.timeout(remaining))
+            yield self.sim.any_of(events)
 
     def _select_version(
         self,
@@ -435,6 +633,8 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
 
         for key, value in write_items:
             self.store.install(key, value, commit_vc, writer=txn_id)
+        if write_items:
+            self._applied_local_value[txn_id] = commit_vc[self.node_id]
         self.nlog.append(
             NLogEntry(
                 txn_id=txn_id,
@@ -467,7 +667,9 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
                 if entry.txn_id in self._removed_readers:
                     continue
                 squeue.insert(
-                    SQueueEntry(entry.txn_id, entry.snapshot, READ_KIND)
+                    SQueueEntry(
+                        entry.txn_id, entry.snapshot, READ_KIND, only_for=txn_id
+                    )
                 )
                 self._reader_keys[entry.txn_id].add(key)
             yield self.cpu(self.service.queue_op_us)
@@ -495,22 +697,88 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
         self.send(coordinator, ExternalAck(txn_id=txn_id, snapshot=snapshot))
 
     # ------------------------------------------------------------------
+    # External-commit dependency tracking
+    # ------------------------------------------------------------------
+    def on_external_done(self, message: ExternalDone) -> None:
+        """Record that a writer's client has been answered (external commit)."""
+        self._mark_externally_done(message.txn_id)
+
+    def _mark_externally_done(self, txn_id: TransactionId) -> None:
+        self._externally_done.add(txn_id)
+        self._subscriptions_sent.pop(txn_id, None)
+        local_value = self._applied_local_value.pop(txn_id, None)
+        if local_value is not None and local_value > self._done_local_watermark:
+            self._done_local_watermark = local_value
+        event = self._ext_done_events.pop(txn_id, None)
+        if event is not None and not event.triggered:
+            event.succeed()
+
+    def external_done_event(self, txn_id: TransactionId):
+        """Event firing when ``txn_id``'s ExternalDone notification arrives."""
+        event = self._ext_done_events.get(txn_id)
+        if event is None:
+            event = self.sim.event(name=f"ext-done:{txn_id}")
+            self._ext_done_events[txn_id] = event
+        return event
+
+    def on_subscribe_external(self, message: SubscribeExternal) -> None:
+        """Register (or immediately serve) an external-commit subscription."""
+        self._register_external_watcher(message.txn_id, message.target)
+
+    def _register_external_watcher(self, txn_id: TransactionId, target: NodeId) -> None:
+        meta = self.coordinated.get(txn_id)
+        if meta is None or meta.phase in (
+            TransactionPhase.EXTERNALLY_COMMITTED,
+            TransactionPhase.ABORTED,
+        ):
+            self._send_external_done(txn_id, target)
+            return
+        self._external_watchers[txn_id].add(target)
+
+    def _send_external_done(self, txn_id: TransactionId, target: NodeId) -> None:
+        if target == self.node_id:
+            self._mark_externally_done(txn_id)
+        else:
+            self.send(target, ExternalDone(txn_id=txn_id))
+
+    def _external_commit_completed(self, txn_id: TransactionId, write_replicas) -> None:
+        """Fan out the external-commit announcement of a coordinated writer."""
+        self._mark_externally_done(txn_id)
+        targets = set(write_replicas) | self._external_watchers.pop(txn_id, set())
+        targets.discard(self.node_id)
+        for target in sorted(targets):
+            self.send(target, ExternalDone(txn_id=txn_id))
+
+    # ------------------------------------------------------------------
     # Remove handling and forwarding
     # ------------------------------------------------------------------
     def on_remove(self, message: Remove) -> None:
         """Delete a returned read-only transaction from local snapshot queues."""
         txn_id = message.txn_id
+        if not message.mark_returned:
+            # Narrow cleanup of a lost fastest-answer race: drop only the
+            # listed keys' entries, without treating the reader as finished.
+            for key in message.keys:
+                self.store.squeue(key).remove(txn_id)
+                reader_keys = self._reader_keys.get(txn_id)
+                if reader_keys is not None:
+                    reader_keys.discard(key)
+            self.counters["removes_handled"] += 1
+            return
         self._removed_readers.add(txn_id)
         keys = set(message.keys) if message.keys else set()
         keys |= self._reader_keys.pop(txn_id, set())
-        for key in keys:
+        # Sorted for determinism: set iteration order over string keys varies
+        # with the interpreter's hash seed, and removal order is visible
+        # through signal notifications.
+        for key in sorted(keys, key=repr):
             if self.store.has_key(key) or key in self.store.squeues():
                 self.store.squeue(key).remove(txn_id)
         self.counters["removes_handled"] += 1
 
         # Forward along the anti-dependency propagation chain: every node we
         # shipped this reader's entry to must clean up as well.
-        for destination in self._forward_map.pop(txn_id, set()):
+        for destination in sorted(self._forward_map.pop(txn_id, set())):
             if destination != self.node_id:
                 self.send(destination, Remove(txn_id=txn_id, keys=()))
 

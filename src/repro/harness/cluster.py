@@ -7,7 +7,7 @@ small builder that applies the experiment's configuration.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Type
+from typing import Dict, Optional, Sequence
 
 from repro.baselines.rococo import RococoCluster
 from repro.baselines.twopc import TwoPCCluster

@@ -15,8 +15,8 @@ return the full-size configurations for anyone willing to wait.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
 
 from repro.common.config import ClusterConfig, WorkloadConfig
 
@@ -209,6 +209,50 @@ class BenchmarkScale:
 
 
 DEFAULT_BENCH_SCALE = BenchmarkScale()
+
+
+def benchmark_points(
+    definition: ExperimentDefinition,
+    scale: Optional[BenchmarkScale] = None,
+    seed: int = 1,
+):
+    """Expand a figure definition into independent sweep datapoints.
+
+    Returns :class:`repro.harness.runner.ExperimentPoint` objects (one per
+    protocol x node count x key count x read-only fraction x read-only size)
+    labelled with their grid coordinates, ready for
+    :func:`repro.harness.runner.run_points` to fan out across CPU cores.
+    """
+    from repro.harness.runner import ExperimentPoint
+
+    scale = scale or benchmark_scale_for(definition)
+    points = []
+    for protocol in definition.protocols:
+        for n_nodes in scale.node_counts:
+            for n_keys in scale.key_counts:
+                for fraction in definition.read_only_fractions:
+                    for ro_keys in definition.read_only_txn_keys:
+                        config = ClusterConfig(
+                            n_nodes=n_nodes,
+                            n_keys=n_keys,
+                            replication_degree=min(
+                                definition.replication_degree, n_nodes
+                            ),
+                            clients_per_node=scale.clients_per_node,
+                            seed=seed,
+                        )
+                        workload = definition.workload(fraction, ro_keys)
+                        points.append(
+                            ExperimentPoint(
+                                protocol=protocol,
+                                config=config,
+                                workload=workload,
+                                duration_us=scale.duration_us,
+                                warmup_us=scale.warmup_us,
+                                label=(protocol, n_nodes, n_keys, fraction, ro_keys),
+                            )
+                        )
+    return points
 
 
 def benchmark_scale_for(definition: ExperimentDefinition) -> BenchmarkScale:

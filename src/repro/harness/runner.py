@@ -12,8 +12,11 @@ the number of clients per node and reports the best throughput achieved —
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import ClusterConfig, WorkloadConfig
 from repro.harness.cluster import build_cluster
@@ -95,12 +98,18 @@ def run_experiment(
                 name=f"client-{node_id}-{client_index}",
             )
 
+    wall_start = time.perf_counter()
+    events_before = cluster.sim.processed_events
     cluster.run(until=duration_us)
+    wall_seconds = time.perf_counter() - wall_start
     measured = max(duration_us - warmup_us, 1.0)
     extra: Dict[str, float] = {}
     counters = cluster.total_counters()
     if "starvation_backoffs" in counters:
         extra["starvation_backoffs"] = counters["starvation_backoffs"]
+    # Machine-readable performance accounting for the benchmark JSON output.
+    extra["sim_events"] = float(cluster.sim.processed_events - events_before)
+    extra["wall_seconds"] = wall_seconds
     metrics = ExperimentMetrics.from_clients(
         protocol=protocol,
         n_nodes=config.n_nodes,
@@ -117,6 +126,65 @@ def run_experiment(
         node_counters=dict(counters),
         cluster=cluster if keep_cluster else None,
     )
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One picklable datapoint of a sweep, for the parallel runner."""
+
+    protocol: str
+    config: ClusterConfig
+    workload: WorkloadConfig
+    duration_us: float = 200_000.0
+    warmup_us: float = 40_000.0
+    label: object = None
+    """Opaque tag (figure coordinates, sweep indices) echoed with the result."""
+
+
+def _run_point_worker(point: ExperimentPoint) -> Tuple[object, ExperimentResult]:
+    """Module-level worker so ProcessPoolExecutor can pickle it."""
+    result = run_experiment(
+        point.protocol,
+        point.config,
+        point.workload,
+        duration_us=point.duration_us,
+        warmup_us=point.warmup_us,
+    )
+    return point.label, result
+
+
+def default_parallelism() -> int:
+    """Worker count for parallel sweeps.
+
+    ``REPRO_BENCH_PARALLEL`` overrides the default (``0``/``1`` disables
+    parallelism, ``N`` uses N workers); otherwise all-but-one CPU is used so
+    the host stays responsive.
+    """
+    raw = os.environ.get("REPRO_BENCH_PARALLEL")
+    if raw is not None and raw.strip():
+        return max(1, int(raw))
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def run_points(
+    points: Sequence[ExperimentPoint],
+    max_workers: Optional[int] = None,
+) -> List[Tuple[object, ExperimentResult]]:
+    """Run independent experiment datapoints, fanned out across CPU cores.
+
+    Every datapoint is an isolated simulation with its own seed, so the
+    results are byte-identical to a serial run regardless of scheduling;
+    only wall-clock time changes.  Results are returned in input order.
+    With one worker (or a single point) everything runs in-process, which
+    keeps debugging and profiling simple.
+    """
+    if max_workers is None:
+        max_workers = default_parallelism()
+    max_workers = min(max_workers, len(points)) or 1
+    if max_workers <= 1 or len(points) <= 1:
+        return [_run_point_worker(point) for point in points]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(_run_point_worker, points))
 
 
 def run_trials(

@@ -51,20 +51,26 @@ class Message:
         Globally unique message number, useful in traces and tests.
     send_time / deliver_time:
         Simulated timestamps stamped by the transport.
+
+    ``type_name`` is materialized as a class attribute by
+    ``__init_subclass__`` (it used to be a property, a measurable cost with
+    one statistics lookup per send and per delivery).
     """
 
     sender: NodeId = field(default=-1, init=False)
     destination: NodeId = field(default=-1, init=False)
     priority: MessagePriority = field(default=MessagePriority.BULK, init=False)
-    msg_id: int = field(default_factory=lambda: next(_message_counter), init=False)
+    msg_id: int = field(default_factory=_message_counter.__next__, init=False)
     send_time: float = field(default=0.0, init=False)
     deliver_time: float = field(default=0.0, init=False)
     reply_to: Optional[int] = field(default=None, init=False)
 
-    @property
-    def type_name(self) -> str:
-        """Short message type name used for tracing and statistics."""
-        return type(self).__name__
+    type_name = "Message"
+    """Short message type name used for tracing and statistics."""
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.type_name = cls.__name__
 
     def size_estimate(self) -> int:
         """Rough serialized size in bytes, used by the congestion model.

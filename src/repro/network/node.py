@@ -47,8 +47,12 @@ class NetworkedNode:
         self.node_id = node_id
         self.service = service or ServiceTimeConfig()
         self._inbound = Store(sim, name=f"node{node_id}.inbound")
-        self._handlers: Dict[Type[Message], Callable] = {}
+        # message type -> (handler, is_generator_function); whether a handler
+        # needs to be spawned as a process is decided once at registration
+        # instead of via inspect on every delivery.
+        self._handlers: Dict[Type[Message], tuple] = {}
         self._pending_replies: Dict[int, Event] = {}
+        self._process_names: Dict[type, str] = {}
         self._dispatcher = sim.process(self._dispatch_loop(), name=f"node{node_id}.dispatcher")
         self.messages_handled = 0
         network.register(self)
@@ -62,7 +66,7 @@ class NetworkedNode:
         process, allowing it to ``yield`` further events (remote calls, lock
         waits, condition waits).
         """
-        self._handlers[message_type] = handler
+        self._handlers[message_type] = (handler, inspect.isgeneratorfunction(handler))
 
     # ------------------------------------------------------------- messaging
     def send(self, destination: NodeId, message: Message) -> None:
@@ -76,7 +80,7 @@ class NetworkedNode:
         the original request, which copies the request's ``msg_id`` into the
         response's ``reply_to`` field.
         """
-        event = self.sim.event(name=f"reply-to-{message.msg_id}")
+        event = self.sim.event(name="reply")
         self._pending_replies[message.msg_id] = event
         self.network.send(self.node_id, destination, message)
         return event
@@ -88,15 +92,24 @@ class NetworkedNode:
 
     # ------------------------------------------------------------ inbound path
     def enqueue(self, message: Message) -> None:
-        """Called by the transport when a message arrives at this node."""
+        """Called by the transport when a message arrives at this node.
+
+        The ``int()`` conversion is deliberate: the priority-flattening
+        ablation benchmark hooks ``MessagePriority.__int__`` to collapse the
+        priority classes.
+        """
         self._inbound.put(message, priority=int(message.priority))
 
     def _dispatch_loop(self):
         """Drain the inbound queue, charging CPU time per message."""
+        inbound = self._inbound
+        handling_us = self.service.message_handling_us
         while True:
-            message = yield self._inbound.get()
-            if self.service.message_handling_us > 0:
-                yield self.sim.timeout(self.service.message_handling_us)
+            message = inbound.try_pop()
+            if message is None:
+                message = yield inbound.get()
+            if handling_us > 0:
+                yield handling_us
             self.messages_handled += 1
             self._deliver(message)
 
@@ -108,32 +121,42 @@ class NetworkedNode:
             if pending is not None and not pending.triggered:
                 pending.succeed(message)
                 return
-        handler = self._lookup_handler(type(message))
-        if handler is None:
+        entry = self._lookup_handler(type(message))
+        if entry is None:
             raise LookupError(
                 f"node {self.node_id} has no handler for {message.type_name}"
             )
-        if inspect.isgeneratorfunction(handler):
-            self.sim.process(
-                handler(message),
-                name=f"node{self.node_id}.{message.type_name}",
-            )
+        handler, is_generator = entry
+        if is_generator:
+            message_type = type(message)
+            name = self._process_names.get(message_type)
+            if name is None:
+                name = f"node{self.node_id}.{message_type.__name__}"
+                self._process_names[message_type] = name
+            self.sim.process(handler(message), name=name)
         else:
             handler(message)
 
-    def _lookup_handler(self, message_type: Type[Message]) -> Optional[Callable]:
-        handler = self._handlers.get(message_type)
-        if handler is not None:
-            return handler
+    def _lookup_handler(self, message_type: Type[Message]) -> Optional[tuple]:
+        entry = self._handlers.get(message_type)
+        if entry is not None:
+            return entry
         for klass, candidate in self._handlers.items():
             if issubclass(message_type, klass):
+                # Cache the subclass resolution for subsequent deliveries.
+                self._handlers[message_type] = candidate
                 return candidate
         return None
 
     # ------------------------------------------------------------ conveniences
-    def cpu(self, micros: float) -> Event:
-        """Return a timeout modelling ``micros`` of local CPU work."""
-        return self.sim.timeout(micros)
+    def cpu(self, micros: float) -> float:
+        """Return an awaitable modelling ``micros`` of local CPU work.
+
+        The returned plain number is the engine's allocation-free timeout
+        fast path; it is only meaningful when yielded from a simulation
+        process.
+        """
+        return micros
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} id={self.node_id}>"

@@ -5,17 +5,39 @@ the reproduction — network message delivery, protocol handler execution,
 client think time, lock timeouts — is expressed as events scheduled on one
 :class:`Simulation` instance, which makes runs fully deterministic and
 reproducible from a single seed.
+
+Hot-path design
+---------------
+The event loop executes hundreds of thousands of callbacks per simulated
+second, so the kernel avoids per-event allocations wherever possible:
+
+* heap entries are plain ``(time, seq, func, arg)`` tuples — scheduling never
+  allocates a closure; ``func(arg)`` is invoked directly, with a private
+  sentinel marking zero-argument callables;
+* the run loop hoists the heap and ``heappop`` into locals and pops exactly
+  once per event (an event past the ``until`` horizon is pushed back, which
+  preserves its original sequence number and therefore the replay order);
+* :class:`~repro.sim.events.Timeout` and the network transport schedule
+  bound methods with their argument in the heap entry instead of lambdas.
+
+The ``(time, seq)`` ordering and sequence-number assignment are identical to
+the straightforward implementation, so histories are byte-for-byte
+reproducible across kernel versions for a fixed seed (see the determinism
+tests in ``tests/unit/test_sim_engine.py``).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Condition, Event, Signal, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
+
+# Sentinel argument marking a zero-argument callable in a heap entry.
+_CALL0 = object()
 
 
 class Simulation:
@@ -28,9 +50,11 @@ class Simulation:
         stream used by the cluster is derived from it.
     """
 
+    __slots__ = ("_now", "_heap", "_sequence", "rng", "_crashed", "_event_count")
+
     def __init__(self, seed: int = 1):
         self._now: float = 0.0
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[Tuple[float, int, Callable, object]] = []
         self._sequence = 0
         self.rng = RngRegistry(seed)
         self._crashed: List[Tuple[Process, BaseException]] = []
@@ -79,36 +103,43 @@ class Simulation:
         return Process(self, generator, name=name)
 
     # -------------------------------------------------------------- scheduling
-    def _push(self, time: float, callback: Callable[[], None]) -> None:
+    def _push(self, time: float, func: Callable, arg) -> None:
         if time < self._now - 1e-9:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
-        heapq.heappush(self._heap, (time, self._sequence, callback))
+        heappush(self._heap, (time, self._sequence, func, arg))
         self._sequence += 1
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         """Schedule ``event``'s callbacks to run ``delay`` from now."""
-        self._push(self._now + delay, lambda: self._dispatch(event))
+        self._push(self._now + delay, self._dispatch, event)
 
     def _schedule_callback(
         self, event: Optional[Event], callback: Callable[[Optional[Event]], None]
     ) -> None:
         """Schedule a single callback with ``event`` as argument, at ``now``."""
-        self._push(self._now, lambda: callback(event))
+        self._push(self._now, callback, event)
 
-    def call_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule an arbitrary zero-argument callable at absolute ``time``."""
-        self._push(time, callback)
+    def call_at(self, time: float, callback: Callable, arg=_CALL0) -> None:
+        """Schedule ``callback`` at absolute ``time``.
 
-    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule an arbitrary zero-argument callable ``delay`` from now."""
-        self._push(self._now + delay, callback)
+        Without ``arg`` the callback is invoked with no arguments; passing
+        ``arg`` invokes ``callback(arg)`` and saves callers a closure
+        allocation on hot paths.
+        """
+        self._push(time, callback, arg)
+
+    def call_after(self, delay: float, callback: Callable, arg=_CALL0) -> None:
+        """Schedule ``callback`` (optionally with one argument) ``delay`` from now."""
+        self._push(self._now + delay, callback, arg)
 
     def _dispatch(self, event: Event) -> None:
-        callbacks, event.callbacks = event.callbacks, []
-        for callback in callbacks:
-            callback(event)
+        callbacks = event.callbacks
+        if callbacks:
+            event.callbacks = []
+            for callback in callbacks:
+                callback(event)
 
     def _note_crashed_process(self, process: Process, exc: BaseException) -> None:
         self._crashed.append((process, exc))
@@ -135,19 +166,30 @@ class Simulation:
             the first such exception is re-raised after the loop stops, so
             protocol bugs never fail silently.
         """
-        while self._heap:
-            time, _seq, callback = self._heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._heap)
-            self._now = time
-            self._event_count += 1
-            callback()
-            if self._crashed:
-                process, exc = self._crashed[0]
-                raise SimulationError(
-                    f"process {process.name!r} crashed at t={self._now:.1f}"
-                ) from exc
+        heap = self._heap
+        crashed = self._crashed
+        sentinel = _CALL0
+        count = 0
+        try:
+            while heap:
+                entry = heappop(heap)
+                time, _seq, func, arg = entry
+                if until is not None and time > until:
+                    heappush(heap, entry)
+                    break
+                self._now = time
+                count += 1
+                if arg is sentinel:
+                    func()
+                else:
+                    func(arg)
+                if crashed:
+                    process, exc = crashed[0]
+                    raise SimulationError(
+                        f"process {process.name!r} crashed at t={self._now:.1f}"
+                    ) from exc
+        finally:
+            self._event_count += count
         if until is not None and self._now < until:
             self._now = until
         return self._now

@@ -3,9 +3,12 @@
 A process body is a Python generator function.  Each ``yield`` hands an
 awaitable (:class:`~repro.sim.events.Event` or subclass) back to the engine;
 the process is resumed when that awaitable triggers, receiving the awaitable's
-value as the result of the ``yield`` expression.  A process is itself an
-:class:`~repro.sim.events.Event` that triggers with the generator's return
-value, so processes can wait for each other.
+value as the result of the ``yield`` expression.  Yielding a plain ``float``
+or ``int`` is the allocation-free equivalent of yielding a value-less
+``Timeout`` of that many microseconds — the fast path used for CPU service
+charges.  A process is itself an :class:`~repro.sim.events.Event` that
+triggers with the generator's return value, so processes can wait for each
+other.
 
 Example
 -------
@@ -26,7 +29,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.common.errors import SimulationError
-from repro.sim.events import Condition, Event
+from repro.sim.events import _PENDING, Condition, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulation
@@ -45,6 +48,8 @@ class Process(Event):
     process waiting on it and, if nothing waits, surfaces from
     :meth:`Simulation.run` to avoid silently swallowed errors.
     """
+
+    __slots__ = ("generator", "_waiting_on", "_killed")
 
     def __init__(self, sim: "Simulation", generator: Generator, name: str = ""):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
@@ -68,8 +73,8 @@ class Process(Event):
         try:
             if event is None:
                 target = self.generator.send(None)
-            elif event.exception is not None:
-                target = self.generator.throw(event.exception)
+            elif event._exception is not None:
+                target = self.generator.throw(event._exception)
             else:
                 target = self.generator.send(event._value)
         except StopIteration as stop:
@@ -83,6 +88,18 @@ class Process(Event):
             self.sim._note_crashed_process(self, exc)
             return
 
+        cls = target.__class__
+        if cls is float or cls is int:
+            # Plain-number yield: resume after that many microseconds.  This
+            # is the allocation-free fast path for CPU service charges (no
+            # Timeout event is created; the generator receives None, exactly
+            # as it would from a value-less Timeout).  Count one extra
+            # processed event so the events/sec metric stays comparable with
+            # the reference two-pass timeout machinery.
+            sim = self.sim
+            sim._event_count += 1
+            sim._push(sim._now + target, self._resume, None)
+            return
         if not isinstance(target, Event):
             self.fail(
                 SimulationError(
@@ -90,8 +107,13 @@ class Process(Event):
                 )
             )
             return
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        # Inlined add_callback: the common case is a pending target.
+        if target._value is _PENDING and target._exception is None:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+        else:
+            self._waiting_on = target
+            self.sim._schedule_callback(target, self._resume)
 
     # -- public API -----------------------------------------------------------
     def kill(self) -> None:

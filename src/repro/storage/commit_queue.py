@@ -107,6 +107,25 @@ class CommitQueue:
         head = self.head()
         return head is not None and head.status is CommitStatus.READY
 
+    def min_pending_local(self) -> Optional[int]:
+        """Smallest node-local clock entry among queued installs, if any."""
+        return self._entries[0].vc[self.node_index] if self._entries else None
+
+    def has_entry_at_or_below(self, value: int) -> bool:
+        """True if some queued install has a node-local clock entry <= ``value``.
+
+        Entries are sorted by the node-local component, and a pending entry's
+        proposed clock can only grow when the Decide finalizes it, so checking
+        the head is sufficient and the answer can only flip to False.  Readers
+        use this to make sure every install inside their visibility bound has
+        been applied: the NLog scalar alone is ambiguous because distinct
+        transactions can carry the same node-local clock value (``xactVN`` is
+        copied to every write-replica coordinate, colliding with values other
+        prepares already claimed there).
+        """
+        head = self._entries[0] if self._entries else None
+        return head is not None and head.vc[self.node_index] <= value
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Set, Tuple
 
 from repro.common.ids import TransactionId
 

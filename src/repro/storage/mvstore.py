@@ -54,11 +54,11 @@ class MultiVersionStore:
 
     # ------------------------------------------------------------ versions
     def _chain(self, key: object) -> VersionChain:
-        if key not in self._chains:
-            self._chains[key] = VersionChain(
-                key=key, max_length=self.max_versions_per_key
-            )
-        return self._chains[key]
+        chain = self._chains.get(key)
+        if chain is None:
+            chain = VersionChain(key=key, max_length=self.max_versions_per_key)
+            self._chains[key] = chain
+        return chain
 
     def chain(self, key: object) -> VersionChain:
         """The version chain of ``key`` (created empty if absent)."""
@@ -88,9 +88,11 @@ class MultiVersionStore:
     # ------------------------------------------------------------ snapshot queues
     def squeue(self, key: object) -> SnapshotQueue:
         """The snapshot queue of ``key`` (created lazily)."""
-        if key not in self._squeues:
-            self._squeues[key] = SnapshotQueue(key, sim=self._sim)
-        return self._squeues[key]
+        squeue = self._squeues.get(key)
+        if squeue is None:
+            squeue = SnapshotQueue(key, sim=self._sim)
+            self._squeues[key] = squeue
+        return squeue
 
     def squeues(self) -> Dict[object, SnapshotQueue]:
         """All instantiated snapshot queues (for GC accounting and tests)."""

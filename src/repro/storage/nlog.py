@@ -167,19 +167,24 @@ class NLog:
         has_read: Sequence[bool],
         excluded: List[VectorClock],
     ) -> VectorClock:
-        entries = []
-        for index in range(self.n_nodes):
-            if index < len(has_read) and has_read[index]:
-                entries.append(min(self._cumulative_max[index], reader_vc[index]))
-            else:
-                entries.append(self._cumulative_max[index])
+        cumulative = self._cumulative_max
+        if not excluded and not any(has_read):
+            # First read of a transaction: the visible maximum is simply the
+            # cumulative maximum (no bounds to apply, nothing excluded).
+            return cumulative
+        entries = list(cumulative.entries)
+        for index, flag in enumerate(has_read):
+            if flag:
+                bound = reader_vc[index]
+                if entries[index] > bound:
+                    entries[index] = bound
         # Stay below every excluded writer on this node's own coordinate so
         # that the reader's insertion-snapshot orders it before those writers.
         local = self.node_index
         for vc in excluded:
             if vc[local] > reader_vc[local] and entries[local] >= vc[local]:
                 entries[local] = vc[local] - 1
-        return VectorClock(entries)
+        return VectorClock._wrap(tuple(entries))
 
     def contains_txn(self, txn_id: TransactionId) -> bool:
         """True if ``txn_id`` appears among the retained entries."""

@@ -22,8 +22,9 @@ and read-only back-off logic.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple
 
 from repro.common.ids import TransactionId
 
@@ -35,19 +36,35 @@ READ_KIND = "R"
 WRITE_KIND = "W"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SQueueEntry:
-    """One snapshot-queue entry ``<T.id, insertion-snapshot, kind>``."""
+    """One snapshot-queue entry ``<T.id, insertion-snapshot, kind>``.
+
+    ``only_for`` scopes a *propagated* read-only entry to the update
+    transaction that carried it along the anti-dependency chain: the entry
+    then gates only that transaction's external commit.  A directly inserted
+    entry (``only_for is None``) gates every conflicting writer.  The scoping
+    matters because a propagated entry carries the reader's original
+    insertion snapshot, taken at a different node: compared against an
+    unrelated writer's snapshot it can claim a serialization order the
+    reader's own reads contradict, and an unrelated writer blocked on such an
+    entry can deadlock against the reader's external-commit dependency wait.
+    """
 
     txn_id: TransactionId
     insertion_snapshot: int
     kind: str
+    only_for: Optional[TransactionId] = None
 
     def is_read_only(self) -> bool:
         return self.kind == READ_KIND
 
     def is_update(self) -> bool:
         return self.kind == WRITE_KIND
+
+    def gates(self, writer: Optional[TransactionId]) -> bool:
+        """True if this entry gates ``writer``'s external commit."""
+        return self.only_for is None or self.only_for == writer
 
 
 class SnapshotQueue:
@@ -57,6 +74,12 @@ class SnapshotQueue:
         self.key = key
         self._readers: List[SQueueEntry] = []
         self._writers: List[SQueueEntry] = []
+        # Parallel sorted snapshot lists for O(log n) positioning, and the
+        # (txn, carrier) identity sets for O(1) duplicate suppression.
+        self._reader_snaps: List[int] = []
+        self._writer_snaps: List[int] = []
+        self._reader_ids: Set[Tuple[TransactionId, Optional[TransactionId]]] = set()
+        self._writer_ids: Set[Tuple[TransactionId, Optional[TransactionId]]] = set()
         self._signal: Optional["Signal"] = (
             sim.signal(name=f"squeue:{key}") if sim is not None else None
         )
@@ -67,31 +90,44 @@ class SnapshotQueue:
     def insert(self, entry: SQueueEntry) -> None:
         """Insert ``entry`` keeping each sub-queue ordered by snapshot.
 
-        Duplicate insertions of the same transaction with the same kind are
-        ignored: they occur naturally when anti-dependencies are propagated
-        to a key whose queue already holds the read-only transaction.
+        Duplicate insertions of the same transaction with the same kind (and
+        carrier scope) are ignored: they occur naturally when
+        anti-dependencies are propagated to a key whose queue already holds
+        the read-only transaction.
         """
-        bucket = self._readers if entry.is_read_only() else self._writers
-        if any(existing.txn_id == entry.txn_id for existing in bucket):
+        read_only = entry.is_read_only()
+        ids = self._reader_ids if read_only else self._writer_ids
+        identity = (entry.txn_id, entry.only_for)
+        if identity in ids:
             return
-        index = len(bucket)
-        for position, existing in enumerate(bucket):
-            if entry.insertion_snapshot < existing.insertion_snapshot:
-                index = position
-                break
+        ids.add(identity)
+        bucket = self._readers if read_only else self._writers
+        snaps = self._reader_snaps if read_only else self._writer_snaps
+        index = bisect_right(snaps, entry.insertion_snapshot)
+        snaps.insert(index, entry.insertion_snapshot)
         bucket.insert(index, entry)
-        if entry.is_update() and self._sim is not None:
+        if not read_only and self._sim is not None:
             self._writer_enqueue_time[entry.txn_id] = self._sim.now
         self._notify()
 
     def remove(self, txn_id: TransactionId) -> bool:
         """Remove every entry of ``txn_id``; return True if anything removed."""
         removed = False
-        for bucket in (self._readers, self._writers):
-            kept = [entry for entry in bucket if entry.txn_id != txn_id]
-            if len(kept) != len(bucket):
-                bucket[:] = kept
-                removed = True
+        for read_only in (True, False):
+            bucket = self._readers if read_only else self._writers
+            if not any(entry.txn_id == txn_id for entry in bucket):
+                continue
+            removed = True
+            ids = self._reader_ids if read_only else self._writer_ids
+            kept = []
+            for entry in bucket:
+                if entry.txn_id == txn_id:
+                    ids.discard((entry.txn_id, entry.only_for))
+                else:
+                    kept.append(entry)
+            bucket[:] = kept
+            snaps = self._reader_snaps if read_only else self._writer_snaps
+            snaps[:] = [entry.insertion_snapshot for entry in kept]
         self._writer_enqueue_time.pop(txn_id, None)
         if removed:
             self._notify()
@@ -114,14 +150,21 @@ class SnapshotQueue:
     def writers(self) -> List[SQueueEntry]:
         return list(self._writers)
 
-    def has_reader_below(self, snapshot: int) -> bool:
+    def has_reader_below(self, snapshot: int, for_txn=None) -> bool:
         """True if a read-only entry with insertion-snapshot < ``snapshot`` exists.
 
         This is the Algorithm 4 blocking condition described in the paper's
         prose: an update transaction may only externally commit once no such
-        reader remains for any of its written keys.
+        reader remains for any of its written keys.  ``for_txn`` identifies
+        the asking writer so that propagated entries scoped to another
+        transaction are ignored.
         """
-        return any(entry.insertion_snapshot < snapshot for entry in self._readers)
+        end = bisect_left(self._reader_snaps, snapshot)
+        readers = self._readers
+        for index in range(end):
+            if readers[index].gates(for_txn):
+                return True
+        return False
 
     def has_entry_below(self, snapshot: int, exclude_txn=None) -> bool:
         """True if *any* entry (reader or writer) has a smaller snapshot.
@@ -129,27 +172,32 @@ class SnapshotQueue:
         This is the literal Algorithm 4 pattern ``<T'.id, T'.sid, −>`` (the
         kind is a wildcard): an update transaction also waits for conflicting
         update transactions with smaller insertion snapshots, so conflicting
-        writers release their clients in serialization order.
+        writers release their clients in serialization order.  ``exclude_txn``
+        is the asking writer: its own entry never blocks it, and propagated
+        reader entries scoped to a different carrier are ignored.
         """
-        for entry in self._readers:
-            if entry.insertion_snapshot < snapshot:
-                return True
-        for entry in self._writers:
-            if entry.txn_id == exclude_txn:
-                continue
-            if entry.insertion_snapshot < snapshot:
+        if self.has_reader_below(snapshot, for_txn=exclude_txn):
+            return True
+        end = bisect_left(self._writer_snaps, snapshot)
+        writers = self._writers
+        for index in range(end):
+            if writers[index].txn_id != exclude_txn:
                 return True
         return False
+
+    def has_writer(self, txn_id: TransactionId) -> bool:
+        """True while ``txn_id``'s pre-commit entry is still queued here."""
+        return any(identity[0] == txn_id for identity in self._writer_ids)
 
     def writers_above(self, snapshot: int) -> List[SQueueEntry]:
         """Update entries with insertion-snapshot > ``snapshot``.
 
-        Used by Algorithm 6 to build the ``ExcludedSet``: pre-committing
-        writers the reader must be serialized before.
+        Introspection/test helper.  (The reader-side ExcludedSet is no
+        longer derived from the queue alone: see
+        ``SSSNode._excluded_vcs``, which walks the version chain and applies
+        the externally-done set, coverage, and the done-watermark rule.)
         """
-        return [
-            entry for entry in self._writers if entry.insertion_snapshot > snapshot
-        ]
+        return self._writers[bisect_right(self._writer_snaps, snapshot):]
 
     def oldest_writer_age(self, now: float) -> Optional[float]:
         """Age (in simulated time) of the oldest queued writer, if any.

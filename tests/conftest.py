@@ -3,10 +3,18 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.common.config import ClusterConfig, WorkloadConfig
 from repro.core.cluster import SSSCluster
 from repro.sim.engine import Simulation
+
+# Property tests run a fixed, reproducible example set: tier-1 CI must be
+# deterministic (no example-roulette flakes), and any new counterexample
+# found by widening the search locally should land as a pinned regression
+# test rather than an intermittent CI failure.
+hypothesis_settings.register_profile("deterministic", derandomize=True)
+hypothesis_settings.load_profile("deterministic")
 
 
 @pytest.fixture

@@ -7,7 +7,6 @@ import pytest
 from repro.common.config import ClusterConfig
 from repro.common.errors import TransactionStateError
 from repro.core.cluster import SSSCluster
-from repro.core.metadata import TransactionPhase
 
 from tests.conftest import run_client_txn
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.config import ClusterConfig, NetworkConfig, WorkloadConfig
+from repro.common.config import ClusterConfig, WorkloadConfig
 from repro.consistency.checkers import (
     check_external_consistency,
     check_serializability,
@@ -165,6 +165,59 @@ class TestNonConflictingUpdatesOrdering:
         assert not contradictory
         assert check_external_consistency(cluster.history).ok
         assert check_snapshot_reads(cluster.history).ok
+
+
+class TestRegressionScenarios:
+    """Pinned counterexamples found by randomized stress runs.
+
+    Each entry reproduced a distinct external-consistency (or liveness)
+    defect of the original read-only path; the whole random workload is
+    re-run and every consistency checker plus cluster quiescence asserted.
+    """
+
+    CASES = [
+        # Reader observed a pre-committing writer inside its bound and
+        # answered its client before the writer did (response-order leak).
+        {"seed": 1, "n_nodes": 2, "n_keys": 4, "replication_degree": 1,
+         "clients_per_node": 2, "read_only_fraction": 0.8},
+        # Fractured snapshot via xactVN scalar collision: the NLog reached
+        # the reader's bound while an install inside the bound was queued.
+        {"seed": 270, "n_nodes": 4, "n_keys": 19, "replication_degree": 2,
+         "clients_per_node": 2, "read_only_fraction": 0.2},
+        # Cross-replica fracture: the reader's bound covered a writer it had
+        # observed at a replica that had already passed its local wait.
+        {"seed": 1, "n_nodes": 2, "n_keys": 4, "replication_degree": 2,
+         "clients_per_node": 2, "read_only_fraction": 0.8},
+        # Fastest-answer race: a losing replica's stale snapshot-queue entry
+        # gated a writer against the reader's own dependency wait.
+        {"seed": 80, "n_nodes": 3, "n_keys": 40, "replication_degree": 2,
+         "clients_per_node": 2, "read_only_fraction": 0.8},
+        # Ambiguous-zone writer (locally passed, not yet announced) bridged
+        # by two readers into contradictory serialization orders.
+        {"seed": 55328, "n_nodes": 4, "n_keys": 5, "replication_degree": 1,
+         "clients_per_node": 2, "read_only_fraction": 0.8},
+        # Excluding a pending writer would have capped the reader below an
+        # already-done writer's colliding clock value (done-watermark rule).
+        {"seed": 68423, "n_nodes": 3, "n_keys": 6, "replication_degree": 1,
+         "clients_per_node": 2, "read_only_fraction": 0.5},
+    ]
+
+    @pytest.mark.parametrize("params", CASES, ids=lambda p: f"seed{p['seed']}")
+    def test_stress_counterexamples_stay_fixed(self, params):
+        import sys
+
+        sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent.parent / "property"))
+        from test_protocol_properties import run_random_workload
+
+        cluster = run_random_workload("sss", params)
+        history = cluster.history
+        assert check_external_consistency(history).ok
+        assert check_serializability(history).ok
+        assert check_snapshot_reads(history).ok
+        for node in cluster.nodes:
+            assert node.queued_writer_count() == 0, "pre-commit entries leaked"
+            assert len(node.commit_queue) == 0, "commit queue not drained"
+            assert not node._ack_waits, "external-ack waits leaked"
 
 
 class TestWorkloadLevelConsistency:

@@ -70,6 +70,7 @@ def run_random_workload(protocol: str, params: dict, duration_us: float = 12_000
 
 class TestSSSRandomWorkloads:
     @settings(
+        derandomize=True,
         max_examples=12,
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
@@ -83,6 +84,7 @@ class TestSSSRandomWorkloads:
         assert check_snapshot_reads(history).ok
 
     @settings(
+        derandomize=True,
         max_examples=8,
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
@@ -99,6 +101,7 @@ class TestSSSRandomWorkloads:
             assert not node._ack_waits, "external-ack waits leaked"
 
     @settings(
+        derandomize=True,
         max_examples=8,
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
@@ -114,6 +117,7 @@ class TestSSSRandomWorkloads:
 
 class TestBaselineRandomWorkloads:
     @settings(
+        derandomize=True,
         max_examples=8,
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
@@ -125,6 +129,7 @@ class TestBaselineRandomWorkloads:
         assert check_serializability(cluster.history).ok
 
     @settings(
+        derandomize=True,
         max_examples=6,
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
@@ -136,6 +141,7 @@ class TestBaselineRandomWorkloads:
         assert all(txn.is_update for txn in cluster.history.aborted)
 
     @settings(
+        derandomize=True,
         max_examples=6,
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.clocks.compression import VCCodec
 from repro.clocks.vector_clock import VectorClock

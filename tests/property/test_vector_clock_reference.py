@@ -1,0 +1,155 @@
+"""The optimized VectorClock must behave exactly like a reference model.
+
+The production :class:`~repro.clocks.vector_clock.VectorClock` carries several
+fast paths (C-level ``map`` merges with dominance shortcuts, trusted-wrap
+constructors, cached hashes, early-exit comparisons).  This file pins its
+observable behaviour to a deliberately naive reference implementation over
+randomized operation sequences, so any future fast-path bug shows up as a
+divergence rather than a subtle protocol anomaly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.compression import VCCodec
+from repro.clocks.vector_clock import VectorClock
+
+
+class ReferenceClock:
+    """Straightforward list-based model of the vector clock semantics."""
+
+    def __init__(self, entries):
+        self.entries = [int(entry) for entry in entries]
+
+    def merge(self, other):
+        return ReferenceClock(
+            [max(a, b) for a, b in zip(self.entries, other.entries)]
+        )
+
+    def increment(self, index, amount=1):
+        entries = list(self.entries)
+        entries[index] += amount
+        return ReferenceClock(entries)
+
+    def with_entry(self, index, value):
+        entries = list(self.entries)
+        entries[index] = int(value)
+        return ReferenceClock(entries)
+
+    def with_entries(self, indices, value):
+        entries = list(self.entries)
+        for index in indices:
+            entries[index] = int(value)
+        return ReferenceClock(entries)
+
+    def le(self, other):
+        return all(a <= b for a, b in zip(self.entries, other.entries))
+
+    def ge(self, other):
+        return all(a >= b for a, b in zip(self.entries, other.entries))
+
+
+SIZE = st.shared(st.integers(min_value=1, max_value=8), key="vc-size")
+
+
+def clocks(size):
+    return st.lists(
+        st.integers(min_value=0, max_value=40), min_size=size, max_size=size
+    )
+
+
+@st.composite
+def clock_pairs(draw):
+    size = draw(SIZE)
+    return draw(clocks(size)), draw(clocks(size))
+
+
+@st.composite
+def operation_sequences(draw):
+    size = draw(st.integers(min_value=1, max_value=6))
+    start = draw(clocks(size))
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("merge"), st.lists(
+                    st.integers(min_value=0, max_value=40),
+                    min_size=size, max_size=size)),
+                st.tuples(st.just("increment"),
+                          st.integers(min_value=0, max_value=size - 1)),
+                st.tuples(st.just("with_entry"),
+                          st.tuples(st.integers(min_value=0, max_value=size - 1),
+                                    st.integers(min_value=0, max_value=40))),
+                st.tuples(st.just("with_entries"),
+                          st.tuples(
+                              st.lists(st.integers(min_value=0, max_value=size - 1),
+                                       min_size=1, max_size=size, unique=True),
+                              st.integers(min_value=0, max_value=40))),
+            ),
+            max_size=12,
+        )
+    )
+    return start, ops
+
+
+class TestAgainstReference:
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(clock_pairs())
+    def test_binary_operations_match(self, pair):
+        left_entries, right_entries = pair
+        fast_left, fast_right = VectorClock(left_entries), VectorClock(right_entries)
+        ref_left = ReferenceClock(left_entries)
+        ref_right = ReferenceClock(right_entries)
+
+        merged = fast_left.merge(fast_right)
+        assert list(merged.entries) == ref_left.merge(ref_right).entries
+        assert (fast_left <= fast_right) == ref_left.le(ref_right)
+        assert (fast_left >= fast_right) == ref_left.ge(ref_right)
+        assert (fast_left < fast_right) == (
+            ref_left.le(ref_right) and left_entries != right_entries
+        )
+        assert (fast_left > fast_right) == (
+            ref_left.ge(ref_right) and left_entries != right_entries
+        )
+        assert fast_left.concurrent_with(fast_right) == (
+            not ref_left.le(ref_right) and not ref_right.le(ref_left)
+        )
+        assert (fast_left == fast_right) == (left_entries == right_entries)
+        if left_entries == right_entries:
+            assert hash(fast_left) == hash(fast_right)
+
+    @settings(max_examples=150, deadline=None, derandomize=True)
+    @given(operation_sequences())
+    def test_operation_sequences_match(self, sequence):
+        start, ops = sequence
+        fast = VectorClock(start)
+        reference = ReferenceClock(start)
+        for name, argument in ops:
+            if name == "merge":
+                fast = fast.merge(VectorClock(argument))
+                reference = reference.merge(ReferenceClock(argument))
+            elif name == "increment":
+                fast = fast.increment(argument)
+                reference = reference.increment(argument)
+            elif name == "with_entry":
+                index, value = argument
+                fast = fast.with_entry(index, value)
+                reference = reference.with_entry(index, value)
+            else:
+                indices, value = argument
+                fast = fast.with_entries(indices, value)
+                reference = reference.with_entries(indices, value)
+            assert list(fast.entries) == reference.entries
+            # The cached hash must always agree with a fresh construction.
+            assert hash(fast) == hash(VectorClock(reference.entries))
+
+    @settings(max_examples=150, deadline=None, derandomize=True)
+    @given(st.lists(clock_pairs(), min_size=1, max_size=10))
+    def test_codec_round_trips_match_reference(self, pairs):
+        size = len(pairs[0][0])
+        encoder, decoder = VCCodec(size), VCCodec(size)
+        for left_entries, _right in pairs:
+            clock = VectorClock(left_entries)
+            encoding = encoder.encode("peer", clock)
+            decoded = decoder.decode("peer", encoding)
+            assert list(decoded.entries) == [int(v) for v in left_entries]

@@ -11,7 +11,7 @@ from repro.consistency.checkers import (
     check_snapshot_reads,
     check_update_completion_order,
 )
-from repro.consistency.dsg import build_dependency_edges, build_dsg, install_order
+from repro.consistency.dsg import build_dependency_edges, install_order
 from repro.consistency.history import (
     CommittedTransaction,
     HistoryRecorder,

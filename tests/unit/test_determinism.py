@@ -1,0 +1,132 @@
+"""Determinism of the simulation substrate.
+
+The reproduction's whole value rests on runs being replayable: one seed must
+yield one committed history, byte for byte, regardless of interpreter hash
+randomization, of process boundaries (the parallel sweep runner fans
+datapoints across worker processes) and of the engine's allocation-free fast
+paths.  These tests pin that property:
+
+* the same experiment run twice in-process produces identical histories;
+* the same experiment run in subprocesses with *different*
+  ``PYTHONHASHSEED`` values produces identical histories (set-iteration
+  order must never leak into protocol behaviour);
+* the engine's plain-number timeout fast path is history-equivalent to
+  yielding explicit ``Timeout`` events (the reference engine path).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.harness.runner import run_experiment
+from repro.network.node import NetworkedNode
+
+
+def _history_fingerprint(history) -> str:
+    """Canonical, byte-stable digest of a committed history."""
+    lines = []
+    for txn in history.committed:
+        reads = ";".join(
+            f"{read.key}<-{read.writer}@{read.version_local_value}"
+            for read in txn.reads
+        )
+        hints = ";".join(f"{key}={value}" for key, value in txn.write_version_hints)
+        lines.append(
+            f"{txn.txn_id}|{txn.coordinator}|{int(txn.is_update)}|{reads}|"
+            f"{','.join(map(str, txn.writes))}|{txn.begin_time!r}|"
+            f"{txn.external_commit_time!r}|{hints}"
+        )
+    for txn in history.aborted:
+        lines.append(f"ABORT {txn.txn_id}|{txn.reason}|{txn.abort_time!r}")
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _run_fingerprint(protocol: str = "sss", seed: int = 7) -> str:
+    config = ClusterConfig(
+        n_nodes=3, n_keys=24, replication_degree=2, clients_per_node=2, seed=seed
+    )
+    workload = WorkloadConfig(read_only_fraction=0.5)
+    result = run_experiment(
+        protocol,
+        config,
+        workload,
+        duration_us=15_000,
+        warmup_us=0,
+        record_history=True,
+        keep_cluster=True,
+    )
+    return _history_fingerprint(result.cluster.history)
+
+
+_SUBPROCESS_SNIPPET = (
+    "import sys; sys.path.insert(0, {src!r}); sys.path.insert(0, {tests!r}); "
+    "from test_determinism import _run_fingerprint; "
+    "print(_run_fingerprint({protocol!r}, {seed}))"
+)
+
+
+def _fingerprint_in_subprocess(hash_seed: str, protocol: str, seed: int) -> str:
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    snippet = _SUBPROCESS_SNIPPET.format(
+        src=os.path.join(root, "src"),
+        tests=os.path.join(root, "tests", "unit"),
+        protocol=protocol,
+        seed=seed,
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", snippet],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=300,
+    )
+    return output.stdout.strip()
+
+
+class TestSameSeedSameHistory:
+    @pytest.mark.parametrize("protocol", ["sss", "2pc", "walter"])
+    def test_repeated_runs_are_identical(self, protocol):
+        assert _run_fingerprint(protocol) == _run_fingerprint(protocol)
+
+    def test_different_seeds_differ(self):
+        assert _run_fingerprint(seed=7) != _run_fingerprint(seed=8)
+
+    def test_hash_randomization_does_not_change_histories(self):
+        """Two interpreters with different hash seeds agree byte-for-byte.
+
+        This is what makes the parallel sweep runner safe: a datapoint's
+        history (and therefore its metrics) cannot depend on which worker
+        process executed it.
+        """
+        first = _fingerprint_in_subprocess("1", "sss", 7)
+        second = _fingerprint_in_subprocess("4242", "sss", 7)
+        assert first == second
+        assert first == _fingerprint_in_subprocess("0", "sss", 7)
+
+
+class TestEnginePathEquivalence:
+    def test_number_yield_matches_timeout_events(self, monkeypatch):
+        """The allocation-free cpu() fast path replays the Timeout path.
+
+        ``cpu()`` returning a plain number must produce the same committed
+        history as the reference behaviour of returning a ``Timeout`` event:
+        both schedule exactly one resume at ``now + delay`` in the same
+        sequence position.
+        """
+        fast = _run_fingerprint("sss", seed=11)
+
+        def cpu_with_timeout_event(self, micros):
+            return self.sim.timeout(micros)
+
+        monkeypatch.setattr(NetworkedNode, "cpu", cpu_with_timeout_event)
+        reference = _run_fingerprint("sss", seed=11)
+        assert fast == reference
