@@ -1,21 +1,23 @@
 """Benchmark-regression gate for CI.
 
-Compares the events/sec of a freshly produced ``BENCH_<figure>.json`` against
-the committed baseline under ``benchmarks/baselines/`` and exits non-zero
-when the current run is more than the allowed percentage slower.
+Compares the events/sec of freshly produced ``BENCH_<figure>.json`` files
+against the committed baselines under ``benchmarks/baselines/`` and exits
+non-zero when any checked figure is more than the allowed percentage slower.
 
 Usage::
 
-    python benchmarks/check_regression.py [--figure fig3]
+    python benchmarks/check_regression.py [--figures fig3 scaling]
         [--current-dir DIR] [--baseline-dir DIR] [--threshold-pct 25]
+
+(``--figure X`` remains as an alias for ``--figures X``.)
 
 Environment overrides: ``REPRO_BENCH_OUT`` (current dir),
 ``REPRO_BENCH_REGRESSION_PCT`` (threshold).
 
-The committed baseline is calibrated for the CI runner class (see the
-``provenance`` field inside the baseline file); refresh it deliberately with
-``--write-baseline`` when the runner class or the expected performance level
-changes, never to paper over a regression.
+The committed baselines are calibrated for the CI runner class (see the
+``provenance`` field inside each baseline file); refresh them deliberately
+with ``--write-baseline`` when the runner class or the expected performance
+level changes, never to paper over a regression.
 """
 
 from __future__ import annotations
@@ -31,35 +33,15 @@ def _load(path: str) -> dict:
         return json.load(handle)
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--figure", default="fig3")
-    parser.add_argument(
-        "--current-dir", default=os.environ.get("REPRO_BENCH_OUT", ".")
-    )
-    parser.add_argument(
-        "--baseline-dir",
-        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines"),
-    )
-    parser.add_argument(
-        "--threshold-pct",
-        type=float,
-        default=float(os.environ.get("REPRO_BENCH_REGRESSION_PCT", 25.0)),
-    )
-    parser.add_argument(
-        "--write-baseline",
-        action="store_true",
-        help="Copy the current totals into the baseline file and exit.",
-    )
-    args = parser.parse_args()
-
-    current_path = os.path.join(args.current_dir, f"BENCH_{args.figure}.json")
-    baseline_path = os.path.join(args.baseline_dir, f"BENCH_{args.figure}.json")
+def check_figure(figure: str, args) -> int:
+    """Gate one figure; returns 0 when OK (or no baseline), 1 on failure."""
+    current_path = os.path.join(args.current_dir, f"BENCH_{figure}.json")
+    baseline_path = os.path.join(args.baseline_dir, f"BENCH_{figure}.json")
 
     if not os.path.exists(current_path):
         print(
             f"FAIL: no benchmark output at {current_path} — did the benchmark "
-            f"run emit BENCH_{args.figure}.json (REPRO_BENCH_OUT)?",
+            f"run emit BENCH_{figure}.json (REPRO_BENCH_OUT)?",
             file=sys.stderr,
         )
         return 1
@@ -70,7 +52,7 @@ def main() -> int:
     if args.write_baseline:
         os.makedirs(args.baseline_dir, exist_ok=True)
         payload = {
-            "figure": args.figure,
+            "figure": figure,
             "provenance": "written by check_regression.py --write-baseline",
             "totals": current["totals"],
         }
@@ -89,19 +71,63 @@ def main() -> int:
     floor = baseline_eps * (1.0 - args.threshold_pct / 100.0)
 
     print(
-        f"figure={args.figure}  baseline events/sec={baseline_eps}  "
+        f"figure={figure}  baseline events/sec={baseline_eps}  "
         f"current events/sec={current_eps}  committed txns/wall-sec={current_tps}  "
         f"allowed floor={floor:.0f} (-{args.threshold_pct:.0f}%)"
     )
     if current_eps < floor:
         print(
-            f"FAIL: events/sec regressed by more than {args.threshold_pct:.0f}% "
-            f"({current_eps} < {floor:.0f})",
+            f"FAIL: {figure} events/sec regressed by more than "
+            f"{args.threshold_pct:.0f}% ({current_eps} < {floor:.0f})",
             file=sys.stderr,
         )
         return 1
-    print("OK: within the regression budget")
+    print(f"OK: {figure} within the regression budget")
     return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figures",
+        nargs="+",
+        default=None,
+        help="Figures to gate (default: fig3).",
+    )
+    parser.add_argument(
+        "--figure",
+        default=None,
+        help="Single-figure alias for --figures.",
+    )
+    parser.add_argument(
+        "--current-dir", default=os.environ.get("REPRO_BENCH_OUT", ".")
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines"),
+    )
+    parser.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_REGRESSION_PCT", 25.0)),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="Copy the current totals into the baseline file(s) and exit.",
+    )
+    args = parser.parse_args()
+
+    figures = list(args.figures or [])
+    if args.figure:
+        figures.append(args.figure)
+    if not figures:
+        figures = ["fig3"]
+
+    status = 0
+    for figure in figures:
+        status |= check_figure(figure, args)
+    return status
 
 
 if __name__ == "__main__":

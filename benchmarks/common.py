@@ -105,29 +105,39 @@ class _BenchRecorder:
         metrics = result.metrics
         wall = float(metrics.extra.get("wall_seconds", 0.0))
         events = float(metrics.extra.get("sim_events", 0.0))
-        self.pending.append(
-            {
-                "protocol": result.protocol,
-                "n_nodes": result.config.n_nodes,
-                "n_keys": result.config.n_keys,
-                "replication_degree": result.config.replication_degree,
-                "clients_per_node": result.config.clients_per_node,
-                "read_only_fraction": result.workload.read_only_fraction,
-                "seed": result.config.seed,
-                "duration_us": metrics.measured_duration_us,
-                "committed": metrics.committed,
-                "aborted": metrics.aborted,
-                "abort_rate": round(metrics.abort_rate, 4),
-                "throughput_ktps": round(metrics.throughput_ktps, 3),
-                "latency_mean_ms": round(metrics.latency.mean_ms, 4),
-                "sim_events": int(events),
-                "wall_seconds": round(wall, 4),
-                "events_per_sec": round(events / wall) if wall > 0 else 0,
-                "committed_txns_per_wall_sec": (
-                    round(metrics.committed / wall) if wall > 0 else 0
-                ),
-            }
-        )
+        point = {
+            "protocol": result.protocol,
+            "n_nodes": result.config.n_nodes,
+            "n_keys": result.config.n_keys,
+            "replication_degree": result.config.replication_degree,
+            "clients_per_node": result.config.clients_per_node,
+            "read_only_fraction": result.workload.read_only_fraction,
+            "seed": result.config.seed,
+            "duration_us": metrics.measured_duration_us,
+            "committed": metrics.committed,
+            "aborted": metrics.aborted,
+            "abort_rate": round(metrics.abort_rate, 4),
+            "throughput_ktps": round(metrics.throughput_ktps, 3),
+            "latency_mean_ms": round(metrics.latency.mean_ms, 4),
+            "sim_events": int(events),
+            "wall_seconds": round(wall, 4),
+            "events_per_sec": round(events / wall) if wall > 0 else 0,
+            "committed_txns_per_wall_sec": (
+                round(metrics.committed / wall) if wall > 0 else 0
+            ),
+        }
+        # Clock-metadata accounting (present whenever the run shipped
+        # clock-bearing messages; see run_experiment).
+        for field_name in (
+            "clock_bytes_mean",
+            "clock_bytes_max",
+            "clock_bytes_per_msg",
+            "clock_compression_ratio",
+        ):
+            value = metrics.extra.get(field_name)
+            if value is not None:
+                point[field_name] = value
+        self.pending.append(point)
 
     def flush(self, figure: str) -> Dict:
         """Assign pending datapoints to ``figure`` and write its JSON file."""

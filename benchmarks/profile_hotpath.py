@@ -1,0 +1,93 @@
+"""Profile one Figure-3 datapoint so perf PRs start from data, not guesses.
+
+Runs a single SSS experiment (the fig3 shape: 50 % read-only, rf = 2) under
+``cProfile`` and prints the top functions by cumulative and by self time.
+Keep the machine otherwise idle; background load skews everything.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py
+        [--nodes 6] [--duration-us 60000] [--top 30]
+        [--sort cumulative|tottime] [--out PROFILE.pstats]
+
+``--out`` additionally dumps the raw stats for ``snakeviz``/``pstats``
+post-processing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import time
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=6)
+    parser.add_argument("--keys", type=int, default=400)
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--duration-us", type=float, default=60_000.0)
+    parser.add_argument("--warmup-us", type=float, default=15_000.0)
+    parser.add_argument("--read-only", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--protocol", default="sss")
+    parser.add_argument("--top", type=int, default=30)
+    parser.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime"),
+        default=None,
+        help="Print only one ranking instead of both.",
+    )
+    parser.add_argument("--out", default=None, help="Dump raw pstats here.")
+    args = parser.parse_args()
+
+    # Import after argparse so --help stays fast.
+    from repro.common.config import ClusterConfig, WorkloadConfig
+    from repro.harness.runner import run_experiment
+
+    config = ClusterConfig(
+        n_nodes=args.nodes,
+        n_keys=args.keys,
+        replication_degree=2,
+        clients_per_node=args.clients,
+        seed=args.seed,
+    )
+    workload = WorkloadConfig(
+        read_only_fraction=args.read_only, read_only_txn_keys=2
+    )
+
+    profiler = cProfile.Profile()
+    wall_start = time.perf_counter()
+    profiler.enable()
+    result = run_experiment(
+        args.protocol,
+        config,
+        workload,
+        duration_us=args.duration_us,
+        warmup_us=args.warmup_us,
+    )
+    profiler.disable()
+    wall = time.perf_counter() - wall_start
+
+    metrics = result.metrics
+    events = metrics.extra.get("sim_events", 0.0)
+    print(
+        f"{args.protocol} n={args.nodes} duration={args.duration_us:.0f}us: "
+        f"wall={wall:.2f}s (under cProfile, ~2-3x slower than bare), "
+        f"events={events:.0f}, committed={metrics.committed}, "
+        f"ktps={metrics.throughput_ktps:.2f}"
+    )
+
+    stats = pstats.Stats(profiler)
+    for sort in ([args.sort] if args.sort else ["cumulative", "tottime"]):
+        print(f"\n=== top {args.top} by {sort} ===")
+        stats.sort_stats(sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"raw stats written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

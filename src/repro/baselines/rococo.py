@@ -43,92 +43,139 @@ from repro.network.message import Message, MessagePriority
 # ----------------------------------------------------------------------
 # Messages
 # ----------------------------------------------------------------------
-@dataclass
 class PieceDispatch(Message):
     """Round 1: buffer a piece and collect dependencies."""
 
-    txn_id: TransactionId = None
-    key: object = None
-    is_write: bool = False
-    write_value: object = None
+    __slots__ = ("txn_id", "key", "is_write", "write_value")
+    priority = MessagePriority.COMMIT
+    base_size = 56
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.COMMIT
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        is_write: bool = False,
+        write_value: object = None,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.is_write = is_write
+        self.write_value = write_value
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 56
 
 
-@dataclass
 class PieceDispatchReply(Message):
-    txn_id: TransactionId = None
-    key: object = None
-    deps: Tuple[TransactionId, ...] = ()
+    __slots__ = ("txn_id", "key", "deps")
+    priority = MessagePriority.COMMIT
+    base_size = 40
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.COMMIT
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        deps: Tuple[TransactionId, ...] = (),
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.deps = deps
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 40 + 16 * len(self.deps)
 
 
-@dataclass
 class PieceCommit(Message):
     """Round 2: execute the buffered piece in dependency order."""
 
-    txn_id: TransactionId = None
-    key: object = None
-    order: float = 0.0
+    __slots__ = ("txn_id", "key", "order")
+    priority = MessagePriority.COMMIT
+    base_size = 48
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.COMMIT
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        order: float = 0.0,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.order = order
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 48
 
 
-@dataclass
 class PieceExecuted(Message):
-    txn_id: TransactionId = None
-    key: object = None
-    value: object = None
-    version: int = 0
-    writer: Optional[TransactionId] = None
+    __slots__ = ("txn_id", "key", "value", "version", "writer")
+    priority = MessagePriority.CONTROL
+    base_size = 56
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        value: object = None,
+        version: int = 0,
+        writer: Optional[TransactionId] = None,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.value = value
+        self.version = version
+        self.writer = writer
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 56
 
 
-@dataclass
 class SnapshotRead(Message):
     """Read-only transactions: one round of key reads."""
 
-    txn_id: TransactionId = None
-    key: object = None
-    wait_for_pending: bool = True
+    __slots__ = ("txn_id", "key", "wait_for_pending")
+    priority = MessagePriority.READ
+    base_size = 40
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.READ
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        wait_for_pending: bool = True,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.wait_for_pending = wait_for_pending
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 40
 
 
-@dataclass
 class SnapshotReadReturn(Message):
-    txn_id: TransactionId = None
-    key: object = None
-    value: object = None
-    version: int = 0
-    writer: Optional[TransactionId] = None
+    __slots__ = ("txn_id", "key", "value", "version", "writer")
+    priority = MessagePriority.READ
+    base_size = 56
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.READ
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        value: object = None,
+        version: int = 0,
+        writer: Optional[TransactionId] = None,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.value = value
+        self.version = version
+        self.writer = writer
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 56
 
 

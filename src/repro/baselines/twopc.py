@@ -28,6 +28,7 @@ from typing import Dict, Optional, Set, Tuple
 from repro.baselines.base import BaseProtocolNode, BaselineCluster
 from repro.common.errors import TransactionStateError
 from repro.common.ids import TransactionId
+from repro.core.coordinator import VoteCollector
 from repro.core.metadata import TransactionMeta, TransactionPhase
 from repro.network.message import Message, MessagePriority
 from repro.storage.locks import LockTable
@@ -36,71 +37,92 @@ from repro.storage.locks import LockTable
 # ----------------------------------------------------------------------
 # Messages
 # ----------------------------------------------------------------------
-@dataclass
 class ReadRequest2PC(Message):
-    txn_id: TransactionId = None
-    key: object = None
+    __slots__ = ("txn_id", "key")
+    priority = MessagePriority.READ
+    base_size = 40
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.READ
+    def __init__(self, txn_id: TransactionId = None, key: object = None):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 40
 
 
-@dataclass
 class ReadReturn2PC(Message):
-    txn_id: TransactionId = None
-    key: object = None
-    value: object = None
-    version: int = 0
-    writer: Optional[TransactionId] = None
+    __slots__ = ("txn_id", "key", "value", "version", "writer")
+    priority = MessagePriority.READ
+    base_size = 56
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.READ
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        value: object = None,
+        version: int = 0,
+        writer: Optional[TransactionId] = None,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.value = value
+        self.version = version
+        self.writer = writer
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 56
 
 
-@dataclass
 class Prepare2PC(Message):
-    txn_id: TransactionId = None
-    read_versions: Tuple[Tuple[object, int], ...] = ()
-    write_items: Tuple[Tuple[object, object], ...] = ()
+    __slots__ = ("txn_id", "read_versions", "write_items")
+    priority = MessagePriority.COMMIT
+    base_size = 48
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.COMMIT
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        read_versions: Tuple[Tuple[object, int], ...] = (),
+        write_items: Tuple[Tuple[object, object], ...] = (),
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.read_versions = read_versions
+        self.write_items = write_items
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 48 + 24 * len(self.read_versions) + 32 * len(self.write_items)
 
 
-@dataclass
 class Vote2PC(Message):
-    txn_id: TransactionId = None
-    success: bool = False
+    __slots__ = ("txn_id", "success")
+    priority = MessagePriority.COMMIT
+    base_size = 40
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.COMMIT
+    def __init__(self, txn_id: TransactionId = None, success: bool = False):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.success = success
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 40
 
 
-@dataclass
 class Decide2PC(Message):
-    txn_id: TransactionId = None
-    outcome: bool = False
+    __slots__ = ("txn_id", "outcome")
+    priority = MessagePriority.CONTROL
+    base_size = 40
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(self, txn_id: TransactionId = None, outcome: bool = False):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.outcome = outcome
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 40
 
 
-@dataclass
 class DecideAck2PC(Message):
     """Decide acknowledgement, carrying the installed per-key version numbers.
 
@@ -112,13 +134,20 @@ class DecideAck2PC(Message):
     speeds.
     """
 
-    txn_id: TransactionId = None
-    versions: Tuple[Tuple[object, int], ...] = ()
+    __slots__ = ("txn_id", "versions")
+    priority = MessagePriority.CONTROL
+    base_size = 32
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        versions: Tuple[Tuple[object, int], ...] = (),
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.versions = versions
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 32 + 24 * len(self.versions)
 
 
@@ -289,22 +318,11 @@ class TwoPCNode(BaseProtocolNode):
             )
             for participant in sorted(participants)
         ]
-        outcome = True
-        timeout = self.sim.timeout(self.config.timeouts.prepare_timeout_us)
-        pending = list(vote_events)
-        while pending:
-            yield self.sim.any_of(pending + [timeout])
-            if timeout.triggered and not any(event.triggered for event in pending):
-                outcome = False
-                break
-            done = [event for event in pending if event.triggered]
-            pending = [event for event in pending if not event.triggered]
-            for event in done:
-                vote: Vote2PC = event.value
-                if not vote.success:
-                    outcome = False
-            if not outcome:
-                break
+        # Shared coarse deadline (see Simulation.deadline): crash guard only.
+        timeout = self.sim.deadline(self.config.timeouts.prepare_timeout_us)
+        votes = VoteCollector(self.sim, vote_events)
+        yield self.sim.any_of([votes, timeout])
+        outcome = votes.triggered and votes.value[0]
 
         # Decide phase; wait for every participant's acknowledgement so the
         # client response order matches the data-store state (external

@@ -34,6 +34,8 @@ from repro.baselines.base import BaseProtocolNode, BaselineCluster
 from repro.clocks.vector_clock import VectorClock
 from repro.common.errors import TransactionStateError
 from repro.common.ids import TransactionId
+from repro.core.coordinator import VoteCollector
+from repro.core.messages import vc_wire_size
 from repro.core.metadata import TransactionMeta, TransactionPhase
 from repro.network.message import Message, MessagePriority
 from repro.storage.locks import LockTable
@@ -42,89 +44,131 @@ from repro.storage.locks import LockTable
 # ----------------------------------------------------------------------
 # Messages
 # ----------------------------------------------------------------------
-@dataclass
 class WalterRead(Message):
-    txn_id: TransactionId = None
-    key: object = None
-    start_vts: VectorClock = None
+    __slots__ = ("txn_id", "key", "start_vts")
+    priority = MessagePriority.READ
+    base_size = 40
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.READ
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        start_vts: VectorClock = None,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.start_vts = start_vts
 
-    def size_estimate(self) -> int:
-        return 40 + (8 * self.start_vts.size if self.start_vts else 0)
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 40 + vc_wire_size(self.start_vts, codec, peer)
 
 
-@dataclass
 class WalterReadReturn(Message):
-    txn_id: TransactionId = None
-    key: object = None
-    value: object = None
-    site: int = 0
-    seqno: int = 0
-    writer: Optional[TransactionId] = None
+    __slots__ = ("txn_id", "key", "value", "site", "seqno", "writer")
+    priority = MessagePriority.READ
+    base_size = 64
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.READ
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        value: object = None,
+        site: int = 0,
+        seqno: int = 0,
+        writer: Optional[TransactionId] = None,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.value = value
+        self.site = site
+        self.seqno = seqno
+        self.writer = writer
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 64
 
 
-@dataclass
 class WalterPrepare(Message):
     """Slow-path prepare sent to the preferred sites of written keys."""
 
-    txn_id: TransactionId = None
-    start_vts: VectorClock = None
-    write_items: Tuple[Tuple[object, object], ...] = ()
+    __slots__ = ("txn_id", "start_vts", "write_items")
+    priority = MessagePriority.COMMIT
+    base_size = 48
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.COMMIT
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        start_vts: VectorClock = None,
+        write_items: Tuple[Tuple[object, object], ...] = (),
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.start_vts = start_vts
+        self.write_items = write_items
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 48 + 32 * len(self.write_items)
 
 
-@dataclass
 class WalterVote(Message):
-    txn_id: TransactionId = None
-    success: bool = False
+    __slots__ = ("txn_id", "success")
+    priority = MessagePriority.COMMIT
+    base_size = 40
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.COMMIT
+    def __init__(self, txn_id: TransactionId = None, success: bool = False):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.success = success
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 40
 
 
-@dataclass
 class WalterDecide(Message):
-    txn_id: TransactionId = None
-    outcome: bool = False
-    site: int = 0
-    seqno: int = 0
+    __slots__ = ("txn_id", "outcome", "site", "seqno")
+    priority = MessagePriority.CONTROL
+    base_size = 48
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        outcome: bool = False,
+        site: int = 0,
+        seqno: int = 0,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.outcome = outcome
+        self.site = site
+        self.seqno = seqno
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 48
 
 
-@dataclass
 class WalterPropagate(Message):
     """Asynchronous replication of committed versions to the other replicas."""
 
-    txn_id: TransactionId = None
-    site: int = 0
-    seqno: int = 0
-    write_items: Tuple[Tuple[object, object], ...] = ()
+    __slots__ = ("txn_id", "site", "seqno", "write_items")
+    priority = MessagePriority.BULK
+    base_size = 48
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.BULK
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        site: int = 0,
+        seqno: int = 0,
+        write_items: Tuple[Tuple[object, object], ...] = (),
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.site = site
+        self.seqno = seqno
+        self.write_items = write_items
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 48 + 32 * len(self.write_items)
 
 
@@ -397,22 +441,11 @@ class WalterNode(BaseProtocolNode):
             )
             for site in sorted(preferred_sites)
         ]
-        outcome = True
-        timeout = self.sim.timeout(self.config.timeouts.prepare_timeout_us)
-        pending = list(vote_events)
-        while pending:
-            yield self.sim.any_of(pending + [timeout])
-            if timeout.triggered and not any(event.triggered for event in pending):
-                outcome = False
-                break
-            done = [event for event in pending if event.triggered]
-            pending = [event for event in pending if not event.triggered]
-            for event in done:
-                vote: WalterVote = event.value
-                if not vote.success:
-                    outcome = False
-            if not outcome:
-                break
+        # Shared coarse deadline (see Simulation.deadline): crash guard only.
+        timeout = self.sim.deadline(self.config.timeouts.prepare_timeout_us)
+        votes = VoteCollector(self.sim, vote_events)
+        yield self.sim.any_of([votes, timeout])
+        outcome = votes.triggered and votes.value[0]
 
         self._local_seq += 1
         seqno = self._local_seq

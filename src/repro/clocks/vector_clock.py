@@ -16,27 +16,45 @@ pseudo-code:
 Immutability is deliberate: vector clocks are used as version identifiers and
 dictionary keys by the storage layer, and sharing mutable clocks between the
 coordinator and participants of a 2PC round would be a correctness hazard.
+
+Sharing is what makes immutability cheap: clocks produced by the internal
+constructors are *interned* in a bounded pool keyed by their entry tuple, so
+the same logical clock — a commit clock merged at every replica, a node clock
+echoed in every vote — is one object cluster-wide.  Interned clocks make the
+identity fast paths of ``merge``/``__eq__``/``VCCodec.encode`` hit on the
+dominant no-change case, and their cached hash is computed once per *value*
+instead of once per copy.
 """
 
 from __future__ import annotations
 
 from operator import ge as _ge, le as _le
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 
 class VectorClock:
-    """Immutable fixed-width vector clock.
+    """Immutable fixed-width vector clock with copy-on-write sharing.
 
     The protocol hot path merges and compares clocks on every read, prepare
     and decide, so the operations avoid Python-level loops and redundant
     allocations: ``merge`` runs on C-level ``map(max, ...)`` and returns an
-    existing operand when it already dominates, the partial-order comparisons
-    short-circuit through ``all(map(op, ...))``, the hash is computed once
-    and cached, and internal results are wrapped through :meth:`_wrap`,
-    skipping the public constructor's validation of already-trusted entries.
+    existing operand when it already dominates (copy-on-write: a clock is
+    only materialized when its value actually changes), the partial-order
+    comparisons short-circuit through ``all(map(op, ...))``, the hash is
+    computed once and cached, and internal results go through the interning
+    pool (:meth:`_shared`), so equal clocks are usually the *same* object and
+    downstream identity checks short-circuit.
     """
 
     __slots__ = ("_entries", "_hash")
+
+    # Interning pool: entry tuple -> canonical instance.  Bounded so a long
+    # simulation cannot grow it without limit; when full it is simply
+    # cleared (the pool is a cache, identity is an optimization — equality
+    # semantics never depend on it).
+    _pool: Dict[Tuple[int, ...], "VectorClock"] = {}
+    _POOL_MAX = 1 << 16
+    _zeros: Dict[int, "VectorClock"] = {}
 
     def __init__(self, entries: Iterable[int]):
         entries_tuple: Tuple[int, ...] = tuple(int(entry) for entry in entries)
@@ -55,11 +73,38 @@ class VectorClock:
         return clock
 
     @classmethod
+    def _shared(cls, entries_tuple: Tuple[int, ...]) -> "VectorClock":
+        """Canonical interned instance for an already-validated entry tuple."""
+        pool = cls._pool
+        clock = pool.get(entries_tuple)
+        if clock is None:
+            if len(pool) >= cls._POOL_MAX:
+                pool.clear()
+            clock = cls._wrap(entries_tuple)
+            pool[entries_tuple] = clock
+        return clock
+
+    @classmethod
+    def intern(cls, clock: "VectorClock") -> "VectorClock":
+        """Return the canonical shared instance equal to ``clock``."""
+        pool = cls._pool
+        canonical = pool.get(clock._entries)
+        if canonical is None:
+            if len(pool) >= cls._POOL_MAX:
+                pool.clear()
+            pool[clock._entries] = clock
+            return clock
+        return canonical
+
+    @classmethod
     def zeros(cls, size: int) -> "VectorClock":
-        """The all-zero clock of width ``size``."""
-        if size < 1:
-            raise ValueError("vector clock size must be >= 1")
-        return cls._wrap((0,) * size)
+        """The all-zero clock of width ``size`` (one shared instance each)."""
+        clock = cls._zeros.get(size)
+        if clock is None:
+            if size < 1:
+                raise ValueError("vector clock size must be >= 1")
+            clock = cls._zeros[size] = cls._shared((0,) * size)
+        return clock
 
     # ------------------------------------------------------------ accessors
     @property
@@ -87,6 +132,8 @@ class VectorClock:
         other — merges against an up-to-date clock are the common case on
         the read path and allocate nothing.
         """
+        if self is other:
+            return self
         a = self._entries
         b = other._entries if isinstance(other, VectorClock) else None
         if b is None or len(a) != len(b):
@@ -98,7 +145,38 @@ class VectorClock:
             return self
         if merged == b:
             return other
-        return VectorClock._wrap(merged)
+        return VectorClock._shared(merged)
+
+    def merge_many(self, others: Iterable["VectorClock"]) -> "VectorClock":
+        """Entry-wise maximum of this clock and every clock in ``others``.
+
+        Batch form of :meth:`merge`: one C-level ``map(max, ...)`` pass over
+        all operands instead of one intermediate clock per pairwise merge.
+        This is the vote-collection / node-VC update pattern — a coordinator
+        folding a wave of proposed commit clocks, a participant advancing its
+        node clock past a decision — where the pairwise chain would allocate
+        ``k - 1`` throwaway tuples.
+        """
+        first = self._entries
+        width = len(first)
+        clocks = []
+        operand_entries = [first]
+        for other in others:
+            entries = other._entries if isinstance(other, VectorClock) else None
+            if entries is None or len(entries) != width:
+                self._check_compatible(other)
+            clocks.append(other)
+            operand_entries.append(entries)
+        if not clocks:
+            return self
+        # map(max) tolerates duplicate operands, so no dedup pass is needed.
+        merged = tuple(map(max, *operand_entries))
+        if merged == first:
+            return self
+        for other in clocks:
+            if merged == other._entries:
+                return other
+        return VectorClock._shared(merged)
 
     def increment(self, index: int, amount: int = 1) -> "VectorClock":
         """Copy of this clock with ``entries[index] += amount``."""
@@ -106,7 +184,7 @@ class VectorClock:
             raise IndexError(f"entry {index} out of range for size {self.size}")
         entries = list(self._entries)
         entries[index] += amount
-        return VectorClock._wrap(tuple(entries))
+        return VectorClock._shared(tuple(entries))
 
     def with_entry(self, index: int, value: int) -> "VectorClock":
         """Copy of this clock with ``entries[index] = value``."""
@@ -119,7 +197,7 @@ class VectorClock:
             return self
         entries = list(self._entries)
         entries[index] = value
-        return VectorClock._wrap(tuple(entries))
+        return VectorClock._shared(tuple(entries))
 
     def with_entries(self, indices: Sequence[int], value: int) -> "VectorClock":
         """Copy with every entry in ``indices`` set to ``value``.
@@ -135,7 +213,10 @@ class VectorClock:
             if not 0 <= index < len(entries):
                 raise IndexError(f"entry {index} out of range for size {self.size}")
             entries[index] = value
-        return VectorClock._wrap(tuple(entries))
+        entries_tuple = tuple(entries)
+        if entries_tuple == self._entries:
+            return self
+        return VectorClock._shared(entries_tuple)
 
     def max_over(self, indices: Sequence[int]) -> int:
         """Maximum of the entries selected by ``indices`` (``xactVN``)."""

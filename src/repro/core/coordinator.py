@@ -21,7 +21,7 @@ All methods that involve waiting are generators intended to be driven with
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.common.errors import TransactionStateError
 from repro.common.ids import TransactionId, TxnIdGenerator
@@ -32,12 +32,51 @@ from repro.core.messages import (
     ReadRequest,
     ReadReturn,
     Remove,
-    Vote,
 )
 from repro.core.metadata import TransactionMeta, TransactionPhase
+from repro.sim.events import Event
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.events import Event
+
+class VoteCollector(Event):
+    """Event firing once a 2PC-style vote round is decided.
+
+    Replaces the wave-by-wave ``any_of(pending + [timeout])`` pattern, which
+    rebuilt an :class:`AnyOf` over every still-pending vote each wave — at
+    large participant counts (the cluster-size sweep) that is quadratic in
+    callbacks and list scans.  The collector registers one callback per vote
+    reply, fails fast on the first unsuccessful vote (any reply with a falsy
+    ``success`` attribute) and fires with ``(outcome, votes)`` once the round
+    is decided.  Shared by SSS and the 2PC-style baselines; SSS hands the
+    collected votes' proposed commit clocks to one batched
+    ``VectorClock.merge_many``.
+    """
+
+    __slots__ = ("_remaining", "_votes")
+
+    def __init__(self, sim, vote_events):
+        super().__init__(sim, name="votes")
+        self._remaining = len(vote_events)
+        self._votes = []
+        if not vote_events:
+            # An empty round is trivially successful; without this the
+            # collector would never fire and the caller would idle until
+            # its crash-guard deadline.
+            self.succeed((True, self._votes))
+            return
+        for event in vote_events:
+            event.add_callback(self._on_vote)
+
+    def _on_vote(self, event) -> None:
+        if self.triggered:
+            return
+        vote = event._value
+        if not vote.success:
+            self.succeed((False, self._votes))
+            return
+        self._votes.append(vote)
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed((True, self._votes))
 
 
 class CoordinatorMixin:
@@ -81,13 +120,14 @@ class CoordinatorMixin:
 
         # Lines 8-10: contact every replica, use the fastest answer.
         replicas = self.replicas(key)
+        has_read = tuple(meta.has_read)
         request_events = []
         for replica in replicas:
             request = ReadRequest(
                 txn_id=meta.txn_id,
                 key=key,
                 vc=meta.vc,
-                has_read=tuple(meta.has_read),
+                has_read=has_read,
                 is_update=meta.is_update,
             )
             request_events.append(self.request(replica, request))
@@ -232,18 +272,19 @@ class CoordinatorMixin:
         if self.history is not None:
             self.history.record_commit(meta)
 
-        notified: Set[int] = set()
+        # One Remove per replica, carrying every read key it holds; grouped
+        # in a single pass over the read-set.
+        by_replica: Dict[int, list] = {}
         for key in meta.read_set:
             for replica in self.replicas(key):
-                # One Remove per (replica, keys) pair; group keys per replica.
-                notified.add(replica)
-        for replica in sorted(notified):
-            keys = tuple(
-                key
-                for key in meta.read_set
-                if replica in self.replicas(key)
+                bucket = by_replica.get(replica)
+                if bucket is None:
+                    bucket = by_replica[replica] = []
+                bucket.append(key)
+        for replica in sorted(by_replica):
+            self.send(
+                replica, Remove(txn_id=meta.txn_id, keys=tuple(by_replica[replica]))
             )
-            self.send(replica, Remove(txn_id=meta.txn_id, keys=keys))
         return True
 
     def _commit_update(self, meta: TransactionMeta):
@@ -256,6 +297,7 @@ class CoordinatorMixin:
             list(meta.read_set) + list(meta.write_set)
         ))
         participants.add(self.node_id)
+        participants = sorted(participants)
         write_replicas = set(self.placement.replicas_of(list(meta.write_set)))
 
         # Prepare phase.
@@ -263,7 +305,7 @@ class CoordinatorMixin:
             (key, record.version_vc) for key, record in meta.read_set.items()
         )
         vote_events = []
-        for participant in sorted(participants):
+        for participant in participants:
             prepare = Prepare(
                 txn_id=txn_id,
                 vc=meta.vc,
@@ -273,24 +315,20 @@ class CoordinatorMixin:
             vote_events.append(self.request(participant, prepare))
 
         commit_vc = meta.vc
-        outcome = True
-        timeout = self.sim.timeout(self.config.timeouts.prepare_timeout_us)
-        pending = list(vote_events)
-        while pending:
-            yield self.sim.any_of(pending + [timeout])
-            if timeout.triggered and not any(e.triggered for e in pending):
-                outcome = False
-                break
-            done = [event for event in pending if event.triggered]
-            pending = [event for event in pending if not event.triggered]
-            for event in done:
-                vote: Vote = event.value
-                if not vote.success:
-                    outcome = False
-                else:
-                    commit_vc = commit_vc.merge(vote.vc)
-            if not outcome:
-                break
+        # Shared coarse deadline: a guard against crashed participants, not
+        # a precise timer — one heap entry per bucket instead of one 50 ms
+        # timeout lingering in the heap per update transaction.
+        timeout = self.sim.deadline(self.config.timeouts.prepare_timeout_us)
+        votes = VoteCollector(self.sim, vote_events)
+        yield self.sim.any_of([votes, timeout])
+        if votes.triggered:
+            outcome, collected = votes.value
+            if outcome:
+                # Fold the whole vote round in one batch merge instead of
+                # one intermediate clock per vote.
+                commit_vc = commit_vc.merge_many([vote.vc for vote in collected])
+        else:
+            outcome = False  # deadline expired with votes still missing
 
         if outcome:
             # Lines 21-24: every write-replica entry takes the transaction
@@ -323,7 +361,7 @@ class CoordinatorMixin:
             )
             if entry.txn_id not in self._removed_readers
         )
-        for participant in sorted(participants):
+        for participant in participants:
             self.send(
                 participant,
                 Decide(

@@ -4,41 +4,90 @@ Message priorities follow the paper's implementation note: messages that
 unblock other transactions (Remove, Ack, Decide) are served first by the
 per-node network queues, 2PC prepare/vote traffic next, read traffic after
 that.
+
+All message types are ``__slots__`` classes (see
+:mod:`repro.network.message`): one instance is allocated per protocol send,
+so they carry no per-instance ``__dict__``, their priority and fixed size
+component are class-level constants, and their ``size_estimate`` accounts
+vector clocks at the delta-compressed wire size when the transport provides
+its channel codec.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.clocks.vector_clock import VectorClock
 from repro.common.ids import NodeId, TransactionId
 from repro.core.metadata import PropagatedEntry
 from repro.network.message import Message, MessagePriority
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.clocks.compression import VCCodec
 
-def _vc_size(vc: Optional[VectorClock]) -> int:
-    return 8 * vc.size if vc is not None else 0
+
+# Reference-stream ids for the delta codec.  Each clock-carrying message
+# field diffs against the last clock *of the same field* shipped to the same
+# peer (a real encoder diffs field-wise inside its wire format); mixing roles
+# in one stream would make e.g. a version clock diff against a visibility
+# bound, destroying delta locality.  The stream id is folded into the codec's
+# peer key with integer math (peers are integer node ids on the transport
+# path), so no per-call tuple is allocated.
+_STREAM_TXN_VC = 0
+_STREAM_MAX_VC = 1
+_STREAM_VERSION_VC = 2
+_STREAM_VOTE_VC = 3
+_STREAM_COMMIT_VC = 4
+_STREAM_READ_SET = 5
+_STREAMS = 8
 
 
-@dataclass
+def vc_wire_size(
+    vc: Optional[VectorClock],
+    codec: Optional["VCCodec"],
+    peer: object,
+    stream: int = _STREAM_TXN_VC,
+) -> int:
+    if vc is None:
+        return 0
+    if codec is None:
+        return 8 * vc.size
+    return codec.clock_bytes(peer * _STREAMS + stream, vc)
+
+
 class ReadRequest(Message):
     """Algorithm 5 line 9: request one key from a replica."""
 
-    txn_id: TransactionId = None
-    key: object = None
-    vc: VectorClock = None
-    has_read: Tuple[bool, ...] = ()
-    is_update: bool = False
+    __slots__ = ("txn_id", "key", "vc", "has_read", "is_update")
+    priority = MessagePriority.READ
+    base_size = 48
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.READ
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        vc: VectorClock = None,
+        has_read: Tuple[bool, ...] = (),
+        is_update: bool = False,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.vc = vc
+        self.has_read = has_read
+        self.is_update = is_update
 
-    def size_estimate(self) -> int:
-        return 48 + _vc_size(self.vc) + len(self.has_read)
+    def size_estimate(self, codec=None, peer=None) -> int:
+        # Hot path (one call per read request): vc_wire_size inlined;
+        # must mirror its peer-key scheme.
+        vc = self.vc
+        if vc is None:
+            return 48 + len(self.has_read)
+        if codec is None:
+            return 48 + 8 * vc.size + len(self.has_read)
+        return 48 + codec.clock_bytes(peer * _STREAMS, vc) + len(self.has_read)
 
 
-@dataclass
 class ReadReturn(Message):
     """Algorithm 6 line 28: value, snapshot vector clock and propagated set.
 
@@ -49,25 +98,60 @@ class ReadReturn(Message):
     leak state that no external observer is allowed to have seen yet.
     """
 
-    txn_id: TransactionId = None
-    key: object = None
-    value: object = None
-    max_vc: VectorClock = None
-    version_vc: VectorClock = None
-    writer: Optional[TransactionId] = None
-    propagated: Tuple[PropagatedEntry, ...] = ()
-    writer_pending: bool = False
+    __slots__ = (
+        "txn_id",
+        "key",
+        "value",
+        "max_vc",
+        "version_vc",
+        "writer",
+        "propagated",
+        "writer_pending",
+    )
+    priority = MessagePriority.READ
+    base_size = 65
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.READ
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        key: object = None,
+        value: object = None,
+        max_vc: VectorClock = None,
+        version_vc: VectorClock = None,
+        writer: Optional[TransactionId] = None,
+        propagated: Tuple[PropagatedEntry, ...] = (),
+        writer_pending: bool = False,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+        self.value = value
+        self.max_vc = max_vc
+        self.version_vc = version_vc
+        self.writer = writer
+        self.propagated = propagated
+        self.writer_pending = writer_pending
 
-    def size_estimate(self) -> int:
-        return 65 + _vc_size(self.max_vc) + _vc_size(self.version_vc) + 16 * len(
-            self.propagated
-        )
+    def size_estimate(self, codec=None, peer=None) -> int:
+        # Hot path (one call per read reply, two clocks): vc_wire_size
+        # inlined; must mirror its peer-key scheme.
+        size = 65 + 16 * len(self.propagated)
+        max_vc = self.max_vc
+        version_vc = self.version_vc
+        if codec is None:
+            if max_vc is not None:
+                size += 8 * max_vc.size
+            if version_vc is not None:
+                size += 8 * version_vc.size
+            return size
+        base = peer * _STREAMS
+        if max_vc is not None:
+            size += codec.clock_bytes(base + _STREAM_MAX_VC, max_vc)
+        if version_vc is not None:
+            size += codec.clock_bytes(base + _STREAM_VERSION_VC, version_vc)
+        return size
 
 
-@dataclass
 class Prepare(Message):
     """2PC prepare carrying the read and write keys stored by the participant.
 
@@ -77,44 +161,56 @@ class Prepare(Message):
     "abort if some read key has been overwritten meanwhile").
     """
 
-    txn_id: TransactionId = None
-    vc: VectorClock = None
-    read_versions: Tuple[Tuple[object, VectorClock], ...] = ()
-    write_items: Tuple[Tuple[object, object], ...] = ()
+    __slots__ = ("txn_id", "vc", "read_versions", "write_items")
+    priority = MessagePriority.COMMIT
+    base_size = 64
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.COMMIT
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        vc: VectorClock = None,
+        read_versions: Tuple[Tuple[object, VectorClock], ...] = (),
+        write_items: Tuple[Tuple[object, object], ...] = (),
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.vc = vc
+        self.read_versions = read_versions
+        self.write_items = write_items
 
     @property
     def read_keys(self) -> Tuple[object, ...]:
         return tuple(key for key, _vc in self.read_versions)
 
-    def size_estimate(self) -> int:
-        per_read = 16 + (8 * self.vc.size if self.vc is not None else 0)
-        return (
-            64
-            + _vc_size(self.vc)
-            + per_read * len(self.read_versions)
-            + 32 * len(self.write_items)
-        )
+    def size_estimate(self, codec=None, peer=None) -> int:
+        size = 64 + vc_wire_size(self.vc, codec, peer) + 32 * len(self.write_items)
+        for _key, read_vc in self.read_versions:
+            size += 16 + vc_wire_size(read_vc, codec, peer, _STREAM_READ_SET)
+        return size
 
 
-@dataclass
 class Vote(Message):
     """2PC vote with the participant's proposed commit vector clock."""
 
-    txn_id: TransactionId = None
-    vc: VectorClock = None
-    success: bool = False
+    __slots__ = ("txn_id", "vc", "success")
+    priority = MessagePriority.COMMIT
+    base_size = 48
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.COMMIT
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        vc: VectorClock = None,
+        success: bool = False,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.vc = vc
+        self.success = success
 
-    def size_estimate(self) -> int:
-        return 48 + _vc_size(self.vc)
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 48 + vc_wire_size(self.vc, codec, peer, _STREAM_VOTE_VC)
 
 
-@dataclass
 class Decide(Message):
     """2PC decision carrying the final commit vector clock and outcome.
 
@@ -124,33 +220,47 @@ class Decide(Message):
     (Algorithm 3, lines 4-6).
     """
 
-    txn_id: TransactionId = None
-    commit_vc: VectorClock = None
-    outcome: bool = False
-    propagated: Tuple[PropagatedEntry, ...] = ()
+    __slots__ = ("txn_id", "commit_vc", "outcome", "propagated")
+    priority = MessagePriority.CONTROL
+    base_size = 56
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        commit_vc: VectorClock = None,
+        outcome: bool = False,
+        propagated: Tuple[PropagatedEntry, ...] = (),
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.commit_vc = commit_vc
+        self.outcome = outcome
+        self.propagated = propagated
 
-    def size_estimate(self) -> int:
-        return 56 + _vc_size(self.commit_vc) + 16 * len(self.propagated)
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return (
+            56
+            + vc_wire_size(self.commit_vc, codec, peer, _STREAM_COMMIT_VC)
+            + 16 * len(self.propagated)
+        )
 
 
-@dataclass
 class ExternalAck(Message):
     """Algorithm 4 line 5: a write replica finished its pre-commit wait."""
 
-    txn_id: TransactionId = None
-    snapshot: int = 0
+    __slots__ = ("txn_id", "snapshot")
+    priority = MessagePriority.CONTROL
+    base_size = 40
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(self, txn_id: TransactionId = None, snapshot: int = 0):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.snapshot = snapshot
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 40
 
 
-@dataclass
 class ExternalDone(Message):
     """Post-external-commit notification of a writer.
 
@@ -162,16 +272,18 @@ class ExternalDone(Message):
     external observer can be surprised by the data).
     """
 
-    txn_id: TransactionId = None
+    __slots__ = ("txn_id",)
+    priority = MessagePriority.CONTROL
+    base_size = 32
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(self, txn_id: TransactionId = None):
+        Message.__init__(self)
+        self.txn_id = txn_id
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 32
 
 
-@dataclass
 class SubscribeExternal(Message):
     """Ask a writer's coordinator to notify ``target`` of the external commit.
 
@@ -183,17 +295,19 @@ class SubscribeExternal(Message):
     the commit-time wait is usually already satisfied.
     """
 
-    txn_id: TransactionId = None
-    target: NodeId = 0
+    __slots__ = ("txn_id", "target")
+    priority = MessagePriority.CONTROL
+    base_size = 36
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(self, txn_id: TransactionId = None, target: NodeId = 0):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.target = target
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 36
 
 
-@dataclass
 class Remove(Message):
     """Notification that a read-only transaction returned to its client.
 
@@ -211,12 +325,20 @@ class Remove(Message):
     external commit forever).
     """
 
-    txn_id: TransactionId = None
-    keys: Tuple[object, ...] = ()
-    mark_returned: bool = True
+    __slots__ = ("txn_id", "keys", "mark_returned")
+    priority = MessagePriority.CONTROL
+    base_size = 33
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        keys: Tuple[object, ...] = (),
+        mark_returned: bool = True,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.keys = keys
+        self.mark_returned = mark_returned
 
-    def size_estimate(self) -> int:
+    def size_estimate(self, codec=None, peer=None) -> int:
         return 33 + 16 * len(self.keys)

@@ -222,7 +222,7 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
 
         # ---- read-only transactions -------------------------------------
         reader_vc = message.vc
-        has_read = list(message.has_read)
+        has_read = message.has_read
         squeue = self.store.squeue(key)
 
         # Starvation avoidance: back off when the key's writers have been

@@ -110,6 +110,25 @@ def run_experiment(
     # Machine-readable performance accounting for the benchmark JSON output.
     extra["sim_events"] = float(cluster.sim.processed_events - events_before)
     extra["wall_seconds"] = wall_seconds
+    # Clock-metadata accounting: what the transport's per-sender delta
+    # codecs actually charged for message-borne vector clocks (the paper's
+    # metadata-compression story, Section III-A).
+    network = getattr(cluster, "network", None)
+    if network is not None:
+        clock_stats = network.clock_stats()
+        clocks = clock_stats["clocks_encoded"]
+        if clocks:
+            encoded = clock_stats["encoded_bytes_total"]
+            messages_sent = network.stats.total_sent
+            extra["clocks_encoded"] = float(clocks)
+            extra["clock_bytes_mean"] = round(encoded / clocks, 2)
+            extra["clock_bytes_max"] = float(clock_stats["encoded_bytes_max"])
+            extra["clock_bytes_per_msg"] = round(
+                encoded / messages_sent if messages_sent else 0.0, 2
+            )
+            extra["clock_compression_ratio"] = round(
+                encoded / clock_stats["dense_bytes_total"], 4
+            )
     metrics = ExperimentMetrics.from_clients(
         protocol=protocol,
         n_nodes=config.n_nodes,

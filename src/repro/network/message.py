@@ -5,21 +5,34 @@ to different message types; the paper calls out that the ``Remove`` message
 has very high priority because it unblocks external commits.  The enum below
 defines the priority classes used across all protocols in this repository;
 lower numeric values are served first by the per-node dispatcher.
+
+Hot-path design
+---------------
+One message object is allocated per protocol send — the single biggest
+allocation site above the sim kernel — so the message classes are plain
+``__slots__`` classes rather than dataclasses: no per-instance ``__dict__``,
+no ``__post_init__`` double dispatch, and the per-type constants (priority
+class, type name, fixed size component) live on the *class*, computed once
+at import.  Subclasses declare their payload in ``__slots__``, override the
+``priority`` class attribute, and assign payload fields in a plain
+``__init__`` that chains to :meth:`Message.__init__`.
 """
 
 from __future__ import annotations
 
-import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Optional
+from enum import IntEnum
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.ids import NodeId
 
-_message_counter = itertools.count()
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.clocks.compression import VCCodec
+
+_next_message_id = itertools.count().__next__
 
 
-class MessagePriority(enum.IntEnum):
+class MessagePriority(IntEnum):
     """Priority classes for protocol messages (lower = more urgent)."""
 
     CONTROL = 0
@@ -35,7 +48,6 @@ class MessagePriority(enum.IntEnum):
     """Everything else (background, warm-up, statistics)."""
 
 
-@dataclass
 class Message:
     """Base class of every protocol message exchanged between nodes.
 
@@ -46,7 +58,9 @@ class Message:
     destination:
         Node the message is addressed to (filled in by the transport).
     priority:
-        Priority class used by the per-node inbound queues.
+        Priority class used by the per-node inbound queues.  A *class*
+        attribute: every instance of a message type shares one priority, so
+        storing it per instance would waste a slot and a store per send.
     msg_id:
         Globally unique message number, useful in traces and tests.
     send_time / deliver_time:
@@ -57,29 +71,50 @@ class Message:
     one statistics lookup per send and per delivery).
     """
 
-    sender: NodeId = field(default=-1, init=False)
-    destination: NodeId = field(default=-1, init=False)
-    priority: MessagePriority = field(default=MessagePriority.BULK, init=False)
-    msg_id: int = field(default_factory=_message_counter.__next__, init=False)
-    send_time: float = field(default=0.0, init=False)
-    deliver_time: float = field(default=0.0, init=False)
-    reply_to: Optional[int] = field(default=None, init=False)
+    __slots__ = (
+        "sender",
+        "destination",
+        "msg_id",
+        "send_time",
+        "deliver_time",
+        "reply_to",
+    )
+
+    priority = MessagePriority.BULK
+    """Priority class of this message type (class-level, override per type)."""
 
     type_name = "Message"
     """Short message type name used for tracing and statistics."""
+
+    base_size = 64
+    """Fixed wire-size component in bytes (class-level, override per type)."""
+
+    def __init__(self) -> None:
+        self.sender: NodeId = -1
+        self.destination: NodeId = -1
+        self.msg_id: int = _next_message_id()
+        self.send_time: float = 0.0
+        self.deliver_time: float = 0.0
+        self.reply_to: Optional[int] = None
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         cls.type_name = cls.__name__
 
-    def size_estimate(self) -> int:
+    def size_estimate(
+        self, codec: Optional["VCCodec"] = None, peer: object = None
+    ) -> int:
         """Rough serialized size in bytes, used by the congestion model.
 
         Subclasses carrying vector clocks or value payloads override this to
         reflect the metadata cost the paper discusses (vector clocks grow
-        linearly with the system size).
+        linearly with the system size).  When the transport passes its
+        per-sender ``codec`` and the destination ``peer``, clock-bearing
+        subclasses account their clocks at the *delta-compressed* wire size
+        (the paper's metadata-compression mitigation); without a codec the
+        naive dense size ``8 * vc.size`` is used.
         """
-        return 64
+        return self.base_size
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -50,7 +50,15 @@ class Simulation:
         stream used by the cluster is derived from it.
     """
 
-    __slots__ = ("_now", "_heap", "_sequence", "rng", "_crashed", "_event_count")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_sequence",
+        "rng",
+        "_crashed",
+        "_event_count",
+        "_deadline_buckets",
+    )
 
     def __init__(self, seed: int = 1):
         self._now: float = 0.0
@@ -59,6 +67,7 @@ class Simulation:
         self.rng = RngRegistry(seed)
         self._crashed: List[Tuple[Process, BaseException]] = []
         self._event_count = 0
+        self._deadline_buckets: dict[float, Event] = {}
 
     # ------------------------------------------------------------------ time
     @property
@@ -79,6 +88,35 @@ class Simulation:
     def timeout(self, delay: float, value=None) -> Timeout:
         """Create an event firing ``delay`` microseconds from now."""
         return Timeout(self, delay, value=value)
+
+    def deadline(self, delay: float, granularity: float = 1_024.0) -> Event:
+        """Shared coarse-grained timeout for failure detection.
+
+        Returns an event firing at the first multiple of ``granularity`` at
+        or after ``now + delay`` — i.e. up to ``granularity`` *later* than a
+        :meth:`timeout` of the same delay, never earlier.  All deadlines
+        landing in the same bucket share one event and one heap entry, so
+        guard timers that exist only to catch crashes (2PC prepare timeouts:
+        one per update transaction, ~50 ms, virtually never firing) do not
+        each bloat the event heap for their whole lifetime.  Use
+        :meth:`timeout` when the exact expiry instant matters.
+        """
+        fire_at = self._now + delay
+        bucket_time = fire_at - (fire_at % granularity)
+        if bucket_time < fire_at:
+            bucket_time += granularity
+        buckets = self._deadline_buckets
+        event = buckets.get(bucket_time)
+        if event is None:
+            event = Event(self, name="deadline")
+            buckets[bucket_time] = event
+            self._push(bucket_time, self._fire_deadline, bucket_time)
+        return event
+
+    def _fire_deadline(self, bucket_time: float) -> None:
+        event = self._deadline_buckets.pop(bucket_time, None)
+        if event is not None and not event.triggered:
+            event.succeed()
 
     def signal(self, name: str = "") -> Signal:
         """Create a broadcast :class:`Signal` for condition waiters."""
@@ -171,6 +209,13 @@ class Simulation:
         sentinel = _CALL0
         count = 0
         try:
+            # A process may have crashed before its first yield (processes
+            # start inline at creation), with nothing scheduled to surface it.
+            if crashed:
+                process, exc = crashed[0]
+                raise SimulationError(
+                    f"process {process.name!r} crashed at t={self._now:.1f}"
+                ) from exc
             while heap:
                 entry = heappop(heap)
                 time, _seq, func, arg = entry

@@ -61,8 +61,13 @@ class Process(Event):
         self.generator = generator
         self._waiting_on: Optional[Event] = None
         self._killed = False
-        # Start the process asynchronously at the current time.
-        self.sim._schedule_callback(None, self._resume)
+        # Start the process synchronously, advancing the generator to its
+        # first yield.  Spawning is a per-message operation (every generator
+        # handler dispatch creates a process), and the deferred start cost
+        # one heap entry plus one event-loop round-trip per spawn; the
+        # inline start runs the same code at the same simulated time, only
+        # without the scheduler detour.
+        self._resume(None)
 
     # -- engine interface ---------------------------------------------------
     def _resume(self, event: Optional[Event]) -> None:

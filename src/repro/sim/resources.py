@@ -97,12 +97,13 @@ class Store:
         already holds, and the extra heap round-trip per message was a
         measurable cost.  The hand-off still counts as one processed event
         for the events/sec accounting.
+
+        A waiting getter implies the queue is empty (``get`` only parks when
+        no item exists), so the hand-off skips the heap entirely and passes
+        ``item`` straight through.
         """
-        heappush(self._items, (priority, self._seq, item))
-        self._seq += 1
         if self._getters:
             getter = self._getters.popleft()
-            item = heappop(self._items)[2]
             if getter.triggered:  # pragma: no cover - defensive
                 raise RuntimeError(f"store {self.name!r}: getter already triggered")
             getter._value = item
@@ -112,6 +113,9 @@ class Store:
                 self.sim._event_count += 1
                 for callback in callbacks:
                     callback(getter)
+            return
+        heappush(self._items, (priority, self._seq, item))
+        self._seq += 1
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""

@@ -148,7 +148,7 @@ class NLog:
         has_read: Sequence[bool],
         excluded: Set[VectorClock],
     ) -> VectorClock:
-        result = VectorClock.zeros(self.n_nodes)
+        visible_vcs = []
         for entry in self._entries:
             vc = entry.vc
             if vc in excluded:
@@ -158,8 +158,8 @@ class NLog:
                 for index, flag in enumerate(has_read)
             )
             if visible:
-                result = result.merge(vc)
-        return result
+                visible_vcs.append(vc)
+        return VectorClock.zeros(self.n_nodes).merge_many(visible_vcs)
 
     def _visible_max_summary(
         self,
@@ -184,7 +184,10 @@ class NLog:
         for vc in excluded:
             if vc[local] > reader_vc[local] and entries[local] >= vc[local]:
                 entries[local] = vc[local] - 1
-        return VectorClock._wrap(tuple(entries))
+        entries_tuple = tuple(entries)
+        if entries_tuple == cumulative.entries:
+            return cumulative
+        return VectorClock._shared(entries_tuple)
 
     def contains_txn(self, txn_id: TransactionId) -> bool:
         """True if ``txn_id`` appears among the retained entries."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.common.ids import TransactionId
 
@@ -80,6 +80,11 @@ class SnapshotQueue:
         self._writer_snaps: List[int] = []
         self._reader_ids: Set[Tuple[TransactionId, Optional[TransactionId]]] = set()
         self._writer_ids: Set[Tuple[TransactionId, Optional[TransactionId]]] = set()
+        # Per-transaction entry counts for O(1) membership checks: Remove
+        # handling probes every key a reader may have touched, and the
+        # common case is "not here".
+        self._reader_txns: Dict[TransactionId, int] = {}
+        self._writer_txns: Dict[TransactionId, int] = {}
         self._signal: Optional["Signal"] = (
             sim.signal(name=f"squeue:{key}") if sim is not None else None
         )
@@ -103,6 +108,8 @@ class SnapshotQueue:
         ids.add(identity)
         bucket = self._readers if read_only else self._writers
         snaps = self._reader_snaps if read_only else self._writer_snaps
+        counts = self._reader_txns if read_only else self._writer_txns
+        counts[entry.txn_id] = counts.get(entry.txn_id, 0) + 1
         index = bisect_right(snaps, entry.insertion_snapshot)
         snaps.insert(index, entry.insertion_snapshot)
         bucket.insert(index, entry)
@@ -112,12 +119,16 @@ class SnapshotQueue:
 
     def remove(self, txn_id: TransactionId) -> bool:
         """Remove every entry of ``txn_id``; return True if anything removed."""
+        if txn_id not in self._reader_txns and txn_id not in self._writer_txns:
+            return False
         removed = False
         for read_only in (True, False):
-            bucket = self._readers if read_only else self._writers
-            if not any(entry.txn_id == txn_id for entry in bucket):
+            counts = self._reader_txns if read_only else self._writer_txns
+            if txn_id not in counts:
                 continue
+            del counts[txn_id]
             removed = True
+            bucket = self._readers if read_only else self._writers
             ids = self._reader_ids if read_only else self._writer_ids
             kept = []
             for entry in bucket:
@@ -138,7 +149,7 @@ class SnapshotQueue:
         return len(self._readers) + len(self._writers)
 
     def __contains__(self, txn_id: TransactionId) -> bool:
-        return any(entry.txn_id == txn_id for entry in self.entries())
+        return txn_id in self._reader_txns or txn_id in self._writer_txns
 
     def entries(self) -> Iterable[SQueueEntry]:
         """All entries, readers then writers (each ordered by snapshot)."""
@@ -187,7 +198,7 @@ class SnapshotQueue:
 
     def has_writer(self, txn_id: TransactionId) -> bool:
         """True while ``txn_id``'s pre-commit entry is still queued here."""
-        return any(identity[0] == txn_id for identity in self._writer_ids)
+        return txn_id in self._writer_txns
 
     def writers_above(self, snapshot: int) -> List[SQueueEntry]:
         """Update entries with insertion-snapshot > ``snapshot``.

@@ -1,0 +1,183 @@
+"""Unit tests for the metadata plane: interned clocks, slotted messages,
+codec accounting.
+
+PR 2 rebuilt the metadata plane around three mechanisms — an interning pool
+with copy-on-write semantics for :class:`VectorClock`, ``__slots__``-based
+wire messages with class-level priority/size constants, and delta-compressed
+clock accounting through :class:`VCCodec` — and these tests pin their
+observable semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clocks.compression import VCCodec
+from repro.clocks.vector_clock import VectorClock
+from repro.core.messages import (
+    Decide,
+    ExternalAck,
+    ExternalDone,
+    Prepare,
+    ReadRequest,
+    ReadReturn,
+    Remove,
+    SubscribeExternal,
+    Vote,
+)
+from repro.network.message import Message, MessagePriority
+
+
+class TestVectorClockInterning:
+    def test_zeros_is_shared(self):
+        assert VectorClock.zeros(4) is VectorClock.zeros(4)
+        assert VectorClock.zeros(4) is not VectorClock.zeros(5)
+
+    def test_merge_interns_fresh_results(self):
+        a = VectorClock([1, 0, 3])
+        b = VectorClock([0, 2, 1])
+        first = a.merge(b)
+        second = a.merge(b)
+        assert first == VectorClock([1, 2, 3])
+        assert first is second
+
+    def test_merge_copy_on_write_returns_operand(self):
+        low = VectorClock([1, 1, 1])
+        high = VectorClock([2, 2, 2])
+        assert low.merge(high) is high
+        assert high.merge(low) is high
+        assert high.merge(high) is high
+
+    def test_increment_and_with_entry_intern(self):
+        base = VectorClock.zeros(3)
+        assert base.increment(1) is base.increment(1)
+        assert base.with_entry(2, 7) is base.with_entry(2, 7)
+        assert base.with_entry(2, 0) is base
+
+    def test_equal_value_different_objects_still_equal(self):
+        # The public constructor does not intern; equality must not rely on
+        # identity.
+        a = VectorClock([3, 1])
+        b = VectorClock([3, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_merge_many_matches_pairwise_merges(self):
+        base = VectorClock([0, 5, 2, 0])
+        others = [
+            VectorClock([1, 0, 0, 0]),
+            VectorClock([0, 9, 0, 3]),
+            VectorClock([1, 1, 4, 1]),
+        ]
+        expected = base
+        for other in others:
+            expected = expected.merge(other)
+        assert base.merge_many(others) == expected
+
+    def test_merge_many_empty_returns_self(self):
+        base = VectorClock([2, 2])
+        assert base.merge_many([]) is base
+
+    def test_merge_many_returns_dominating_operand(self):
+        base = VectorClock([1, 0])
+        top = VectorClock([5, 5])
+        assert base.merge_many([VectorClock([2, 1]), top]) is top
+
+    def test_merge_many_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock([1, 2]).merge_many([VectorClock([1, 2, 3])])
+
+
+class TestSlottedMessages:
+    def test_no_instance_dict(self):
+        for message in (ReadRequest(), ReadReturn(), Vote(), Remove()):
+            assert not hasattr(message, "__dict__")
+
+    def test_priorities_are_class_level(self):
+        assert "priority" not in Message.__slots__
+        assert ReadRequest.priority is MessagePriority.READ
+        assert ReadReturn.priority is MessagePriority.READ
+        assert Prepare.priority is MessagePriority.COMMIT
+        assert Vote.priority is MessagePriority.COMMIT
+        for cls in (Decide, ExternalAck, ExternalDone, SubscribeExternal, Remove):
+            assert cls.priority is MessagePriority.CONTROL
+        # Instances read the class attribute.
+        assert ReadRequest().priority is MessagePriority.READ
+
+    def test_identity_equality_semantics(self):
+        # Messages have unique msg_ids, so two instances were never equal
+        # even under the old dataclass field equality; the slotted classes
+        # keep identity semantics.
+        a, b = Remove(keys=("k",)), Remove(keys=("k",))
+        assert a == a
+        assert a != b
+        assert a.msg_id != b.msg_id
+
+    def test_transport_fields_initialized(self):
+        message = Vote(vc=VectorClock.zeros(2), success=True)
+        assert message.sender == -1
+        assert message.destination == -1
+        assert message.reply_to is None
+        assert message.send_time == 0.0
+        assert message.type_name == "Vote"
+
+    def test_dense_size_estimates_without_codec(self):
+        vc = VectorClock.zeros(4)
+        assert ReadRequest(vc=vc, has_read=(False,) * 4).size_estimate() == 48 + 32 + 4
+        assert Vote(vc=vc).size_estimate() == 48 + 32
+        assert Decide(commit_vc=vc).size_estimate() == 56 + 32
+        assert (
+            ReadReturn(max_vc=vc, version_vc=vc).size_estimate() == 65 + 32 + 32
+        )
+        prepare = Prepare(vc=vc, read_versions=(("k", vc),), write_items=(("k", 1),))
+        assert prepare.size_estimate() == 64 + 32 + (16 + 32) + 32
+
+    def test_codec_size_estimates_reflect_delta_compression(self):
+        vc = VectorClock([5, 6, 7, 8])
+        codec = VCCodec()
+        first = Vote(vc=vc).size_estimate(codec, peer=3)
+        second = Vote(vc=vc).size_estimate(codec, peer=3)
+        # First shipment is dense (no reference yet), repeats are one byte.
+        assert first == 48 + (1 + 8 * 4)
+        assert second == 48 + 1
+        # A different destination has its own reference stream.
+        other = Vote(vc=vc).size_estimate(codec, peer=4)
+        assert other == first
+
+
+class TestCodecAccounting:
+    def test_clock_bytes_matches_encode(self):
+        clocks = [
+            VectorClock([0, 0, 0, 0]),
+            VectorClock([1, 0, 0, 0]),
+            VectorClock([1, 0, 0, 0]),
+            VectorClock([4, 5, 6, 7]),
+            VectorClock([4, 5, 6, 8]),
+        ]
+        accounting = VCCodec()
+        reference = VCCodec()
+        for clock in clocks:
+            nbytes = accounting.clock_bytes("peer", clock)
+            encoding = reference.encode("peer", clock)
+            assert nbytes == VCCodec.encoded_size_bytes(encoding)
+
+    def test_stats_accumulate(self):
+        codec = VCCodec()
+        codec.clock_bytes(0, VectorClock([1, 2, 3]))
+        codec.clock_bytes(0, VectorClock([1, 2, 4]))
+        stats = codec.stats()
+        assert stats["clocks_encoded"] == 2
+        assert stats["dense_bytes_total"] == 2 * (1 + 24)
+        assert 0 < stats["encoded_bytes_total"] <= stats["dense_bytes_total"]
+        assert stats["encoded_bytes_max"] == 1 + 24  # the initial dense shipment
+
+    def test_adaptive_codec_handles_width_change(self):
+        codec = VCCodec()
+        assert codec.clock_bytes(1, VectorClock([1, 2])) == 1 + 16
+        # Width change resets the reference to a dense shipment.
+        assert codec.clock_bytes(1, VectorClock([1, 2, 3])) == 1 + 24
+
+    def test_fixed_width_still_validates(self):
+        codec = VCCodec(2)
+        with pytest.raises(ValueError):
+            codec.encode(0, VectorClock([1, 2, 3]))

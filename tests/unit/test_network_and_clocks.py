@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 
 import pytest
 
@@ -17,20 +16,22 @@ from repro.network.transport import Network
 from repro.sim.engine import Simulation
 
 
-@dataclass
 class Ping(Message):
-    payload: int = 0
+    __slots__ = ("payload",)
+    priority = MessagePriority.READ
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.READ
+    def __init__(self, payload: int = 0):
+        Message.__init__(self)
+        self.payload = payload
 
 
-@dataclass
 class Pong(Message):
-    payload: int = 0
+    __slots__ = ("payload",)
+    priority = MessagePriority.CONTROL
 
-    def __post_init__(self) -> None:
-        self.priority = MessagePriority.CONTROL
+    def __init__(self, payload: int = 0):
+        Message.__init__(self)
+        self.payload = payload
 
 
 class EchoNode(NetworkedNode):
@@ -141,19 +142,21 @@ class TestTransport:
         network = Network(sim, config=NetworkConfig(bandwidth_msgs_per_us=0))
         order = []
 
-        @dataclass
         class Slow(Message):
-            tag: str = ""
+            __slots__ = ("tag",)
+            priority = MessagePriority.READ
 
-            def __post_init__(self):
-                self.priority = MessagePriority.READ
+            def __init__(self, tag: str = ""):
+                Message.__init__(self)
+                self.tag = tag
 
-        @dataclass
         class Urgent(Message):
-            tag: str = ""
+            __slots__ = ("tag",)
+            priority = MessagePriority.CONTROL
 
-            def __post_init__(self):
-                self.priority = MessagePriority.CONTROL
+            def __init__(self, tag: str = ""):
+                Message.__init__(self)
+                self.tag = tag
 
         class Receiver(NetworkedNode):
             def __init__(self, *args, **kwargs):
