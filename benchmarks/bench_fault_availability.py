@@ -1,0 +1,182 @@
+"""Fault-plane availability: all four protocols under crash and partition.
+
+The original papers evaluated Walter and ROCOCO under failures; the SSS
+paper only argues fail-free behaviour on shared infrastructure.  This
+benchmark closes that gap on the reproduction's side: every protocol runs
+the same workload under increasing fault intensity, and the per-phase
+availability (phase throughput relative to the run's best fail-free phase)
+is recorded to ``BENCH_faults.json``.
+
+Intensities:
+
+* ``none`` — fail-free control (availability trivially 1.0, no phases);
+* ``crash`` — one node crash-stops a quarter into the run and restarts
+  after 15 % of the run;
+* ``crash+partition`` — the crash plus a buffered (eventual-delivery)
+  partition later in the run.
+
+What to expect (and what the assertions pin, loosely, because this is a
+scaled-down simulator sweep): availability collapses during the fault
+windows and recovers after crash-recovery/heal; SSS and 2PC-baseline keep
+external consistency under faults (asserted by the integration tests),
+while ROCOCO's order-based replay and Walter's lossy propagation do not —
+that contrast is part of the result, not a bug in the sweep.
+
+Environment: ``REPRO_BENCH_FAULTS_DURATION_US`` overrides the per-point
+duration (default: the suite-wide ``REPRO_BENCH_DURATION_US``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.common import (
+    RECORDER,
+    SETTINGS,
+    flush_bench_json,
+    run_once,
+    shape_checks_enabled,
+)
+from repro.common.config import ClusterConfig, FaultPlan, WorkloadConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import ExperimentPoint, run_points
+
+#: (protocol, replication degree) — ROCOCO is compared without replication,
+#: as in the paper's Figure 6 configuration.
+PROTOCOLS = (("sss", 2), ("2pc", 2), ("walter", 2), ("rococo", 1))
+
+DURATION_US = float(
+    os.environ.get("REPRO_BENCH_FAULTS_DURATION_US", SETTINGS.duration_us)
+)
+
+
+def _fault_plan(intensity: str, duration_us: float, n_nodes: int) -> FaultPlan:
+    """The fault schedule for one intensity level, scaled to the duration."""
+    crash_at = 0.25 * duration_us
+    crash_for = 0.15 * duration_us
+    partition_at = 0.60 * duration_us
+    partition_for = 0.15 * duration_us
+    victim = 1 % n_nodes
+    if intensity == "none":
+        return FaultPlan()
+    if intensity == "crash":
+        return FaultPlan.parse(
+            [f"crash node={victim} at={crash_at} for={crash_for}"]
+        )
+    if intensity == "crash+partition":
+        rest = ",".join(str(node) for node in range(1, n_nodes))
+        return FaultPlan.parse(
+            [
+                f"crash node={victim} at={crash_at} for={crash_for}",
+                f"partition groups=0|{rest} at={partition_at} for={partition_for}",
+            ]
+        )
+    raise ValueError(f"unknown intensity {intensity!r}")
+
+
+INTENSITIES = ("none", "crash", "crash+partition")
+
+
+def _sweep():
+    n_nodes = SETTINGS.node_counts[0]
+    workload = WorkloadConfig(read_only_fraction=0.5)
+    points = [
+        ExperimentPoint(
+            protocol=protocol,
+            config=ClusterConfig(
+                n_nodes=n_nodes,
+                n_keys=SETTINGS.n_keys,
+                replication_degree=min(replication_degree, n_nodes),
+                clients_per_node=SETTINGS.clients_per_node,
+                seed=SETTINGS.seed,
+                faults=_fault_plan(intensity, DURATION_US, n_nodes),
+            ),
+            workload=workload,
+            duration_us=DURATION_US,
+            warmup_us=0.0,
+            label=(protocol, intensity),
+        )
+        for protocol, replication_degree in PROTOCOLS
+        for intensity in INTENSITIES
+    ]
+    availability = {}
+    for (protocol, intensity), result in run_points(points):
+        RECORDER.record(result)
+        metrics = result.metrics
+        availability[(protocol, intensity)] = {
+            "availability_min": metrics.extra.get("availability_min"),
+            "stalled_clients": metrics.extra.get("stalled_clients", 0.0),
+            "leaked_writers": metrics.extra.get("quiescence_leaked_writers", 0.0),
+            "phases": metrics.phases,
+            "committed": metrics.committed,
+        }
+    return availability
+
+
+@pytest.mark.benchmark(group="faults")
+def test_fault_availability(benchmark):
+    availability = run_once(benchmark, _sweep)
+    payload = flush_bench_json("faults")
+    assert payload["totals"]["datapoints"] == len(PROTOCOLS) * len(INTENSITIES)
+
+    rows = {}
+    for protocol, _rf in PROTOCOLS:
+        rows[protocol] = [
+            (
+                availability[(protocol, intensity)]["availability_min"]
+                if intensity != "none"
+                else 1.0
+            )
+            or 0.0
+            for intensity in INTENSITIES
+        ]
+    print()
+    print(
+        format_table(
+            f"Fault availability (min per-phase, {SETTINGS.node_counts[0]} nodes, "
+            f"{DURATION_US / 1000:.0f} ms)",
+            list(INTENSITIES),
+            rows,
+        )
+    )
+
+    # Structural invariants, valid at any duration: every faulty point
+    # reports phases, and availabilities are well-formed fractions.
+    for (protocol, intensity), point in availability.items():
+        if intensity == "none":
+            assert not point["phases"], "fail-free runs have no fault phases"
+            continue
+        assert point["phases"], f"{protocol}/{intensity} lost its phase report"
+        for phase in point["phases"]:
+            if phase["availability"] is not None:
+                assert 0.0 <= phase["availability"] <= 1.0
+
+    if not shape_checks_enabled():
+        return
+    for protocol, _rf in PROTOCOLS:
+        none_committed = availability[(protocol, "none")]["committed"]
+        crash_committed = availability[(protocol, "crash")]["committed"]
+        # Faults must actually bite: a crash window cannot leave throughput
+        # untouched.
+        assert crash_committed < none_committed, (
+            f"{protocol}: crash intensity did not reduce committed work"
+        )
+        # The fault windows themselves must show degraded availability.
+        crash_phases = [
+            phase
+            for phase in availability[(protocol, "crash")]["phases"]
+            if "crash" in phase["label"] and phase["availability"] is not None
+        ]
+        assert crash_phases and min(p["availability"] for p in crash_phases) < 0.8
+    # SSS must recover after the crash heals: its final fail-free phase beats
+    # its crash phase.
+    sss_phases = availability[("sss", "crash")]["phases"]
+    crash_avail = next(
+        p["availability"] for p in sss_phases if "crash" in p["label"]
+    )
+    tail_avail = sss_phases[-1]["availability"]
+    assert tail_avail is not None and tail_avail > crash_avail, (
+        "SSS availability failed to recover after the crash window"
+    )

@@ -137,6 +137,20 @@ class _BenchRecorder:
             value = metrics.extra.get(field_name)
             if value is not None:
                 point[field_name] = value
+        # Fault-plane accounting (present when the config carried a fault
+        # plan; see run_experiment and ExperimentMetrics.phases).
+        for field_name in (
+            "availability_min",
+            "stalled_clients",
+            "quiescence_leaked_writers",
+            "quiescence_commit_queue",
+            "fault_events",
+        ):
+            value = metrics.extra.get(field_name)
+            if value is not None:
+                point[field_name] = value
+        if metrics.phases:
+            point["phases"] = metrics.phases
         self.pending.append(point)
 
     def flush(self, figure: str) -> Dict:

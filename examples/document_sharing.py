@@ -20,7 +20,7 @@ Run with::
 from __future__ import annotations
 
 from repro import ClusterConfig
-from repro.harness.cluster import build_cluster
+from repro.protocols import build_cluster
 
 DOCUMENT = "document-D"
 TRIALS = 20

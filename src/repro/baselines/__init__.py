@@ -17,9 +17,11 @@ the simulated substrate:
   transactions use an optimistic two-round snapshot read that retries when a
   concurrent update slips in between the rounds.
 
-Every baseline exposes the same facade as :class:`repro.core.SSSCluster`
-(``session`` / ``spawn`` / ``run`` / ``history``), so the benchmark harness
-treats all four protocols uniformly.
+Every baseline extends the unified protocol layer — the nodes subclass
+:class:`repro.protocols.runtime.ProtocolRuntime`, the clusters subclass
+:class:`repro.protocols.cluster.ProtocolCluster`, and each registers itself
+in :data:`repro.protocols.REGISTRY` — so the benchmark harness treats all
+four protocols uniformly through one registry.
 """
 
 from repro.baselines.base import BaselineCluster, BaseProtocolNode
@@ -37,10 +39,3 @@ __all__ = [
     "WalterCluster",
     "WalterNode",
 ]
-
-PROTOCOL_CLUSTERS = {
-    "2pc": TwoPCCluster,
-    "walter": WalterCluster,
-    "rococo": RococoCluster,
-}
-"""Name-to-cluster map used by the harness (``"sss"`` is added there)."""

@@ -1,234 +1,23 @@
 """Shared infrastructure of the baseline protocols.
 
-:class:`BaseProtocolNode` defines the coordinator-side interface every
+Everything that used to live here — the coordinator-side plumbing every
 protocol node must provide so that :class:`repro.core.session.Session` can
-drive it (``begin_transaction`` / ``txn_read`` / ``txn_write`` /
-``txn_commit`` / ``txn_abort``), plus the storage bits the baselines share.
+drive it, and the cluster facade — moved into the unified protocol layer
+when SSS and the baselines were ported onto one runtime:
 
-:class:`BaselineCluster` mirrors the public facade of
-:class:`repro.core.cluster.SSSCluster` for an arbitrary node class, so the
-benchmark harness can instantiate any protocol with one code path.
+* :class:`BaseProtocolNode` is :class:`repro.protocols.runtime.ProtocolRuntime`;
+* :class:`BaselineCluster` is :class:`repro.protocols.cluster.ProtocolCluster`.
+
+The aliases are kept so existing imports (tests, notebooks, downstream
+experiments) continue to work unchanged.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from repro.protocols.cluster import ProtocolCluster
+from repro.protocols.runtime import ProtocolRuntime
 
-from repro.common.config import ClusterConfig
-from repro.common.errors import ConfigurationError, TransactionStateError
-from repro.common.ids import NodeId, TransactionId, TxnIdGenerator
-from repro.consistency.checkers import CheckResult, check_external_consistency
-from repro.consistency.history import HistoryRecorder
-from repro.core.metadata import TransactionMeta, TransactionPhase
-from repro.core.session import Session
-from repro.network.node import NetworkedNode
-from repro.network.transport import Network
-from repro.replication.placement import KeyPlacement
-from repro.sim.engine import Simulation
+BaseProtocolNode = ProtocolRuntime
+BaselineCluster = ProtocolCluster
 
-if TYPE_CHECKING:  # pragma: no cover
-    pass
-
-
-class BaseProtocolNode(NetworkedNode):
-    """Common coordinator-side plumbing for the baseline protocol nodes."""
-
-    def __init__(
-        self,
-        sim: "Simulation",
-        network: "Network",
-        node_id: NodeId,
-        placement: KeyPlacement,
-        config: ClusterConfig,
-        history: Optional[HistoryRecorder] = None,
-    ):
-        super().__init__(sim, network, node_id, service=config.service)
-        self.placement = placement
-        self.config = config
-        self.history = history
-        self._txn_ids = TxnIdGenerator(node_id)
-        self.coordinated: Dict[TransactionId, TransactionMeta] = {}
-        self.counters = defaultdict(int)
-
-    # ------------------------------------------------------------------
-    # Placement helpers
-    # ------------------------------------------------------------------
-    def replicas(self, key: object) -> Tuple[NodeId, ...]:
-        return self.placement.replicas(key)
-
-    def primary(self, key: object) -> NodeId:
-        return self.placement.primary(key)
-
-    def is_replica_of(self, key: object) -> bool:
-        return self.placement.is_replica(self.node_id, key)
-
-    # ------------------------------------------------------------------
-    # Session interface
-    # ------------------------------------------------------------------
-    def begin_transaction(self, read_only: bool) -> TransactionMeta:
-        meta = TransactionMeta(
-            txn_id=self._txn_ids.next_id(),
-            coordinator=self.node_id,
-            is_update=not read_only,
-            n_nodes=self.config.n_nodes,
-        )
-        meta.begin_time = self.sim.now
-        self.coordinated[meta.txn_id] = meta
-        self.counters["begun"] += 1
-        return meta
-
-    def txn_write(self, meta: TransactionMeta, key: object, value: object) -> None:
-        if meta.phase is not TransactionPhase.EXECUTING:
-            raise TransactionStateError(f"write after completion of {meta}")
-        if meta.is_read_only:
-            raise TransactionStateError(
-                f"{meta.txn_id} was declared read-only but issued a write"
-            )
-        meta.record_write(key, value)
-        self.counters["client_writes"] += 1
-
-    def txn_abort(self, meta: TransactionMeta) -> None:
-        if meta.phase is not TransactionPhase.EXECUTING:
-            raise TransactionStateError(f"abort after completion of {meta}")
-        meta.phase = TransactionPhase.ABORTED
-        meta.abort_reason = "client-abort"
-        meta.abort_time = self.sim.now
-        self.counters["client_aborts"] += 1
-
-    def txn_read(self, meta: TransactionMeta, key: object):  # pragma: no cover
-        raise NotImplementedError
-
-    def txn_commit(self, meta: TransactionMeta):  # pragma: no cover
-        raise NotImplementedError
-
-    # ------------------------------------------------------------------
-    # Outcome helpers shared by the protocols
-    # ------------------------------------------------------------------
-    def _finish_commit(self, meta: TransactionMeta, counter: str) -> bool:
-        meta.phase = TransactionPhase.EXTERNALLY_COMMITTED
-        meta.external_commit_time = self.sim.now
-        if meta.commit_vc is None:
-            meta.commit_vc = meta.vc
-        self.counters[counter] += 1
-        if self.history is not None:
-            self.history.record_commit(meta)
-        return True
-
-    def _finish_abort(self, meta: TransactionMeta, reason: str) -> bool:
-        meta.phase = TransactionPhase.ABORTED
-        meta.abort_reason = reason
-        meta.abort_time = self.sim.now
-        self.counters["aborts"] += 1
-        if self.history is not None:
-            self.history.record_abort(meta)
-        return False
-
-    def preload(self, keys, initial_value=0) -> None:  # pragma: no cover
-        """Install the initial key space; overridden by each protocol."""
-        raise NotImplementedError
-
-    def stats(self) -> Dict[str, int]:
-        stats = dict(self.counters)
-        stats["messages_handled"] = self.messages_handled
-        return stats
-
-
-class BaselineCluster:
-    """Facade assembling a cluster of one baseline protocol.
-
-    Subclasses set :attr:`node_class` and :attr:`protocol_name`; everything
-    else (sessions, spawning client processes, running the simulation,
-    history recording) is shared and mirrors
-    :class:`repro.core.cluster.SSSCluster`.
-    """
-
-    node_class = None
-    protocol_name = "baseline"
-
-    def __init__(
-        self,
-        config: Optional[ClusterConfig] = None,
-        keys: Optional[Sequence[object]] = None,
-        record_history: bool = True,
-        initial_value=0,
-        **node_kwargs,
-    ):
-        if self.node_class is None:  # pragma: no cover - abstract use
-            raise ConfigurationError("BaselineCluster must be subclassed")
-        self.config = config or ClusterConfig()
-        self.config.validate()
-        self.keys: List[object] = (
-            list(keys)
-            if keys is not None
-            else [f"key-{index}" for index in range(self.config.n_keys)]
-        )
-        self.sim = Simulation(seed=self.config.seed)
-        self.network = Network(self.sim, config=self.config.network)
-        self.placement = KeyPlacement(
-            n_nodes=self.config.n_nodes,
-            replication_degree=self.config.replication_degree,
-            keys=self.keys,
-        )
-        self.history: Optional[HistoryRecorder] = (
-            HistoryRecorder() if record_history else None
-        )
-        self.nodes = [
-            self.node_class(
-                self.sim,
-                self.network,
-                node_id,
-                placement=self.placement,
-                config=self.config,
-                history=self.history,
-                **node_kwargs,
-            )
-            for node_id in range(self.config.n_nodes)
-        ]
-        for node in self.nodes:
-            node.preload(self.keys, initial_value=initial_value)
-        self._session_counter: Dict[int, int] = {}
-
-    # ------------------------------------------------------------------
-    def session(self, node_id: int = 0) -> Session:
-        if not 0 <= node_id < self.config.n_nodes:
-            raise ConfigurationError(
-                f"node_id {node_id} out of range (cluster has "
-                f"{self.config.n_nodes} nodes)"
-            )
-        index = self._session_counter.get(node_id, 0)
-        self._session_counter[node_id] = index + 1
-        return Session(self.nodes[node_id], client_index=index)
-
-    def spawn(self, generator, name: str = ""):
-        return self.sim.process(generator, name=name or "client")
-
-    def run(self, until: Optional[float] = None) -> float:
-        return self.sim.run(until=until)
-
-    @property
-    def now(self) -> float:
-        return self.sim.now
-
-    def node(self, node_id: int):
-        return self.nodes[node_id]
-
-    def check_consistency(self) -> CheckResult:
-        if self.history is None:
-            raise ConfigurationError(
-                "history recording is disabled for this cluster"
-            )
-        return check_external_consistency(self.history)
-
-    def total_counters(self) -> Dict[str, int]:
-        totals: Dict[str, int] = {}
-        for node in self.nodes:
-            for name, value in node.stats().items():
-                totals[name] = totals.get(name, 0) + value
-        return totals
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"<{type(self).__name__} nodes={self.config.n_nodes} "
-            f"keys={len(self.keys)} rf={self.config.replication_degree}>"
-        )
+__all__ = ["BaseProtocolNode", "BaselineCluster"]

@@ -33,11 +33,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.baselines.base import BaseProtocolNode, BaselineCluster
 from repro.common.errors import TransactionStateError
 from repro.common.ids import TransactionId
 from repro.core.metadata import TransactionMeta, TransactionPhase
 from repro.network.message import Message, MessagePriority
+from repro.protocols.cluster import ProtocolCluster
+from repro.protocols.registry import register
+from repro.protocols.runtime import ProtocolRuntime
 
 
 # ----------------------------------------------------------------------
@@ -88,25 +90,35 @@ class PieceDispatchReply(Message):
 
 
 class PieceCommit(Message):
-    """Round 2: execute the buffered piece in dependency order."""
+    """Round 2: execute the buffered piece in dependency order.
 
-    __slots__ = ("txn_id", "key", "order")
+    The piece payload (``is_write`` / ``write_value``) rides along so a
+    primary that crashed between the rounds — losing its piece buffer — can
+    faithfully recreate the piece from a fault-mode re-send instead of
+    degrading the write to a read.
+    """
+
+    __slots__ = ("txn_id", "key", "order", "is_write", "write_value")
     priority = MessagePriority.COMMIT
-    base_size = 48
+    base_size = 56
 
     def __init__(
         self,
         txn_id: TransactionId = None,
         key: object = None,
         order: float = 0.0,
+        is_write: bool = False,
+        write_value: object = None,
     ):
         Message.__init__(self)
         self.txn_id = txn_id
         self.key = key
         self.order = order
+        self.is_write = is_write
+        self.write_value = write_value
 
     def size_estimate(self, codec=None, peer=None) -> int:
-        return 48
+        return 56
 
 
 class PieceExecuted(Message):
@@ -131,6 +143,28 @@ class PieceExecuted(Message):
 
     def size_estimate(self, codec=None, peer=None) -> int:
         return 56
+
+
+class PieceAbort(Message):
+    """Fault-plane recovery: withdraw a dispatched-but-uncommitted piece.
+
+    Sent by a restarted coordinator for transactions that crashed between
+    their dispatch and commit rounds.  Only pieces that never received an
+    execution order are withdrawn — an ordered piece will execute and clean
+    itself up (its writes were decided atomically across all keys).
+    """
+
+    __slots__ = ("txn_id", "key")
+    priority = MessagePriority.CONTROL
+    base_size = 48
+
+    def __init__(self, txn_id: TransactionId = None, key: object = None):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.key = key
+
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 48
 
 
 class SnapshotRead(Message):
@@ -197,7 +231,7 @@ class _PendingPiece:
     executed: bool = False
 
 
-class RococoNode(BaseProtocolNode):
+class RococoNode(ProtocolRuntime):
     """One node of the ROCOCO store."""
 
     def __init__(self, *args, **kwargs):
@@ -205,8 +239,15 @@ class RococoNode(BaseProtocolNode):
         self._data: Dict[object, _RococoKey] = {}
         # Per-key pending pieces of dispatched-but-not-executed transactions.
         self._pending: Dict[object, Dict[TransactionId, _PendingPiece]] = {}
+        # Fault mode only: per-key executed-piece tombstones, so a re-sent
+        # PieceCommit whose original raced it can never double-apply (the
+        # pending entry — and with it the ``executed`` flag — is popped at
+        # execution).  Grows with the committed transactions of a run, like
+        # the other fault-recovery indexes; fail-free runs never write it.
+        self._executed_pieces: Dict[object, set] = {}
         self.register_handler(PieceDispatch, self.on_dispatch)
         self.register_handler(PieceCommit, self.on_commit)
+        self.register_handler(PieceAbort, self.on_piece_abort)
         self.register_handler(SnapshotRead, self.on_snapshot_read)
         # Signal notified whenever a pending set or a key version changes.
         self._progress = self.sim.signal(name=f"rococo-progress@{self.node_id}")
@@ -218,17 +259,60 @@ class RococoNode(BaseProtocolNode):
                 self._data[key] = _RococoKey(value=initial_value)
 
     # ------------------------------------------------------------------
+    # Fault plane
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Volatile state: the buffered-but-unexecuted piece lists.
+
+        The executed key states (value/version/writer) are the node's
+        durable data.  Dropped pieces stall their coordinators' commit
+        rounds — ROCOCO transactions block rather than abort on a crashed
+        participant.
+        """
+        self._pending.clear()
+
+    def on_restart(self) -> None:
+        """Withdraw pieces left pending by transactions that died with us.
+
+        An unordered piece buffered at an alive server blocks every later
+        piece on its key (``ready()`` waits for it to receive an order that
+        will never come); the restarted coordinator aborts them explicitly.
+        """
+        for txn_id in sorted(self.coordinated):
+            meta = self.coordinated[txn_id]
+            crash_phase = meta.crash_phase
+            if crash_phase is None:
+                continue
+            meta.crash_phase = None
+            if crash_phase is not TransactionPhase.PREPARING or meta.is_read_only:
+                continue  # read-only rounds buffer no pieces
+            self.counters["crash_recoveries"] += 1
+            for key in sorted(
+                set(meta.read_set) | set(meta.write_set), key=repr
+            ):
+                primary = self.primary(key)
+                if primary != self.node_id:
+                    self.send(primary, PieceAbort(txn_id=txn_id, key=key))
+
+    # ------------------------------------------------------------------
     # Server-side handlers
     # ------------------------------------------------------------------
     def on_dispatch(self, message: PieceDispatch):
         yield self.cpu(self.service.queue_op_us)
         pending = self._pending.setdefault(message.key, {})
-        deps = tuple(pending.keys())
-        pending[message.txn_id] = _PendingPiece(
-            txn_id=message.txn_id,
-            is_write=message.is_write,
-            write_value=message.write_value,
-        )
+        existing = pending.get(message.txn_id)
+        if existing is not None:
+            # Fault-mode re-send: the piece is already buffered (and may
+            # even be ordered) — answer with the dependencies it would have
+            # observed, without resetting its state.
+            deps = tuple(t for t in pending if t != message.txn_id)
+        else:
+            deps = tuple(pending.keys())
+            pending[message.txn_id] = _PendingPiece(
+                txn_id=message.txn_id,
+                is_write=message.is_write,
+                write_value=message.write_value,
+            )
         self._progress.notify()
         self.counters["pieces_dispatched"] += 1
         self.respond(
@@ -240,8 +324,32 @@ class RococoNode(BaseProtocolNode):
         key = message.key
         pending = self._pending.setdefault(key, {})
         piece = pending.get(message.txn_id)
-        if piece is None:  # pragma: no cover - defensive (dispatch lost)
-            piece = _PendingPiece(message.txn_id, is_write=False, write_value=None)
+        if piece is None:
+            executed_here = self._executed_pieces.get(key)
+            if executed_here is not None and message.txn_id in executed_here:
+                # Fault-mode re-send racing its own original: the piece
+                # already executed (and its pending entry was popped).
+                # Answer from the current state without applying twice.
+                state = self._data.setdefault(key, _RococoKey())
+                self.respond(
+                    message,
+                    PieceExecuted(
+                        txn_id=message.txn_id,
+                        key=key,
+                        value=state.value,
+                        version=state.version,
+                        writer=state.writer,
+                    ),
+                )
+                return
+            # The buffered piece is gone — a crash wiped the pending map (or
+            # the dispatch itself was lost).  Recreate it from the commit
+            # message's payload; fail-free runs never take this branch.
+            piece = _PendingPiece(
+                message.txn_id,
+                is_write=message.is_write,
+                write_value=message.write_value,
+            )
             pending[message.txn_id] = piece
         piece.order = message.order
         self._progress.notify()
@@ -266,6 +374,20 @@ class RococoNode(BaseProtocolNode):
 
         yield self.cpu(self.service.commit_apply_us)
         state = self._data.setdefault(key, _RococoKey())
+        if piece.executed:
+            # Fault-mode re-sent commit raced the original execution: answer
+            # from the current state without applying twice.
+            self.respond(
+                message,
+                PieceExecuted(
+                    txn_id=message.txn_id,
+                    key=key,
+                    value=state.value,
+                    version=state.version,
+                    writer=state.writer,
+                ),
+            )
+            return
         read_value = state.value
         read_version = state.version
         read_writer = state.writer
@@ -274,7 +396,11 @@ class RococoNode(BaseProtocolNode):
             state.version += 1
             state.writer = message.txn_id
         piece.executed = True
-        del pending[message.txn_id]
+        if self._fault_mode:
+            self._executed_pieces.setdefault(key, set()).add(message.txn_id)
+        # pop, not del: a fault-plane PieceAbort (or a crash clearing the
+        # pending map) may already have withdrawn the entry.
+        pending.pop(message.txn_id, None)
         self._progress.notify()
         self.counters["pieces_executed"] += 1
         self.respond(
@@ -287,6 +413,19 @@ class RococoNode(BaseProtocolNode):
                 writer=read_writer,
             ),
         )
+
+    def on_piece_abort(self, message: PieceAbort) -> None:
+        """Withdraw a dispatched piece that never received an order."""
+        pending = self._pending.get(message.key)
+        if pending is None:
+            return
+        piece = pending.get(message.txn_id)
+        if piece is None or piece.order is not None:
+            # Ordered pieces execute and clean themselves up.
+            return
+        del pending[message.txn_id]
+        self.counters["pieces_aborted"] += 1
+        self._progress.notify()
 
     def on_snapshot_read(self, message: SnapshotRead):
         key = message.key
@@ -333,9 +472,9 @@ class RococoNode(BaseProtocolNode):
             raise TransactionStateError(f"read after completion of {meta}")
         if key in meta.write_set:
             return meta.write_set[key]
-        reply = yield self.request(
+        reply = yield from self.reliable_request(
             self.primary(key),
-            SnapshotRead(
+            lambda: SnapshotRead(
                 txn_id=meta.txn_id, key=key, wait_for_pending=meta.is_read_only
             ),
         )
@@ -361,6 +500,19 @@ class RococoNode(BaseProtocolNode):
     def _commit_read_only(self, meta: TransactionMeta):
         """Second-round validation of the snapshot read."""
         meta.phase = TransactionPhase.PREPARING
+        if self._fault_mode:
+            replies = yield from self._piece_round(
+                list(meta.read_set),
+                lambda key: SnapshotRead(
+                    txn_id=meta.txn_id, key=key, wait_for_pending=True
+                ),
+            )
+            for key in meta.read_set:
+                first_version = getattr(meta.read_set[key], "version_number", 0)
+                if replies[key].version != first_version:
+                    self.counters["read_only_validation_failures"] += 1
+                    return self._finish_abort(meta, reason="read-only-validation")
+            return self._finish_commit(meta, "read_only_commits")
         events = {}
         for key, record in meta.read_set.items():
             events[key] = self.request(
@@ -375,6 +527,19 @@ class RococoNode(BaseProtocolNode):
                 return self._finish_abort(meta, reason="read-only-validation")
         return self._finish_commit(meta, "read_only_commits")
 
+    def _piece_round(self, keys, make_message):
+        """One per-key piece round routed to each key's primary.
+
+        The shared :meth:`ProtocolRuntime.request_round` provides the wave
+        (and, in fault mode, the idempotent re-send) semantics; the dispatch
+        and commit handlers are idempotent so a primary that crashed and
+        restarted simply answers the re-send.  Returns ``{key: reply}``.
+        """
+        replies = yield from self.request_round(
+            list(keys), self.primary, make_message
+        )
+        return replies
+
     def _commit_update(self, meta: TransactionMeta):
         meta.phase = TransactionPhase.PREPARING
         meta.prepare_time = self.sim.now
@@ -388,20 +553,15 @@ class RococoNode(BaseProtocolNode):
             pieces[key] = True
 
         # Round 1: dispatch.
-        dispatch_events = []
-        for key, is_write in pieces.items():
-            dispatch_events.append(
-                self.request(
-                    self.primary(key),
-                    PieceDispatch(
-                        txn_id=txn_id,
-                        key=key,
-                        is_write=is_write,
-                        write_value=meta.write_set.get(key),
-                    ),
-                )
-            )
-        yield self.sim.all_of(dispatch_events)
+        yield from self._piece_round(
+            pieces,
+            lambda key: PieceDispatch(
+                txn_id=txn_id,
+                key=key,
+                is_write=pieces[key],
+                write_value=meta.write_set.get(key),
+            ),
+        )
 
         # Order position: the dispatch-round completion instant is unique per
         # coordinator (simulated time plus a per-transaction tie-breaker) and
@@ -413,15 +573,17 @@ class RococoNode(BaseProtocolNode):
         meta.version_hints = {key: order for key in meta.write_set}
 
         # Round 2: commit / execute.
-        commit_events = [
-            self.request(
-                self.primary(key), PieceCommit(txn_id=txn_id, key=key, order=order)
-            )
-            for key in pieces
-        ]
-        yield self.sim.all_of(commit_events)
-        for event in commit_events:
-            executed: PieceExecuted = event.value
+        executed_replies = yield from self._piece_round(
+            pieces,
+            lambda key: PieceCommit(
+                txn_id=txn_id,
+                key=key,
+                order=order,
+                is_write=pieces[key],
+                write_value=meta.write_set.get(key),
+            ),
+        )
+        for executed in executed_replies.values():
             if executed.key in meta.read_set:
                 record = meta.read_set[executed.key]
                 record.value = executed.value
@@ -430,8 +592,11 @@ class RococoNode(BaseProtocolNode):
         return self._finish_commit(meta, "update_commits")
 
 
-class RococoCluster(BaselineCluster):
+class RococoCluster(ProtocolCluster):
     """Cluster facade for the ROCOCO baseline."""
 
     node_class = RococoNode
     protocol_name = "rococo"
+
+
+register("rococo", RococoCluster)

@@ -25,12 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
-from repro.baselines.base import BaseProtocolNode, BaselineCluster
 from repro.common.errors import TransactionStateError
 from repro.common.ids import TransactionId
-from repro.core.coordinator import VoteCollector
 from repro.core.metadata import TransactionMeta, TransactionPhase
 from repro.network.message import Message, MessagePriority
+from repro.protocols.cluster import ProtocolCluster
+from repro.protocols.registry import register
+from repro.protocols.runtime import ProtocolRuntime
 from repro.storage.locks import LockTable
 
 
@@ -160,7 +161,7 @@ class _KeyState:
     writer: Optional[TransactionId] = None
 
 
-class TwoPCNode(BaseProtocolNode):
+class TwoPCNode(ProtocolRuntime):
     """One node of the 2PC-baseline store."""
 
     def __init__(self, *args, **kwargs):
@@ -178,6 +179,54 @@ class TwoPCNode(BaseProtocolNode):
         for key in keys:
             if self.is_replica_of(key):
                 self._data[key] = _KeyState(value=initial_value)
+
+    # ------------------------------------------------------------------
+    # Fault plane
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Textbook participant crash: only *prepared* state is durable.
+
+        A participant force-writes the prepare record before voting yes, so
+        ``_prepared`` and the prepared transactions' locks survive the crash
+        (and keep blocking — 2PC's in-doubt window, resolved when the
+        coordinator re-sends the decision).  Everything else — lock waiters
+        and holders of transactions that never reached the vote — dies with
+        the process.  The single-version store is the node's recovered data.
+        """
+        self.locks.reset_except(set(self._prepared))
+
+    def on_restart(self) -> None:
+        """Resolve in-doubt 2PC rounds pinned by transactions that died with us.
+
+        A coordinated transaction that crashed mid-round left durable
+        prepared entries and locks at its participants (this node included —
+        it is its own participant, and ``on_crash`` deliberately preserved
+        its prepared state).  The *recorded decision* is re-fanned to every
+        participant: abort when the crash hit before the commit decision was
+        taken (``internal_commit_time`` unset — the decide fan-out, when it
+        happened at all, carried the same abort), commit when the decision
+        was already taken and sent — a participant the original Decide never
+        reached (crash, drop-mode partition) must apply, not abort, or the
+        round's outcome would split across replicas.  ``on_decide`` is
+        idempotent, so participants that already applied simply re-ack into
+        the void.
+        """
+        for txn_id in sorted(self.coordinated):
+            meta = self.coordinated[txn_id]
+            crash_phase = meta.crash_phase
+            if crash_phase is None:
+                continue
+            meta.crash_phase = None
+            if crash_phase is not TransactionPhase.PREPARING:
+                continue
+            self.counters["crash_recoveries"] += 1
+            outcome = meta.internal_commit_time is not None
+            participants = set(
+                self.placement.replicas_of(list(meta.read_set) + list(meta.write_set))
+            )
+            participants.add(self.node_id)
+            for participant in sorted(participants):
+                self.send(participant, Decide2PC(txn_id=txn_id, outcome=outcome))
 
     # ------------------------------------------------------------------
     # Server-side handlers
@@ -267,15 +316,11 @@ class TwoPCNode(BaseProtocolNode):
         if key in meta.write_set:
             return meta.write_set[key]
 
-        events = [
-            self.request(replica, ReadRequest2PC(txn_id=meta.txn_id, key=key))
-            for replica in self.replicas(key)
-        ]
-        if len(events) == 1:
-            reply: ReadReturn2PC = yield events[0]
-        else:
-            yield self.sim.any_of(events)
-            reply = next(event.value for event in events if event.triggered)
+        events = self.request_each(
+            self.replicas(key),
+            lambda _replica: ReadRequest2PC(txn_id=meta.txn_id, key=key),
+        )
+        reply: ReadReturn2PC = yield from self.fastest_of(events)
         meta.record_read(
             key=key,
             value=reply.value,
@@ -306,47 +351,46 @@ class TwoPCNode(BaseProtocolNode):
         )
         participants.add(self.node_id)
 
-        # Prepare phase.
-        vote_events = [
-            self.request(
-                participant,
-                Prepare2PC(
-                    txn_id=txn_id,
-                    read_versions=read_versions,
-                    write_items=write_items,
-                ),
-            )
-            for participant in sorted(participants)
-        ]
-        # Shared coarse deadline (see Simulation.deadline): crash guard only.
-        timeout = self.sim.deadline(self.config.timeouts.prepare_timeout_us)
-        votes = VoteCollector(self.sim, vote_events)
-        yield self.sim.any_of([votes, timeout])
-        outcome = votes.triggered and votes.value[0]
+        # Prepare phase: one shared vote round (crash-guard deadline included).
+        outcome, _votes = yield from self.vote_round(
+            sorted(participants),
+            lambda _participant: Prepare2PC(
+                txn_id=txn_id,
+                read_versions=read_versions,
+                write_items=write_items,
+            ),
+            self.config.timeouts.prepare_timeout_us,
+        )
 
         # Decide phase; wait for every participant's acknowledgement so the
         # client response order matches the data-store state (external
-        # consistency).
-        ack_events = [
-            self.request(participant, Decide2PC(txn_id=txn_id, outcome=outcome))
-            for participant in sorted(participants)
-        ]
+        # consistency).  In fault mode the decision is re-sent until every
+        # participant answers — a crashed participant recovers its durable
+        # prepared state and applies on the re-send (on_decide is
+        # idempotent), which is what closes the in-doubt window.
         if outcome:
             meta.internal_commit_time = self.sim.now
-        yield self.sim.all_of(ack_events)
+        ordered_participants = sorted(participants)
+        acks = yield from self.request_all(
+            ordered_participants,
+            lambda _participant: Decide2PC(txn_id=txn_id, outcome=outcome),
+        )
 
         if not outcome:
             return self._finish_abort(meta, reason="validation-or-lock")
-        for event in ack_events:
-            ack: DecideAck2PC = event.value
+        for participant in ordered_participants:
+            ack: DecideAck2PC = acks[participant]
             for key, version in ack.versions:
                 meta.version_hints[key] = float(version)
         counter = "update_commits" if meta.is_update else "read_only_commits"
         return self._finish_commit(meta, counter)
 
 
-class TwoPCCluster(BaselineCluster):
+class TwoPCCluster(ProtocolCluster):
     """Cluster facade for the 2PC-baseline."""
 
     node_class = TwoPCNode
     protocol_name = "2pc"
+
+
+register("2pc", TwoPCCluster)

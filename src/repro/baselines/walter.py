@@ -30,14 +30,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.baselines.base import BaseProtocolNode, BaselineCluster
 from repro.clocks.vector_clock import VectorClock
 from repro.common.errors import TransactionStateError
 from repro.common.ids import TransactionId
-from repro.core.coordinator import VoteCollector
 from repro.core.messages import vc_wire_size
 from repro.core.metadata import TransactionMeta, TransactionPhase
 from repro.network.message import Message, MessagePriority
+from repro.protocols.cluster import ProtocolCluster
+from repro.protocols.registry import register
+from repro.protocols.runtime import ProtocolRuntime
 from repro.storage.locks import LockTable
 
 
@@ -180,7 +181,7 @@ class _WalterVersion:
     writer: Optional[TransactionId]
 
 
-class WalterNode(BaseProtocolNode):
+class WalterNode(ProtocolRuntime):
     """One node of the Walter (PSI) store."""
 
     def __init__(self, *args, **kwargs):
@@ -205,6 +206,46 @@ class WalterNode(BaseProtocolNode):
                 self._chains[key] = [
                     _WalterVersion(value=initial_value, site=0, seqno=0, writer=None)
                 ]
+
+    # ------------------------------------------------------------------
+    # Fault plane
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Volatile state: the lock table and the slow-path prepare buffers.
+
+        The version chains, the committed vector timestamp and the local
+        sequence counter are durable — ``_local_seq`` in particular must
+        survive so a restarted preferred site never reuses a sequence number
+        it already handed out.
+        """
+        self._prepared.clear()
+        self.locks.reset()
+
+    def on_restart(self) -> None:
+        """Abort slow-path rounds that were in flight when we crashed.
+
+        Preferred sites holding prepared write-sets (and their locks) for a
+        transaction whose coordinator died release them on this decided
+        abort; without it the locks leak until the end of the run.
+        """
+        for txn_id in sorted(self.coordinated):
+            meta = self.coordinated[txn_id]
+            crash_phase = meta.crash_phase
+            if crash_phase is None:
+                continue
+            meta.crash_phase = None
+            if crash_phase is not TransactionPhase.PREPARING:
+                continue
+            self.counters["crash_recoveries"] += 1
+            preferred_sites = {self.primary(key) for key in meta.write_set}
+            preferred_sites.discard(self.node_id)
+            for site in sorted(preferred_sites):
+                self.send(
+                    site,
+                    WalterDecide(
+                        txn_id=txn_id, outcome=False, site=self.node_id, seqno=0
+                    ),
+                )
 
     # ------------------------------------------------------------------
     # Storage helpers
@@ -351,18 +392,13 @@ class WalterNode(BaseProtocolNode):
             reply_value, writer, served_by = version.value, version.writer, self.node_id
             version_seq = version.seqno
         else:
-            events = [
-                self.request(
-                    replica,
-                    WalterRead(txn_id=meta.txn_id, key=key, start_vts=meta.vc),
-                )
-                for replica in replicas
-            ]
-            if len(events) == 1:
-                reply: WalterReadReturn = yield events[0]
-            else:
-                yield self.sim.any_of(events)
-                reply = next(event.value for event in events if event.triggered)
+            events = self.request_each(
+                replicas,
+                lambda _replica: WalterRead(
+                    txn_id=meta.txn_id, key=key, start_vts=meta.vc
+                ),
+            )
+            reply: WalterReadReturn = yield from self.fastest_of(events)
             reply_value, writer, served_by = reply.value, reply.writer, reply.sender
             version_seq = reply.seqno
 
@@ -432,20 +468,13 @@ class WalterNode(BaseProtocolNode):
     def _slow_commit(self, meta: TransactionMeta, write_items, preferred_sites):
         """2PC-like round over the written keys' preferred sites."""
         txn_id = meta.txn_id
-        vote_events = [
-            self.request(
-                site,
-                WalterPrepare(
-                    txn_id=txn_id, start_vts=meta.vc, write_items=write_items
-                ),
-            )
-            for site in sorted(preferred_sites)
-        ]
-        # Shared coarse deadline (see Simulation.deadline): crash guard only.
-        timeout = self.sim.deadline(self.config.timeouts.prepare_timeout_us)
-        votes = VoteCollector(self.sim, vote_events)
-        yield self.sim.any_of([votes, timeout])
-        outcome = votes.triggered and votes.value[0]
+        outcome, _votes = yield from self.vote_round(
+            sorted(preferred_sites),
+            lambda _site: WalterPrepare(
+                txn_id=txn_id, start_vts=meta.vc, write_items=write_items
+            ),
+            self.config.timeouts.prepare_timeout_us,
+        )
 
         self._local_seq += 1
         seqno = self._local_seq
@@ -463,8 +492,11 @@ class WalterNode(BaseProtocolNode):
         return outcome
 
 
-class WalterCluster(BaselineCluster):
+class WalterCluster(ProtocolCluster):
     """Cluster facade for the Walter (PSI) baseline."""
 
     node_class = WalterNode
     protocol_name = "walter"
+
+
+register("walter", WalterCluster)

@@ -15,6 +15,7 @@ Infiniband test-bed, which is the default here as well.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import ConfigurationError
 
@@ -102,6 +103,13 @@ class TimeoutConfig:
     for the ExternalDone notification to arrive in the common case; on
     expiry the reader falls back to excluding the writer from its snapshot."""
 
+    crash_resubscribe_us: float = 5_000.0
+    """Fault-mode only: how often an external-commit dependency wait re-sends
+    its SubscribeExternal before trying again.  A crash can swallow both the
+    original subscription and the notification; periodic re-subscription is
+    what lets gated readers resolve once the writer's coordinator restarts.
+    Fail-free runs never take this path."""
+
     def validate(self) -> None:
         if self.lock_timeout_us <= 0:
             raise ConfigurationError("lock_timeout_us must be > 0")
@@ -109,6 +117,300 @@ class TimeoutConfig:
             raise ConfigurationError("prepare_timeout_us must be > 0")
         if self.backoff_initial_us <= 0 or self.backoff_max_us < self.backoff_initial_us:
             raise ConfigurationError("invalid back-off window")
+
+
+# ----------------------------------------------------------------------
+# Fault plane: declarative fault plans
+# ----------------------------------------------------------------------
+def parse_time_us(text: Union[str, int, float]) -> float:
+    """Parse a time literal into microseconds.
+
+    Accepts plain numbers (microseconds) and strings with a ``us`` / ``ms``
+    / ``s`` suffix: ``"30ms"`` -> 30000.0, ``"500us"`` -> 500.0, ``"1.5s"``
+    -> 1500000.0, ``"250"`` -> 250.0.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    raw = text.strip().lower()
+    for suffix, scale in (("us", MICROSECOND), ("ms", MILLISECOND), ("s", SECOND)):
+        if raw.endswith(suffix):
+            number = raw[: -len(suffix)]
+            break
+    else:
+        number, scale = raw, MICROSECOND
+    try:
+        return float(number) * scale
+    except ValueError:
+        raise ConfigurationError(f"cannot parse time literal {text!r}") from None
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash-stop ``node`` at ``at_us``; restart after ``duration_us``.
+
+    ``duration_us=None`` means the node never restarts.  A crashed node
+    loses its volatile state (see ``ProtocolRuntime.on_crash``) and replays
+    its durable state on restart.
+    """
+
+    node: int
+    at_us: float
+    duration_us: Optional[float] = None
+
+    kind = "crash"
+
+    def end_us(self, horizon: float) -> float:
+        if self.duration_us is None:
+            return horizon
+        return self.at_us + self.duration_us
+
+    def validate(self, n_nodes: int) -> None:
+        if not 0 <= self.node < n_nodes:
+            raise ConfigurationError(
+                f"crash fault targets node {self.node}, cluster has {n_nodes}"
+            )
+        if self.at_us < 0:
+            raise ConfigurationError("crash at_us must be >= 0")
+        if self.duration_us is not None and self.duration_us <= 0:
+            raise ConfigurationError("crash duration_us must be > 0 (or None)")
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Split the cluster into ``groups`` during ``[at_us, at_us+duration_us)``.
+
+    ``mode="buffer"`` (default) holds cross-partition messages in the
+    network and releases them at heal time — the paper's "messages are
+    guaranteed to be eventually delivered unless a crash happens" model.
+    ``mode="drop"`` loses them instead (a partition that behaves like a
+    crash of the far side).  Nodes not named in any group form one implicit
+    extra group together.
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    at_us: float
+    duration_us: float
+    mode: str = "buffer"
+
+    kind = "partition"
+
+    def end_us(self, horizon: float) -> float:
+        return self.at_us + self.duration_us
+
+    def validate(self, n_nodes: int) -> None:
+        if len(self.groups) < 2:
+            raise ConfigurationError("a partition needs at least two groups")
+        seen: set = set()
+        for group in self.groups:
+            if not group:
+                raise ConfigurationError("empty partition group")
+            for node in group:
+                if not 0 <= node < n_nodes:
+                    raise ConfigurationError(
+                        f"partition names node {node}, cluster has {n_nodes}"
+                    )
+                if node in seen:
+                    raise ConfigurationError(
+                        f"node {node} appears in two partition groups"
+                    )
+                seen.add(node)
+        if self.at_us < 0 or self.duration_us <= 0:
+            raise ConfigurationError("partition window must be positive")
+        if self.mode not in ("buffer", "drop"):
+            raise ConfigurationError(f"unknown partition mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class SlowLinkFault:
+    """Degrade the ``src -> dst`` link during ``[at_us, at_us+duration_us)``.
+
+    Every message on the link has its propagation latency multiplied by
+    ``factor`` and increased by ``extra_us``.  ``bidirectional`` (default)
+    degrades both directions.
+    """
+
+    src: int
+    dst: int
+    at_us: float
+    duration_us: float
+    factor: float = 1.0
+    extra_us: float = 0.0
+    bidirectional: bool = True
+
+    kind = "slowlink"
+
+    def end_us(self, horizon: float) -> float:
+        return self.at_us + self.duration_us
+
+    def validate(self, n_nodes: int) -> None:
+        for node in (self.src, self.dst):
+            if not 0 <= node < n_nodes:
+                raise ConfigurationError(
+                    f"slowlink names node {node}, cluster has {n_nodes}"
+                )
+        if self.src == self.dst:
+            raise ConfigurationError("slowlink src and dst must differ")
+        if self.at_us < 0 or self.duration_us <= 0:
+            raise ConfigurationError("slowlink window must be positive")
+        if self.factor < 1.0 or self.extra_us < 0:
+            raise ConfigurationError(
+                "slowlink must degrade (factor >= 1, extra_us >= 0)"
+            )
+
+
+FaultSpec = Union[CrashFault, PartitionFault, SlowLinkFault]
+
+_TRUE_LITERALS = ("1", "true", "yes", "on")
+
+
+def _parse_fault(spec: Union[str, Dict, FaultSpec]) -> FaultSpec:
+    """Parse one fault spec: a fault object, a dict, or a compact string.
+
+    String grammar (whitespace-separated ``key=value`` fields after the
+    kind)::
+
+        "crash node=2 at=30ms for=20ms"          # "for" optional: no restart
+        "partition groups=0,1|2,3 at=10ms for=20ms mode=drop"
+        "slowlink src=0 dst=1 at=5ms for=10ms factor=8 extra=200us"
+    """
+    if isinstance(spec, (CrashFault, PartitionFault, SlowLinkFault)):
+        return spec
+    if isinstance(spec, str):
+        tokens = spec.split()
+        if not tokens:
+            raise ConfigurationError("empty fault spec")
+        kind, fields = tokens[0].lower(), {}
+        for token in tokens[1:]:
+            if "=" not in token:
+                raise ConfigurationError(
+                    f"malformed fault field {token!r} in {spec!r}"
+                )
+            key, value = token.split("=", 1)
+            fields[key] = value
+        spec = {"kind": kind, **fields}
+    if not isinstance(spec, dict):
+        raise ConfigurationError(f"cannot parse fault spec {spec!r}")
+    fields = dict(spec)
+    kind = str(fields.pop("kind", "")).lower()
+    at_us = parse_time_us(fields.pop("at", fields.pop("at_us", 0)))
+    raw_for = fields.pop("for", fields.pop("duration_us", None))
+    duration_us = None if raw_for is None else parse_time_us(raw_for)
+    if kind == "crash":
+        node = int(fields.pop("node"))
+        _reject_unknown(kind, fields)
+        return CrashFault(node=node, at_us=at_us, duration_us=duration_us)
+    if kind == "partition":
+        raw_groups = fields.pop("groups")
+        if isinstance(raw_groups, str):
+            groups = tuple(
+                tuple(int(part) for part in group.split(",") if part != "")
+                for group in raw_groups.split("|")
+            )
+        else:
+            groups = tuple(tuple(int(node) for node in group) for group in raw_groups)
+        mode = str(fields.pop("mode", "buffer"))
+        _reject_unknown(kind, fields)
+        if duration_us is None:
+            raise ConfigurationError("partition requires a 'for' window")
+        return PartitionFault(
+            groups=groups, at_us=at_us, duration_us=duration_us, mode=mode
+        )
+    if kind == "slowlink":
+        src = int(fields.pop("src"))
+        dst = int(fields.pop("dst"))
+        factor = float(fields.pop("factor", 1.0))
+        extra_us = parse_time_us(fields.pop("extra", fields.pop("extra_us", 0.0)))
+        raw_bidi = fields.pop("bidirectional", True)
+        if isinstance(raw_bidi, str):
+            bidirectional = raw_bidi.lower() in _TRUE_LITERALS
+        else:
+            bidirectional = bool(raw_bidi)
+        _reject_unknown(kind, fields)
+        if duration_us is None:
+            raise ConfigurationError("slowlink requires a 'for' window")
+        return SlowLinkFault(
+            src=src,
+            dst=dst,
+            at_us=at_us,
+            duration_us=duration_us,
+            factor=factor,
+            extra_us=extra_us,
+            bidirectional=bidirectional,
+        )
+    raise ConfigurationError(f"unknown fault kind {kind!r}")
+
+
+def _reject_unknown(kind: str, leftover: Dict) -> None:
+    if leftover:
+        raise ConfigurationError(
+            f"unknown field(s) {sorted(leftover)} for {kind!r} fault"
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, deterministic schedule of fault-plane events.
+
+    The plan is part of the cluster configuration, so a faulty experiment is
+    exactly as reproducible (and as picklable for the parallel sweep runner)
+    as a fail-free one.  An empty plan is the default everywhere and changes
+    nothing: fail-free histories stay byte-identical.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def parse(cls, specs: Sequence[Union[str, Dict, FaultSpec]]) -> "FaultPlan":
+        """Build a plan from compact strings / dicts / fault objects."""
+        return cls(faults=tuple(_parse_fault(spec) for spec in specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def validate(self, n_nodes: int) -> None:
+        for fault in self.faults:
+            fault.validate(n_nodes)
+        # The transport supports one active partition at a time.
+        partitions = sorted(
+            (fault.at_us, fault.at_us + fault.duration_us)
+            for fault in self.faults
+            if isinstance(fault, PartitionFault)
+        )
+        for (_, prev_end), (next_start, _) in zip(partitions, partitions[1:]):
+            if next_start < prev_end:
+                raise ConfigurationError(
+                    "overlapping partition windows are not supported"
+                )
+
+    def phases(self, duration_us: float) -> List[Tuple[str, float, float]]:
+        """Split ``[0, duration_us)`` at fault boundaries.
+
+        Returns ``(label, start_us, end_us)`` tuples; the label names the
+        fault kinds active in the window (``"fail-free"`` when none are).
+        The harness uses these windows for the per-phase availability
+        metrics.
+        """
+        if not self.faults:
+            return []
+        cuts = {0.0, duration_us}
+        for fault in self.faults:
+            cuts.add(min(fault.at_us, duration_us))
+            cuts.add(min(fault.end_us(duration_us), duration_us))
+        ordered = sorted(cuts)
+        phases: List[Tuple[str, float, float]] = []
+        for index, (start, end) in enumerate(zip(ordered, ordered[1:])):
+            if end - start <= 0:
+                continue
+            active = sorted(
+                {
+                    fault.kind
+                    for fault in self.faults
+                    if fault.at_us < end and fault.end_us(duration_us) > start
+                }
+            )
+            label = "+".join(active) if active else "fail-free"
+            phases.append((f"p{index}:{label}", start, end))
+        return phases
 
 
 @dataclass(frozen=True)
@@ -137,6 +439,8 @@ class ClusterConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     service: ServiceTimeConfig = field(default_factory=ServiceTimeConfig)
     timeouts: TimeoutConfig = field(default_factory=TimeoutConfig)
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    """Declarative fault schedule; empty (the default) means fail-free."""
 
     def validate(self) -> None:
         if self.n_nodes < 1:
@@ -153,6 +457,7 @@ class ClusterConfig:
         self.network.validate()
         self.service.validate()
         self.timeouts.validate()
+        self.faults.validate(self.n_nodes)
 
 
 @dataclass(frozen=True)

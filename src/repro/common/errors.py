@@ -27,6 +27,17 @@ class TransactionStateError(ReproError):
     """
 
 
+class NodeCrashedError(ReproError):
+    """An operation was interrupted because the serving node crash-stopped.
+
+    Raised into client processes co-located with a crashing node (their
+    in-flight RPCs fail) and returned immediately for requests issued while
+    the node is down.  The closed-loop clients treat it like an abort and
+    reconnect with a back-off, which is what lets availability recover once
+    the node restarts.
+    """
+
+
 class SimulationError(ReproError):
     """Raised for misuse of the discrete-event simulation engine."""
 

@@ -1,39 +1,28 @@
-"""The public cluster facade.
+"""The public SSS cluster facade.
 
-:class:`SSSCluster` assembles a complete simulated SSS deployment — the
-simulation engine, the network, one :class:`~repro.core.node.SSSNode` per
-node, the key placement and an optional history recorder — and exposes the
-operations example programs and the benchmark harness need:
-
-* ``session(node)`` — obtain a client session co-located with a node;
-* ``spawn(process)`` — run a client process inside the simulation;
-* ``run(until)`` — advance simulated time;
-* ``check_consistency()`` — run the external-consistency checker over the
-  recorded history.
-
-The same facade shape is reused by the baseline protocols (see
-:mod:`repro.baselines`), which lets the harness treat every protocol
-uniformly.
+:class:`SSSCluster` is the SSS instantiation of the shared
+:class:`~repro.protocols.cluster.ProtocolCluster` facade: the simulation
+engine, the network, one :class:`~repro.core.node.SSSNode` per node, the key
+placement, an optional history recorder and the fault plane, exposing
+``session`` / ``spawn`` / ``run`` / ``check_consistency``.  The baselines
+instantiate the very same facade, which lets the harness treat every
+protocol uniformly through :data:`repro.protocols.REGISTRY`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.common.config import ClusterConfig
-from repro.common.errors import ConfigurationError
-from repro.consistency.checkers import CheckResult, check_external_consistency
-from repro.consistency.history import HistoryRecorder
 from repro.core.node import SSSNode
-from repro.core.session import Session
-from repro.network.transport import Network
-from repro.replication.placement import KeyPlacement
-from repro.sim.engine import Simulation
+from repro.protocols.cluster import ProtocolCluster
+from repro.protocols.registry import register
 
 
-class SSSCluster:
+class SSSCluster(ProtocolCluster):
     """A simulated SSS key-value store deployment."""
 
+    node_class = SSSNode
     protocol_name = "sss"
 
     def __init__(
@@ -44,89 +33,16 @@ class SSSCluster:
         strict_visibility: bool = False,
         initial_value=0,
     ):
-        self.config = config or ClusterConfig()
-        self.config.validate()
-        self.keys: List[object] = (
-            list(keys)
-            if keys is not None
-            else [f"key-{index}" for index in range(self.config.n_keys)]
+        super().__init__(
+            config=config,
+            keys=keys,
+            record_history=record_history,
+            initial_value=initial_value,
+            strict_visibility=strict_visibility,
         )
-        self.sim = Simulation(seed=self.config.seed)
-        self.network = Network(self.sim, config=self.config.network)
-        self.placement = KeyPlacement(
-            n_nodes=self.config.n_nodes,
-            replication_degree=self.config.replication_degree,
-            keys=self.keys,
-        )
-        self.history: Optional[HistoryRecorder] = (
-            HistoryRecorder() if record_history else None
-        )
-        self.nodes: List[SSSNode] = [
-            SSSNode(
-                self.sim,
-                self.network,
-                node_id,
-                placement=self.placement,
-                config=self.config,
-                history=self.history,
-                strict_visibility=strict_visibility,
-            )
-            for node_id in range(self.config.n_nodes)
-        ]
-        for node in self.nodes:
-            node.preload(self.keys, initial_value=initial_value)
-        self._session_counter: Dict[int, int] = {}
-
-    # ------------------------------------------------------------------
-    # Client-facing API
-    # ------------------------------------------------------------------
-    def session(self, node_id: int = 0) -> Session:
-        """Create a client session co-located with ``node_id``."""
-        if not 0 <= node_id < self.config.n_nodes:
-            raise ConfigurationError(
-                f"node_id {node_id} out of range (cluster has "
-                f"{self.config.n_nodes} nodes)"
-            )
-        index = self._session_counter.get(node_id, 0)
-        self._session_counter[node_id] = index + 1
-        return Session(self.nodes[node_id], client_index=index)
-
-    def spawn(self, generator, name: str = ""):
-        """Run a client process (a generator) inside the simulation."""
-        return self.sim.process(generator, name=name or "client")
-
-    def run(self, until: Optional[float] = None) -> float:
-        """Advance the simulation (to ``until`` microseconds, or to quiescence)."""
-        return self.sim.run(until=until)
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        return self.sim.now
 
     def node(self, node_id: int) -> SSSNode:
         return self.nodes[node_id]
 
-    def check_consistency(self) -> CheckResult:
-        """Run the external-consistency check over the recorded history."""
-        if self.history is None:
-            raise ConfigurationError(
-                "history recording is disabled for this cluster"
-            )
-        return check_external_consistency(self.history)
 
-    def total_counters(self) -> Dict[str, int]:
-        """Aggregate protocol counters over every node."""
-        totals: Dict[str, int] = {}
-        for node in self.nodes:
-            for name, value in node.stats().items():
-                totals[name] = totals.get(name, 0) + value
-        return totals
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"<SSSCluster nodes={self.config.n_nodes} "
-            f"keys={len(self.keys)} rf={self.config.replication_degree}>"
-        )
+register("sss", SSSCluster)

@@ -24,85 +24,35 @@ from __future__ import annotations
 from typing import Dict, Set, Tuple
 
 from repro.common.errors import TransactionStateError
-from repro.common.ids import TransactionId, TxnIdGenerator
+from repro.common.ids import TransactionId
 from repro.core.messages import (
     Decide,
     ExternalAck,
     Prepare,
+    PrecommitQuery,
     ReadRequest,
     ReadReturn,
     Remove,
+    SubscribeExternal,
 )
 from repro.core.metadata import TransactionMeta, TransactionPhase
+from repro.protocols.runtime import VoteCollector  # noqa: F401 - re-export
 from repro.sim.events import Event
 
 
-class VoteCollector(Event):
-    """Event firing once a 2PC-style vote round is decided.
+class CoordinatorMixin:
+    """Coordinator-role methods mixed into :class:`repro.core.node.SSSNode`.
 
-    Replaces the wave-by-wave ``any_of(pending + [timeout])`` pattern, which
-    rebuilt an :class:`AnyOf` over every still-pending vote each wave — at
-    large participant counts (the cluster-size sweep) that is quadratic in
-    callbacks and list scans.  The collector registers one callback per vote
-    reply, fails fast on the first unsuccessful vote (any reply with a falsy
-    ``success`` attribute) and fires with ``(outcome, votes)`` once the round
-    is decided.  Shared by SSS and the 2PC-style baselines; SSS hands the
-    collected votes' proposed commit clocks to one batched
-    ``VectorClock.merge_many``.
+    The generic transaction lifecycle (``begin_transaction`` / ``txn_write``
+    and the finish transitions) comes from
+    :class:`repro.protocols.runtime.ProtocolRuntime`; this mixin adds only
+    what is SSS-specific — Algorithm 5 reads, the Algorithm 1 commit with
+    its external-commit dependency waits, and the read-only Remove cleanup.
     """
 
-    __slots__ = ("_remaining", "_votes")
-
-    def __init__(self, sim, vote_events):
-        super().__init__(sim, name="votes")
-        self._remaining = len(vote_events)
-        self._votes = []
-        if not vote_events:
-            # An empty round is trivially successful; without this the
-            # collector would never fire and the caller would idle until
-            # its crash-guard deadline.
-            self.succeed((True, self._votes))
-            return
-        for event in vote_events:
-            event.add_callback(self._on_vote)
-
-    def _on_vote(self, event) -> None:
-        if self.triggered:
-            return
-        vote = event._value
-        if not vote.success:
-            self.succeed((False, self._votes))
-            return
-        self._votes.append(vote)
-        self._remaining -= 1
-        if self._remaining == 0:
-            self.succeed((True, self._votes))
-
-
-class CoordinatorMixin:
-    """Coordinator-role methods mixed into :class:`repro.core.node.SSSNode`."""
-
     def _init_coordinator_state(self) -> None:
-        self._txn_ids = TxnIdGenerator(self.node_id)
         # External-commit bookkeeping: txn -> (event, nodes still to ack).
         self._ack_waits: Dict[TransactionId, Tuple["Event", Set[int]]] = {}
-        self.coordinated: Dict[TransactionId, TransactionMeta] = {}
-
-    # ------------------------------------------------------------------
-    # Transaction lifecycle
-    # ------------------------------------------------------------------
-    def begin_transaction(self, read_only: bool) -> TransactionMeta:
-        """Create the metadata of a transaction coordinated by this node."""
-        meta = TransactionMeta(
-            txn_id=self._txn_ids.next_id(),
-            coordinator=self.node_id,
-            is_update=not read_only,
-            n_nodes=self.config.n_nodes,
-        )
-        meta.begin_time = self.sim.now
-        self.coordinated[meta.txn_id] = meta
-        self.counters["begun"] += 1
-        return meta
 
     def txn_read(self, meta: TransactionMeta, key: object):
         """Algorithm 5: read ``key`` on behalf of ``meta`` (generator)."""
@@ -121,31 +71,25 @@ class CoordinatorMixin:
         # Lines 8-10: contact every replica, use the fastest answer.
         replicas = self.replicas(key)
         has_read = tuple(meta.has_read)
-        request_events = []
-        for replica in replicas:
-            request = ReadRequest(
+        request_events = self.request_each(
+            replicas,
+            lambda _replica: ReadRequest(
                 txn_id=meta.txn_id,
                 key=key,
                 vc=meta.vc,
                 has_read=has_read,
                 is_update=meta.is_update,
-            )
-            request_events.append(self.request(replica, request))
-        if len(request_events) == 1:
-            reply: ReadReturn = yield request_events[0]
-        else:
-            yield self.sim.any_of(request_events)
-            reply = next(
-                event.value for event in request_events if event.triggered
-            )
-            if not meta.is_update:
-                # Replicas that lose the fastest-answer race still inserted a
-                # snapshot-queue entry under *their* serialization decision,
-                # which this transaction does not adopt; clean those entries
-                # up as the losing replies arrive, or a stale entry could
-                # gate an unrelated writer's external commit against this
-                # reader's own external-commit dependency wait (deadlock).
-                self._cleanup_losing_replies(meta.txn_id, key, request_events, reply)
+            ),
+        )
+        reply: ReadReturn = yield from self.fastest_of(request_events)
+        if len(request_events) > 1 and not meta.is_update:
+            # Replicas that lose the fastest-answer race still inserted a
+            # snapshot-queue entry under *their* serialization decision,
+            # which this transaction does not adopt; clean those entries
+            # up as the losing replies arrive, or a stale entry could
+            # gate an unrelated writer's external commit against this
+            # reader's own external-commit dependency wait (deadlock).
+            self._cleanup_losing_replies(meta.txn_id, key, request_events, reply)
 
         served_by = reply.sender
         # Lines 11-14: merge visibility information and record the read.
@@ -190,17 +134,6 @@ class CoordinatorMixin:
                 cleanup(event)
             else:
                 event.add_callback(cleanup)
-
-    def txn_write(self, meta: TransactionMeta, key: object, value: object) -> None:
-        """Buffer a write (lazy update); visible only after commit."""
-        if meta.phase is not TransactionPhase.EXECUTING:
-            raise TransactionStateError(f"write after commit/abort in {meta}")
-        if meta.is_read_only:
-            raise TransactionStateError(
-                f"{meta.txn_id} was declared read-only but issued a write"
-            )
-        meta.record_write(key, value)
-        self.counters["client_writes"] += 1
 
     def txn_abort(self, meta: TransactionMeta) -> None:
         """Client-requested abort before commit.
@@ -257,20 +190,46 @@ class CoordinatorMixin:
         if not still_pending:
             return
         self.counters["external_dependency_waits"] += 1
-        events = [self.external_done_event(writer) for writer in still_pending]
-        if len(events) == 1:
-            yield events[0]
-        else:
-            yield self.sim.all_of(events)
+        if not self._fault_mode:
+            events = [self.external_done_event(writer) for writer in still_pending]
+            if len(events) == 1:
+                yield events[0]
+            else:
+                yield self.sim.all_of(events)
+            return
+        # Fault mode: a crash can swallow both the subscription and the
+        # notification, so wait in bounded waves and re-subscribe between
+        # them — once the writer's coordinator restarts it answers the fresh
+        # SubscribeExternal immediately (its crash tore the writer down).
+        resubscribe_us = self.config.timeouts.crash_resubscribe_us
+        while True:
+            still_pending = [
+                writer
+                for writer in still_pending
+                if writer not in self._externally_done
+            ]
+            if not still_pending:
+                return
+            events = [self.external_done_event(writer) for writer in still_pending]
+            done = events[0] if len(events) == 1 else self.sim.all_of(events)
+            yield self.sim.any_of([done, self.sim.timeout(resubscribe_us)])
+            if done.triggered:
+                return
+            self.counters["crash_resubscribes"] += 1
+            for writer in still_pending:
+                if writer in self._externally_done:
+                    continue
+                if writer.node == self.node_id:
+                    self._register_external_watcher(writer, self.node_id)
+                else:
+                    self.send(
+                        writer.node,
+                        SubscribeExternal(txn_id=writer, target=self.node_id),
+                    )
 
     def _commit_read_only(self, meta: TransactionMeta) -> bool:
         """Lines 2-8: read-only transactions return immediately, then Remove."""
-        meta.phase = TransactionPhase.EXTERNALLY_COMMITTED
-        meta.external_commit_time = self.sim.now
-        meta.commit_vc = meta.vc
-        self.counters["read_only_commits"] += 1
-        if self.history is not None:
-            self.history.record_commit(meta)
+        self._finish_commit(meta, "read_only_commits")
 
         # One Remove per replica, carrying every read key it holds; grouped
         # in a single pass over the read-set.
@@ -281,6 +240,20 @@ class CoordinatorMixin:
                 if bucket is None:
                     bucket = by_replica[replica] = []
                 bucket.append(key)
+        if self._fault_mode:
+            # Fault mode: broadcast to every node instead of relying on the
+            # anti-dependency forward chains — a crash can sever a chain
+            # link, leaving propagated reader entries gating writers forever
+            # on nodes this Remove would never reach.
+            for node_id in range(self.config.n_nodes):
+                self.send(
+                    node_id,
+                    Remove(
+                        txn_id=meta.txn_id,
+                        keys=tuple(by_replica.get(node_id, ())),
+                    ),
+                )
+            return True
         for replica in sorted(by_replica):
             self.send(
                 replica, Remove(txn_id=meta.txn_id, keys=tuple(by_replica[replica]))
@@ -300,35 +273,28 @@ class CoordinatorMixin:
         participants = sorted(participants)
         write_replicas = set(self.placement.replicas_of(list(meta.write_set)))
 
-        # Prepare phase.
+        # Prepare phase: one shared vote round (the runtime arms the coarse
+        # crash-guard deadline and the fail-fast VoteCollector).
         read_versions = tuple(
             (key, record.version_vc) for key, record in meta.read_set.items()
         )
-        vote_events = []
-        for participant in participants:
-            prepare = Prepare(
+        write_items = tuple(meta.write_set.items())
+        outcome, collected = yield from self.vote_round(
+            participants,
+            lambda _participant: Prepare(
                 txn_id=txn_id,
                 vc=meta.vc,
                 read_versions=read_versions,
-                write_items=tuple(meta.write_set.items()),
-            )
-            vote_events.append(self.request(participant, prepare))
+                write_items=write_items,
+            ),
+            self.config.timeouts.prepare_timeout_us,
+        )
 
         commit_vc = meta.vc
-        # Shared coarse deadline: a guard against crashed participants, not
-        # a precise timer — one heap entry per bucket instead of one 50 ms
-        # timeout lingering in the heap per update transaction.
-        timeout = self.sim.deadline(self.config.timeouts.prepare_timeout_us)
-        votes = VoteCollector(self.sim, vote_events)
-        yield self.sim.any_of([votes, timeout])
-        if votes.triggered:
-            outcome, collected = votes.value
-            if outcome:
-                # Fold the whole vote round in one batch merge instead of
-                # one intermediate clock per vote.
-                commit_vc = commit_vc.merge_many([vote.vc for vote in collected])
-        else:
-            outcome = False  # deadline expired with votes still missing
+        if outcome:
+            # Fold the whole vote round in one batch merge instead of
+            # one intermediate clock per vote.
+            commit_vc = commit_vc.merge_many([vote.vc for vote in collected])
 
         if outcome:
             # Lines 21-24: every write-replica entry takes the transaction
@@ -393,14 +359,26 @@ class CoordinatorMixin:
         # External commit: wait for every write replica's pre-commit ack and
         # for every observed still-pre-committing writer's external commit.
         meta.phase = TransactionPhase.PRE_COMMIT
-        yield ack_event
+        if not self._fault_mode:
+            yield ack_event
+        else:
+            # Fault mode: a write replica that crashed mid-pre-commit lost
+            # both the wait process and the ack; periodically ask the
+            # remaining replicas to replay from their durable logs.
+            retry_us = self.config.timeouts.crash_resubscribe_us
+            while not ack_event.triggered:
+                yield self.sim.any_of([ack_event, self.sim.timeout(retry_us)])
+                if ack_event.triggered:
+                    break
+                waiting = self._ack_waits.get(txn_id)
+                if waiting is None:
+                    break
+                self.counters["precommit_retries"] += 1
+                for replica in sorted(waiting[1]):
+                    self.send(replica, PrecommitQuery(txn_id=txn_id))
         yield from self._wait_pending_writers(meta)
-        meta.phase = TransactionPhase.EXTERNALLY_COMMITTED
-        meta.external_commit_time = self.sim.now
-        self.counters["update_commits"] += 1
+        self._finish_commit(meta, "update_commits")
         self._external_commit_completed(txn_id, sorted(write_replicas))
-        if self.history is not None:
-            self.history.record_commit(meta)
         return True
 
     # ------------------------------------------------------------------

@@ -284,6 +284,69 @@ class ExternalDone(Message):
         return 32
 
 
+class PrecommitQuery(Message):
+    """Fault-plane recovery: re-request a write replica's pre-commit ack.
+
+    Sent (fault mode only) by a coordinator whose external-commit wait
+    outlived the coarse retry interval — typically because the write replica
+    crashed after internally committing but before its snapshot-queue wait
+    finished, losing the in-flight pre-commit process and its ExternalAck.
+    The replica replays the pre-commit from its durable NLog entry; if the
+    transaction never internally committed there (the Decide itself was
+    lost), the query is ignored and the transaction stays blocked — the
+    classic in-doubt window a redo log would close.
+    """
+
+    __slots__ = ("txn_id",)
+    priority = MessagePriority.CONTROL
+    base_size = 32
+
+    def __init__(self, txn_id: TransactionId = None):
+        Message.__init__(self)
+        self.txn_id = txn_id
+
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 32
+
+
+class ExternalStatusQuery(Message):
+    """Fault-plane recovery: ask a writer's coordinator whether it is done.
+
+    The ambiguous-zone wait normally resolves through ExternalDone
+    notifications; a crash can swallow those for good.  In fault mode the
+    reader asks the coordinator directly: a *done* (externally committed or
+    torn down) answer releases the wait, an *in-flight* answer makes the
+    timeout exclusion exactly as safe as in a fail-free run, and no answer
+    (coordinator down) keeps the reader waiting — trading liveness, never
+    safety.
+    """
+
+    __slots__ = ("txn_id",)
+    priority = MessagePriority.CONTROL
+    base_size = 32
+
+    def __init__(self, txn_id: TransactionId = None):
+        Message.__init__(self)
+        self.txn_id = txn_id
+
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 32
+
+
+class ExternalStatusReply(Message):
+    __slots__ = ("txn_id", "done")
+    priority = MessagePriority.CONTROL
+    base_size = 33
+
+    def __init__(self, txn_id: TransactionId = None, done: bool = False):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.done = done
+
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 33
+
+
 class SubscribeExternal(Message):
     """Ask a writer's coordinator to notify ``target`` of the external commit.
 

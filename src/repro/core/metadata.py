@@ -77,6 +77,9 @@ class TransactionMeta:
     first_read_done: bool = False
     commit_vc: Optional[VectorClock] = None
     abort_reason: Optional[str] = None
+    crash_phase: Optional[TransactionPhase] = None
+    """Phase the transaction was in when its coordinator crashed, recorded so
+    the restart recovery knows which remote state to release (fault plane)."""
     version_hints: Dict[object, float] = field(default_factory=dict)
     """Per written key, a value that sorts this transaction's version against
     other writers of the same key in installation order (protocol specific;

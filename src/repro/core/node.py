@@ -28,13 +28,17 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.clocks.vector_clock import VectorClock
 from repro.common.config import ClusterConfig
+from repro.common.errors import NodeCrashedError
 from repro.common.ids import NodeId, TransactionId
 from repro.core.coordinator import CoordinatorMixin
 from repro.core.messages import (
     Decide,
     ExternalAck,
     ExternalDone,
+    ExternalStatusQuery,
+    ExternalStatusReply,
     Prepare,
+    PrecommitQuery,
     ReadRequest,
     ReadReturn,
     Remove,
@@ -42,7 +46,7 @@ from repro.core.messages import (
     Vote,
 )
 from repro.core.metadata import PropagatedEntry, TransactionPhase
-from repro.network.node import NetworkedNode
+from repro.protocols.runtime import ProtocolRuntime
 from repro.replication.placement import KeyPlacement
 from repro.storage.commit_queue import CommitQueue
 from repro.storage.locks import LockTable
@@ -76,7 +80,7 @@ class _PreparedState:
         self.is_write_replica = is_write_replica
 
 
-class SSSNode(CoordinatorMixin, NetworkedNode):
+class SSSNode(CoordinatorMixin, ProtocolRuntime):
     """A node of the SSS key-value store."""
 
     def __init__(
@@ -89,10 +93,9 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
         history: Optional["HistoryRecorder"] = None,
         strict_visibility: bool = False,
     ):
-        super().__init__(sim, network, node_id, service=config.service)
-        self.placement = placement
-        self.config = config
-        self.history = history
+        super().__init__(
+            sim, network, node_id, placement=placement, config=config, history=history
+        )
         self.strict_visibility = strict_visibility
         n_nodes = config.n_nodes
 
@@ -146,11 +149,10 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
         # ExternalDone arrives.
         self._subscriptions_sent: Dict[TransactionId, Set[NodeId]] = defaultdict(set)
 
-        # Coordinator-side state (owned by CoordinatorMixin helpers).
+        # Coordinator-side state (owned by CoordinatorMixin helpers); the
+        # transaction-id generator, the coordinated-transaction map and the
+        # metrics counters live in ProtocolRuntime.
         self._init_coordinator_state()
-
-        # Metrics counters.
-        self.counters = defaultdict(int)
 
         # Message handlers.
         self.register_handler(ReadRequest, self.on_read_request)
@@ -159,17 +161,13 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
         self.register_handler(ExternalAck, self.on_external_ack)
         self.register_handler(ExternalDone, self.on_external_done)
         self.register_handler(SubscribeExternal, self.on_subscribe_external)
+        self.register_handler(PrecommitQuery, self.on_precommit_query)
+        self.register_handler(ExternalStatusQuery, self.on_external_status_query)
         self.register_handler(Remove, self.on_remove)
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def replicas(self, key: object) -> Tuple[NodeId, ...]:
-        return self.placement.replicas(key)
-
-    def is_replica_of(self, key: object) -> bool:
-        return self.placement.is_replica(self.node_id, key)
-
     def preload(self, keys, initial_value=0) -> None:
         """Install version zero of the local replicas of ``keys``."""
         local = [key for key in keys if self.is_replica_of(key)]
@@ -442,6 +440,19 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
         expiry the remaining writers are excluded, accepting the small risk
         that a notification delayed beyond the bound costs a stale (but
         still serializable-before) read.
+
+        Fault mode changes the expiry behaviour: a crash may have swallowed
+        the writer's ExternalDone for good (this node was down when it
+        fanned out, or its own notification caches were dropped), so
+        excluding on timeout blindly could serialize the reader *before* a
+        writer whose client was long answered — a genuine external-
+        consistency violation.  Instead the reader asks each ambiguous
+        writer's coordinator for a definitive status
+        (:class:`ExternalStatusQuery`): *done* writers stop gating, writers
+        confirmed in-flight are excluded with exactly the fail-free race
+        window, and an unreachable coordinator keeps the reader waiting —
+        trading liveness (visible in the availability metrics), never
+        safety.
         """
         deadline = None
         while True:
@@ -452,12 +463,88 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
                 deadline = self.sim.now + self.config.timeouts.external_done_wait_us
             remaining = deadline - self.sim.now
             if remaining <= 0:
-                self.counters["ambiguous_wait_timeouts"] += 1
-                return
+                if not self._fault_mode:
+                    self.counters["ambiguous_wait_timeouts"] += 1
+                    return
+                confirmed_pending = yield from self._query_external_status(
+                    ambiguous
+                )
+                if confirmed_pending:
+                    self.counters["ambiguous_wait_timeouts"] += 1
+                    return
+                # Every queried writer turned out done: re-evaluate with a
+                # fresh bound (new writers may have become ambiguous).
+                deadline = None
+                continue
             self.counters["ambiguous_waits"] += 1
             events = [self.external_done_event(writer) for writer in ambiguous]
             events.append(self.sim.timeout(remaining))
             yield self.sim.any_of(events)
+
+    def _query_external_status(self, writers):
+        """Fault-mode helper: resolve writers' fates at their coordinators.
+
+        Marks writers reported (or locally known) as done/torn-down in
+        ``_externally_done`` and returns the set confirmed still in flight.
+        Queries to unreachable coordinators are re-sent every
+        ``crash_resubscribe_us`` until answered — the generator simply does
+        not terminate while every remaining coordinator is down.
+        """
+        confirmed_pending = set()
+        outstanding: List[TransactionId] = []
+        for writer in sorted(writers):
+            if writer.node == self.node_id:
+                meta = self.coordinated.get(writer)
+                if meta is None or meta.phase in (
+                    TransactionPhase.EXTERNALLY_COMMITTED,
+                    TransactionPhase.ABORTED,
+                ):
+                    self._mark_externally_done(writer)
+                else:
+                    confirmed_pending.add(writer)
+            else:
+                outstanding.append(writer)
+        retry_us = self.config.timeouts.crash_resubscribe_us
+        while outstanding:
+            self.counters["external_status_queries"] += 1
+            probes = [
+                (writer, ExternalStatusQuery(txn_id=writer))
+                for writer in outstanding
+            ]
+            events = [
+                (writer, message, self.request(writer.node, message))
+                for writer, message in probes
+            ]
+            guard = self.sim.timeout(retry_us)
+            yield self.sim.any_of(
+                [self.sim.all_of([event for _w, _m, event in events]), guard]
+            )
+            next_round = []
+            for writer, message, event in events:
+                if event.triggered and event.ok:
+                    reply: ExternalStatusReply = event.value
+                    if reply.done:
+                        self._mark_externally_done(writer)
+                    else:
+                        confirmed_pending.add(writer)
+                else:
+                    # Unanswered (coordinator down, or reply still in
+                    # flight): retire the stale correlation entry and retry.
+                    self._pending_replies.pop(message.msg_id, None)
+                    next_round.append(writer)
+            outstanding = next_round
+        return confirmed_pending
+
+    def on_external_status_query(self, message: ExternalStatusQuery) -> None:
+        """Answer a reader's definitive-status probe for a writer of ours."""
+        meta = self.coordinated.get(message.txn_id)
+        done = meta is None or meta.phase in (
+            TransactionPhase.EXTERNALLY_COMMITTED,
+            TransactionPhase.ABORTED,
+        )
+        self.respond(
+            message, ExternalStatusReply(txn_id=message.txn_id, done=done)
+        )
 
     def _select_version(
         self,
@@ -649,7 +736,9 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
         self.counters["internal_commits"] += 1
 
         # Algorithm 3: enter the pre-commit phase for the local written keys.
-        self.sim.process(
+        # spawn_process (not sim.process) so the pre-commit dies with the
+        # node under the fault plane's crash epoch.
+        self.spawn_process(
             self._pre_commit(txn_id, commit_vc, write_keys, propagated),
             name=f"precommit:{txn_id}@{self.node_id}",
         )
@@ -695,6 +784,29 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
 
         self.counters["external_acks_sent"] += 1
         self.send(coordinator, ExternalAck(txn_id=txn_id, snapshot=snapshot))
+
+    def on_precommit_query(self, message: PrecommitQuery) -> None:
+        """Fault-plane recovery: replay a pre-commit whose ack was lost.
+
+        If the transaction internally committed here (durable NLog entry),
+        its pre-commit is replayed from the log — re-inserting the write
+        entries, waiting out any genuinely older snapshot-queue entries and
+        re-sending the ExternalAck; every step is idempotent (duplicate
+        queue insertions are suppressed, duplicate removes and acks are
+        no-ops).  If the transaction is *not* in the log the Decide itself
+        was lost in the crash: nothing can be replayed and the coordinator
+        stays blocked — the in-doubt window a participant redo log (ROADMAP
+        follow-up) would close.
+        """
+        entry = self.nlog.find(message.txn_id)
+        if entry is None:
+            self.counters["precommit_query_misses"] += 1
+            return
+        self.counters["precommit_replays"] += 1
+        self.spawn_process(
+            self._pre_commit(entry.txn_id, entry.vc, entry.write_keys, ()),
+            name=f"precommit-replay:{entry.txn_id}@{self.node_id}",
+        )
 
     # ------------------------------------------------------------------
     # External-commit dependency tracking
@@ -791,6 +903,121 @@ class SSSNode(CoordinatorMixin, NetworkedNode):
             # (or have been) cleaned up, so there is nothing to forward later.
             return
         self._forward_map[reader].add(destination)
+
+    # ------------------------------------------------------------------
+    # Fault plane
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Drop everything a crash-stopped SSS process loses.
+
+        Durable state — the multi-version store, the NLog and ``node_vc``
+        (modelled as persisted with the commit log, so a restarted node
+        never re-proposes a local clock value it already handed out) —
+        survives untouched.  Everything else is volatile: 2PC participant
+        buffers, the commit queue (lost Decides surface as coordinator
+        stalls, SSS's inherited 2PC blocking window), lock and snapshot
+        queues, and the external-commit notification caches.  The
+        ``_externally_done`` cache is dropped *conservatively*: versions are
+        re-gated until a fresh SubscribeExternal round-trip re-learns the
+        writer's fate, trading post-restart latency for safety.
+        """
+        self._prepared.clear()
+        self._decided_early.clear()
+        self._pending_writes.clear()
+        self._pending_propagated.clear()
+        self._forward_map.clear()
+        self._removed_readers.clear()
+        self._reader_keys.clear()
+        self._backoff_level.clear()
+        self._externally_done.clear()
+        self._done_local_watermark = -1
+        self._applied_local_value.clear()
+        # Fail coordinator-side waits so co-located clients are interrupted
+        # (and reconnect) instead of parking forever on dead events.
+        for txn_id in sorted(self._ack_waits):
+            event, _remaining = self._ack_waits[txn_id]
+            if not event.triggered:
+                event.fail(NodeCrashedError(f"node {self.node_id} crashed"))
+        self._ack_waits.clear()
+        for txn_id in sorted(self._ext_done_events):
+            event = self._ext_done_events[txn_id]
+            if not event.triggered:
+                event.fail(NodeCrashedError(f"node {self.node_id} crashed"))
+        self._ext_done_events.clear()
+        self._external_watchers.clear()
+        self._subscriptions_sent.clear()
+        self.locks.reset()
+        self.commit_queue.clear()
+        for squeue in self.store.squeues().values():
+            squeue.clear()
+
+    def on_restart(self) -> None:
+        """Replay durable state and run crash recovery after a restart.
+
+        The store, the NLog and ``node_vc`` were never dropped; the
+        external-commit cache refills through SubscribeExternal (this node
+        now answers ExternalDone immediately for its torn-down writers), and
+        the reset done-watermark merely re-enables the bounded
+        ambiguous-zone wait for old versions.  What *must* be actively
+        recovered is remote state pinned by transactions whose client died
+        with the crash:
+
+        * an update transaction that crashed **before its decision was
+          sent** (``PREPARING``) left prepared locks and commit-queue
+          entries at its participants — a decided abort is fanned out so
+          they release (otherwise their commit-queue heads block forever:
+          the classic 2PC in-doubt window);
+        * a read-only transaction left snapshot-queue entries at the
+          replicas of its read keys — ``Remove`` is fanned out exactly as a
+          normal read-only completion would.
+
+        Transactions that crashed after their decision went out need no
+        fan-out: participants finish on their own, stray ExternalAcks are
+        ignored, and gated readers resolve through re-subscription.
+        """
+        for txn_id in sorted(self.coordinated):
+            meta = self.coordinated[txn_id]
+            crash_phase = meta.crash_phase
+            if crash_phase is None:
+                continue
+            meta.crash_phase = None
+            self.counters["crash_recoveries"] += 1
+            if crash_phase is TransactionPhase.PREPARING:
+                participants = set(
+                    self.placement.replicas_of(
+                        list(meta.read_set) + list(meta.write_set)
+                    )
+                )
+                participants.discard(self.node_id)
+                for participant in sorted(participants):
+                    self.send(
+                        participant,
+                        Decide(
+                            txn_id=txn_id,
+                            commit_vc=meta.vc,
+                            outcome=False,
+                            propagated=(),
+                        ),
+                    )
+            elif meta.is_read_only:
+                # Broadcast: anti-dependency propagation may have copied the
+                # reader's entries to nodes beyond its read keys' replicas,
+                # and the forward chains that would reach them died with us.
+                # The broadcast must not depend on the recorded read-set —
+                # a read whose reply died with the crash left entries at the
+                # serving replicas while the read-set stayed empty; each
+                # node's own reader-key index resolves the empty key list.
+                by_replica: Dict[int, list] = {}
+                for key in meta.read_set:
+                    for replica in self.replicas(key):
+                        by_replica.setdefault(replica, []).append(key)
+                for node_id in range(self.config.n_nodes):
+                    self.send(
+                        node_id,
+                        Remove(
+                            txn_id=txn_id, keys=tuple(by_replica.get(node_id, ()))
+                        ),
+                    )
 
     # ------------------------------------------------------------------
     # Introspection used by the harness and tests

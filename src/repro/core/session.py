@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.common.errors import TransactionStateError
-from repro.core.metadata import TransactionMeta
+from repro.common.errors import NodeCrashedError, TransactionStateError
+from repro.core.metadata import TransactionMeta, TransactionPhase
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import SSSNode
@@ -53,9 +53,18 @@ class Session:
         return self.current
 
     def read(self, key: object):
-        """Read ``key`` inside the open transaction (generator)."""
+        """Read ``key`` inside the open transaction (generator).
+
+        If the session's node crash-stops mid-operation the transaction is
+        abandoned (fault plane) and :class:`NodeCrashedError` propagates to
+        the client, which may reconnect and begin a fresh transaction.
+        """
         meta = self._require_open()
-        value = yield from self.node.txn_read(meta, key)
+        try:
+            value = yield from self.node.txn_read(meta, key)
+        except NodeCrashedError:
+            self._abandon(meta)
+            raise
         return value
 
     def write(self, key: object, value: object) -> None:
@@ -66,7 +75,11 @@ class Session:
     def commit(self):
         """Commit the open transaction; returns True on commit (generator)."""
         meta = self._require_open()
-        committed = yield from self.node.txn_commit(meta)
+        try:
+            committed = yield from self.node.txn_commit(meta)
+        except NodeCrashedError:
+            self._abandon(meta)
+            raise
         self._finish(meta)
         return committed
 
@@ -100,3 +113,14 @@ class Session:
             self.completed.append(meta)
         else:  # keep only the latest to bound memory in long runs
             self.completed = [meta]
+
+    def _abandon(self, meta: TransactionMeta) -> None:
+        """Tear down a transaction interrupted by a node crash."""
+        if meta.phase not in (
+            TransactionPhase.ABORTED,
+            TransactionPhase.EXTERNALLY_COMMITTED,
+        ):
+            meta.phase = TransactionPhase.ABORTED
+            meta.abort_reason = "node-crash"
+            meta.abort_time = self.node.sim.now
+        self._finish(meta)

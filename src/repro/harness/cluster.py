@@ -1,50 +1,19 @@
-"""Protocol registry and cluster builder.
+"""Harness-side view of the protocol registry.
 
-Every protocol in the repository exposes the same cluster facade (sessions,
-spawn, run, history), so the harness only needs a name-to-class map plus a
-small builder that applies the experiment's configuration.
+The registry itself lives in :mod:`repro.protocols.registry` — one
+name -> cluster-factory map shared by the harness, the benchmarks and the
+examples (it used to be split between ``baselines.PROTOCOL_CLUSTERS`` and a
+harness-side dict that special-cased ``"sss"``).  This module re-exports it
+under the historical names so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from repro.protocols.registry import REGISTRY, build_cluster, ensure_registry
 
-from repro.baselines.rococo import RococoCluster
-from repro.baselines.twopc import TwoPCCluster
-from repro.baselines.walter import WalterCluster
-from repro.common.config import ClusterConfig
-from repro.common.errors import ConfigurationError
-from repro.core.cluster import SSSCluster
+ensure_registry()
 
-PROTOCOLS: Dict[str, type] = {
-    "sss": SSSCluster,
-    "2pc": TwoPCCluster,
-    "walter": WalterCluster,
-    "rococo": RococoCluster,
-}
-"""Protocol name -> cluster facade class."""
+PROTOCOLS = REGISTRY
+"""Protocol name -> cluster facade class (alias of ``repro.protocols.REGISTRY``)."""
 
-
-def build_cluster(
-    protocol: str,
-    config: Optional[ClusterConfig] = None,
-    keys: Optional[Sequence[object]] = None,
-    record_history: bool = False,
-    **kwargs,
-):
-    """Instantiate the cluster facade for ``protocol``.
-
-    History recording defaults to *off* for benchmark runs (it retains every
-    committed transaction, which is useful for correctness checks but not for
-    throughput measurements); tests and examples pass
-    ``record_history=True``.
-    """
-    try:
-        cluster_class = PROTOCOLS[protocol]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown protocol {protocol!r}; expected one of {sorted(PROTOCOLS)}"
-        ) from None
-    return cluster_class(
-        config=config, keys=keys, record_history=record_history, **kwargs
-    )
+__all__ = ["PROTOCOLS", "build_cluster"]

@@ -5,6 +5,14 @@ the closed-loop clients into the quantities the paper's figures report:
 throughput in committed transactions per (simulated) second, abort rate,
 latency mean and percentiles, and the internal-commit / pre-commit breakdown
 of update transaction latency (Figure 5).
+
+Fault-plan experiments additionally get **per-phase** accounting: the fault
+plan splits the run into windows (fail-free, crash, partition, ...), and
+each window reports its committed/aborted counts, throughput and
+*availability* — throughput relative to the best fail-free window of the
+same run, capped at 1.  Stalled clients (clients whose in-flight transaction
+never completed by the post-run drain) and quiescence leaks (pre-commit
+state still held at drain) arrive through ``extra`` from the runner.
 """
 
 from __future__ import annotations
@@ -52,6 +60,55 @@ class LatencySummary:
         return self.mean_us / 1_000.0
 
 
+def compute_phase_metrics(
+    phase_windows: Optional[Sequence],
+    commit_times: Sequence[float],
+    abort_times: Sequence[float],
+) -> List[Dict[str, float]]:
+    """Per-phase commit/abort/availability accounting of a fault-plan run.
+
+    ``phase_windows`` are ``(label, start_us, end_us)`` tuples (produced by
+    :meth:`repro.common.config.FaultPlan.phases`); commits/aborts are binned
+    by completion time.  *Availability* of a phase is its committed
+    throughput relative to the best fail-free phase of the same run, capped
+    at 1 (``None`` when the run has no non-empty fail-free phase to compare
+    against).  Returns ``[]`` when there are no windows (fail-free run).
+    """
+    if not phase_windows:
+        return []
+    phases: List[Dict[str, float]] = []
+    for label, start, end in phase_windows:
+        width_us = max(end - start, 1e-9)
+        committed = sum(1 for t in commit_times if start <= t < end)
+        aborted = sum(1 for t in abort_times if start <= t < end)
+        phases.append(
+            {
+                "label": label,
+                "start_us": start,
+                "end_us": end,
+                "committed": committed,
+                "aborted": aborted,
+                "throughput_tps": round(committed / (width_us / SECOND), 1),
+            }
+        )
+    reference = max(
+        (
+            phase["throughput_tps"]
+            for phase in phases
+            if phase["label"].endswith("fail-free")
+        ),
+        default=0.0,
+    )
+    for phase in phases:
+        if reference > 0:
+            phase["availability"] = round(
+                min(1.0, phase["throughput_tps"] / reference), 4
+            )
+        else:
+            phase["availability"] = None
+    return phases
+
+
 @dataclass
 class ExperimentMetrics:
     """Aggregated outcome of one experiment run."""
@@ -79,6 +136,8 @@ class ExperimentMetrics:
         default_factory=lambda: LatencySummary.from_samples(())
     )
     extra: Dict[str, float] = field(default_factory=dict)
+    phases: List[Dict[str, float]] = field(default_factory=list)
+    """Per-phase accounting of fault-plan runs (empty for fail-free runs)."""
 
     # ------------------------------------------------------------------
     @classmethod
@@ -89,6 +148,7 @@ class ExperimentMetrics:
         clients: Iterable[ClientStats],
         measured_duration_us: float,
         extra: Optional[Dict[str, float]] = None,
+        phase_windows: Optional[Sequence] = None,
     ) -> "ExperimentMetrics":
         clients = list(clients)
         latencies: List[float] = []
@@ -96,6 +156,8 @@ class ExperimentMetrics:
         read_only_latencies: List[float] = []
         internal_latencies: List[float] = []
         precommit_waits: List[float] = []
+        commit_times: List[float] = []
+        abort_times: List[float] = []
         committed = committed_update = committed_read_only = aborted = 0
         for stats in clients:
             committed += stats.committed
@@ -107,6 +169,20 @@ class ExperimentMetrics:
             read_only_latencies.extend(stats.read_only_latencies_us)
             internal_latencies.extend(stats.internal_latencies_us)
             precommit_waits.extend(stats.precommit_waits_us)
+            commit_times.extend(stats.commit_times_us)
+            abort_times.extend(stats.abort_times_us)
+        phases = compute_phase_metrics(phase_windows, commit_times, abort_times)
+        metrics_extra = dict(extra or {})
+        if phases:
+            availabilities = [
+                phase["availability"]
+                for phase in phases
+                if phase.get("availability") is not None
+            ]
+            if availabilities:
+                metrics_extra.setdefault(
+                    "availability_min", round(min(availabilities), 4)
+                )
         return cls(
             protocol=protocol,
             n_nodes=n_nodes,
@@ -120,7 +196,8 @@ class ExperimentMetrics:
             read_only_latency=LatencySummary.from_samples(read_only_latencies),
             internal_latency=LatencySummary.from_samples(internal_latencies),
             precommit_wait=LatencySummary.from_samples(precommit_waits),
-            extra=dict(extra or {}),
+            extra=metrics_extra,
+            phases=phases,
         )
 
     # ------------------------------------------------------------------
@@ -158,6 +235,28 @@ class ExperimentMetrics:
     def clock_compression_ratio(self) -> Optional[float]:
         """Encoded/dense byte ratio over every clock shipped (lower = better)."""
         return self.extra.get("clock_compression_ratio")
+
+    # ------------------------------------------------------------ fault plane
+    @property
+    def availability_min(self) -> Optional[float]:
+        """Lowest per-phase availability of a fault-plan run."""
+        return self.extra.get("availability_min")
+
+    @property
+    def stalled_clients(self) -> Optional[float]:
+        """Clients whose in-flight transaction never completed by drain."""
+        return self.extra.get("stalled_clients")
+
+    @property
+    def quiescence_leaked_writers(self) -> Optional[float]:
+        """Update transactions still held in snapshot queues at drain.
+
+        This is the ROADMAP's known liveness issue made measurable: a
+        fail-free run that drains to quiescence must report zero here; a
+        non-zero value means pre-commit state leaked (the 4-party stall
+        pattern, or a fault that severed a Remove/Decide chain).
+        """
+        return self.extra.get("quiescence_leaked_writers")
 
     @property
     def precommit_fraction(self) -> float:

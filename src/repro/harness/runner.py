@@ -51,6 +51,7 @@ def run_experiment(
     record_history: bool = False,
     keep_cluster: bool = False,
     keys: Optional[Sequence[object]] = None,
+    drain_us: Optional[float] = None,
 ) -> ExperimentResult:
     """Run one (protocol, configuration, workload) experiment.
 
@@ -67,15 +68,24 @@ def run_experiment(
     keep_cluster:
         Keep the cluster object on the result (tests use it to inspect node
         state); off by default so large runs can be garbage collected.
+    drain_us:
+        Extra simulated time after clients stop issuing, letting in-flight
+        transactions finish so stalls and quiescence leaks can be measured.
+        Defaults to 0 for fail-free runs (byte-identical to the historical
+        behaviour) and to 25 ms when the config carries a fault plan.
     """
     config.validate()
     workload.validate()
+    if drain_us is None:
+        drain_us = 25_000.0 if config.faults else 0.0
     cluster = build_cluster(protocol, config=config, keys=keys, record_history=record_history)
 
     all_stats: List[ClientStats] = []
+    sessions = []
     for node_id in range(config.n_nodes):
         for client_index in range(config.clients_per_node):
             session = cluster.session(node_id)
+            sessions.append(session)
             rng = cluster.sim.rng.stream(f"workload.n{node_id}.c{client_index}")
             generator = WorkloadGenerator(
                 workload,
@@ -101,12 +111,36 @@ def run_experiment(
     wall_start = time.perf_counter()
     events_before = cluster.sim.processed_events
     cluster.run(until=duration_us)
+    if drain_us > 0:
+        # Clients stop issuing at ``duration_us``; the drain lets in-flight
+        # transactions finish (or reveal themselves as stalled).
+        cluster.run(until=duration_us + drain_us)
     wall_seconds = time.perf_counter() - wall_start
     measured = max(duration_us - warmup_us, 1.0)
     extra: Dict[str, float] = {}
     counters = cluster.total_counters()
     if "starvation_backoffs" in counters:
         extra["starvation_backoffs"] = counters["starvation_backoffs"]
+    if drain_us > 0:
+        # Fault-plane accounting: clients whose in-flight transaction never
+        # completed, and pre-commit state still held at quiescence (the
+        # ROADMAP's known liveness leak, now a first-class metric).
+        extra["stalled_clients"] = float(
+            sum(1 for session in sessions if session.current is not None)
+        )
+        leaked_writers = 0
+        leaked_commit_queue = 0
+        for node in cluster.nodes:
+            queued = getattr(node, "queued_writer_count", None)
+            if queued is not None:
+                leaked_writers += queued()
+            commit_queue = getattr(node, "commit_queue", None)
+            if commit_queue is not None:
+                leaked_commit_queue += len(commit_queue)
+        extra["quiescence_leaked_writers"] = float(leaked_writers)
+        extra["quiescence_commit_queue"] = float(leaked_commit_queue)
+    if cluster.sim.fault_log:
+        extra["fault_events"] = float(len(cluster.sim.fault_log))
     # Machine-readable performance accounting for the benchmark JSON output.
     extra["sim_events"] = float(cluster.sim.processed_events - events_before)
     extra["wall_seconds"] = wall_seconds
@@ -135,6 +169,7 @@ def run_experiment(
         clients=all_stats,
         measured_duration_us=measured,
         extra=extra,
+        phase_windows=config.faults.phases(duration_us) if config.faults else None,
     )
     return ExperimentResult(
         protocol=protocol,

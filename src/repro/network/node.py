@@ -10,7 +10,13 @@
   generator functions; generator handlers are spawned as simulation
   processes so they can block on further events,
 * request/response helpers that correlate replies to requests via
-  ``reply_to`` and return awaitable events.
+  ``reply_to`` and return awaitable events,
+* crash-aware dispatch for the fault plane: when fault mode is enabled
+  (:meth:`NetworkedNode.enable_fault_mode`, done once by the fault-plan
+  installer), handler processes carry the node's *epoch* and die at their
+  next scheduling point after a crash bumped it — modelling the loss of all
+  in-progress work of a crash-stopped process.  Fail-free runs never enable
+  fault mode and pay nothing beyond one attribute check per delivery.
 
 Protocol subclasses register their handlers in ``__init__`` and use
 ``self.send`` / ``self.request`` / ``self.respond``.
@@ -22,6 +28,7 @@ import inspect
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Type
 
 from repro.common.config import ServiceTimeConfig
+from repro.common.errors import NodeCrashedError
 from repro.common.ids import NodeId
 from repro.network.message import Message
 from repro.sim.events import Event
@@ -55,6 +62,12 @@ class NetworkedNode:
         self._process_names: Dict[type, str] = {}
         self._dispatcher = sim.process(self._dispatch_loop(), name=f"node{node_id}.dispatcher")
         self.messages_handled = 0
+        # Fault plane: ``crashed`` gates delivery, ``_epoch`` invalidates
+        # handler processes spawned before a crash, ``_fault_mode`` keeps the
+        # guard machinery entirely off the fail-free hot path.
+        self.crashed = False
+        self._epoch = 0
+        self._fault_mode = False
         network.register(self)
 
     # ------------------------------------------------------------- handlers
@@ -78,9 +91,15 @@ class NetworkedNode:
 
         The reply is matched by the responder calling :meth:`respond` with
         the original request, which copies the request's ``msg_id`` into the
-        response's ``reply_to`` field.
+        response's ``reply_to`` field.  While this node is crashed (fault
+        plane), the request fails immediately with
+        :class:`~repro.common.errors.NodeCrashedError` so co-located client
+        processes do not park forever on a reply that can never come.
         """
         event = self.sim.event(name="reply")
+        if self.crashed:
+            event.fail(NodeCrashedError(f"node {self.node_id} is crashed"))
+            return event
         self._pending_replies[message.msg_id] = event
         self.network.send(self.node_id, destination, message)
         return event
@@ -114,13 +133,22 @@ class NetworkedNode:
             self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
+        # Fault plane: a crashed node processes nothing.  The transport
+        # already drops traffic to crashed nodes; this guard covers messages
+        # that were sitting in the inbound queue when the crash hit (and is
+        # only ever reached in fault mode).
+        if self._fault_mode and self.crashed:
+            return
         # Replies to outstanding requests complete the request event directly
-        # and bypass handler dispatch.
+        # and bypass handler dispatch.  A reply with no matching request is
+        # stale — its request state died with a crash — and is dropped (a
+        # fail-free run never produces one: every respond() matches exactly
+        # one outstanding request).
         if message.reply_to is not None:
             pending = self._pending_replies.pop(message.reply_to, None)
             if pending is not None and not pending.triggered:
                 pending.succeed(message)
-                return
+            return
         entry = self._lookup_handler(type(message))
         if entry is None:
             raise LookupError(
@@ -133,7 +161,10 @@ class NetworkedNode:
             if name is None:
                 name = f"node{self.node_id}.{message_type.__name__}"
                 self._process_names[message_type] = name
-            self.sim.process(handler(message), name=name)
+            generator = handler(message)
+            if self._fault_mode:
+                generator = self._epoch_guard(generator, self._epoch)
+            self.sim.process(generator, name=name)
         else:
             handler(message)
 
@@ -147,6 +178,65 @@ class NetworkedNode:
                 self._handlers[message_type] = candidate
                 return candidate
         return None
+
+    # ------------------------------------------------------------ fault plane
+    def enable_fault_mode(self) -> None:
+        """Arm the crash/epoch machinery (done once by the fault installer).
+
+        Fault mode costs one attribute check per delivery plus one wrapper
+        generator per handler process; it is never enabled for fail-free
+        runs, whose event sequence therefore stays byte-identical.
+        """
+        self._fault_mode = True
+
+    def spawn_process(self, generator, name: str = ""):
+        """Spawn a node-owned simulation process.
+
+        In fault mode the process is epoch-guarded: it dies at its next
+        scheduling point once the node crashes, like the handler processes.
+        Protocol code must use this (not ``sim.process``) for any background
+        work that conceptually lives inside the node.
+        """
+        if self._fault_mode:
+            generator = self._epoch_guard(generator, self._epoch)
+        return self.sim.process(generator, name=name)
+
+    def _epoch_guard(self, generator, epoch: int):
+        """Forward ``generator`` transparently until the node's epoch moves.
+
+        The wrapper adds no simulation events of its own: every value the
+        inner generator yields is yielded through unchanged, and every value
+        or exception the engine sends back is forwarded.  When a crash bumps
+        the node epoch, the inner generator is closed at its next resumption
+        (running its ``finally`` blocks) and the process ends quietly —
+        in-progress handler work dies with the node.
+        """
+        try:
+            value = next(generator)
+        except StopIteration as stop:
+            return stop.value
+        while True:
+            if self._epoch != epoch:
+                generator.close()
+                return None
+            try:
+                received = yield value
+            except BaseException as thrown:  # noqa: BLE001 - forward everything
+                if self._epoch != epoch:
+                    generator.close()
+                    return None
+                try:
+                    value = generator.throw(thrown)
+                except StopIteration as stop:
+                    return stop.value
+                continue
+            if self._epoch != epoch:
+                generator.close()
+                return None
+            try:
+                value = generator.send(received)
+            except StopIteration as stop:
+                return stop.value
 
     # ------------------------------------------------------------ conveniences
     def cpu(self, micros: float) -> float:

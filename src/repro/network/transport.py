@@ -27,6 +27,21 @@ Reliability model: channels are reliable unless an endpoint has crashed, in
 which case messages to or from that node are dropped — exactly the paper's
 crash-stop assumption ("messages are guaranteed to be eventually delivered
 unless a crash happens at the sender or receiver node").
+
+Fault plane: on top of the crash-stop model the transport exposes two
+scripted degradations (driven by the declarative
+:class:`~repro.common.config.FaultPlan`):
+
+* :meth:`Network.partition` splits the nodes into groups; cross-group
+  messages are *held* inside the network and released at
+  :meth:`Network.heal_partition` (eventual delivery, the paper's model), or
+  dropped outright in ``mode="drop"``.
+* :meth:`Network.degrade_link` multiplies/inflates the propagation latency
+  of one directed link (a "slow link"); :meth:`Network.restore_link` undoes
+  it.
+
+All fault state is ``None``/empty by default and checked with one truthiness
+test on the send path, so fail-free runs are untouched.
 """
 
 from __future__ import annotations
@@ -54,6 +69,9 @@ class NetworkStats:
         self.delivered: Dict[str, int] = defaultdict(int)
         self.dropped: Dict[str, int] = defaultdict(int)
         self.bytes_sent: int = 0
+        #: Messages currently (or cumulatively) held back by a partition.
+        self.held: int = 0
+        self.released: int = 0
 
     @property
     def total_sent(self) -> int:
@@ -73,6 +91,8 @@ class NetworkStats:
             "delivered": self.total_delivered,
             "dropped": self.total_dropped,
             "bytes_sent": self.bytes_sent,
+            "held": self.held,
+            "released": self.released,
         }
 
 
@@ -154,6 +174,13 @@ class Network:
         )
         self._nodes: Dict[NodeId, "NetworkedNode"] = {}
         self._crashed: set[NodeId] = set()
+        # Fault plane: active partition (node -> group id, None = connected),
+        # messages held back by a buffering partition, and per-directed-link
+        # latency degradations.  All empty by default.
+        self._partition: Optional[Dict[NodeId, int]] = None
+        self._partition_mode: str = "buffer"
+        self._held: List[Tuple[float, int, NodeId, Message]] = []
+        self._degraded: Dict[Tuple[NodeId, NodeId], Tuple[float, float]] = {}
         self._link_busy_until: Dict[NodeId, float] = defaultdict(float)
         self._rng = sim.rng.stream("network.latency")
         self.stats = NetworkStats()
@@ -191,6 +218,78 @@ class Network:
 
     def is_crashed(self, node_id: NodeId) -> bool:
         return node_id in self._crashed
+
+    # ------------------------------------------------------------- partitions
+    def partition(self, groups: Iterable[Iterable[NodeId]], mode: str = "buffer") -> None:
+        """Split the cluster into ``groups``; cross-group traffic is cut.
+
+        ``mode="buffer"`` holds cross-partition messages inside the network
+        and releases them at :meth:`heal_partition` — the paper's
+        eventual-delivery model.  ``mode="drop"`` loses them.  Registered
+        nodes not named in any group form one implicit extra group together.
+        Replaces any previously active partition.
+        """
+        mapping: Dict[NodeId, int] = {}
+        group_count = 0
+        for group_count, group in enumerate(groups, start=1):
+            for node_id in group:
+                mapping[node_id] = group_count - 1
+        for node_id in self._nodes:
+            mapping.setdefault(node_id, group_count)
+        self._partition = mapping
+        self._partition_mode = mode
+
+    def heal_partition(self) -> None:
+        """Reconnect the cluster; release every held cross-partition message.
+
+        Held messages re-enter their destination channels with their original
+        sequence numbers (so order among them is preserved) at their original
+        delivery time or ``now``, whichever is later.
+        """
+        self._partition = None
+        if not self._held:
+            return
+        held = self._held
+        self._held = []
+        held.sort()
+        sim = self.sim
+        now = sim.now
+        stats = self.stats
+        touched: Dict[NodeId, _Channel] = {}
+        for deliver_at, seq, destination, message in held:
+            channel = self._channels[destination]
+            at = deliver_at if deliver_at > now else now
+            heappush(channel.pending, (at, seq, message))
+            touched[destination] = channel
+            stats.released += 1
+        for channel in touched.values():
+            head_time = channel.pending[0][0]
+            wakes = channel.wakes
+            if not wakes or wakes[-1] > head_time:
+                wakes.append(head_time)
+                sim.call_at(head_time, channel.drain)
+
+    def is_partitioned(self, sender: NodeId, destination: NodeId) -> bool:
+        """True when an active partition separates the two nodes."""
+        partition = self._partition
+        if partition is None:
+            return False
+        return partition.get(sender) != partition.get(destination)
+
+    # ----------------------------------------------------------- link quality
+    def degrade_link(
+        self, src: NodeId, dst: NodeId, factor: float = 1.0, extra_us: float = 0.0
+    ) -> None:
+        """Degrade the directed ``src -> dst`` link.
+
+        Every subsequent message on the link has its propagation latency
+        multiplied by ``factor`` and increased by ``extra_us``.
+        """
+        self._degraded[(src, dst)] = (factor, extra_us)
+
+    def restore_link(self, src: NodeId, dst: NodeId) -> None:
+        """Remove any degradation of the directed ``src -> dst`` link."""
+        self._degraded.pop((src, dst), None)
 
     # ---------------------------------------------------------------- sending
     def send(self, sender: NodeId, destination: NodeId, message: Message) -> None:
@@ -233,11 +332,28 @@ class Network:
         else:
             deliver_at = now
         if sender != destination:
-            deliver_at += self.latency_model.sample(self._rng)
+            latency = self.latency_model.sample(self._rng)
+            if self._degraded:
+                degradation = self._degraded.get((sender, destination))
+                if degradation is not None:
+                    latency = latency * degradation[0] + degradation[1]
+            deliver_at += latency
 
-        channel = self._channels[destination]
         seq = self._pending_seq
         self._pending_seq = seq + 1
+
+        if self._partition is not None and sender != destination:
+            partition = self._partition
+            if partition.get(sender) != partition.get(destination):
+                if self._partition_mode == "drop":
+                    stats.dropped[type_name] += 1
+                else:
+                    # Eventual delivery: hold the message until the heal.
+                    stats.held += 1
+                    self._held.append((deliver_at, seq, destination, message))
+                return
+
+        channel = self._channels[destination]
         heappush(channel.pending, (deliver_at, seq, message))
         wakes = channel.wakes
         if not wakes or deliver_at < wakes[-1]:

@@ -1,0 +1,40 @@
+"""The unified protocol layer.
+
+This package is what the four protocol implementations (SSS and the three
+competitors it is evaluated against) share:
+
+* :mod:`repro.protocols.runtime` — :class:`ProtocolRuntime`, the node base
+  class owning message dispatch, the per-transaction state machine, replica
+  fan-out, vote collection and the crash/restart fault hooks, plus
+  :class:`VoteCollector`.
+* :mod:`repro.protocols.cluster` — :class:`ProtocolCluster`, the shared
+  cluster facade (sessions, client processes, history, consistency checks,
+  fault-plan installation).
+* :mod:`repro.protocols.registry` — the single name -> cluster-factory
+  :data:`REGISTRY` used by the harness, the benchmarks and the examples.
+* :mod:`repro.protocols.faults` — binds a declarative
+  :class:`~repro.common.config.FaultPlan` to a running cluster.
+"""
+
+from repro.protocols.cluster import ProtocolCluster
+from repro.protocols.faults import install_fault_plan
+from repro.protocols.registry import (
+    REGISTRY,
+    build_cluster,
+    ensure_registry,
+    protocol_names,
+    register,
+)
+from repro.protocols.runtime import ProtocolRuntime, VoteCollector
+
+__all__ = [
+    "REGISTRY",
+    "ProtocolCluster",
+    "ProtocolRuntime",
+    "VoteCollector",
+    "build_cluster",
+    "ensure_registry",
+    "install_fault_plan",
+    "protocol_names",
+    "register",
+]

@@ -1,0 +1,149 @@
+"""The shared cluster facade.
+
+:class:`ProtocolCluster` assembles a complete simulated deployment of one
+protocol — the simulation engine, the network, one node per cluster member,
+the key placement, an optional history recorder, and the fault plane — and
+exposes the operations example programs and the benchmark harness need:
+
+* ``session(node)`` — obtain a client session co-located with a node;
+* ``spawn(process)`` — run a client process inside the simulation;
+* ``run(until)`` — advance simulated time;
+* ``check_consistency()`` — run the external-consistency checker over the
+  recorded history.
+
+Every protocol in the repository (SSS and the three baselines) subclasses
+this facade with only ``node_class`` and ``protocol_name``, which is what
+lets the harness treat all protocols uniformly through one registry
+(:mod:`repro.protocols.registry`).
+
+When the cluster's :class:`~repro.common.config.ClusterConfig` carries a
+non-empty :class:`~repro.common.config.FaultPlan`, the plan is installed at
+construction time: fault mode is armed on every node and the scripted
+crash/partition/slow-link events are scheduled on the engine (see
+:mod:`repro.protocols.faults`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ConfigurationError
+from repro.consistency.checkers import CheckResult, check_external_consistency
+from repro.consistency.history import HistoryRecorder
+from repro.core.session import Session
+from repro.network.transport import Network
+from repro.protocols.faults import install_fault_plan
+from repro.replication.placement import KeyPlacement
+from repro.sim.engine import Simulation
+
+
+class ProtocolCluster:
+    """Facade assembling a simulated cluster of one protocol.
+
+    Subclasses set :attr:`node_class` and :attr:`protocol_name`; everything
+    else (sessions, spawning client processes, running the simulation,
+    history recording, fault-plan installation) is shared.
+    """
+
+    node_class = None
+    protocol_name = "protocol"
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        keys: Optional[Sequence[object]] = None,
+        record_history: bool = True,
+        initial_value=0,
+        **node_kwargs,
+    ):
+        if self.node_class is None:  # pragma: no cover - abstract use
+            raise ConfigurationError("ProtocolCluster must be subclassed")
+        self.config = config or ClusterConfig()
+        self.config.validate()
+        self.keys: List[object] = (
+            list(keys)
+            if keys is not None
+            else [f"key-{index}" for index in range(self.config.n_keys)]
+        )
+        self.sim = Simulation(seed=self.config.seed)
+        self.network = Network(self.sim, config=self.config.network)
+        self.placement = KeyPlacement(
+            n_nodes=self.config.n_nodes,
+            replication_degree=self.config.replication_degree,
+            keys=self.keys,
+        )
+        self.history: Optional[HistoryRecorder] = (
+            HistoryRecorder() if record_history else None
+        )
+        self.nodes = [
+            self.node_class(
+                self.sim,
+                self.network,
+                node_id,
+                placement=self.placement,
+                config=self.config,
+                history=self.history,
+                **node_kwargs,
+            )
+            for node_id in range(self.config.n_nodes)
+        ]
+        for node in self.nodes:
+            node.preload(self.keys, initial_value=initial_value)
+        self._session_counter: Dict[int, int] = {}
+        # Fault plane: schedule the declarative plan (no-op when empty).
+        install_fault_plan(self, self.config.faults)
+
+    # ------------------------------------------------------------------
+    # Client-facing API
+    # ------------------------------------------------------------------
+    def session(self, node_id: int = 0) -> Session:
+        """Create a client session co-located with ``node_id``."""
+        if not 0 <= node_id < self.config.n_nodes:
+            raise ConfigurationError(
+                f"node_id {node_id} out of range (cluster has "
+                f"{self.config.n_nodes} nodes)"
+            )
+        index = self._session_counter.get(node_id, 0)
+        self._session_counter[node_id] = index + 1
+        return Session(self.nodes[node_id], client_index=index)
+
+    def spawn(self, generator, name: str = ""):
+        """Run a client process (a generator) inside the simulation."""
+        return self.sim.process(generator, name=name or "client")
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation (to ``until`` microseconds, or to quiescence)."""
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def node(self, node_id: int):
+        return self.nodes[node_id]
+
+    def check_consistency(self) -> CheckResult:
+        """Run the external-consistency check over the recorded history."""
+        if self.history is None:
+            raise ConfigurationError(
+                "history recording is disabled for this cluster"
+            )
+        return check_external_consistency(self.history)
+
+    def total_counters(self) -> Dict[str, int]:
+        """Aggregate protocol counters over every node."""
+        totals: Dict[str, int] = {}
+        for node in self.nodes:
+            for name, value in node.stats().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} nodes={self.config.n_nodes} "
+            f"keys={len(self.keys)} rf={self.config.replication_degree}>"
+        )

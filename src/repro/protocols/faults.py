@@ -1,0 +1,90 @@
+"""Binding a declarative :class:`~repro.common.config.FaultPlan` to a cluster.
+
+The plan lives in the configuration (so it is validated, pickled and
+replayed like every other experiment knob); this module translates it into
+scripted engine events at cluster-construction time:
+
+* a :class:`~repro.common.config.CrashFault` becomes ``node.crash()`` /
+  ``node.restart()`` calls on the targeted
+  :class:`~repro.protocols.runtime.ProtocolRuntime`;
+* a :class:`~repro.common.config.PartitionFault` becomes
+  ``network.partition(...)`` / ``network.heal_partition()`` calls;
+* a :class:`~repro.common.config.SlowLinkFault` becomes
+  ``network.degrade_link(...)`` / ``network.restore_link(...)`` calls.
+
+Installing a non-empty plan also arms *fault mode* on every node, which
+activates the crash-epoch guard on handler processes.  An empty plan
+installs nothing at all — fail-free runs take none of these code paths and
+their histories stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.config import (
+    CrashFault,
+    FaultPlan,
+    PartitionFault,
+    SlowLinkFault,
+)
+from repro.common.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.cluster import ProtocolCluster
+
+
+def install_fault_plan(cluster: "ProtocolCluster", plan: Optional[FaultPlan]) -> None:
+    """Schedule ``plan``'s events on ``cluster``'s engine (no-op when empty)."""
+    if plan is None or not plan.faults:
+        return
+    sim = cluster.sim
+    network = cluster.network
+    nodes = cluster.nodes
+    for node in nodes:
+        node.enable_fault_mode()
+    for fault in plan.faults:
+        if isinstance(fault, CrashFault):
+            node = nodes[fault.node]
+            sim.schedule_fault(fault.at_us, node.crash, f"crash:{fault.node}")
+            if fault.duration_us is not None:
+                sim.schedule_fault(
+                    fault.at_us + fault.duration_us,
+                    node.restart,
+                    f"restart:{fault.node}",
+                )
+        elif isinstance(fault, PartitionFault):
+            sim.schedule_fault(
+                fault.at_us,
+                partial(network.partition, fault.groups, mode=fault.mode),
+                f"partition:{fault.mode}",
+            )
+            sim.schedule_fault(
+                fault.at_us + fault.duration_us,
+                network.heal_partition,
+                "heal",
+            )
+        elif isinstance(fault, SlowLinkFault):
+            pairs = [(fault.src, fault.dst)]
+            if fault.bidirectional:
+                pairs.append((fault.dst, fault.src))
+            for src, dst in pairs:
+                sim.schedule_fault(
+                    fault.at_us,
+                    partial(
+                        network.degrade_link,
+                        src,
+                        dst,
+                        factor=fault.factor,
+                        extra_us=fault.extra_us,
+                    ),
+                    f"slowlink:{src}->{dst}",
+                )
+                sim.schedule_fault(
+                    fault.at_us + fault.duration_us,
+                    partial(network.restore_link, src, dst),
+                    f"restorelink:{src}->{dst}",
+                )
+        else:  # pragma: no cover - parse() only builds the three kinds
+            raise ConfigurationError(f"unknown fault spec {fault!r}")

@@ -1,0 +1,80 @@
+"""The single protocol registry.
+
+Every protocol in the repository registers its cluster facade here under
+its experiment name (``"sss"``, ``"2pc"``, ``"walter"``, ``"rococo"``); the
+harness, the benchmarks, and the examples all build clusters through
+:func:`build_cluster`, so there is exactly one name -> factory mapping in
+the codebase (this used to be split between ``baselines.PROTOCOL_CLUSTERS``
+and a harness-side dict that special-cased ``"sss"``).
+
+Registration happens at module-definition time: each protocol module calls
+:func:`register` next to its cluster class.  :func:`ensure_registry`
+imports the built-in protocol modules so the registry is populated no
+matter which entry point the process started from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import ConfigurationError
+
+REGISTRY: Dict[str, type] = {}
+"""Protocol name -> cluster facade class (one registry for the whole repo)."""
+
+
+def register(name: str, cluster_class: type) -> type:
+    """Register ``cluster_class`` under ``name``; returns the class.
+
+    Re-registering the same class under the same name is a no-op (modules
+    may be re-imported); registering a *different* class under a taken name
+    is a configuration error.
+    """
+    existing = REGISTRY.get(name)
+    if existing is not None and existing is not cluster_class:
+        raise ConfigurationError(
+            f"protocol {name!r} already registered to {existing.__name__}"
+        )
+    REGISTRY[name] = cluster_class
+    return cluster_class
+
+
+def ensure_registry() -> Dict[str, type]:
+    """Import the built-in protocol modules; returns the populated registry."""
+    # Imported for their registration side effects.
+    import repro.baselines  # noqa: F401
+    import repro.core.cluster  # noqa: F401
+
+    return REGISTRY
+
+
+def protocol_names() -> List[str]:
+    """Sorted names of every registered protocol."""
+    return sorted(ensure_registry())
+
+
+def build_cluster(
+    protocol: str,
+    config: Optional[ClusterConfig] = None,
+    keys: Optional[Sequence[object]] = None,
+    record_history: bool = False,
+    **kwargs,
+):
+    """Instantiate the cluster facade for ``protocol``.
+
+    History recording defaults to *off* for benchmark runs (it retains every
+    committed transaction, which is useful for correctness checks but not for
+    throughput measurements); tests and examples pass
+    ``record_history=True``.
+    """
+    ensure_registry()
+    try:
+        cluster_class = REGISTRY[protocol]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; expected one of {sorted(REGISTRY)}"
+        ) from None
+    return cluster_class(
+        config=config, keys=keys, record_history=record_history, **kwargs
+    )

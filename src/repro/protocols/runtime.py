@@ -1,0 +1,392 @@
+"""The shared protocol-node runtime.
+
+Before this layer existed, the node-lifecycle plumbing — message
+registration/dispatch, the per-transaction state machine, replica fan-out
+with fastest-answer selection, 2PC-style vote collection, crash-guard
+timers, counters — was re-implemented four times across
+:mod:`repro.core.node`, :mod:`repro.baselines.twopc`,
+:mod:`repro.baselines.walter` and :mod:`repro.baselines.rococo`.
+:class:`ProtocolRuntime` collapses that duplication into one base class that
+every protocol node (SSS and the three competitors) extends:
+
+* **Dispatch** — inherited from :class:`~repro.network.node.NetworkedNode`:
+  the prioritized inbound queue, the dispatcher process, handler
+  registration by message class, and request/response correlation.
+* **Transaction state machine** — ``begin_transaction`` / ``txn_write`` /
+  ``txn_abort`` plus the ``_finish_commit`` / ``_finish_abort`` outcome
+  transitions shared by every coordinator, all operating on
+  :class:`~repro.core.metadata.TransactionMeta` (the per-transaction state
+  machine) and feeding the optional history recorder.
+* **Replica fan-out** — :meth:`request_each` (one request per destination)
+  and :meth:`fastest_of` (fastest-answer selection over a reply wave), the
+  pattern behind every multi-replica read.
+* **Vote collection** — :meth:`vote_round`: one 2PC-style prepare wave with
+  a shared coarse crash-guard deadline and a :class:`VoteCollector` that
+  fails fast on the first negative vote.
+* **Fault plane** — :meth:`crash` / :meth:`restart`: a crashed node drops
+  its volatile state (inbound queue, in-flight RPCs, whatever the protocol
+  declares volatile via :meth:`on_crash`) and replays its durable state on
+  restart via :meth:`on_restart`.  Fail-free runs never touch any of this.
+
+Protocol subclasses implement ``txn_read`` / ``txn_commit`` / ``preload``
+and register their message handlers in ``__init__``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import ClusterConfig
+from repro.common.errors import NodeCrashedError, TransactionStateError
+from repro.common.ids import NodeId, TransactionId, TxnIdGenerator
+from repro.core.metadata import TransactionMeta, TransactionPhase
+from repro.network.node import NetworkedNode
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.consistency.history import HistoryRecorder
+    from repro.network.transport import Network
+    from repro.replication.placement import KeyPlacement
+    from repro.sim.engine import Simulation
+
+
+class VoteCollector(Event):
+    """Event firing once a 2PC-style vote round is decided.
+
+    Replaces the wave-by-wave ``any_of(pending + [timeout])`` pattern, which
+    rebuilt an :class:`AnyOf` over every still-pending vote each wave — at
+    large participant counts (the cluster-size sweep) that is quadratic in
+    callbacks and list scans.  The collector registers one callback per vote
+    reply, fails fast on the first unsuccessful vote (any reply with a falsy
+    ``success`` attribute) and fires with ``(outcome, votes)`` once the round
+    is decided.  Shared by SSS and the 2PC-style baselines; SSS hands the
+    collected votes' proposed commit clocks to one batched
+    ``VectorClock.merge_many``.
+    """
+
+    __slots__ = ("_remaining", "_votes")
+
+    def __init__(self, sim, vote_events):
+        super().__init__(sim, name="votes")
+        self._remaining = len(vote_events)
+        self._votes = []
+        if not vote_events:
+            # An empty round is trivially successful; without this the
+            # collector would never fire and the caller would idle until
+            # its crash-guard deadline.
+            self.succeed((True, self._votes))
+            return
+        for event in vote_events:
+            event.add_callback(self._on_vote)
+
+    def _on_vote(self, event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            # A failed vote reply (the coordinator node crashed mid-round):
+            # propagate, so the waiting client is interrupted like any other
+            # in-flight RPC of the crashed node.
+            self.fail(event._exception)
+            return
+        vote = event._value
+        if not vote.success:
+            self.succeed((False, self._votes))
+            return
+        self._votes.append(vote)
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed((True, self._votes))
+
+
+class ProtocolRuntime(NetworkedNode):
+    """Common runtime of every protocol node (SSS, 2PC, Walter, ROCOCO)."""
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        network: "Network",
+        node_id: NodeId,
+        placement: "KeyPlacement",
+        config: ClusterConfig,
+        history: Optional["HistoryRecorder"] = None,
+    ):
+        super().__init__(sim, network, node_id, service=config.service)
+        self.placement = placement
+        self.config = config
+        self.history = history
+        self._txn_ids = TxnIdGenerator(node_id)
+        self.coordinated: Dict[TransactionId, TransactionMeta] = {}
+        self.counters = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Placement helpers
+    # ------------------------------------------------------------------
+    def replicas(self, key: object) -> Tuple[NodeId, ...]:
+        return self.placement.replicas(key)
+
+    def primary(self, key: object) -> NodeId:
+        return self.placement.primary(key)
+
+    def is_replica_of(self, key: object) -> bool:
+        return self.placement.is_replica(self.node_id, key)
+
+    # ------------------------------------------------------------------
+    # Session interface (the per-transaction state machine)
+    # ------------------------------------------------------------------
+    def begin_transaction(self, read_only: bool) -> TransactionMeta:
+        """Create the metadata of a transaction coordinated by this node."""
+        meta = TransactionMeta(
+            txn_id=self._txn_ids.next_id(),
+            coordinator=self.node_id,
+            is_update=not read_only,
+            n_nodes=self.config.n_nodes,
+        )
+        meta.begin_time = self.sim.now
+        self.coordinated[meta.txn_id] = meta
+        self.counters["begun"] += 1
+        return meta
+
+    def txn_write(self, meta: TransactionMeta, key: object, value: object) -> None:
+        """Buffer a write (lazy update); visible only after commit."""
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"write after completion of {meta}")
+        if meta.is_read_only:
+            raise TransactionStateError(
+                f"{meta.txn_id} was declared read-only but issued a write"
+            )
+        meta.record_write(key, value)
+        self.counters["client_writes"] += 1
+
+    def txn_abort(self, meta: TransactionMeta) -> None:
+        """Client-requested abort before commit (buffered writes dropped)."""
+        if meta.phase is not TransactionPhase.EXECUTING:
+            raise TransactionStateError(f"abort after completion of {meta}")
+        meta.phase = TransactionPhase.ABORTED
+        meta.abort_reason = "client-abort"
+        meta.abort_time = self.sim.now
+        self.counters["client_aborts"] += 1
+
+    def txn_read(self, meta: TransactionMeta, key: object):  # pragma: no cover
+        raise NotImplementedError
+
+    def txn_commit(self, meta: TransactionMeta):  # pragma: no cover
+        raise NotImplementedError
+
+    def preload(self, keys, initial_value=0) -> None:  # pragma: no cover
+        """Install the initial key space; overridden by each protocol."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Outcome transitions shared by every coordinator
+    # ------------------------------------------------------------------
+    def _finish_commit(self, meta: TransactionMeta, counter: str) -> bool:
+        meta.phase = TransactionPhase.EXTERNALLY_COMMITTED
+        meta.external_commit_time = self.sim.now
+        if meta.commit_vc is None:
+            meta.commit_vc = meta.vc
+        self.counters[counter] += 1
+        if self.history is not None:
+            self.history.record_commit(meta)
+        return True
+
+    def _finish_abort(
+        self, meta: TransactionMeta, reason: str, counter: str = "aborts"
+    ) -> bool:
+        meta.phase = TransactionPhase.ABORTED
+        meta.abort_reason = reason
+        meta.abort_time = self.sim.now
+        self.counters[counter] += 1
+        if self.history is not None:
+            self.history.record_abort(meta)
+        return False
+
+    # ------------------------------------------------------------------
+    # Replica fan-out and vote collection
+    # ------------------------------------------------------------------
+    def request_each(self, destinations, make_message) -> List[Event]:
+        """Send ``make_message(destination)`` to each destination.
+
+        Returns the reply events in destination order.  ``make_message`` must
+        build a fresh message per call (the transport mutates the instance).
+        """
+        request = self.request
+        return [
+            request(destination, make_message(destination))
+            for destination in destinations
+        ]
+
+    def fastest_of(self, events: Sequence[Event]):
+        """Process generator: wait for the first reply among ``events``.
+
+        Returns the winning reply message.  With a single event this is a
+        plain await (no ``AnyOf`` allocation), which keeps the common
+        replication-degree-1 path on the engine's fast path.
+        """
+        if len(events) == 1:
+            reply = yield events[0]
+            return reply
+        yield self.sim.any_of(events)
+        return next(event.value for event in events if event.triggered)
+
+    def vote_round(self, participants, make_message, timeout_us: float):
+        """Process generator: one 2PC-style vote wave over ``participants``.
+
+        Sends one request per participant, arms a shared coarse crash-guard
+        deadline (see :meth:`Simulation.deadline` — a guard against crashed
+        participants, not a precise timer) and collects the votes with a
+        :class:`VoteCollector`.  Returns ``(outcome, votes)``; ``outcome`` is
+        ``False`` when any participant voted no or the deadline expired.
+        """
+        vote_events = self.request_each(participants, make_message)
+        timeout = self.sim.deadline(timeout_us)
+        votes = VoteCollector(self.sim, vote_events)
+        yield self.sim.any_of([votes, timeout])
+        if votes.triggered:
+            return votes.value
+        return False, []
+
+    def reliable_request(self, destination, make_message):
+        """Process generator: one request, re-sent in fault mode until answered.
+
+        Fail-free this is exactly a plain ``yield self.request(...)``.  In
+        fault mode the request is re-sent every ``crash_resubscribe_us``
+        until a reply arrives — a crashed destination answers after its
+        restart (the handler must be idempotent).  Returns the reply.
+        """
+        if not self._fault_mode:
+            reply = yield self.request(destination, make_message())
+            return reply
+        retry_us = self.config.timeouts.crash_resubscribe_us
+        while True:
+            message = make_message()
+            event = self.request(destination, message)
+            yield self.sim.any_of([event, self.sim.timeout(retry_us)])
+            if event.triggered and event.ok:
+                return event.value
+            self._pending_replies.pop(message.msg_id, None)
+            self.counters["round_retries"] += 1
+
+    def request_round(self, items, destination_of, make_message):
+        """Process generator: one request per item, all replies awaited.
+
+        ``destination_of(item)`` routes each item (several items may share a
+        destination — ROCOCO's per-key pieces do).  Fail-free this is
+        exactly the historical ``all_of`` wave.  In fault mode, unanswered
+        requests are re-sent every ``crash_resubscribe_us`` — a crashed
+        destination answers after its restart, so handlers of messages sent
+        through this helper must be idempotent.  Returns ``{item: reply}``.
+        """
+        items = list(items)
+        if not self._fault_mode:
+            events = [
+                self.request(destination_of(item), make_message(item))
+                for item in items
+            ]
+            yield self.sim.all_of(events)
+            return {item: event.value for item, event in zip(items, events)}
+        retry_us = self.config.timeouts.crash_resubscribe_us
+        replies: Dict[object, object] = {}
+        pending = []
+        for item in items:
+            message = make_message(item)
+            pending.append((item, message, self.request(destination_of(item), message)))
+        while True:
+            guard = self.sim.timeout(retry_us)
+            yield self.sim.any_of(
+                [self.sim.all_of([event for _i, _m, event in pending]), guard]
+            )
+            unanswered = []
+            for item, message, event in pending:
+                if event.triggered and event.ok:
+                    replies[item] = event.value
+                else:
+                    # Retire the stale correlation entry and re-send.
+                    self._pending_replies.pop(message.msg_id, None)
+                    unanswered.append(item)
+            if not unanswered:
+                return replies
+            self.counters["round_retries"] += 1
+            pending = []
+            for item in unanswered:
+                message = make_message(item)
+                pending.append(
+                    (item, message, self.request(destination_of(item), message))
+                )
+
+    def request_all(self, destinations, make_message):
+        """:meth:`request_round` specialized to one request per destination."""
+        replies = yield from self.request_round(
+            destinations, lambda destination: destination, make_message
+        )
+        return replies
+
+    # ------------------------------------------------------------------
+    # Fault plane: crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop this node.
+
+        The network drops all traffic to and from the node, the inbound
+        queue and in-flight RPC correlation state are discarded, handler
+        processes die at their next scheduling point (the epoch guard
+        installed by fault mode), and the protocol's volatile state is
+        dropped via :meth:`on_crash`.  Durable state — whatever the protocol
+        treats as logged/persisted — survives untouched.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._epoch += 1
+        self.counters["crashes"] += 1
+        self.network.crash(self.node_id)
+        self.counters["crash_dropped_inbound"] += self._inbound.clear()
+        # Fail in-flight RPCs: waiting handler processes die through the
+        # epoch guard, while co-located *client* processes receive
+        # NodeCrashedError and reconnect with a back-off (see the closed-loop
+        # client), which is what lets availability recover after a restart.
+        pending = self._pending_replies
+        self._pending_replies = {}
+        for event in pending.values():
+            if not event.triggered:
+                event.fail(NodeCrashedError(f"node {self.node_id} crashed"))
+        # Every transaction this node coordinates is torn down: the client
+        # connection is gone, so the transaction can never be answered.  The
+        # metadata records the crash so the restart recovery (on_restart
+        # overrides) can release remote state the transaction pinned.
+        for txn_id in sorted(self.coordinated):
+            meta = self.coordinated[txn_id]
+            if meta.phase in (
+                TransactionPhase.EXTERNALLY_COMMITTED,
+                TransactionPhase.ABORTED,
+            ):
+                continue
+            meta.crash_phase = meta.phase
+            meta.phase = TransactionPhase.ABORTED
+            meta.abort_reason = "coordinator-crash"
+            meta.abort_time = self.sim.now
+            self.counters["coordinator_crash_aborts"] += 1
+        self.on_crash()
+
+    def restart(self) -> None:
+        """Recover a crashed node: rejoin the network, replay durable state."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.counters["restarts"] += 1
+        self.network.recover(self.node_id)
+        self.on_restart()
+
+    def on_crash(self) -> None:
+        """Protocol hook: drop volatile state (lock tables, prepare buffers)."""
+
+    def on_restart(self) -> None:
+        """Protocol hook: replay durable state after a restart."""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        stats = dict(self.counters)
+        stats["messages_handled"] = self.messages_handled
+        return stats

@@ -58,6 +58,7 @@ class Simulation:
         "_crashed",
         "_event_count",
         "_deadline_buckets",
+        "fault_log",
     )
 
     def __init__(self, seed: int = 1):
@@ -68,6 +69,8 @@ class Simulation:
         self._crashed: List[Tuple[Process, BaseException]] = []
         self._event_count = 0
         self._deadline_buckets: dict[float, Event] = {}
+        #: Scripted fault-plane events (time, label), in scheduling order.
+        self.fault_log: List[Tuple[float, str]] = []
 
     # ------------------------------------------------------------------ time
     @property
@@ -171,6 +174,17 @@ class Simulation:
     def call_after(self, delay: float, callback: Callable, arg=_CALL0) -> None:
         """Schedule ``callback`` (optionally with one argument) ``delay`` from now."""
         self._push(self._now + delay, callback, arg)
+
+    def schedule_fault(self, at: float, callback: Callable, label: str = "") -> None:
+        """Schedule a scripted fault-plane event at absolute time ``at``.
+
+        Crash/restart/partition/slow-link events are first-class in the
+        engine: they go through the same heap as every other event (so they
+        interleave deterministically with protocol traffic) and are recorded
+        in :attr:`fault_log` for experiment reports and tests.
+        """
+        self.fault_log.append((at, label))
+        self._push(at, callback, _CALL0)
 
     def _dispatch(self, event: Event) -> None:
         callbacks = event.callbacks

@@ -131,3 +131,13 @@ class Store:
         if not self._items:
             return None
         return self._items[0][2]
+
+    def clear(self) -> int:
+        """Discard every queued item (crash semantics); returns the count.
+
+        Parked getters stay parked: a cleared queue is simply empty, and the
+        next ``put`` will wake them as usual.
+        """
+        dropped = len(self._items)
+        self._items.clear()
+        return dropped

@@ -132,6 +132,17 @@ class CommitQueue:
     def entries(self) -> List[CommitQueueEntry]:
         return list(self._entries)
 
+    def clear(self) -> int:
+        """Drop every queued entry (crash semantics); returns the count.
+
+        The signal is *not* notified: waiters parked before the crash belong
+        to processes that die with the node, and the next real mutation
+        after a restart notifies as usual.
+        """
+        dropped = len(self._entries)
+        self._entries = []
+        return dropped
+
     # ------------------------------------------------------------- internals
     def _sort(self) -> None:
         self._entries.sort(key=lambda entry: entry.order_key(self.node_index))

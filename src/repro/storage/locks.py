@@ -113,6 +113,28 @@ class LockTable:
                 del state.holders[txn_id]
                 self._grant_waiters(key, state)
 
+    def reset(self) -> None:
+        """Forget every holder and waiter (crash semantics).
+
+        Waiters are not granted or woken: their ``acquire_all`` generators
+        self-terminate through their acquisition timeout (or die with the
+        crashed node's epoch), so simply dropping the table is safe.
+        """
+        self._keys.clear()
+
+    def reset_except(self, keep) -> None:
+        """Crash semantics with durable prepared state.
+
+        Drops every waiter and every holder whose transaction is not in
+        ``keep`` — the textbook participant model where only *prepared*
+        transactions' locks survive recovery (and keep blocking, which is
+        2PC's in-doubt window).
+        """
+        for state in self._keys.values():
+            state.waiters.clear()
+            for txn_id in [t for t in state.holders if t not in keep]:
+                del state.holders[txn_id]
+
     def _grant_waiters(self, key: object, state: _KeyLockState) -> None:
         """Grant queued waiters in FIFO order while compatible."""
         while state.waiters:

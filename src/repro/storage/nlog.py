@@ -192,3 +192,14 @@ class NLog:
     def contains_txn(self, txn_id: TransactionId) -> bool:
         """True if ``txn_id`` appears among the retained entries."""
         return any(entry.txn_id == txn_id for entry in self._entries)
+
+    def find(self, txn_id: TransactionId) -> Optional[NLogEntry]:
+        """Retained entry of ``txn_id``, or ``None`` (fault-plane recovery).
+
+        Linear over the retention window: only the crash-recovery path uses
+        it, never the fail-free hot path.
+        """
+        for entry in self._entries:
+            if entry.txn_id == txn_id:
+                return entry
+        return None

@@ -144,6 +144,25 @@ class SnapshotQueue:
             self._notify()
         return removed
 
+    def clear(self) -> int:
+        """Drop every entry (crash semantics); returns the count.
+
+        No signal notification: pre-crash waiters belong to processes that
+        die with the node (see the runtime's epoch guard), and post-restart
+        insertions notify as usual.
+        """
+        dropped = len(self._readers) + len(self._writers)
+        self._readers.clear()
+        self._writers.clear()
+        self._reader_snaps.clear()
+        self._writer_snaps.clear()
+        self._reader_ids.clear()
+        self._writer_ids.clear()
+        self._reader_txns.clear()
+        self._writer_txns.clear()
+        self._writer_enqueue_time.clear()
+        return dropped
+
     # -------------------------------------------------------------- queries
     def __len__(self) -> int:
         return len(self._readers) + len(self._writers)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.common.errors import NodeCrashedError
 from repro.core.metadata import TransactionMeta
 from repro.core.session import Session
 from repro.workload.profiles import TransactionSpec, WorkloadGenerator
@@ -37,12 +38,20 @@ class ClientStats:
     read_only_latencies_us: List[float] = field(default_factory=list)
     internal_latencies_us: List[float] = field(default_factory=list)
     precommit_waits_us: List[float] = field(default_factory=list)
+    #: Completion timestamps, feeding the per-phase availability metrics of
+    #: fault-plan experiments (one float per outcome, like the latencies).
+    commit_times_us: List[float] = field(default_factory=list)
+    abort_times_us: List[float] = field(default_factory=list)
 
     def record(self, meta: TransactionMeta, committed: bool) -> None:
         if not committed:
             self.aborted += 1
+            if meta.abort_time is not None:
+                self.abort_times_us.append(meta.abort_time)
             return
         self.committed += 1
+        if meta.external_commit_time is not None:
+            self.commit_times_us.append(meta.external_commit_time)
         latency = meta.latency()
         if latency is not None:
             self.latencies_us.append(latency)
@@ -90,6 +99,7 @@ def closed_loop_client(
     warmup_us: float = 0.0,
     max_transactions: Optional[int] = None,
     think_time_us: float = 0.0,
+    crash_backoff_us: float = 1_000.0,
 ):
     """Closed-loop client process: issue, wait, repeat until the deadline.
 
@@ -97,6 +107,11 @@ def closed_loop_client(
     client immediately moves on to a new transaction (the retried work is a
     fresh transaction, which is how the paper's abort rates are reported).
     Statistics are only recorded after ``warmup_us`` of simulated time.
+
+    Under the fault plane, a transaction interrupted by its own node's crash
+    (:class:`NodeCrashedError`) counts as an abort; the client backs off
+    ``crash_backoff_us`` and reconnects, which is what lets throughput
+    recover once the node restarts.
     """
     sim = session.node.sim
     session.keep_history = False
@@ -106,7 +121,14 @@ def closed_loop_client(
             break
         spec = generator.next_spec()
         issued += 1
-        committed, meta = yield from execute_spec(session, spec)
+        try:
+            committed, meta = yield from execute_spec(session, spec)
+        except NodeCrashedError:
+            meta = session.last
+            if sim.now >= warmup_us and meta is not None:
+                stats.record(meta, False)
+            yield sim.timeout(crash_backoff_us)
+            continue
         if sim.now >= warmup_us:
             stats.record(meta, committed)
         if think_time_us > 0:

@@ -1,0 +1,219 @@
+"""End-to-end fault-plane behaviour of the four protocols.
+
+The contract this suite pins:
+
+* fail-free behaviour is untouched (covered by the golden-history suite);
+* with a fault plan installed, runs remain deterministic (same seed + same
+  plan -> byte-identical committed history);
+* SSS keeps external consistency under crashes and partitions — faults cost
+  availability (phases, stalls), never correctness;
+* the 2PC-baseline also holds (durable prepared state + decision re-send);
+* crash recovery actually recovers: after a crash+restart the cluster
+  drains with no stalled clients and no leaked pre-commit state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.common.config import ClusterConfig, FaultPlan, WorkloadConfig
+from repro.harness.runner import run_experiment
+
+
+def _config(faults, *, n_nodes=3, replication_degree=2, seed=11, **overrides):
+    defaults = dict(
+        n_nodes=n_nodes,
+        n_keys=40,
+        replication_degree=replication_degree,
+        clients_per_node=3,
+        seed=seed,
+        faults=FaultPlan.parse(faults) if faults else FaultPlan(),
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _run(protocol, config, duration_us=120_000, **kwargs):
+    return run_experiment(
+        protocol,
+        config,
+        WorkloadConfig(read_only_fraction=0.5),
+        duration_us=duration_us,
+        warmup_us=0,
+        record_history=True,
+        keep_cluster=True,
+        **kwargs,
+    )
+
+
+CRASH_RESTART = ["crash node=1 at=30ms for=15ms"]
+CRASH_FOREVER = ["crash node=1 at=30ms"]
+PARTITION = ["partition groups=0|1,2 at=30ms for=15ms"]
+SLOWLINK = ["slowlink src=0 dst=1 at=30ms for=30ms factor=10 extra=500us"]
+
+
+def _history_digest(history) -> str:
+    lines = [
+        f"{txn.txn_id}|{txn.external_commit_time!r}|"
+        f"{','.join(map(str, txn.writes))}"
+        for txn in history.committed
+    ]
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+class TestSSSUnderFaults:
+    @pytest.mark.parametrize(
+        "faults", [CRASH_RESTART, PARTITION, SLOWLINK], ids=["crash", "partition", "slowlink"]
+    )
+    def test_consistency_preserved(self, faults):
+        result = _run("sss", _config(faults))
+        check = result.cluster.check_consistency()
+        assert check.ok, f"SSS violated external consistency under {faults}: {check}"
+        assert result.metrics.committed > 0
+
+    def test_crash_restart_recovers_fully(self):
+        result = _run("sss", _config(CRASH_RESTART))
+        metrics = result.metrics
+        assert metrics.extra["stalled_clients"] == 0
+        assert metrics.extra["quiescence_leaked_writers"] == 0
+        assert metrics.extra["quiescence_commit_queue"] == 0
+        # The final fail-free phase must beat the crash window by a wide
+        # margin (recovery), even if it does not reach 100%.
+        crash_phase = next(p for p in metrics.phases if "crash" in p["label"])
+        tail_phase = metrics.phases[-1]
+        assert tail_phase["availability"] > crash_phase["availability"]
+        assert tail_phase["availability"] > 0.3
+
+    def test_crash_forever_stalls_but_stays_consistent(self):
+        result = _run("sss", _config(CRASH_FOREVER))
+        assert result.cluster.check_consistency().ok
+        # Blocking, not corruption: some clients may be stuck on the dead
+        # node's participants, and nothing ever leaks inconsistently.
+        assert result.metrics.extra["stalled_clients"] >= 0
+
+    def test_buffered_partition_heals_without_stalls(self):
+        result = _run("sss", _config(PARTITION))
+        metrics = result.metrics
+        assert metrics.extra["stalled_clients"] == 0
+        assert metrics.extra["quiescence_leaked_writers"] == 0
+        network_stats = result.cluster.network.stats
+        assert network_stats.held > 0, "the partition never held a message"
+        assert network_stats.released == network_stats.held
+        tail_phase = metrics.phases[-1]
+        assert tail_phase["availability"] > 0.5
+
+    def test_availability_dips_during_fault_windows(self):
+        result = _run("sss", _config(CRASH_RESTART))
+        crash_phase = next(
+            p for p in result.metrics.phases if "crash" in p["label"]
+        )
+        first_phase = result.metrics.phases[0]
+        assert first_phase["availability"] == 1.0
+        assert crash_phase["availability"] < 0.5
+
+    def test_fault_events_recorded_in_engine_log(self):
+        result = _run("sss", _config(CRASH_RESTART))
+        labels = [label for _t, label in result.cluster.sim.fault_log]
+        assert labels == ["crash:1", "restart:1"]
+
+
+class TestBaselinesUnderFaults:
+    def test_twopc_keeps_external_consistency_under_crash(self):
+        result = _run("2pc", _config(CRASH_RESTART))
+        assert result.cluster.check_consistency().ok
+        assert result.metrics.extra["stalled_clients"] == 0
+
+    def test_twopc_partition_consistent(self):
+        result = _run("2pc", _config(PARTITION))
+        assert result.cluster.check_consistency().ok
+
+    @pytest.mark.parametrize("protocol,rf", [("walter", 2), ("rococo", 1)])
+    def test_weaker_protocols_survive_crash_without_stalling(self, protocol, rf):
+        """Walter/ROCOCO recover availability; their consistency under
+        crashes is *not* guaranteed (PSI anomalies, order-based replay) and
+        is deliberately not asserted here."""
+        result = _run(protocol, _config(CRASH_RESTART, replication_degree=rf))
+        metrics = result.metrics
+        assert metrics.extra["stalled_clients"] == 0
+        tail_phase = metrics.phases[-1]
+        assert tail_phase["availability"] > 0.2
+
+
+class TestFaultDeterminism:
+    def test_same_plan_same_seed_same_history(self):
+        digests = set()
+        for _ in range(2):
+            result = _run("sss", _config(CRASH_RESTART), duration_us=60_000)
+            digests.add(_history_digest(result.cluster.history))
+        assert len(digests) == 1
+
+    def test_different_plans_differ(self):
+        with_faults = _run("sss", _config(CRASH_RESTART), duration_us=60_000)
+        without = _run("sss", _config(None), duration_us=60_000, drain_us=25_000)
+        assert _history_digest(with_faults.cluster.history) != _history_digest(
+            without.cluster.history
+        )
+
+
+class TestQuiescenceLeakRegression:
+    """The ROADMAP's known liveness issue, pinned as a measurable metric.
+
+    In pathological micro-configs (4-5 keys, rf=1, high contention) the
+    external-commit dependency gating can convert a 4-party read pattern
+    into a wait cycle that stalls instead of committing inconsistently.
+    The ambiguous-zone bounded wait resolves every configuration the stress
+    harness has found so far, so this test currently passes — it exists so
+    the future "ordered external-commit tickets" fix has a regression to
+    flip, and it is xfail(strict=False) because the stall, when it exists,
+    is legal behaviour (liveness loss, never inconsistency).
+    """
+
+    @staticmethod
+    def _stress(seed):
+        config = ClusterConfig(
+            n_nodes=4,
+            n_keys=4,
+            replication_degree=1,
+            clients_per_node=3,
+            seed=seed,
+        )
+        return run_experiment(
+            "sss",
+            config,
+            WorkloadConfig(read_only_fraction=0.5, update_txn_keys=2),
+            duration_us=60_000,
+            warmup_us=0,
+            record_history=True,
+            keep_cluster=True,
+            drain_us=40_000,
+        )
+
+    @pytest.mark.xfail(
+        strict=False,
+        reason="known liveness issue: 4-party external-commit wait cycle can "
+        "leak pre-commit state at quiescence (ROADMAP open item)",
+    )
+    @pytest.mark.parametrize("seed", [3, 29])
+    def test_no_precommit_state_leaks_at_quiescence(self, seed):
+        result = self._stress(seed)
+        assert result.cluster.check_consistency().ok  # safety holds here
+        metrics = result.metrics
+        assert metrics.extra["quiescence_leaked_writers"] == 0
+        assert metrics.extra["stalled_clients"] == 0
+
+    @pytest.mark.xfail(
+        strict=False,
+        reason="pre-existing (reproduced on the pre-refactor tree, commit "
+        "6f83410): in pathological micro-configs the ambiguous-zone bounded "
+        "wait can expire before the writer's ExternalDone arrives and the "
+        "fallback exclusion serializes the reader before an already-answered "
+        "writer — a real external-consistency violation, not just the "
+        "liveness leak the ROADMAP describes.  The fault plane's "
+        "ExternalStatusQuery resolution closes exactly this window in fault "
+        "mode; promoting it to the fail-free path is the planned fix.",
+    )
+    def test_seed17_ambiguous_zone_timeout_consistency(self):
+        result = self._stress(17)
+        assert result.cluster.check_consistency().ok
