@@ -13,7 +13,13 @@ Intensities:
 * ``crash`` — one node crash-stops a quarter into the run and restarts
   after 15 % of the run;
 * ``crash+partition`` — the crash plus a buffered (eventual-delivery)
-  partition later in the run.
+  partition later in the run;
+* ``churn`` — rolling restarts: every node crash-stops in turn (staggered
+  windows covering most of the run), measuring steady-state availability
+  under continuous churn;
+* ``minority-part`` / ``split-part`` — a buffered partition cutting off a
+  single node vs. splitting the cluster in half, mid-run (the two coincide
+  in shape at 3 nodes; the contrast appears from 4 nodes up).
 
 What to expect (and what the assertions pin, loosely, because this is a
 scaled-down simulator sweep): availability collapses during the fault
@@ -73,10 +79,45 @@ def _fault_plan(intensity: str, duration_us: float, n_nodes: int) -> FaultPlan:
                 f"partition groups=0|{rest} at={partition_at} for={partition_for}",
             ]
         )
+    if intensity == "churn":
+        # Rolling restart: crash node i at staggered offsets, one node down
+        # at a time, windows covering the middle ~60 % of the run.
+        stagger = 0.6 * duration_us / n_nodes
+        down_for = 0.6 * stagger
+        return FaultPlan.parse(
+            [
+                f"crash node={node} at={0.2 * duration_us + node * stagger} "
+                f"for={down_for}"
+                for node in range(n_nodes)
+            ]
+        )
+    if intensity == "minority-part":
+        rest = ",".join(str(node) for node in range(1, n_nodes))
+        return FaultPlan.parse(
+            [f"partition groups=0|{rest} at={partition_at} for={partition_for}"]
+        )
+    if intensity == "split-part":
+        # Even split: half the cluster on each side.  At the default 3
+        # nodes a two-group partition is always 1-vs-rest so this coincides
+        # with minority-part in shape (only the cut membership differs);
+        # the contrast appears from 4 nodes up (REPRO_BENCH_NODES).
+        half = max(1, n_nodes // 2)
+        left = ",".join(str(node) for node in range(half))
+        right = ",".join(str(node) for node in range(half, n_nodes))
+        return FaultPlan.parse(
+            [f"partition groups={left}|{right} at={partition_at} for={partition_for}"]
+        )
     raise ValueError(f"unknown intensity {intensity!r}")
 
 
-INTENSITIES = ("none", "crash", "crash+partition")
+INTENSITIES = (
+    "none",
+    "crash",
+    "crash+partition",
+    "churn",
+    "minority-part",
+    "split-part",
+)
 
 
 def _sweep():

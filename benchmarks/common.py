@@ -145,6 +145,7 @@ class _BenchRecorder:
             "quiescence_leaked_writers",
             "quiescence_commit_queue",
             "fault_events",
+            "recovery_us",
         ):
             value = metrics.extra.get(field_name)
             if value is not None:

@@ -1,0 +1,160 @@
+"""Nightly seed sweep of the pathological micro-configuration.
+
+The 4-node / 4-key / rf=1 / high-contention configuration is where the
+ambiguous-zone and 4-party wait-cycle defects historically lived (ROADMAP;
+seeds 3, 17 and 29 are pinned as strict regressions in
+``tests/integration/test_fault_plane.py``).  This driver runs a *range* of
+seeds through that configuration and checks every run for
+
+* external-consistency violations (the DSG + real-time cycle check),
+* stalled clients at the post-run drain,
+* leaked pre-commit state (snapshot-queue writers, commit-queue entries) at
+  quiescence, and
+* read-only aborts reaching the history (snapshot restarts must stay
+  externally invisible).
+
+Failures write a repro bundle (config + metrics + the failure reason) as
+JSON into ``--out`` so the nightly workflow can upload them as artifacts;
+the exit status is non-zero when any seed fails.
+
+Usage::
+
+    python benchmarks/seed_sweep.py --seeds 0 63 --out sweep-results
+    python benchmarks/seed_sweep.py --seeds 17 17 --duration-us 60000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.harness.runner import run_experiment
+
+PATHOLOGICAL = dict(
+    n_nodes=4,
+    n_keys=4,
+    replication_degree=1,
+    clients_per_node=3,
+)
+WORKLOAD = dict(read_only_fraction=0.5, update_txn_keys=2)
+
+
+def probe_seed(args):
+    """Run one seed; returns a picklable result record."""
+    seed, duration_us, drain_us = args
+    config = ClusterConfig(seed=seed, **PATHOLOGICAL)
+    result = run_experiment(
+        "sss",
+        config,
+        WorkloadConfig(**WORKLOAD),
+        duration_us=duration_us,
+        warmup_us=0.0,
+        record_history=True,
+        keep_cluster=True,
+        drain_us=drain_us,
+    )
+    check = result.cluster.check_consistency()
+    metrics = result.metrics
+    read_only_aborts = [
+        str(txn.txn_id)
+        for txn in result.cluster.history.aborted
+        if not txn.is_update
+    ]
+    failures = []
+    if not check.ok:
+        failures.append(f"external-consistency: {check.violations}")
+    if metrics.extra.get("stalled_clients"):
+        failures.append(f"stalled_clients={metrics.extra['stalled_clients']}")
+    if metrics.extra.get("quiescence_leaked_writers"):
+        failures.append(
+            f"quiescence_leaked_writers="
+            f"{metrics.extra['quiescence_leaked_writers']}"
+        )
+    if metrics.extra.get("quiescence_commit_queue"):
+        failures.append(
+            f"quiescence_commit_queue="
+            f"{metrics.extra['quiescence_commit_queue']}"
+        )
+    if read_only_aborts:
+        failures.append(f"read-only aborts in history: {read_only_aborts}")
+    return {
+        "seed": seed,
+        "failures": failures,
+        "committed": metrics.committed,
+        "aborted": metrics.aborted,
+        "readonly_restarts": result.node_counters.get("readonly_restarts", 0),
+        "reads_rt_stale": result.node_counters.get("reads_rt_stale", 0),
+        "answer_gates": result.node_counters.get("answer_gates_registered", 0),
+        "config": {**PATHOLOGICAL, "seed": seed},
+        "workload": WORKLOAD,
+        "duration_us": duration_us,
+        "drain_us": drain_us,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seeds",
+        nargs=2,
+        type=int,
+        default=(0, 63),
+        metavar=("FIRST", "LAST"),
+        help="Inclusive seed range to sweep (default 0 63).",
+    )
+    parser.add_argument("--duration-us", type=float, default=60_000.0)
+    parser.add_argument("--drain-us", type=float, default=40_000.0)
+    parser.add_argument(
+        "--out",
+        default=os.environ.get("REPRO_SWEEP_OUT", "sweep-results"),
+        help="Directory for failure repro bundles and the summary JSON.",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=max(1, (os.cpu_count() or 2) - 1),
+    )
+    args = parser.parse_args()
+
+    first, last = args.seeds
+    seeds = list(range(first, last + 1))
+    jobs = [(seed, args.duration_us, args.drain_us) for seed in seeds]
+    if args.parallel > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(max_workers=args.parallel) as pool:
+            results = list(pool.map(probe_seed, jobs))
+    else:
+        results = [probe_seed(job) for job in jobs]
+
+    os.makedirs(args.out, exist_ok=True)
+    failing = [record for record in results if record["failures"]]
+    for record in failing:
+        path = os.path.join(args.out, f"seed-{record['seed']}-repro.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        print(f"FAIL seed={record['seed']}: {record['failures']} -> {path}")
+    summary = {
+        "seeds": [first, last],
+        "clean": len(results) - len(failing),
+        "failing": [record["seed"] for record in failing],
+        "total_committed": sum(record["committed"] for record in results),
+        "total_restarts": sum(record["readonly_restarts"] for record in results),
+    }
+    with open(
+        os.path.join(args.out, "sweep-summary.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"seed sweep [{first}, {last}]: {summary['clean']}/{len(results)} clean, "
+        f"{summary['total_committed']} committed, "
+        f"{summary['total_restarts']} snapshot restarts"
+    )
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

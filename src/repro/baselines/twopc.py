@@ -316,11 +316,10 @@ class TwoPCNode(ProtocolRuntime):
         if key in meta.write_set:
             return meta.write_set[key]
 
-        events = self.request_each(
+        reply, _events = yield from self.fastest_round(
             self.replicas(key),
             lambda _replica: ReadRequest2PC(txn_id=meta.txn_id, key=key),
         )
-        reply: ReadReturn2PC = yield from self.fastest_of(events)
         meta.record_read(
             key=key,
             value=reply.value,

@@ -392,13 +392,12 @@ class WalterNode(ProtocolRuntime):
             reply_value, writer, served_by = version.value, version.writer, self.node_id
             version_seq = version.seqno
         else:
-            events = self.request_each(
+            reply, _events = yield from self.fastest_round(
                 replicas,
                 lambda _replica: WalterRead(
                     txn_id=meta.txn_id, key=key, start_vts=meta.vc
                 ),
             )
-            reply: WalterReadReturn = yield from self.fastest_of(events)
             reply_value, writer, served_by = reply.value, reply.writer, reply.sender
             version_seq = reply.seqno
 

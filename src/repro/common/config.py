@@ -101,7 +101,21 @@ class TimeoutConfig:
     (internally committed locally, local pre-commit wait passed, external
     commit not yet announced).  A handful of message round-trips is enough
     for the ExternalDone notification to arrive in the common case; on
-    expiry the reader falls back to excluding the writer from its snapshot."""
+    expiry the reader resolves the remaining writers definitively at their
+    coordinators (``ExternalStatusQuery``) and excludes only those confirmed
+    still in flight — a blind timeout exclusion could serialize the reader
+    before a writer whose client was already answered."""
+
+    readonly_restart_wait_us: float = 8_000.0
+    """How long a read-only transaction's external-commit dependency wait may
+    sit on writers *confirmed still in flight* before the transaction is
+    restarted internally (entries withdrawn, fresh snapshot, client never
+    sees an abort).  This is the deterministic breaker for the 4-party wait
+    cycle: two read-only transactions bridging two independent pre-committing
+    writers can adopt contradictory serialization orders, and one of the
+    readers must move since the writers' versions are already installed.
+    Legitimate dependency waits resolve in a few round-trips, so the default
+    is far above the fail-free common case and far below the drain window."""
 
     crash_resubscribe_us: float = 5_000.0
     """Fault-mode only: how often an external-commit dependency wait re-sends
@@ -117,6 +131,8 @@ class TimeoutConfig:
             raise ConfigurationError("prepare_timeout_us must be > 0")
         if self.backoff_initial_us <= 0 or self.backoff_max_us < self.backoff_initial_us:
             raise ConfigurationError("invalid back-off window")
+        if self.readonly_restart_wait_us <= 0:
+            raise ConfigurationError("readonly_restart_wait_us must be > 0")
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,27 @@ class SimulationError(ReproError):
     """Raised for misuse of the discrete-event simulation engine."""
 
 
+class SnapshotRestartError(ReproError):
+    """A read-only transaction must restart under a fresh snapshot.
+
+    Raised into the client process when a read is refused as stale (the
+    frozen visibility bound hides a version whose writer's client was
+    *already answered* — serving would create an exclusion edge with no
+    answer-order behind it, the ungated half of a Figure-2 fracture cycle)
+    or when the commit-time dependency wait sat too long on writers
+    confirmed still in flight (the 4-party wait-cycle breaker).  The
+    installed versions cannot move, so the reader is the party that
+    restarts.  This is an internal retry signal, not an abort: the workload
+    layer re-executes the transaction under a fresh id and snapshot, the
+    attempt is not recorded in the history, and the client is answered
+    exactly once.
+    """
+
+    def __init__(self, txn_id: object | None = None):
+        super().__init__(f"read-only transaction {txn_id} restarts with a fresh snapshot")
+        self.txn_id = txn_id
+
+
 class AbortError(ReproError):
     """A transaction aborted.
 

@@ -118,9 +118,18 @@ def build_dependency_edges(
                         DependencyEdge(read.writer, txn.txn_id, "wr", read.key)
                     )
                 observed_position = position.get((read.key, read.writer))
-            else:
+            elif read.writer is None:
                 # Initial (preloaded) version: every writer overwrites it.
                 observed_position = -1
+            else:
+                # Version written by a transaction outside the committed
+                # history: a decided-commit whose coordinator crashed before
+                # answering its client (the install is durable and reading
+                # it is legal — the writer imposes no real-time order).  No
+                # anti-dependency is derivable from the committed writers'
+                # install order; treating it like the preloaded version
+                # would fabricate an rw edge to the key's *first* writer.
+                observed_position = None
             if observed_position is not None and writers:
                 next_position = observed_position + 1
                 if next_position < len(writers):

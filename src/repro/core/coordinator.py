@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Set, Tuple
 
-from repro.common.errors import TransactionStateError
+from repro.common.errors import SnapshotRestartError, TransactionStateError
 from repro.common.ids import TransactionId
 from repro.core.messages import (
     Decide,
@@ -32,10 +32,15 @@ from repro.core.messages import (
     PrecommitQuery,
     ReadRequest,
     ReadReturn,
+    ReleaseGate,
     Remove,
     SubscribeExternal,
 )
-from repro.core.metadata import TransactionMeta, TransactionPhase
+from repro.core.metadata import (
+    READONLY_RESTART_REASON,
+    TransactionMeta,
+    TransactionPhase,
+)
 from repro.protocols.runtime import VoteCollector  # noqa: F401 - re-export
 from repro.sim.events import Event
 
@@ -68,10 +73,12 @@ class CoordinatorMixin:
             meta.vc = self.nlog.most_recent_vc
             meta.first_read_done = True
 
-        # Lines 8-10: contact every replica, use the fastest answer.
+        # Lines 8-10: contact every replica, use the fastest answer.  The
+        # round retries in fault mode, so an rf=1 read against a crashed
+        # replica resumes after the restart instead of stalling until drain.
         replicas = self.replicas(key)
         has_read = tuple(meta.has_read)
-        request_events = self.request_each(
+        reply, request_events = yield from self.fastest_round(
             replicas,
             lambda _replica: ReadRequest(
                 txn_id=meta.txn_id,
@@ -81,7 +88,6 @@ class CoordinatorMixin:
                 is_update=meta.is_update,
             ),
         )
-        reply: ReadReturn = yield from self.fastest_of(request_events)
         if len(request_events) > 1 and not meta.is_update:
             # Replicas that lose the fastest-answer race still inserted a
             # snapshot-queue entry under *their* serialization decision,
@@ -90,6 +96,21 @@ class CoordinatorMixin:
             # gate an unrelated writer's external commit against this
             # reader's own external-commit dependency wait (deadlock).
             self._cleanup_losing_replies(meta.txn_id, key, request_events, reply)
+
+        if reply.gated:
+            # Writers whose client answer the serving replica gated behind
+            # this transaction; released on finish or restart.
+            meta.gated_writers.update(reply.gated)
+
+        if reply.stale:
+            # The serving replica refused the read: the transaction's frozen
+            # visibility bound hides a writer that externally committed
+            # before the transaction began (or a gate was refused), so no
+            # snapshot completion can be externally consistent.  Withdraw and
+            # restart under a fresh snapshot (externally invisible; see
+            # SnapshotRestartError).
+            self._restart_read_only(meta)
+            raise SnapshotRestartError(meta.txn_id)
 
         served_by = reply.sender
         # Lines 11-14: merge visibility information and record the read.
@@ -119,7 +140,19 @@ class CoordinatorMixin:
     def _cleanup_losing_replies(
         self, txn_id: TransactionId, key: object, request_events, winner: ReadReturn
     ) -> None:
-        """Retract snapshot-queue entries left by losing read replicas."""
+        """Retract snapshot-queue entries left by losing read replicas.
+
+        Answer gates a losing replica registered on the transaction's behalf
+        are *adopted* into the transaction's release set, not released here:
+        the winning replica may have gated the very same writer for the
+        very same reader, and the coordinator's gate registry collapses
+        those registrations into one entry — an early release would destroy
+        the gate the adopted exclusion depends on.  Holding a loser-only
+        gate until the transaction finishes costs the writer bounded delay
+        (at most the reader's lifetime, which the restart breaker bounds),
+        never safety.  Only when the transaction already finished (a
+        late-arriving losing reply) is the gate released on the spot.
+        """
 
         def cleanup(event) -> None:
             if event.ok and event._value is not winner:
@@ -128,12 +161,32 @@ class CoordinatorMixin:
                     losing.sender,
                     Remove(txn_id=txn_id, keys=(key,), mark_returned=False),
                 )
+                if losing.gated:
+                    meta = self.coordinated.get(txn_id)
+                    if meta is not None and meta.phase is TransactionPhase.EXECUTING:
+                        meta.gated_writers.update(losing.gated)
+                    else:
+                        self._release_gated(txn_id, losing.gated)
 
         for event in request_events:
             if event.triggered:
                 cleanup(event)
             else:
                 event.add_callback(cleanup)
+
+    def _release_gated(self, reader: TransactionId, writers) -> None:
+        """Release ``reader``'s answer gates at the writers' coordinators."""
+        by_node: Dict[int, list] = {}
+        for writer in sorted(writers):
+            by_node.setdefault(writer.node, []).append(writer)
+        for node_id in sorted(by_node):
+            if node_id == self.node_id:
+                self._release_answer_gates(reader, by_node[node_id])
+            else:
+                self.send(
+                    node_id,
+                    ReleaseGate(txn_id=reader, writers=tuple(by_node[node_id])),
+                )
 
     def txn_abort(self, meta: TransactionMeta) -> None:
         """Client-requested abort before commit.
@@ -156,12 +209,22 @@ class CoordinatorMixin:
     # Commit — Algorithm 1
     # ------------------------------------------------------------------
     def txn_commit(self, meta: TransactionMeta):
-        """Commit ``meta``; returns True on (external) commit, False on abort."""
+        """Commit ``meta``; returns True on (external) commit, False on abort.
+
+        A read-only transaction whose dependency wait sits on writers
+        confirmed still in flight past ``readonly_restart_wait_us`` is
+        withdrawn instead (:class:`SnapshotRestartError`): the workload
+        layer re-executes it with a fresh snapshot, the client never sees an
+        abort, and the 4-party wait cycle loses one of its edges.
+        """
         if meta.phase is not TransactionPhase.EXECUTING:
             raise TransactionStateError(f"double commit of {meta}")
 
         if not meta.write_set:
-            yield from self._wait_pending_writers(meta)
+            resolved = yield from self._wait_pending_writers(meta)
+            if not resolved:
+                self._restart_read_only(meta)
+                raise SnapshotRestartError(meta.txn_id)
             return self._commit_read_only(meta)
         return (yield from self._commit_update(meta))
 
@@ -173,35 +236,63 @@ class CoordinatorMixin:
         client earlier would publish the writer's state before the writer's
         own client response, and a transaction started in between could then
         be serialized before the writer — the external-consistency cycle the
-        snapshot queues exist to prevent.  The wait follows the serialization
-        order (observer waits for the observed), so it cannot deadlock.
+        snapshot queues exist to prevent.
 
         The serving node subscribed this coordinator to each pending writer's
         ExternalDone notification at read time, so by now the notification
-        has usually arrived and the wait is free.
+        has usually arrived and the wait is free.  When it is not:
+
+        * an *update* transaction waits on the plain notification events —
+          writer-only dependency chains are acyclic (a writer can only
+          observe versions installed before its own reads), so the wait
+          always resolves and the fail-free hot path stays timer-free;
+        * a *read-only* transaction waits in bounded waves.  After each wave
+          the leftovers are resolved definitively at their coordinators
+          (:class:`ExternalStatusQuery` — a delayed or swallowed ExternalDone
+          stops gating on the spot), and once writers *confirmed in flight*
+          have held the wait past ``readonly_restart_wait_us`` the generator
+          returns ``False``: two read-only transactions bridging two
+          independent pre-committing writers can adopt contradictory
+          serialization orders (the paper's Figure 2 ambiguity turned into a
+          4-party wait cycle), the writers' versions are already installed,
+          so the reader is the only party that can move — it restarts with a
+          fresh snapshot instead of stalling the cluster.
+
+        Returns ``True`` when every observed writer is externally done.
         """
         if not meta.pending_writers:
-            return
+            return True
         still_pending = [
             writer
             for writer in sorted(meta.pending_writers)
             if writer not in self._externally_done
         ]
         if not still_pending:
-            return
+            return True
         self.counters["external_dependency_waits"] += 1
-        if not self._fault_mode:
+        timeouts = self.config.timeouts
+        if not self._fault_mode and not meta.is_read_only:
             events = [self.external_done_event(writer) for writer in still_pending]
             if len(events) == 1:
                 yield events[0]
             else:
                 yield self.sim.all_of(events)
-            return
-        # Fault mode: a crash can swallow both the subscription and the
-        # notification, so wait in bounded waves and re-subscribe between
-        # them — once the writer's coordinator restarts it answers the fresh
-        # SubscribeExternal immediately (its crash tore the writer down).
-        resubscribe_us = self.config.timeouts.crash_resubscribe_us
+            return True
+        # Bounded waves.  Fault mode re-subscribes between waves — a crash
+        # can swallow both the subscription and the notification, and a
+        # restarted coordinator answers the fresh SubscribeExternal
+        # immediately (its crash tore the writer down).  Fail-free read-only
+        # waves resolve their leftovers definitively instead.
+        wave_us = (
+            timeouts.crash_resubscribe_us
+            if self._fault_mode
+            else timeouts.external_done_wait_us
+        )
+        restart_deadline = (
+            self.sim.now + timeouts.readonly_restart_wait_us
+            if meta.is_read_only
+            else None
+        )
         while True:
             still_pending = [
                 writer
@@ -209,30 +300,79 @@ class CoordinatorMixin:
                 if writer not in self._externally_done
             ]
             if not still_pending:
-                return
+                return True
             events = [self.external_done_event(writer) for writer in still_pending]
             done = events[0] if len(events) == 1 else self.sim.all_of(events)
-            yield self.sim.any_of([done, self.sim.timeout(resubscribe_us)])
+            yield self.sim.any_of([done, self.sim.timeout(wave_us)])
             if done.triggered:
-                return
-            self.counters["crash_resubscribes"] += 1
-            for writer in still_pending:
-                if writer in self._externally_done:
-                    continue
-                if writer.node == self.node_id:
-                    self._register_external_watcher(writer, self.node_id)
-                else:
-                    self.send(
-                        writer.node,
-                        SubscribeExternal(txn_id=writer, target=self.node_id),
-                    )
+                return True
+            if self._fault_mode:
+                self.counters["crash_resubscribes"] += 1
+                for writer in still_pending:
+                    if writer in self._externally_done:
+                        continue
+                    if writer.node == self.node_id:
+                        self._register_external_watcher(writer, self.node_id)
+                    else:
+                        self.send(
+                            writer.node,
+                            SubscribeExternal(txn_id=writer, target=self.node_id),
+                        )
+            leftovers = [
+                writer
+                for writer in still_pending
+                if writer not in self._externally_done
+            ]
+            confirmed_pending = set()
+            if leftovers:
+                # Definitive resolution in every mode.  With an unreachable
+                # coordinator (fault mode) this blocks until it answers
+                # after its restart — the documented trade of liveness,
+                # never safety — so the restart below only ever fires on
+                # writers *confirmed* still in flight, not on writers whose
+                # coordinator is merely down.
+                confirmed_pending, _gated, _refused = (
+                    yield from self._query_external_status(leftovers)
+                )
+            if (
+                restart_deadline is not None
+                and self.sim.now >= restart_deadline
+                and confirmed_pending
+            ):
+                return False
+
+    def _restart_read_only(self, meta: TransactionMeta) -> None:
+        """Withdraw a read-only transaction for an externally invisible retry.
+
+        Its snapshot-queue entries are removed exactly as on completion (so
+        every writer it gated can proceed — when the commit-time wait-cycle
+        breaker triggered, this is the cycle edge being cut), the attempt is
+        *not* recorded in the history (the client is answered once, from the
+        committed retry), and the workload layer re-executes the transaction
+        under a fresh id and snapshot (see :class:`SnapshotRestartError`).
+        """
+        self._send_removes(meta)
+        if meta.gated_writers:
+            self._release_gated(meta.txn_id, meta.gated_writers)
+        meta.phase = TransactionPhase.ABORTED
+        meta.abort_reason = READONLY_RESTART_REASON
+        meta.abort_time = self.sim.now
+        self.counters["readonly_restarts"] += 1
 
     def _commit_read_only(self, meta: TransactionMeta) -> bool:
         """Lines 2-8: read-only transactions return immediately, then Remove."""
         self._finish_commit(meta, "read_only_commits")
+        self._send_removes(meta)
+        if meta.gated_writers:
+            self._release_gated(meta.txn_id, meta.gated_writers)
+        return True
 
-        # One Remove per replica, carrying every read key it holds; grouped
-        # in a single pass over the read-set.
+    def _send_removes(self, meta: TransactionMeta) -> None:
+        """Fan out the Remove cleanup of a finished read-only transaction.
+
+        One Remove per replica, carrying every read key it holds; grouped in
+        a single pass over the read-set.
+        """
         by_replica: Dict[int, list] = {}
         for key in meta.read_set:
             for replica in self.replicas(key):
@@ -253,12 +393,28 @@ class CoordinatorMixin:
                         keys=tuple(by_replica.get(node_id, ())),
                     ),
                 )
-            return True
+            return
         for replica in sorted(by_replica):
             self.send(
                 replica, Remove(txn_id=meta.txn_id, keys=tuple(by_replica[replica]))
             )
-        return True
+
+    def _propagated_for_decide(self, meta: TransactionMeta):
+        """Propagated entries eligible for (re-)insertion at write replicas.
+
+        Propagated read-only entries whose Remove already passed through
+        this node must not be re-inserted anywhere: the Remove will not be
+        forwarded again, so a stale insertion would block the written keys'
+        pre-commit forever.  Shared by the Decide fan-out, its
+        PrecommitQuery retransmission, and in-doubt status replies.
+        """
+        return tuple(
+            entry
+            for entry in sorted(
+                meta.propagated_set, key=lambda e: (e.txn_id, e.snapshot)
+            )
+            if entry.txn_id not in self._removed_readers
+        )
 
     def _commit_update(self, meta: TransactionMeta):
         """Lines 9-26 plus the external-commit wait (Algorithm 4 acks)."""
@@ -316,17 +472,7 @@ class CoordinatorMixin:
             ack_event = self.sim.event(name=f"external:{txn_id}")
             self._ack_waits[txn_id] = (ack_event, set(write_replicas))
 
-        # Propagated read-only entries whose Remove already passed through
-        # this node must not be re-inserted anywhere: the Remove will not be
-        # forwarded again, so a stale insertion would block the written keys'
-        # pre-commit forever.
-        propagated = tuple(
-            entry
-            for entry in sorted(
-                meta.propagated_set, key=lambda e: (e.txn_id, e.snapshot)
-            )
-            if entry.txn_id not in self._removed_readers
-        )
+        propagated = self._propagated_for_decide(meta)
         for participant in participants:
             self.send(
                 participant,
@@ -375,8 +521,23 @@ class CoordinatorMixin:
                     break
                 self.counters["precommit_retries"] += 1
                 for replica in sorted(waiting[1]):
-                    self.send(replica, PrecommitQuery(txn_id=txn_id))
+                    # The query doubles as a decision retransmission: a
+                    # replica whose Decide was lost (voted, then crashed, or
+                    # a drop-mode partition ate it) applies the decision from
+                    # its durable redo record.
+                    self.send(
+                        replica,
+                        PrecommitQuery(
+                            txn_id=txn_id,
+                            commit_vc=meta.commit_vc,
+                            propagated=self._propagated_for_decide(meta),
+                        ),
+                    )
         yield from self._wait_pending_writers(meta)
+        # Ordered external-commit resolution: readers that ambiguously
+        # excluded this writer gated its client answer behind their own
+        # completion — hold the answer until every gate is released.
+        yield from self._wait_answer_gates(txn_id)
         self._finish_commit(meta, "update_commits")
         self._external_commit_completed(txn_id, sorted(write_replicas))
         return True

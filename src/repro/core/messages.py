@@ -96,6 +96,18 @@ class ReadReturn(Message):
     coordinator must then delay the transaction's own external commit until
     that writer has externally committed, otherwise the client response would
     leak state that no external observer is allowed to have seen yet.
+
+    ``stale`` means the read was *refused*: the reader's visibility bound
+    hides a version whose writer's client was already answered, so serving
+    under this bound would create an exclusion edge with no answer-order
+    behind it (the ungated half of a Figure-2 cycle) — the value fields are
+    meaningless and the coordinator restarts the read-only transaction
+    under a fresh snapshot.
+
+    ``gated`` lists writers whose *client answer* was gated behind this
+    reading transaction during the read's ambiguous-zone resolution (see
+    :class:`ExternalStatusQuery`): the reader's coordinator must release
+    those gates when the transaction finishes or restarts.
     """
 
     __slots__ = (
@@ -107,9 +119,11 @@ class ReadReturn(Message):
         "writer",
         "propagated",
         "writer_pending",
+        "stale",
+        "gated",
     )
     priority = MessagePriority.READ
-    base_size = 65
+    base_size = 66
 
     def __init__(
         self,
@@ -121,6 +135,8 @@ class ReadReturn(Message):
         writer: Optional[TransactionId] = None,
         propagated: Tuple[PropagatedEntry, ...] = (),
         writer_pending: bool = False,
+        stale: bool = False,
+        gated: Tuple[TransactionId, ...] = (),
     ):
         Message.__init__(self)
         self.txn_id = txn_id
@@ -131,11 +147,13 @@ class ReadReturn(Message):
         self.writer = writer
         self.propagated = propagated
         self.writer_pending = writer_pending
+        self.stale = stale
+        self.gated = gated
 
     def size_estimate(self, codec=None, peer=None) -> int:
         # Hot path (one call per read reply, two clocks): vc_wire_size
         # inlined; must mirror its peer-key scheme.
-        size = 65 + 16 * len(self.propagated)
+        size = 66 + 16 * len(self.propagated) + 16 * len(self.gated)
         max_vc = self.max_vc
         version_vc = self.version_vc
         if codec is None:
@@ -270,18 +288,30 @@ class ExternalDone(Message):
     versions are safe to expose to clients without an external-commit
     dependency wait (the writer's client already got its reply, so no
     external observer can be surprised by the data).
+
+    ``done_time`` is the coordinator's external-commit timestamp.  The
+    load-bearing bit is its *presence*: ``None`` marks a writer that
+    finished without answering its client (abort, crash teardown) and may
+    therefore be missed by later readers freely, while any timestamp marks
+    an answered writer whose hidden versions make a read refuse as stale
+    (see :class:`ReadReturn`).  The value itself is carried for
+    diagnostics — it is what "answered" means in the model, and tests pin
+    it against the coordinator's recorded commit time.
     """
 
-    __slots__ = ("txn_id",)
+    __slots__ = ("txn_id", "done_time")
     priority = MessagePriority.CONTROL
-    base_size = 32
+    base_size = 40
 
-    def __init__(self, txn_id: TransactionId = None):
+    def __init__(
+        self, txn_id: TransactionId = None, done_time: Optional[float] = None
+    ):
         Message.__init__(self)
         self.txn_id = txn_id
+        self.done_time = done_time
 
     def size_estimate(self, codec=None, peer=None) -> int:
-        return 32
+        return 40
 
 
 class PrecommitQuery(Message):
@@ -291,60 +321,132 @@ class PrecommitQuery(Message):
     outlived the coarse retry interval — typically because the write replica
     crashed after internally committing but before its snapshot-queue wait
     finished, losing the in-flight pre-commit process and its ExternalAck.
-    The replica replays the pre-commit from its durable NLog entry; if the
-    transaction never internally committed there (the Decide itself was
-    lost), the query is ignored and the transaction stays blocked — the
-    classic in-doubt window a redo log would close.
+    The replica replays the pre-commit from its durable NLog entry.
+
+    If the transaction never internally committed there, the Decide itself
+    was lost in the crash; the query therefore doubles as a decision
+    retransmission: ``commit_vc`` and ``propagated`` carry the coordinator's
+    recorded commit decision, and a replica holding a durable redo record of
+    its vote (see :class:`repro.storage.commit_queue.ParticipantRedoLog`)
+    applies the decision exactly as the original Decide would have — closing
+    the voted-then-crashed in-doubt window.
     """
 
-    __slots__ = ("txn_id",)
+    __slots__ = ("txn_id", "commit_vc", "propagated")
     priority = MessagePriority.CONTROL
     base_size = 32
 
-    def __init__(self, txn_id: TransactionId = None):
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        commit_vc: VectorClock = None,
+        propagated: Tuple[PropagatedEntry, ...] = (),
+    ):
         Message.__init__(self)
         self.txn_id = txn_id
+        self.commit_vc = commit_vc
+        self.propagated = propagated
 
     def size_estimate(self, codec=None, peer=None) -> int:
-        return 32
+        return (
+            32
+            + vc_wire_size(self.commit_vc, codec, peer, _STREAM_COMMIT_VC)
+            + 16 * len(self.propagated)
+        )
 
 
 class ExternalStatusQuery(Message):
-    """Fault-plane recovery: ask a writer's coordinator whether it is done.
+    """Ask a writer's coordinator whether the writer is externally done.
 
     The ambiguous-zone wait normally resolves through ExternalDone
-    notifications; a crash can swallow those for good.  In fault mode the
-    reader asks the coordinator directly: a *done* (externally committed or
-    torn down) answer releases the wait, an *in-flight* answer makes the
-    timeout exclusion exactly as safe as in a fail-free run, and no answer
-    (coordinator down) keeps the reader waiting — trading liveness, never
-    safety.
+    notifications, but the notification can be delayed past the bounded wait
+    (fail-free) or swallowed for good by a crash (fault mode).  Instead of
+    excluding on timeout — which would serialize the reader before a writer
+    whose client may already have been answered, a real external-consistency
+    violation — the reader asks the coordinator directly: a *done*
+    (externally committed or torn down) answer releases the wait, an
+    *in-flight* answer makes exclusion safe, and no answer (coordinator
+    down, fault mode only) keeps the reader waiting — trading liveness,
+    never safety.  The same query resolves stuck external-commit dependency
+    waits at commit time and in-doubt redo records after a restart.
+
+    ``gate`` (with ``reader`` naming the reading transaction) asks the
+    coordinator to *gate the writer's client answer* behind the reader when
+    the writer is confirmed in flight: an exclusion is externally consistent
+    only if the excluded writer answers after the reader finishes — exactly
+    the ordering the snapshot-queue entry would have enforced had the writer
+    not already passed its local pre-commit wait.  The gate is released by
+    :class:`ReleaseGate` (or the reader's Remove) when the reader commits or
+    restarts.
     """
 
-    __slots__ = ("txn_id",)
-    priority = MessagePriority.CONTROL
-    base_size = 32
-
-    def __init__(self, txn_id: TransactionId = None):
-        Message.__init__(self)
-        self.txn_id = txn_id
-
-    def size_estimate(self, codec=None, peer=None) -> int:
-        return 32
-
-
-class ExternalStatusReply(Message):
-    __slots__ = ("txn_id", "done")
+    __slots__ = ("txn_id", "reader", "gate")
     priority = MessagePriority.CONTROL
     base_size = 33
 
-    def __init__(self, txn_id: TransactionId = None, done: bool = False):
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        reader: TransactionId = None,
+        gate: bool = False,
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.reader = reader
+        self.gate = gate
+
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 33 + (8 if self.reader is not None else 0)
+
+
+class ExternalStatusReply(Message):
+    """Definitive status of a writer, from its coordinator.
+
+    ``done`` answers the reader-path question (client answered, or torn
+    down).  ``outcome`` carries the recorded 2PC decision for restarted
+    participants resolving in-doubt redo records: ``True`` (decided commit,
+    with ``commit_vc``/``propagated`` reproducing the lost Decide), ``False``
+    (aborted / presumed abort), or ``None`` (no decision yet — the normal
+    Decide will reach the now-recovered participant).
+    """
+
+    __slots__ = (
+        "txn_id",
+        "done",
+        "done_time",
+        "gated",
+        "outcome",
+        "commit_vc",
+        "propagated",
+    )
+    priority = MessagePriority.CONTROL
+    base_size = 42
+
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        done: bool = False,
+        done_time: Optional[float] = None,
+        gated: bool = False,
+        outcome: Optional[bool] = None,
+        commit_vc: VectorClock = None,
+        propagated: Tuple[PropagatedEntry, ...] = (),
+    ):
         Message.__init__(self)
         self.txn_id = txn_id
         self.done = done
+        self.done_time = done_time
+        self.gated = gated
+        self.outcome = outcome
+        self.commit_vc = commit_vc
+        self.propagated = propagated
 
     def size_estimate(self, codec=None, peer=None) -> int:
-        return 33
+        return (
+            42
+            + vc_wire_size(self.commit_vc, codec, peer, _STREAM_COMMIT_VC)
+            + 16 * len(self.propagated)
+        )
 
 
 class SubscribeExternal(Message):
@@ -369,6 +471,33 @@ class SubscribeExternal(Message):
 
     def size_estimate(self, codec=None, peer=None) -> int:
         return 36
+
+
+class ReleaseGate(Message):
+    """Release a reading transaction's answer gates on the listed writers.
+
+    Sent by the reader's coordinator to each gated writer's coordinator when
+    the reader commits or restarts (and by the losing-reply cleanup for
+    gates registered by replicas that lost the fastest-answer race).  A
+    reader's ``Remove`` releases its gates as well, which covers crashed
+    readers through the fault-mode broadcast.
+    """
+
+    __slots__ = ("txn_id", "writers")
+    priority = MessagePriority.CONTROL
+    base_size = 32
+
+    def __init__(
+        self,
+        txn_id: TransactionId = None,
+        writers: Tuple[TransactionId, ...] = (),
+    ):
+        Message.__init__(self)
+        self.txn_id = txn_id
+        self.writers = writers
+
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 32 + 8 * len(self.writers)
 
 
 class Remove(Message):

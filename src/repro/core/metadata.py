@@ -21,6 +21,15 @@ from repro.clocks.vector_clock import VectorClock
 from repro.common.ids import NodeId, TransactionId
 
 
+#: Abort reason marking an *externally invisible* restart of a read-only
+#: transaction: its dependency wait sat on writers confirmed still in flight
+#: past ``readonly_restart_wait_us`` (the 4-party wait-cycle breaker).  The
+#: session layer re-executes the transaction with a fresh snapshot instead of
+#: surfacing an abort, and the attempt is not recorded in the history — the
+#: client observes one committed transaction, exactly once.
+READONLY_RESTART_REASON = "readonly-snapshot-restart"
+
+
 class TransactionPhase(enum.Enum):
     """Lifecycle phases of an SSS transaction (Section III-B)."""
 
@@ -73,6 +82,10 @@ class TransactionMeta:
     pending_writers: Set[TransactionId] = field(default_factory=set)
     """Writers of observed versions not yet confirmed externally committed;
     this transaction's own external commit must wait for all of them."""
+    gated_writers: Set[TransactionId] = field(default_factory=set)
+    """Writers whose client answer was gated behind this (read-only)
+    transaction during ambiguous-zone resolution; the gates are released
+    when the transaction finishes or restarts."""
     phase: TransactionPhase = TransactionPhase.EXECUTING
     first_read_done: bool = False
     commit_vc: Optional[VectorClock] = None

@@ -41,6 +41,7 @@ from repro.core.messages import (
     PrecommitQuery,
     ReadRequest,
     ReadReturn,
+    ReleaseGate,
     Remove,
     SubscribeExternal,
     Vote,
@@ -48,7 +49,7 @@ from repro.core.messages import (
 from repro.core.metadata import PropagatedEntry, TransactionPhase
 from repro.protocols.runtime import ProtocolRuntime
 from repro.replication.placement import KeyPlacement
-from repro.storage.commit_queue import CommitQueue
+from repro.storage.commit_queue import CommitQueue, ParticipantRedoLog
 from repro.storage.locks import LockTable
 from repro.storage.mvstore import MultiVersionStore
 from repro.storage.nlog import NLog, NLogEntry
@@ -104,6 +105,9 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         self.locks = LockTable(sim, name=f"locks@{node_id}")
         self.nlog = NLog(node_id, n_nodes, sim=sim)
         self.commit_queue = CommitQueue(node_id, sim=sim)
+        # Durable redo log of write-replica votes: survives crashes, closes
+        # the voted-then-crashed in-doubt window (see on_restart).
+        self.redo_log = ParticipantRedoLog()
         self.node_vc = VectorClock.zeros(n_nodes)
 
         # Participant-side state for in-flight 2PC rounds.
@@ -123,15 +127,19 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         self._reader_keys: Dict[TransactionId, Set[object]] = defaultdict(set)
         # Starvation back-off: per-key consecutive back-off count.
         self._backoff_level: Dict[object, int] = defaultdict(int)
-        # Writers whose external commit this node has been notified of: their
-        # versions may be handed to clients without an external-commit
-        # dependency wait.  (Preloaded versions have writer None and need no
-        # tracking.)  The set grows with the number of committed writers and
-        # is deliberately never pruned: "not in the set" *means* pending, so
+        # Writers whose external commit this node has been notified of,
+        # mapped to the coordinator's external-commit timestamp (None for
+        # writers that finished without answering a client — abort or crash
+        # teardown — which impose no real-time order).  Their versions may
+        # be handed to clients without an external-commit dependency wait,
+        # and the timestamp feeds the real-time staleness test of read-only
+        # reads.  (Preloaded versions have writer None and need no
+        # tracking.)  The map grows with the number of committed writers and
+        # is deliberately never pruned: "not in the map" *means* pending, so
         # dropping an entry would silently re-gate old versions.  At
         # simulation scale (<=1e6 transactions per run) this is cheap;
         # GC-ing it would need a per-version done-bit instead.
-        self._externally_done: Set[TransactionId] = set()
+        self._externally_done: Dict[TransactionId, Optional[float]] = {}
         # Largest node-local clock value among locally installed versions
         # whose writer is known externally committed, and the per-writer
         # local values feeding it (consumed on the Done notification).
@@ -143,6 +151,15 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         # Targets to notify when a transaction this node coordinates
         # externally commits (fed by SubscribeExternal).
         self._external_watchers: Dict[TransactionId, Set[NodeId]] = defaultdict(set)
+        # Answer gates: readers that ambiguously *excluded* a writer this
+        # node coordinates while the writer was confirmed in flight.  The
+        # writer's client answer waits until every gating reader finishes or
+        # restarts — the ordering a snapshot-queue entry would have enforced
+        # had the writer not already passed its local pre-commit wait, which
+        # is what keeps the exclusion externally consistent.
+        self._answer_gates: Dict[TransactionId, Set[TransactionId]] = {}
+        self._gates_by_reader: Dict[TransactionId, Set[TransactionId]] = {}
+        self._answer_gate_events: Dict[TransactionId, object] = {}
         # Per still-pending writer, the coordinator targets this node already
         # forwarded subscriptions for (so one reader hammering a hot version
         # does not flood the coordinator); pruned when the writer's
@@ -163,6 +180,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         self.register_handler(SubscribeExternal, self.on_subscribe_external)
         self.register_handler(PrecommitQuery, self.on_precommit_query)
         self.register_handler(ExternalStatusQuery, self.on_external_status_query)
+        self.register_handler(ReleaseGate, self.on_release_gate)
         self.register_handler(Remove, self.on_remove)
 
     # ------------------------------------------------------------------
@@ -263,12 +281,30 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             # ExternalDone notification arrives (ambiguous zone).  Without
             # the wait, two readers bridging two independent such writers
             # can each observe one and exclude the other, producing the
-            # contradictory serialization orders of the paper's Figure 2.
-            yield from self._resolve_ambiguous_writers(key, reader_vc, has_read)
+            # contradictory serialization orders of the paper's Figure 2;
+            # writers still in flight on expiry get their client answer
+            # gated behind this reader before they may be excluded.
+            gated, refused = yield from self._resolve_ambiguous_writers(
+                message, key, reader_vc, has_read
+            )
+            if refused:
+                self.counters["reads_gate_refused"] += 1
+                self.respond(
+                    message,
+                    ReadReturn(
+                        txn_id=message.txn_id,
+                        key=key,
+                        stale=True,
+                        gated=tuple(sorted(gated)),
+                    ),
+                )
+                return
 
             # Lines 6-9: visible snapshot minus pre-committing writers above
             # the reader's bound.
-            excluded_vcs = self._excluded_vcs(key, reader_vc, has_read)
+            excluded_vcs = self._excluded_vcs(
+                key, reader_vc, has_read, force_exclude=gated
+            )
             max_vc = self.nlog.visible_max_vc(
                 reader_vc, has_read, excluded_vcs, strict=self.strict_visibility
             )
@@ -287,16 +323,65 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             # Lines 15-21: this node already served this transaction before;
             # the visibility bound is the transaction's own vector clock.
             yield self.cpu(service.read_local_us)
+            # The fixed bound cannot observe anything newly installed, so a
+            # writer that installed *and passed its pre-commit wait* between
+            # this transaction's reads at this node would be missed with no
+            # entry gating its answer — resolve the ambiguous zone here too,
+            # and gate every writer confirmed in flight (``gate_all``:
+            # observation is not an option under a fixed bound, so the
+            # below-watermark preference of the first-read path does not
+            # apply).
+            gated, refused = yield from self._resolve_ambiguous_writers(
+                message, key, reader_vc, has_read, gate_all=True
+            )
+            if refused:
+                self.counters["reads_gate_refused"] += 1
+                self.respond(
+                    message,
+                    ReadReturn(
+                        txn_id=message.txn_id,
+                        key=key,
+                        stale=True,
+                        gated=tuple(sorted(gated)),
+                    ),
+                )
+                return
             max_vc = reader_vc
             insertion_snapshot = max_vc[i]
             excluded_vcs = set()
 
-        # Line 10 / 17: leave a trace of the read in the snapshot queue.
-        self._insert_reader(key, message.txn_id, insertion_snapshot)
-
         # Lines 11-14 / 18-21: walk the version chain newest-to-oldest until a
-        # version within the visibility bound (and not excluded) is found.
-        version = self._select_version(key, has_read, max_vc, excluded_vcs)
+        # version within the visibility bound (and not excluded) is found —
+        # refusing the read as *stale* when the bound hides a version whose
+        # writer's client was already answered (no serving choice could then
+        # keep the exclusion answer-ordered; the coordinator restarts the
+        # transaction under a fresh snapshot).
+        version, rt_stale = self._select_version(
+            key, has_read, max_vc, excluded_vcs, check_stale=True
+        )
+        if rt_stale:
+            yield self.cpu(
+                service.version_walk_us * max(1, len(self.store.chain(key)))
+            )
+            self.counters["reads_rt_stale"] += 1
+            self.respond(
+                message,
+                ReadReturn(
+                    txn_id=message.txn_id,
+                    key=key,
+                    stale=True,
+                    gated=tuple(sorted(gated)),
+                ),
+            )
+            return
+
+        # Line 10 / 17: leave a trace of the read in the snapshot queue —
+        # *before* any further yield: the entry is what gates a concurrently
+        # pre-committing writer's client answer behind this reader, and a
+        # version installed during a yield taken after the bound was fixed
+        # but before the entry existed could otherwise answer its client
+        # unordered against this read.
+        self._insert_reader(key, message.txn_id, insertion_snapshot)
         yield self.cpu(service.version_walk_us * max(1, len(self.store.chain(key))))
 
         self.counters["reads_read_only"] += 1
@@ -313,6 +398,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                 writer_pending=self._flag_pending_writer(
                     version.writer, message.sender
                 ),
+                gated=tuple(sorted(gated)),
             ),
         )
 
@@ -362,7 +448,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         )
 
     def _excluded_vcs(
-        self, key: object, reader_vc: VectorClock, has_read
+        self, key: object, reader_vc: VectorClock, has_read, force_exclude=frozenset()
     ) -> Set[VectorClock]:
         """Commit clocks of writers the reader must not observe (ExcludedSet).
 
@@ -371,7 +457,10 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         the reader's bound is excluded: the reader is serialized before that
         writer, and its snapshot-queue entry (inserted below the writer's
         snapshot) delays the writer's client response while the reader is
-        outstanding.
+        outstanding.  Writers in ``force_exclude`` — ambiguous-zone writers
+        whose client answer was just gated behind this reader — are excluded
+        unconditionally: observing a gated writer would deadlock the
+        observation's dependency wait against the gate.
         """
         i = self.node_id
         bound = reader_vc[i]
@@ -385,6 +474,9 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             writer = version.writer
             if writer is None or writer in done:
                 continue
+            if writer in force_exclude:
+                excluded.add(vc)
+                continue
             if vc[i] <= watermark:
                 # Excluding this writer would cap the reader's bound below an
                 # already-done writer's local value; the ambiguous-zone wait
@@ -396,7 +488,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
 
     def _ambiguous_writers(
         self, key: object, reader_vc: VectorClock, has_read
-    ) -> List[TransactionId]:
+    ) -> List[Tuple[TransactionId, int]]:
         """Writers above the reader's bound in the "ambiguous zone".
 
         Such a writer is internally committed here, has already passed its
@@ -404,15 +496,16 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         so a reader entry could no longer delay its client response), but is
         not yet known to be externally committed.  Excluding it outright
         would serialize the reader before a writer that may answer its
-        client first — the reader waits briefly for the writer's
-        ExternalDone instead.
+        client first.  Returns ``(writer, local clock value)`` pairs (the
+        local value is the writer's ``xactVN`` here, used to decide whether
+        exclusion or observation handles it).
         """
         i = self.node_id
         bound = reader_vc[i]
         done = self._externally_done
         watermark = self._done_local_watermark
         squeue = self.store.squeue(key)
-        ambiguous: List[TransactionId] = []
+        ambiguous: List[Tuple[TransactionId, int]] = []
         for version in self.store.chain(key).newest_to_oldest():
             vc = version.vc
             if vc[i] <= bound:
@@ -427,70 +520,121 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                 # value: plain exclusion is coherent (and the reader's queue
                 # entry will delay the writer's client response).
                 continue
-            ambiguous.append(writer)
+            ambiguous.append((writer, vc[i]))
         return ambiguous
 
     def _resolve_ambiguous_writers(
-        self, key: object, reader_vc: VectorClock, has_read
+        self,
+        message: ReadRequest,
+        key: object,
+        reader_vc: VectorClock,
+        has_read,
+        gate_all: bool = False,
     ):
-        """Bounded wait until ambiguous-zone writers announce ExternalDone.
+        """Bounded wait, then *definitive* resolution of ambiguous writers.
 
         The wait is bounded (``external_done_wait_us``) so that circular
-        read-versus-pre-commit wait patterns cannot stall the cluster; on
-        expiry the remaining writers are excluded, accepting the small risk
-        that a notification delayed beyond the bound costs a stale (but
-        still serializable-before) read.
+        read-versus-pre-commit wait patterns cannot stall the read; in the
+        common case the writer's ExternalDone notification arrives within a
+        round-trip or two and the wait ends early.
 
-        Fault mode changes the expiry behaviour: a crash may have swallowed
-        the writer's ExternalDone for good (this node was down when it
-        fanned out, or its own notification caches were dropped), so
-        excluding on timeout blindly could serialize the reader *before* a
-        writer whose client was long answered — a genuine external-
-        consistency violation.  Instead the reader asks each ambiguous
-        writer's coordinator for a definitive status
-        (:class:`ExternalStatusQuery`): *done* writers stop gating, writers
-        confirmed in-flight are excluded with exactly the fail-free race
-        window, and an unreachable coordinator keeps the reader waiting —
-        trading liveness (visible in the availability metrics), never
-        safety.
+        On expiry the reader no longer excludes blindly.  A notification
+        delayed past the bound (fail-free) or swallowed by a crash (fault
+        mode) used to make the fallback exclusion serialize the reader
+        *before* a writer whose client was already answered — a genuine
+        external-consistency violation (the seed-17 regression).  Instead
+        the reader asks each ambiguous writer's coordinator for a definitive
+        status (:class:`ExternalStatusQuery`): *done* writers stop gating,
+        and a writer confirmed still in flight is excluded only after its
+        coordinator *gated its client answer* behind this reader — the
+        excluded writer then answers after the reader finishes (or
+        restarts), exactly the ordering its snapshot-queue entry would have
+        enforced, so contradictory serialization decisions at different
+        nodes can at worst deadlock (and the dependency-wait breaker then
+        restarts a reader) but never commit.  An unreachable coordinator
+        (fault mode) keeps the reader waiting — trading liveness (visible
+        in the availability metrics), never safety.
+
+        Returns ``(gated, stale)``: the writers gated on the reader's
+        behalf (the coordinator must release them when the reader
+        finishes), and whether the read must be refused because a gate was
+        refused (the reader was already withdrawn elsewhere).
         """
+        reader = message.txn_id
+        gated_total: Set[TransactionId] = set()
+        # Ambiguous writers already handled: gated (they will be excluded)
+        # or confirmed in flight below the done-watermark (they will be
+        # observed with a dependency wait — gating those too would deadlock
+        # the observation wait against the gate).
+        resolved: Set[TransactionId] = set()
         deadline = None
         while True:
             ambiguous = self._ambiguous_writers(key, reader_vc, has_read)
-            if not ambiguous:
-                return
+            pending = [
+                (writer, local)
+                for writer, local in ambiguous
+                if writer not in resolved
+            ]
+            if not pending:
+                # Every ambiguous writer is done, gated, or observed — and
+                # this evaluation is synchronous with the caller's exclusion
+                # computation, so no unresolved writer can slip in between.
+                if resolved:
+                    self.counters["ambiguous_wait_timeouts"] += 1
+                return gated_total, False
             if deadline is None:
                 deadline = self.sim.now + self.config.timeouts.external_done_wait_us
             remaining = deadline - self.sim.now
             if remaining <= 0:
-                if not self._fault_mode:
-                    self.counters["ambiguous_wait_timeouts"] += 1
-                    return
-                confirmed_pending = yield from self._query_external_status(
-                    ambiguous
+                watermark = self._done_local_watermark
+                gate_writers = {
+                    writer
+                    for writer, local in pending
+                    if gate_all or local > watermark
+                }
+                confirmed, gated, refused = yield from self._query_external_status(
+                    [writer for writer, _local in pending],
+                    reader=reader,
+                    gate_writers=gate_writers,
                 )
-                if confirmed_pending:
-                    self.counters["ambiguous_wait_timeouts"] += 1
-                    return
-                # Every queried writer turned out done: re-evaluate with a
-                # fresh bound (new writers may have become ambiguous).
+                gated_total |= gated
+                resolved |= gated
+                resolved |= confirmed - gate_writers
+                if refused:
+                    # A coordinator declined to gate: this reader's Remove
+                    # already passed through it (the transaction was
+                    # withdrawn elsewhere) — refuse the read.
+                    return gated_total, True
+                # Loop: writers that became ambiguous during the query
+                # round-trip must be resolved too before the exclusion set
+                # is computed, or they would be excluded without a gate.
                 deadline = None
                 continue
             self.counters["ambiguous_waits"] += 1
-            events = [self.external_done_event(writer) for writer in ambiguous]
+            events = [
+                self.external_done_event(writer) for writer, _local in pending
+            ]
             events.append(self.sim.timeout(remaining))
             yield self.sim.any_of(events)
 
-    def _query_external_status(self, writers):
-        """Fault-mode helper: resolve writers' fates at their coordinators.
+    def _query_external_status(self, writers, reader=None, gate_writers=frozenset()):
+        """Resolve writers' fates definitively at their coordinators.
 
         Marks writers reported (or locally known) as done/torn-down in
-        ``_externally_done`` and returns the set confirmed still in flight.
-        Queries to unreachable coordinators are re-sent every
-        ``crash_resubscribe_us`` until answered — the generator simply does
-        not terminate while every remaining coordinator is down.
+        ``_externally_done``.  Writers in ``gate_writers`` additionally get
+        their client answer gated behind ``reader`` when confirmed in
+        flight.  Returns ``(confirmed_pending, gated, refused)``: writers
+        confirmed still in flight, the subset successfully gated, and the
+        subset whose gate was refused (the reader is already withdrawn at
+        that coordinator).  In a fail-free run every query is answered in
+        one round; queries to unreachable coordinators (fault mode) are
+        re-sent every ``crash_resubscribe_us`` until answered — the
+        generator simply does not terminate while every remaining
+        coordinator is down.
         """
         confirmed_pending = set()
+        gated = set()
+        refused = set()
         outstanding: List[TransactionId] = []
         for writer in sorted(writers):
             if writer.node == self.node_id:
@@ -499,16 +643,28 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                     TransactionPhase.EXTERNALLY_COMMITTED,
                     TransactionPhase.ABORTED,
                 ):
-                    self._mark_externally_done(writer)
+                    self._mark_externally_done(writer, self._done_time_of(writer))
                 else:
                     confirmed_pending.add(writer)
+                    if writer in gate_writers:
+                        if self._register_answer_gate(writer, reader):
+                            gated.add(writer)
+                        else:
+                            refused.add(writer)
             else:
                 outstanding.append(writer)
         retry_us = self.config.timeouts.crash_resubscribe_us
         while outstanding:
             self.counters["external_status_queries"] += 1
             probes = [
-                (writer, ExternalStatusQuery(txn_id=writer))
+                (
+                    writer,
+                    ExternalStatusQuery(
+                        txn_id=writer,
+                        reader=reader,
+                        gate=writer in gate_writers,
+                    ),
+                )
                 for writer in outstanding
             ]
             events = [
@@ -524,26 +680,166 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                 if event.triggered and event.ok:
                     reply: ExternalStatusReply = event.value
                     if reply.done:
-                        self._mark_externally_done(writer)
+                        self._mark_externally_done(writer, reply.done_time)
                     else:
                         confirmed_pending.add(writer)
+                        if writer in gate_writers:
+                            if reply.gated:
+                                gated.add(writer)
+                            else:
+                                refused.add(writer)
                 else:
                     # Unanswered (coordinator down, or reply still in
                     # flight): retire the stale correlation entry and retry.
                     self._pending_replies.pop(message.msg_id, None)
                     next_round.append(writer)
             outstanding = next_round
-        return confirmed_pending
+        return confirmed_pending, gated, refused
 
     def on_external_status_query(self, message: ExternalStatusQuery) -> None:
-        """Answer a reader's definitive-status probe for a writer of ours."""
+        """Answer a definitive-status probe for a transaction of ours.
+
+        ``done`` serves the reader-path ambiguous-zone and dependency waits.
+        The decision fields serve restarted participants resolving in-doubt
+        redo records: the recorded decision is *commit* once the vote round
+        succeeded (``internal_commit_time`` set — the same convention the
+        2PC-baseline recovery uses; the crash teardown flips the phase to
+        ABORTED but cannot un-decide a sent decision), *abort* when the
+        transaction aborted before a decision (or is unknown: presumed
+        abort), and *undecided* otherwise.
+        """
         meta = self.coordinated.get(message.txn_id)
-        done = meta is None or meta.phase in (
+        if meta is None:
+            self.respond(
+                message,
+                ExternalStatusReply(txn_id=message.txn_id, done=True, outcome=False),
+            )
+            return
+        done = meta.phase in (
             TransactionPhase.EXTERNALLY_COMMITTED,
             TransactionPhase.ABORTED,
         )
+        done_time = self._done_time_of(message.txn_id)
+        gated = False
+        if message.gate and not done:
+            gated = self._register_answer_gate(message.txn_id, message.reader)
+        if meta.internal_commit_time is not None:
+            outcome = True
+            commit_vc = meta.commit_vc
+            propagated = self._propagated_for_decide(meta)
+        elif meta.phase is TransactionPhase.ABORTED:
+            outcome, commit_vc, propagated = False, None, ()
+        else:
+            outcome, commit_vc, propagated = None, None, ()
         self.respond(
-            message, ExternalStatusReply(txn_id=message.txn_id, done=done)
+            message,
+            ExternalStatusReply(
+                txn_id=message.txn_id,
+                done=done,
+                done_time=done_time,
+                gated=gated,
+                outcome=outcome,
+                commit_vc=commit_vc,
+                propagated=propagated,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Answer gates (ordered external-commit resolution)
+    # ------------------------------------------------------------------
+    def _register_answer_gate(
+        self, writer: TransactionId, reader: Optional[TransactionId]
+    ) -> bool:
+        """Gate ``writer``'s client answer behind ``reader``.
+
+        Refused (returns False) when the reader's Remove already passed
+        through this node — the reader was withdrawn elsewhere and could
+        never release the gate.
+
+        Release coverage: fail-free, replies are never dropped, so the
+        reader's coordinator always learns the gate (``ReadReturn.gated``)
+        and releases it on finish/restart (ReleaseGate), with
+        ``_cleanup_losing_replies`` covering replicas that lost the
+        fastest-answer race.  In fault mode a gate can be orphaned from the
+        coordinator's view (a retried read wave drops the late reply that
+        carried it), but fault-mode Removes are *broadcast to every node*,
+        and ``on_remove`` releases all of a reader's gates — so every
+        reader that finishes, restarts, or is torn down by crash recovery
+        still releases, and only a coordinator that never restarts can pin
+        a gate (the documented crash-forever liveness trade).
+        """
+        if reader is None or reader in self._removed_readers:
+            return False
+        self._answer_gates.setdefault(writer, set()).add(reader)
+        self._gates_by_reader.setdefault(reader, set()).add(writer)
+        self.counters["answer_gates_registered"] += 1
+        return True
+
+    def _release_answer_gates(self, reader: TransactionId, writers=None) -> None:
+        """Release ``reader``'s gates (all of them, or just ``writers``)."""
+        held = self._gates_by_reader.get(reader)
+        if not held:
+            return
+        targets = sorted(held) if writers is None else sorted(set(writers) & held)
+        for writer in targets:
+            held.discard(writer)
+            gates = self._answer_gates.get(writer)
+            if gates is None:
+                continue
+            gates.discard(reader)
+            if not gates:
+                del self._answer_gates[writer]
+                event = self._answer_gate_events.pop(writer, None)
+                if event is not None and not event.triggered:
+                    event.succeed()
+        if not held:
+            self._gates_by_reader.pop(reader, None)
+
+    def on_release_gate(self, message: ReleaseGate) -> None:
+        """Release the sender transaction's answer gates on listed writers."""
+        self._release_answer_gates(message.txn_id, message.writers)
+
+    def _wait_answer_gates(self, txn_id: TransactionId):
+        """Hold a writer's client answer until its answer gates clear.
+
+        Every gating reader finishes or restarts in bounded time (the
+        dependency-wait breaker guarantees it), so the wait always
+        resolves; registrations can race in while waiting, hence the loop.
+        """
+        while self._answer_gates.get(txn_id):
+            self.counters["answer_gate_waits"] += 1
+            event = self.sim.event(name=f"answer-gates:{txn_id}")
+            self._answer_gate_events[txn_id] = event
+            yield event
+
+    def _resolve_in_doubt(self, txn_id: TransactionId):
+        """Restart recovery: learn the fate of a voted-but-undecided record.
+
+        The Decide may have been lost while this node was down (or dropped
+        by a partition); without resolution the rebuilt *pending* commit-
+        queue entry would block every later install on this node.  The
+        coordinator is asked for its recorded decision (re-sent until
+        answered — a coordinator that is itself down answers after its own
+        restart); a decision still pending at the coordinator resolves
+        through the normal Decide, which reaches this node now that it is
+        back up.
+        """
+        reply: ExternalStatusReply = yield from self.reliable_request(
+            txn_id.node, lambda: ExternalStatusQuery(txn_id=txn_id)
+        )
+        record = self.redo_log.find(txn_id)
+        if record is None or record.decided or txn_id not in self._prepared:
+            return  # resolved by a Decide/PrecommitQuery that raced the reply
+        if reply.outcome is None:
+            return  # not decided yet: the normal Decide will arrive
+        self.counters["in_doubt_resolved"] += 1
+        self._apply_decide(
+            Decide(
+                txn_id=txn_id,
+                commit_vc=reply.commit_vc if reply.outcome else record.vc,
+                outcome=reply.outcome,
+                propagated=reply.propagated,
+            )
         )
 
     def _select_version(
@@ -552,20 +848,42 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         has_read: List[bool],
         max_vc: VectorClock,
         excluded_vcs: Set[VectorClock],
+        check_stale: bool = False,
     ):
-        """Newest version within the visibility bound and not excluded."""
+        """Newest version within the visibility bound, plus an rt-staleness flag.
+
+        Returns ``(version, rt_stale)``.  ``rt_stale`` is True when a version
+        the bound rejects belongs to a writer whose client was *already
+        answered* (a recorded external-commit timestamp, carried by
+        ExternalDone).  Missing such a version would serialize the reader
+        before a writer that answers first — an exclusion edge with no
+        answer-order gate behind it, which is exactly the ingredient that
+        lets contradictory serialization decisions at different nodes commit
+        (the paper's Figure 2 cycle).  Serializing the reader after the
+        writer is impossible under its frozen coordinates, so the reader
+        must restart with a fresh snapshot.  Pending (excluded) writers are
+        handled by the exclusion/gate machinery, and torn-down writers
+        (``done`` without a timestamp) never answered anyone and may be
+        missed freely.
+        """
         i = self.node_id
         chain = self.store.chain(key)
+        rt_stale = False
+        done = self._externally_done
         for version in chain.newest_to_oldest():
-            if version.vc in excluded_vcs and version.vc[i] > max_vc[i]:
-                continue
-            out_of_bound = False
-            for w, flag in enumerate(has_read):
-                if flag and version.vc[w] > max_vc[w]:
-                    out_of_bound = True
-                    break
-            if not out_of_bound and version.vc[i] <= max_vc[i]:
-                return version
+            vc = version.vc
+            excluded = vc in excluded_vcs and vc[i] > max_vc[i]
+            out_of_bound = vc[i] > max_vc[i]
+            if not out_of_bound:
+                for w, flag in enumerate(has_read):
+                    if flag and vc[w] > max_vc[w]:
+                        out_of_bound = True
+                        break
+            if not excluded and not out_of_bound:
+                return version, rt_stale
+            if not excluded and check_stale and version.writer is not None:
+                if done.get(version.writer) is not None:
+                    rt_stale = True
         # The preloaded version zero is visible to everyone; reaching this
         # point means the key was never preloaded on this node.
         raise KeyError(f"node {self.node_id} has no visible version of {key!r}")
@@ -633,10 +951,14 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         is_write_replica = bool(local_writes)
         if is_write_replica:
             # Lines 8-11: propose NodeVC with the local entry incremented and
-            # enqueue the transaction as pending.
+            # enqueue the transaction as pending.  The redo record is
+            # force-written before the vote leaves the node, so a crash
+            # between vote and internal commit can no longer lose the queue
+            # entry and the pending writes (the in-doubt stall).
             self.node_vc = self.node_vc.increment(self.node_id)
             prep_vc = self.node_vc
             self.commit_queue.put(txn_id, prep_vc)
+            self.redo_log.record_vote(txn_id, prep_vc, local_writes, local_reads)
         else:
             prep_vc = self.nlog.most_recent_vc
 
@@ -687,6 +1009,9 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             self.node_vc = self.node_vc.merge(message.commit_vc)
             if state.is_write_replica:
                 self._pending_propagated[txn_id] = message.propagated
+                self.redo_log.record_decision(
+                    txn_id, message.commit_vc, message.propagated
+                )
                 self.commit_queue.update(txn_id, message.commit_vc)
             else:
                 # Read-only participants are done once the decision arrives.
@@ -695,6 +1020,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                 self._pending_writes.pop(txn_id, None)
         else:
             self.commit_queue.remove(txn_id)
+            self.redo_log.discard(txn_id)
             self.locks.release(
                 txn_id, [k for k, _v in state.write_items] + list(state.read_keys)
             )
@@ -731,6 +1057,9 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             )
         )
         self.commit_queue.remove(txn_id)
+        # From here the NLog entry is the durable truth; retire the redo
+        # record (PrecommitQuery replays from the log).
+        self.redo_log.discard(txn_id)
         if state is not None:
             self.locks.release(txn_id, list(write_keys) + list(state.read_keys))
         self.counters["internal_commits"] += 1
@@ -771,7 +1100,13 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         # that is the one that can hold a writer for a long time.
         for key in write_keys:
             squeue = self.store.squeue(key)
-            if squeue.has_entry_below(snapshot, exclude_txn=txn_id):
+            # Loop, don't trust a fired condition: between the condition
+            # firing and this process resuming, a read handler can insert a
+            # fresh reader entry below the snapshot — proceeding then would
+            # answer the client while a reader serialized before us is still
+            # outstanding (an ungated exclusion, i.e. a real external-
+            # consistency hole, not just wasted latency).
+            while squeue.has_entry_below(snapshot, exclude_txn=txn_id):
                 self.counters["precommit_waits"] += 1
                 yield self.sim.condition(
                     lambda sq=squeue: not sq.has_entry_below(
@@ -793,30 +1128,63 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         entries, waiting out any genuinely older snapshot-queue entries and
         re-sending the ExternalAck; every step is idempotent (duplicate
         queue insertions are suppressed, duplicate removes and acks are
-        no-ops).  If the transaction is *not* in the log the Decide itself
-        was lost in the crash: nothing can be replayed and the coordinator
-        stays blocked — the in-doubt window a participant redo log (ROADMAP
-        follow-up) would close.
+        no-ops).
+
+        If the transaction is *not* in the log the Decide itself was lost in
+        the crash.  When the node holds a durable redo record of its vote
+        (the voted-then-crashed case), the query's ``commit_vc`` acts as the
+        decision retransmission: the commit queue entry — rebuilt as
+        *pending* by the restart replay — is finalized and drained exactly
+        as the original Decide would have, closing SSS's remaining in-doubt
+        stall.  With neither log nor redo record the query is ignored (the
+        prepare itself never happened here).
         """
-        entry = self.nlog.find(message.txn_id)
-        if entry is None:
-            self.counters["precommit_query_misses"] += 1
+        txn_id = message.txn_id
+        entry = self.nlog.find(txn_id)
+        if entry is not None:
+            self.counters["precommit_replays"] += 1
+            self.spawn_process(
+                self._pre_commit(entry.txn_id, entry.vc, entry.write_keys, ()),
+                name=f"precommit-replay:{entry.txn_id}@{self.node_id}",
+            )
             return
-        self.counters["precommit_replays"] += 1
-        self.spawn_process(
-            self._pre_commit(entry.txn_id, entry.vc, entry.write_keys, ()),
-            name=f"precommit-replay:{entry.txn_id}@{self.node_id}",
-        )
+        if txn_id in self.redo_log and message.commit_vc is not None:
+            self.counters["redo_decides"] += 1
+            self._apply_decide(
+                Decide(
+                    txn_id=txn_id,
+                    commit_vc=message.commit_vc,
+                    outcome=True,
+                    propagated=message.propagated,
+                )
+            )
+            return
+        self.counters["precommit_query_misses"] += 1
 
     # ------------------------------------------------------------------
     # External-commit dependency tracking
     # ------------------------------------------------------------------
     def on_external_done(self, message: ExternalDone) -> None:
         """Record that a writer's client has been answered (external commit)."""
-        self._mark_externally_done(message.txn_id)
+        self._mark_externally_done(message.txn_id, message.done_time)
 
-    def _mark_externally_done(self, txn_id: TransactionId) -> None:
-        self._externally_done.add(txn_id)
+    def _done_time_of(self, txn_id: TransactionId) -> Optional[float]:
+        """External-commit timestamp of a transaction this node coordinated.
+
+        ``None`` for transactions that never answered a client (aborts and
+        crash teardowns): they impose no real-time order on readers.
+        """
+        meta = self.coordinated.get(txn_id)
+        if meta is None or meta.phase is not TransactionPhase.EXTERNALLY_COMMITTED:
+            return None
+        return meta.external_commit_time
+
+    def _mark_externally_done(
+        self, txn_id: TransactionId, done_time: Optional[float] = None
+    ) -> None:
+        existing = self._externally_done.get(txn_id)
+        if existing is None:
+            self._externally_done[txn_id] = done_time
         self._subscriptions_sent.pop(txn_id, None)
         local_value = self._applied_local_value.pop(txn_id, None)
         if local_value is not None and local_value > self._done_local_watermark:
@@ -848,18 +1216,20 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         self._external_watchers[txn_id].add(target)
 
     def _send_external_done(self, txn_id: TransactionId, target: NodeId) -> None:
+        done_time = self._done_time_of(txn_id)
         if target == self.node_id:
-            self._mark_externally_done(txn_id)
+            self._mark_externally_done(txn_id, done_time)
         else:
-            self.send(target, ExternalDone(txn_id=txn_id))
+            self.send(target, ExternalDone(txn_id=txn_id, done_time=done_time))
 
     def _external_commit_completed(self, txn_id: TransactionId, write_replicas) -> None:
         """Fan out the external-commit announcement of a coordinated writer."""
-        self._mark_externally_done(txn_id)
+        done_time = self._done_time_of(txn_id)
+        self._mark_externally_done(txn_id, done_time)
         targets = set(write_replicas) | self._external_watchers.pop(txn_id, set())
         targets.discard(self.node_id)
         for target in sorted(targets):
-            self.send(target, ExternalDone(txn_id=txn_id))
+            self.send(target, ExternalDone(txn_id=txn_id, done_time=done_time))
 
     # ------------------------------------------------------------------
     # Remove handling and forwarding
@@ -878,6 +1248,9 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             self.counters["removes_handled"] += 1
             return
         self._removed_readers.add(txn_id)
+        # A finished (or withdrawn/crashed) reader releases any answer gates
+        # it holds on writers this node coordinates.
+        self._release_answer_gates(txn_id)
         keys = set(message.keys) if message.keys else set()
         keys |= self._reader_keys.pop(txn_id, set())
         # Sorted for determinism: set iteration order over string keys varies
@@ -910,16 +1283,20 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
     def on_crash(self) -> None:
         """Drop everything a crash-stopped SSS process loses.
 
-        Durable state — the multi-version store, the NLog and ``node_vc``
+        Durable state — the multi-version store, the NLog, ``node_vc``
         (modelled as persisted with the commit log, so a restarted node
-        never re-proposes a local clock value it already handed out) —
+        never re-proposes a local clock value it already handed out) and the
+        participant redo log (force-written before every yes-vote) —
         survives untouched.  Everything else is volatile: 2PC participant
-        buffers, the commit queue (lost Decides surface as coordinator
-        stalls, SSS's inherited 2PC blocking window), lock and snapshot
-        queues, and the external-commit notification caches.  The
-        ``_externally_done`` cache is dropped *conservatively*: versions are
-        re-gated until a fresh SubscribeExternal round-trip re-learns the
-        writer's fate, trading post-restart latency for safety.
+        buffers, the commit queue (rebuilt from the redo log on restart),
+        lock and snapshot queues, and the external-commit notification
+        caches.  Locks follow the textbook participant model: only the
+        redo-logged (voted, undecided-or-unapplied) transactions' locks
+        survive — they must keep blocking until the decision is re-learned,
+        which is 2PC's in-doubt window.  The ``_externally_done`` cache is
+        dropped *conservatively*: versions are re-gated until a fresh
+        SubscribeExternal round-trip re-learns the writer's fate, trading
+        post-restart latency for safety.
         """
         self._prepared.clear()
         self._decided_early.clear()
@@ -944,9 +1321,19 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             if not event.triggered:
                 event.fail(NodeCrashedError(f"node {self.node_id} crashed"))
         self._ext_done_events.clear()
+        # Answer gates die with the coordinator: the gated writers are this
+        # node's own (torn down by the crash), and waiting commit processes
+        # are interrupted like any other in-flight wait.
+        for txn_id in sorted(self._answer_gate_events):
+            event = self._answer_gate_events[txn_id]
+            if not event.triggered:
+                event.fail(NodeCrashedError(f"node {self.node_id} crashed"))
+        self._answer_gate_events.clear()
+        self._answer_gates.clear()
+        self._gates_by_reader.clear()
         self._external_watchers.clear()
         self._subscriptions_sent.clear()
-        self.locks.reset()
+        self.locks.reset_except(set(self.redo_log.txn_ids()))
         self.commit_queue.clear()
         for squeue in self.store.squeues().values():
             squeue.clear()
@@ -974,7 +1361,36 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         Transactions that crashed after their decision went out need no
         fan-out: participants finish on their own, stray ExternalAcks are
         ignored, and gated readers resolve through re-subscription.
+
+        Participant-side, the redo log is replayed first: every voted
+        transaction that neither aborted nor reached the NLog gets its
+        commit-queue entry and pending-writes buffer rebuilt (as *ready*
+        when the decision had already arrived, else as *pending*, to be
+        finalized by the original coordinator's PrecommitQuery
+        retransmission), and the queue is drained so already-decided
+        transactions apply and restart their pre-commit immediately.
         """
+        for record in self.redo_log.records():
+            txn_id = record.txn_id
+            self.counters["redo_replays"] += 1
+            self._prepared[txn_id] = _PreparedState(
+                record.read_keys, record.write_items, True
+            )
+            self._pending_writes[txn_id] = record.write_items
+            self.commit_queue.put(txn_id, record.vc)
+            if record.decided:
+                self._pending_propagated[txn_id] = record.propagated
+                self.commit_queue.update(txn_id, record.vc)
+        self._drain_commit_queue()
+        for record in self.redo_log.records():
+            if not record.decided:
+                # The decision may have been lost with the crash; ask the
+                # coordinator (see _resolve_in_doubt) or the pending head
+                # would block this node's installs forever.
+                self.spawn_process(
+                    self._resolve_in_doubt(record.txn_id),
+                    name=f"in-doubt:{record.txn_id}@{self.node_id}",
+                )
         for txn_id in sorted(self.coordinated):
             meta = self.coordinated[txn_id]
             crash_phase = meta.crash_phase

@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.common.errors import NodeCrashedError, TransactionStateError
+from repro.common.errors import (
+    NodeCrashedError,
+    SnapshotRestartError,
+    TransactionStateError,
+)
 from repro.core.metadata import TransactionMeta, TransactionPhase
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,12 +62,23 @@ class Session:
         If the session's node crash-stops mid-operation the transaction is
         abandoned (fault plane) and :class:`NodeCrashedError` propagates to
         the client, which may reconnect and begin a fresh transaction.
+
+        A read refused as real-time stale raises
+        :class:`SnapshotRestartError`: the transaction has already been
+        withdrawn by the coordinator, and the caller should re-execute it
+        from ``begin`` — the retry is the same logical client request, so
+        read-only transactions still never abort.
         """
         meta = self._require_open()
         try:
             value = yield from self.node.txn_read(meta, key)
         except NodeCrashedError:
             self._abandon(meta)
+            raise
+        except SnapshotRestartError:
+            # The coordinator already marked the withdrawal; just close the
+            # session's handle so the caller can begin the retry.
+            self._finish(meta)
             raise
         return value
 
@@ -73,12 +88,19 @@ class Session:
         self.node.txn_write(meta, key, value)
 
     def commit(self):
-        """Commit the open transaction; returns True on commit (generator)."""
+        """Commit the open transaction; returns True on commit (generator).
+
+        Raises :class:`SnapshotRestartError` when a read-only transaction is
+        withdrawn by the wait-cycle breaker; re-execute it from ``begin``.
+        """
         meta = self._require_open()
         try:
             committed = yield from self.node.txn_commit(meta)
         except NodeCrashedError:
             self._abandon(meta)
+            raise
+        except SnapshotRestartError:
+            self._finish(meta)
             raise
         self._finish(meta)
         return committed

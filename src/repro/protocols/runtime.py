@@ -229,6 +229,43 @@ class ProtocolRuntime(NetworkedNode):
         yield self.sim.any_of(events)
         return next(event.value for event in events if event.triggered)
 
+    def fastest_round(self, destinations, make_message):
+        """Process generator: fastest-answer fan-out with fault-mode retries.
+
+        Sends ``make_message(destination)`` to every destination and returns
+        ``(reply, events)`` — the fastest answer plus the reply events of the
+        wave that produced it (callers inspect the losing events for
+        cleanup).  Fail-free this is exactly ``request_each`` +
+        :meth:`fastest_of`, allocation for allocation.  In fault mode a wave
+        left unanswered for ``crash_resubscribe_us`` — every contacted
+        replica crashed, the rf=1 read-wave stall — is re-sent until some
+        replica answers after its restart; read handlers are naturally
+        idempotent, and a crash of *this* node fails the wave's events and
+        propagates to the waiting client like any in-flight RPC.
+        """
+        destinations = list(destinations)
+        if not self._fault_mode:
+            events = self.request_each(destinations, make_message)
+            reply = yield from self.fastest_of(events)
+            return reply, events
+        retry_us = self.config.timeouts.crash_resubscribe_us
+        while True:
+            messages = [make_message(destination) for destination in destinations]
+            events = [
+                self.request(destination, message)
+                for destination, message in zip(destinations, messages)
+            ]
+            target = events[0] if len(events) == 1 else self.sim.any_of(events)
+            yield self.sim.any_of([target, self.sim.timeout(retry_us)])
+            for event in events:
+                if event.triggered and event.ok:
+                    return event.value, events
+            # Unanswered wave: retire the stale correlation entries (late
+            # replies are dropped as stale) and re-send.
+            for message in messages:
+                self._pending_replies.pop(message.msg_id, None)
+            self.counters["read_wave_retries"] += 1
+
     def vote_round(self, participants, make_message, timeout_us: float):
         """Process generator: one 2PC-style vote wave over ``participants``.
 

@@ -1,4 +1,4 @@
-"""The per-node commit queue (``CommitQ``).
+"""The per-node commit queue (``CommitQ``) and the participant redo log.
 
 ``CommitQ`` serializes the *apply* step of internally committing update
 transactions on each node: entries are ordered by the node-local component of
@@ -10,13 +10,22 @@ share (Section III-A).
 An entry is inserted as ``pending`` during the 2PC prepare phase carrying the
 proposed vector clock; the Decide message upgrades it to ``ready`` with the
 final commit vector clock, which may move the entry within the queue.
+
+The commit queue itself is volatile (a crash drops it), which historically
+opened the classic 2PC in-doubt window on the SSS side: a write replica that
+crashed after voting lost its queue entry and pending writes, and the
+coordinator's ``PrecommitQuery`` recovery missed because nothing durable
+recorded the vote.  :class:`ParticipantRedoLog` closes that window — a
+participant force-writes a redo record before voting yes (exactly like the
+2PC-baseline's durable prepared state) and the restart replay rebuilds the
+queue from it.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.clocks.vector_clock import VectorClock
 from repro.common.ids import TransactionId
@@ -158,3 +167,88 @@ class CommitQueue:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<CommitQueue node={self.node_index} len={len(self._entries)}>"
+
+
+# ----------------------------------------------------------------------
+# Participant redo log
+# ----------------------------------------------------------------------
+@dataclass
+class RedoRecord:
+    """Durable record of one vote this node cast as a write replica.
+
+    ``vc`` is the proposed vector clock at vote time; once the decision
+    arrives it is replaced by the final commit clock and ``decided`` flips.
+    ``write_items`` carries the payload needed to re-apply after a crash
+    (the in-memory pending-writes buffer dies with the process);
+    ``read_keys`` lets the restart re-pin the prepared locks.
+    """
+
+    txn_id: TransactionId
+    vc: VectorClock
+    write_items: Tuple[Tuple[object, object], ...]
+    read_keys: Tuple[object, ...]
+    decided: bool = False
+    propagated: Tuple = ()
+
+
+class ParticipantRedoLog:
+    """Durable redo log of votes cast by a 2PC write-replica participant.
+
+    Modelled as force-written before the Vote message leaves the node (the
+    same durability assumption the 2PC-baseline makes for its prepared
+    state), so it survives crashes.  A record lives from the yes-vote until
+    the transaction either aborts or internally commits — from then on the
+    NLog entry is the durable truth and ``PrecommitQuery`` replays from it.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[TransactionId, RedoRecord] = {}
+
+    def record_vote(
+        self,
+        txn_id: TransactionId,
+        vc: VectorClock,
+        write_items: Tuple[Tuple[object, object], ...],
+        read_keys: Tuple[object, ...],
+    ) -> RedoRecord:
+        """Force-write the vote record (before the Vote message is sent)."""
+        record = RedoRecord(
+            txn_id=txn_id, vc=vc, write_items=write_items, read_keys=read_keys
+        )
+        self._records[txn_id] = record
+        return record
+
+    def record_decision(
+        self, txn_id: TransactionId, commit_vc: VectorClock, propagated: Tuple = ()
+    ) -> None:
+        """Overwrite the proposed clock with the decided commit clock."""
+        record = self._records.get(txn_id)
+        if record is None:
+            return
+        record.vc = commit_vc
+        record.decided = True
+        record.propagated = propagated
+
+    def discard(self, txn_id: TransactionId) -> None:
+        """Retire a record (internal commit reached the NLog, or abort)."""
+        self._records.pop(txn_id, None)
+
+    def find(self, txn_id: TransactionId) -> Optional[RedoRecord]:
+        return self._records.get(txn_id)
+
+    def __contains__(self, txn_id: TransactionId) -> bool:
+        return txn_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def txn_ids(self):
+        """The logged transaction ids (sorted, for deterministic replay)."""
+        return sorted(self._records)
+
+    def records(self) -> List[RedoRecord]:
+        """All records in sorted transaction-id order (restart replay)."""
+        return [self._records[txn_id] for txn_id in sorted(self._records)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ParticipantRedoLog len={len(self._records)}>"

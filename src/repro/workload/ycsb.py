@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.common.errors import NodeCrashedError
+from repro.common.errors import NodeCrashedError, SnapshotRestartError
 from repro.core.metadata import TransactionMeta
 from repro.core.session import Session
 from repro.workload.profiles import TransactionSpec, WorkloadGenerator
@@ -77,18 +77,51 @@ def execute_spec(session: Session, spec: TransactionSpec):
     Returns ``(committed, meta)``.  Update transactions follow the paper's
     profile: read every key, then write back a derived value for the keys in
     the write set.
+
+    A read-only transaction withdrawn for a snapshot restart
+    (:class:`~repro.common.errors.SnapshotRestartError` — a real-time-stale
+    read, or the commit-time wait-cycle breaker) is re-executed under a
+    fresh id and snapshot: the restart is invisible to the client — one
+    logical request, answered once, from the committed attempt — so
+    read-only transactions still never abort.
     """
-    meta = session.begin(read_only=spec.read_only)
-    values = {}
-    for key in spec.read_keys:
-        values[key] = yield from session.read(key)
-    if not spec.read_only:
-        for key in spec.write_keys:
-            base = values.get(key, 0)
-            base = base if isinstance(base, int) else 0
-            session.write(key, base + 1)
-    committed = yield from session.commit()
-    return committed, meta
+    attempt = 0
+    while True:
+        try:
+            meta = session.begin(read_only=spec.read_only)
+            values = {}
+            for key in spec.read_keys:
+                values[key] = yield from session.read(key)
+            if not spec.read_only:
+                for key in spec.write_keys:
+                    base = values.get(key, 0)
+                    base = base if isinstance(base, int) else 0
+                    session.write(key, base + 1)
+            committed = yield from session.commit()
+        except SnapshotRestartError:
+            attempt += 1
+            # Staggered, growing back-off before the retry.  An immediate
+            # re-read would deterministically re-create the same exclusion
+            # gates and re-enter the same wait cycle in lockstep with the
+            # other cycling readers (livelock).  While backing off the
+            # transaction holds no queue entries and no gates, so the
+            # writers it gated can drain; the per-client stagger makes the
+            # cycle thin out instead of re-forming.  Deterministic: derived
+            # only from the session's coordinates and the attempt count.
+            timeouts = session.node.config.timeouts
+            base_us = timeouts.external_done_wait_us
+            # The stagger is bounded separately from the (capped)
+            # exponential part so that at large node counts the cap cannot
+            # flatten every client onto the same delay, which would
+            # reintroduce exactly the lockstep this back-off exists to
+            # break.
+            stagger = ((session.node_id * 7 + session.client_index * 3) % 37) * (
+                base_us / 4.0
+            )
+            delay = min(base_us * (2 ** min(attempt, 4)), 16_000.0) + stagger
+            yield session.node.sim.timeout(delay)
+            continue
+        return committed, meta
 
 
 def closed_loop_client(

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import settings as hypothesis_settings
 
@@ -9,12 +11,25 @@ from repro.common.config import ClusterConfig, WorkloadConfig
 from repro.core.cluster import SSSCluster
 from repro.sim.engine import Simulation
 
-# Property tests run a fixed, reproducible example set: tier-1 CI must be
-# deterministic (no example-roulette flakes), and any new counterexample
-# found by widening the search locally should land as a pinned regression
-# test rather than an intermittent CI failure.
+# Property tests run a fixed, reproducible example set by default: tier-1 CI
+# must be deterministic (no example-roulette flakes), and any new
+# counterexample found by widening the search should land as a pinned
+# regression test rather than an intermittent CI failure.
+#
+# The nightly stress workflow selects the ``stress`` profile instead
+# (``REPRO_HYPOTHESIS_PROFILE=stress``): randomized example selection, a
+# larger default example budget, and printed reproduction blobs so a nightly
+# counterexample can be pinned the next morning.  Tests that set their own
+# ``max_examples`` scale it by ``REPRO_STRESS_SCALE`` (read in the test
+# modules themselves so collection also works under the bare ``pytest``
+# entrypoint).
 hypothesis_settings.register_profile("deterministic", derandomize=True)
-hypothesis_settings.load_profile("deterministic")
+hypothesis_settings.register_profile(
+    "stress", derandomize=False, max_examples=400, print_blob=True
+)
+hypothesis_settings.load_profile(
+    os.environ.get("REPRO_HYPOTHESIS_PROFILE", "deterministic")
+)
 
 
 @pytest.fixture

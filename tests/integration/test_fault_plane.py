@@ -158,16 +158,25 @@ class TestFaultDeterminism:
 
 
 class TestQuiescenceLeakRegression:
-    """The ROADMAP's known liveness issue, pinned as a measurable metric.
+    """The (formerly xfailed) pathological micro-config regressions, now strict.
 
     In pathological micro-configs (4-5 keys, rf=1, high contention) the
-    external-commit dependency gating can convert a 4-party read pattern
-    into a wait cycle that stalls instead of committing inconsistently.
-    The ambiguous-zone bounded wait resolves every configuration the stress
-    harness has found so far, so this test currently passes — it exists so
-    the future "ordered external-commit tickets" fix has a regression to
-    flip, and it is xfail(strict=False) because the stall, when it exists,
-    is legal behaviour (liveness loss, never inconsistency).
+    external-commit dependency gating used to convert a 4-party read
+    pattern (two read-only transactions bridging two independent
+    pre-committing writers) into a wait cycle that leaked pre-commit state
+    at quiescence (seeds 3/29), and the ambiguous-zone timeout-then-exclude
+    heuristic could serialize a reader before an already-answered writer —
+    a real external-consistency violation (seed 17).
+
+    The ordered external-commit resolution closed both: ambiguous writers
+    are resolved definitively at their coordinators (ExternalStatusQuery),
+    an exclusion of a confirmed in-flight writer gates that writer's client
+    answer behind the reader (so contradictory serialization decisions can
+    at worst deadlock, never commit), reads refuse real-time-stale bounds,
+    and the dependency-wait breaker restarts a stuck read-only transaction
+    under a fresh snapshot (externally invisible — read-only transactions
+    still never abort).  These seeds are pinned strict: any leak, stall or
+    consistency violation here is a regression.
     """
 
     @staticmethod
@@ -190,30 +199,19 @@ class TestQuiescenceLeakRegression:
             drain_us=40_000,
         )
 
-    @pytest.mark.xfail(
-        strict=False,
-        reason="known liveness issue: 4-party external-commit wait cycle can "
-        "leak pre-commit state at quiescence (ROADMAP open item)",
-    )
-    @pytest.mark.parametrize("seed", [3, 29])
-    def test_no_precommit_state_leaks_at_quiescence(self, seed):
+    @pytest.mark.parametrize("seed", [3, 17, 29])
+    def test_no_precommit_state_leaks_and_consistency_at_quiescence(self, seed):
         result = self._stress(seed)
-        assert result.cluster.check_consistency().ok  # safety holds here
+        check = result.cluster.check_consistency()
+        assert check.ok, f"external consistency violated at seed {seed}: {check}"
         metrics = result.metrics
         assert metrics.extra["quiescence_leaked_writers"] == 0
+        assert metrics.extra["quiescence_commit_queue"] == 0
         assert metrics.extra["stalled_clients"] == 0
-
-    @pytest.mark.xfail(
-        strict=False,
-        reason="pre-existing (reproduced on the pre-refactor tree, commit "
-        "6f83410): in pathological micro-configs the ambiguous-zone bounded "
-        "wait can expire before the writer's ExternalDone arrives and the "
-        "fallback exclusion serializes the reader before an already-answered "
-        "writer — a real external-consistency violation, not just the "
-        "liveness leak the ROADMAP describes.  The fault plane's "
-        "ExternalStatusQuery resolution closes exactly this window in fault "
-        "mode; promoting it to the fail-free path is the planned fix.",
-    )
-    def test_seed17_ambiguous_zone_timeout_consistency(self):
-        result = self._stress(17)
-        assert result.cluster.check_consistency().ok
+        assert metrics.committed > 0
+        # The wait-cycle breaker may only ever withdraw read-only
+        # transactions invisibly: no read-only abort reaches the history.
+        read_only_aborts = [
+            txn for txn in result.cluster.history.aborted if not txn.is_update
+        ]
+        assert read_only_aborts == []

@@ -13,6 +13,14 @@ refactor (or a later change) altered fail-free protocol behaviour — which is
 only acceptable for a deliberate, documented protocol change, never for a
 "pure" refactor.
 
+The **SSS** fingerprints were deliberately re-captured by the
+ambiguous-zone PR (ordered external-commit resolution): the fail-free read
+path now resolves ambiguous writers definitively at their coordinators
+(ExternalStatusQuery + answer gates) instead of excluding on timeout, which
+legitimately changes fail-free serialization in the rare reads that used to
+hit the timeout heuristic.  The three baseline protocols' histories were
+untouched by that PR and still match their PR-2 capture bit for bit.
+
 Regenerate (deliberately!) with::
 
     PYTHONPATH=src python tests/integration/test_golden_histories.py --write

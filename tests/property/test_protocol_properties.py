@@ -10,7 +10,19 @@ read-only transactions.
 
 from __future__ import annotations
 
+import os
+
 from hypothesis import HealthCheck, given, settings, strategies as st
+
+
+def stress_scale() -> int:
+    """Example-budget multiplier for the nightly stress run.
+
+    Read from the environment directly (not imported from conftest) so the
+    suite also collects under the bare ``pytest`` entrypoint, where the
+    repo root is not on ``sys.path``.
+    """
+    return max(1, int(os.environ.get("REPRO_STRESS_SCALE", "1") or "1"))
 
 from repro.baselines.walter import WalterCluster
 from repro.common.config import ClusterConfig, WorkloadConfig
@@ -70,8 +82,7 @@ def run_random_workload(protocol: str, params: dict, duration_us: float = 12_000
 
 class TestSSSRandomWorkloads:
     @settings(
-        derandomize=True,
-        max_examples=12,
+        max_examples=12 * stress_scale(),
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )
@@ -84,8 +95,7 @@ class TestSSSRandomWorkloads:
         assert check_snapshot_reads(history).ok
 
     @settings(
-        derandomize=True,
-        max_examples=8,
+        max_examples=8 * stress_scale(),
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )
@@ -101,8 +111,7 @@ class TestSSSRandomWorkloads:
             assert not node._ack_waits, "external-ack waits leaked"
 
     @settings(
-        derandomize=True,
-        max_examples=8,
+        max_examples=8 * stress_scale(),
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )
@@ -117,8 +126,7 @@ class TestSSSRandomWorkloads:
 
 class TestBaselineRandomWorkloads:
     @settings(
-        derandomize=True,
-        max_examples=8,
+        max_examples=8 * stress_scale(),
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )
@@ -129,8 +137,7 @@ class TestBaselineRandomWorkloads:
         assert check_serializability(cluster.history).ok
 
     @settings(
-        derandomize=True,
-        max_examples=6,
+        max_examples=6 * stress_scale(),
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )
@@ -141,8 +148,7 @@ class TestBaselineRandomWorkloads:
         assert all(txn.is_update for txn in cluster.history.aborted)
 
     @settings(
-        derandomize=True,
-        max_examples=6,
+        max_examples=6 * stress_scale(),
         deadline=None,
         suppress_health_check=[HealthCheck.too_slow],
     )

@@ -1,0 +1,52 @@
+"""Unit tests of the participant redo log (storage/commit_queue.py)."""
+
+from __future__ import annotations
+
+from repro.clocks.vector_clock import VectorClock
+from repro.common.ids import TransactionId
+from repro.storage.commit_queue import ParticipantRedoLog
+
+
+def _vc(*entries):
+    return VectorClock(list(entries))
+
+
+class TestParticipantRedoLog:
+    def test_vote_then_decision_then_discard(self):
+        log = ParticipantRedoLog()
+        txn = TransactionId(0, 1)
+        record = log.record_vote(
+            txn, _vc(3, 0), write_items=(("k", 9),), read_keys=("r",)
+        )
+        assert txn in log
+        assert not record.decided
+        assert log.find(txn).vc == _vc(3, 0)
+
+        log.record_decision(txn, _vc(5, 5), propagated=())
+        assert log.find(txn).decided
+        assert log.find(txn).vc == _vc(5, 5)
+
+        log.discard(txn)
+        assert txn not in log
+        assert len(log) == 0
+
+    def test_decision_for_unknown_txn_is_ignored(self):
+        log = ParticipantRedoLog()
+        log.record_decision(TransactionId(1, 7), _vc(1, 1))
+        assert len(log) == 0
+
+    def test_records_sorted_for_deterministic_replay(self):
+        log = ParticipantRedoLog()
+        ids = [TransactionId(1, 5), TransactionId(0, 9), TransactionId(1, 2)]
+        for index, txn in enumerate(ids):
+            log.record_vote(txn, _vc(index, 0), (), ())
+        assert [r.txn_id for r in log.records()] == sorted(ids)
+        assert log.txn_ids() == sorted(ids)
+
+    def test_discard_is_idempotent(self):
+        log = ParticipantRedoLog()
+        txn = TransactionId(0, 3)
+        log.record_vote(txn, _vc(1, 1), (), ())
+        log.discard(txn)
+        log.discard(txn)
+        assert len(log) == 0
