@@ -37,9 +37,7 @@ def test_ablation_message_priorities(benchmark, monkeypatch):
         if flatten_priorities:
             # Collapse every priority class to BULK so the per-node inbound
             # queues degrade to plain FIFO.
-            monkeypatch.setattr(
-                MessagePriority, "__int__", lambda self: 3, raising=False
-            )
+            monkeypatch.setattr(MessagePriority, "__int__", lambda self: 3, raising=False)
         else:
             monkeypatch.undo()
         config = ClusterConfig(

@@ -30,6 +30,15 @@ that contrast is part of the result, not a bug in the sweep.
 
 Environment: ``REPRO_BENCH_FAULTS_DURATION_US`` overrides the per-point
 duration (default: the suite-wide ``REPRO_BENCH_DURATION_US``).
+
+``REPRO_BENCH_FAULTS_TRAFFIC`` switches the whole sweep to **open-loop**
+load: set it to a traffic phase spec (e.g. ``"poisson rate=6000"``) and
+every point runs under that constant offered load instead of closed-loop
+clients.  Closed-loop clients self-throttle during a fault — the crashed
+node's clients simply stop issuing, flattering the availability number —
+whereas under constant offered traffic, lost capacity shows up as lost
+goodput and shed arrivals, which is the honest availability a production
+deployment would see.
 """
 
 from __future__ import annotations
@@ -45,7 +54,7 @@ from benchmarks.common import (
     run_once,
     shape_checks_enabled,
 )
-from repro.common.config import ClusterConfig, FaultPlan, WorkloadConfig
+from repro.common.config import ClusterConfig, FaultPlan, TrafficPlan, WorkloadConfig
 from repro.harness.reporting import format_table
 from repro.harness.runner import ExperimentPoint, run_points
 
@@ -53,9 +62,17 @@ from repro.harness.runner import ExperimentPoint, run_points
 #: as in the paper's Figure 6 configuration.
 PROTOCOLS = (("sss", 2), ("2pc", 2), ("walter", 2), ("rococo", 1))
 
-DURATION_US = float(
-    os.environ.get("REPRO_BENCH_FAULTS_DURATION_US", SETTINGS.duration_us)
-)
+DURATION_US = float(os.environ.get("REPRO_BENCH_FAULTS_DURATION_US", SETTINGS.duration_us))
+
+#: Optional open-loop mode: a traffic phase spec driving every point at
+#: constant offered load (e.g. "poisson rate=6000"); empty = closed loop.
+TRAFFIC_SPEC = os.environ.get("REPRO_BENCH_FAULTS_TRAFFIC", "").strip()
+
+
+def _traffic_plan() -> TrafficPlan:
+    if not TRAFFIC_SPEC:
+        return TrafficPlan()
+    return TrafficPlan.parse([TRAFFIC_SPEC])
 
 
 def _fault_plan(intensity: str, duration_us: float, n_nodes: int) -> FaultPlan:
@@ -68,9 +85,7 @@ def _fault_plan(intensity: str, duration_us: float, n_nodes: int) -> FaultPlan:
     if intensity == "none":
         return FaultPlan()
     if intensity == "crash":
-        return FaultPlan.parse(
-            [f"crash node={victim} at={crash_at} for={crash_for}"]
-        )
+        return FaultPlan.parse([f"crash node={victim} at={crash_at} for={crash_for}"])
     if intensity == "crash+partition":
         rest = ",".join(str(node) for node in range(1, n_nodes))
         return FaultPlan.parse(
@@ -93,9 +108,7 @@ def _fault_plan(intensity: str, duration_us: float, n_nodes: int) -> FaultPlan:
         )
     if intensity == "minority-part":
         rest = ",".join(str(node) for node in range(1, n_nodes))
-        return FaultPlan.parse(
-            [f"partition groups=0|{rest} at={partition_at} for={partition_for}"]
-        )
+        return FaultPlan.parse([f"partition groups=0|{rest} at={partition_at} for={partition_for}"])
     if intensity == "split-part":
         # Even split: half the cluster on each side.  At the default 3
         # nodes a two-group partition is always 1-vs-rest so this coincides
@@ -133,6 +146,7 @@ def _sweep():
                 clients_per_node=SETTINGS.clients_per_node,
                 seed=SETTINGS.seed,
                 faults=_fault_plan(intensity, DURATION_US, n_nodes),
+                traffic=_traffic_plan(),
             ),
             workload=workload,
             duration_us=DURATION_US,
@@ -152,6 +166,14 @@ def _sweep():
             "leaked_writers": metrics.extra.get("quiescence_leaked_writers", 0.0),
             "phases": metrics.phases,
             "committed": metrics.committed,
+            # Open-loop mode only: what the constant offered load revealed.
+            "offered": metrics.extra.get("offered"),
+            "goodput_tps": metrics.extra.get("goodput_tps"),
+            "shed": (
+                metrics.extra.get("dropped", 0.0) + metrics.extra.get("timed_out", 0.0)
+                if TRAFFIC_SPEC
+                else None
+            ),
         }
     return availability
 
@@ -187,7 +209,8 @@ def test_fault_availability(benchmark):
     # reports phases, and availabilities are well-formed fractions.
     for (protocol, intensity), point in availability.items():
         if intensity == "none":
-            assert not point["phases"], "fail-free runs have no fault phases"
+            if not TRAFFIC_SPEC:
+                assert not point["phases"], "fail-free runs have no fault phases"
             continue
         assert point["phases"], f"{protocol}/{intensity} lost its phase report"
         for phase in point["phases"]:
@@ -214,9 +237,7 @@ def test_fault_availability(benchmark):
     # SSS must recover after the crash heals: its final fail-free phase beats
     # its crash phase.
     sss_phases = availability[("sss", "crash")]["phases"]
-    crash_avail = next(
-        p["availability"] for p in sss_phases if "crash" in p["label"]
-    )
+    crash_avail = next(p["availability"] for p in sss_phases if "crash" in p["label"])
     tail_avail = sss_phases[-1]["availability"]
     assert tail_avail is not None and tail_avail > crash_avail, (
         "SSS availability failed to recover after the crash window"

@@ -66,9 +66,7 @@ def test_fig3_throughput(benchmark, read_only_pct):
 
     # The paper reports 2PC-baseline abort rates well above SSS's because its
     # read-only transactions validate and can abort.
-    assert (
-        results["2pc"][largest].abort_rate >= results["sss"][largest].abort_rate
-    )
+    assert results["2pc"][largest].abort_rate >= results["sss"][largest].abort_rate
 
 
 @pytest.mark.benchmark(group="fig3")
@@ -79,9 +77,7 @@ def test_fig3_walter_gap_narrows_with_read_only_share(benchmark):
         gaps = {}
         for read_only_fraction in (0.2, 0.8):
             largest = SETTINGS.node_counts[-1]
-            results = throughput_sweep(
-                ("sss", "walter"), [largest], read_only_fraction
-            )
+            results = throughput_sweep(("sss", "walter"), [largest], read_only_fraction)
             walter = results["walter"][largest].throughput_ktps
             sss = results["sss"][largest].throughput_ktps
             gaps[read_only_fraction] = walter / max(sss, 1e-9)

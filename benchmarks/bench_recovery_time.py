@@ -44,9 +44,7 @@ from repro.harness.runner import ExperimentPoint, run_points
 
 PROTOCOLS = ("sss", "2pc")
 
-DURATION_US = float(
-    os.environ.get("REPRO_BENCH_RECOVERY_DURATION_US", SETTINGS.duration_us)
-)
+DURATION_US = float(os.environ.get("REPRO_BENCH_RECOVERY_DURATION_US", SETTINGS.duration_us))
 
 #: Crash durations, as fractions of the run.
 CRASH_FRACTIONS = (0.10, 0.25)
@@ -97,9 +95,7 @@ def _sweep():
                     replication_degree=min(2, n_nodes),
                     clients_per_node=SETTINGS.clients_per_node,
                     seed=SETTINGS.seed,
-                    timeouts=replace(
-                        TimeoutConfig(), crash_resubscribe_us=resubscribe_us
-                    ),
+                    timeouts=replace(TimeoutConfig(), crash_resubscribe_us=resubscribe_us),
                     faults=FaultPlan.parse(
                         [f"crash node={1 % n_nodes} at={crash_at} for={crash_for}"]
                     ),

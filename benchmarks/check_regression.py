@@ -99,9 +99,7 @@ def main() -> int:
         default=None,
         help="Single-figure alias for --figures.",
     )
-    parser.add_argument(
-        "--current-dir", default=os.environ.get("REPRO_BENCH_OUT", ".")
-    )
+    parser.add_argument("--current-dir", default=os.environ.get("REPRO_BENCH_OUT", "."))
     parser.add_argument(
         "--baseline-dir",
         default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines"),

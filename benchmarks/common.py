@@ -58,6 +58,7 @@ from repro.harness.runner import (
 def _env_int(name: str, default: int) -> int:
     return int(os.environ.get(name, default))
 
+
 def _env_ints(name: str, default: Tuple[int, ...]) -> Tuple[int, ...]:
     raw = os.environ.get(name)
     if not raw:
@@ -119,12 +120,12 @@ class _BenchRecorder:
             "abort_rate": round(metrics.abort_rate, 4),
             "throughput_ktps": round(metrics.throughput_ktps, 3),
             "latency_mean_ms": round(metrics.latency.mean_ms, 4),
+            "latency_p50_ms": round(metrics.latency.p50_us / 1_000.0, 4),
+            "latency_p99_ms": round(metrics.latency.p99_us / 1_000.0, 4),
             "sim_events": int(events),
             "wall_seconds": round(wall, 4),
             "events_per_sec": round(events / wall) if wall > 0 else 0,
-            "committed_txns_per_wall_sec": (
-                round(metrics.committed / wall) if wall > 0 else 0
-            ),
+            "committed_txns_per_wall_sec": (round(metrics.committed / wall) if wall > 0 else 0),
         }
         # Clock-metadata accounting (present whenever the run shipped
         # clock-bearing messages; see run_experiment).
@@ -133,6 +134,22 @@ class _BenchRecorder:
             "clock_bytes_max",
             "clock_bytes_per_msg",
             "clock_compression_ratio",
+        ):
+            value = metrics.extra.get(field_name)
+            if value is not None:
+                point[field_name] = value
+        # Traffic-plane accounting (present when the config carried a
+        # traffic plan, i.e. the run was open-loop; see
+        # repro.workload.openloop).
+        for field_name in (
+            "open_loop",
+            "offered",
+            "offered_tps",
+            "goodput_tps",
+            "dropped",
+            "timed_out",
+            "queue_depth_max",
+            "queue_depth_mean",
         ):
             value = metrics.extra.get(field_name)
             if value is not None:
@@ -178,9 +195,7 @@ class _BenchRecorder:
                 "wall_seconds": round(wall, 4),
                 "events_per_sec": round(events / wall) if wall > 0 else 0,
                 "committed_txns": committed,
-                "committed_txns_per_wall_sec": (
-                    round(committed / wall) if wall > 0 else 0
-                ),
+                "committed_txns_per_wall_sec": (round(committed / wall) if wall > 0 else 0),
             },
             "datapoints": bucket,
         }
@@ -236,9 +251,7 @@ def run_point(
     seed_offset: int = 0,
 ) -> ExperimentMetrics:
     """Run one datapoint (in-process) and return its metrics."""
-    config = _point_config(
-        n_nodes, replication_degree, clients_per_node, n_keys, seed_offset
-    )
+    config = _point_config(n_nodes, replication_degree, clients_per_node, n_keys, seed_offset)
     workload = WorkloadConfig(
         read_only_fraction=read_only_fraction,
         read_only_txn_keys=read_only_txn_keys,
@@ -298,9 +311,7 @@ def throughput_sweep(
     return results
 
 
-def ktps_rows(
-    sweep: Dict[str, Dict[int, ExperimentMetrics]]
-) -> Dict[str, list]:
+def ktps_rows(sweep: Dict[str, Dict[int, ExperimentMetrics]]) -> Dict[str, list]:
     """Throughput rows (KTx/s) keyed by protocol for format_table."""
     rows = {}
     for protocol, by_nodes in sweep.items():

@@ -53,9 +53,7 @@ def main() -> int:
         clients_per_node=args.clients,
         seed=args.seed,
     )
-    workload = WorkloadConfig(
-        read_only_fraction=args.read_only, read_only_txn_keys=2
-    )
+    workload = WorkloadConfig(read_only_fraction=args.read_only, read_only_txn_keys=2)
 
     profiler = cProfile.Profile()
     wall_start = time.perf_counter()

@@ -74,10 +74,7 @@ def probe_seed(args):
             f"{metrics.extra['quiescence_leaked_writers']}"
         )
     if metrics.extra.get("quiescence_commit_queue"):
-        failures.append(
-            f"quiescence_commit_queue="
-            f"{metrics.extra['quiescence_commit_queue']}"
-        )
+        failures.append(f"quiescence_commit_queue=" f"{metrics.extra['quiescence_commit_queue']}")
     if read_only_aborts:
         failures.append(f"read-only aborts in history: {read_only_aborts}")
     return {
@@ -143,9 +140,7 @@ def main() -> int:
         "total_committed": sum(record["committed"] for record in results),
         "total_restarts": sum(record["readonly_restarts"] for record in results),
     }
-    with open(
-        os.path.join(args.out, "sweep-summary.json"), "w", encoding="utf-8"
-    ) as handle:
+    with open(os.path.join(args.out, "sweep-summary.json"), "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2)
         handle.write("\n")
     print(

@@ -28,9 +28,7 @@ TRIALS = 20
 
 def run_trial(protocol: str, seed: int, keys) -> dict:
     """One trial: C1 writes the document, C2 reads it after C1 returned."""
-    config = ClusterConfig(
-        n_nodes=4, n_keys=len(keys), replication_degree=2, seed=seed
-    )
+    config = ClusterConfig(n_nodes=4, n_keys=len(keys), replication_degree=2, seed=seed)
     cluster = build_cluster(
         protocol, config=config, keys=keys, record_history=True, initial_value="v0"
     )
@@ -74,9 +72,7 @@ def main() -> None:
             applicable += 1
             if outcome["c2_saw_c1"]:
                 satisfied += 1
-        print(
-            f"{protocol:7s}: C2 observed C1's edit in {satisfied}/{applicable} trials"
-        )
+        print(f"{protocol:7s}: C2 observed C1's edit in {satisfied}/{applicable} trials")
     print(
         "\nSSS (external consistency) always satisfies the client expectation;\n"
         "a PSI store may serve C2 a snapshot that predates C1's commit even\n"

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Overload study: ramp one SSS cluster through its saturation point.
+
+Closed-loop clients (the paper's methodology, and every other example)
+self-throttle: offered load always equals completion rate, so "what happens
+when demand exceeds capacity?" is unobservable.  This example uses the
+traffic plane instead — a single open-loop scenario that ramps offered load
+linearly from well below to well past saturation — and walks through the
+time-resolved output:
+
+* below saturation, goodput tracks offered load and p99 latency is flat;
+* approaching saturation, queues form: p99 inflects while goodput still
+  tracks;
+* past saturation, goodput flattens at capacity, latency hits the
+  admission envelope, and the overflow is shed as drops/timeouts — the
+  explicit overload accounting an operator would alarm on.
+
+Run with::
+
+    python examples/overload_study.py
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ClusterConfig, TrafficPlan, WorkloadConfig
+from repro.harness.reporting import format_table
+from repro.harness.runner import run_experiment
+
+DURATION_US = 120_000.0
+RAMP = "ramp 4000..96000 over=100ms"
+
+
+def main() -> None:
+    plan = TrafficPlan.parse([RAMP], window_us=10_000.0)
+    config = ClusterConfig(
+        n_nodes=3,
+        n_keys=400,
+        replication_degree=2,
+        clients_per_node=0,  # open loop: the traffic plan drives the run
+        seed=11,
+        traffic=plan,
+    )
+    workload = WorkloadConfig(read_only_fraction=0.5)
+    print(f'Scenario: "{RAMP}" on a 3-node SSS cluster (50% read-only)\n')
+    result = run_experiment("sss", config, workload, duration_us=DURATION_US, warmup_us=0)
+    metrics = result.metrics
+
+    columns = [
+        f"{int(window['start_us'] / 1000)}ms" for window in metrics.timeseries
+    ]
+    rows = {
+        "offered KTx/s": [w["offered_tps"] / 1000.0 for w in metrics.timeseries],
+        "goodput KTx/s": [w["goodput_tps"] / 1000.0 for w in metrics.timeseries],
+        "p50 ms": [w["latency_p50_us"] / 1000.0 for w in metrics.timeseries],
+        "p99 ms": [w["latency_p99_us"] / 1000.0 for w in metrics.timeseries],
+        "shed/window": [
+            float(w["dropped"] + w["timed_out"]) for w in metrics.timeseries
+        ],
+    }
+    print(format_table("Time-resolved view (10 ms windows)", columns, rows, value_format="{:.1f}"))
+
+    # Estimate the saturation point: the last window where goodput still
+    # tracked offered load within 10 %.
+    tracked = [
+        window
+        for window in metrics.timeseries
+        if window["offered"]
+        and window["goodput_tps"] >= 0.9 * window["offered_tps"]
+    ]
+    capacity = max(window["goodput_tps"] for window in metrics.timeseries)
+    print()
+    if tracked:
+        knee = tracked[-1]
+        print(
+            f"Saturation knee: goodput last tracked offered load in the "
+            f"{int(knee['start_us'] / 1000)}ms window "
+            f"(~{knee['offered_tps'] / 1000:.0f} KTx/s offered)."
+        )
+    print(
+        f"Measured capacity: ~{capacity / 1000:.0f} KTx/s goodput; past the knee "
+        f"the ramp kept rising to {metrics.timeseries[-1]['offered_tps'] / 1000:.0f} "
+        f"KTx/s offered."
+    )
+    print(
+        f"Run totals: offered {int(metrics.extra['offered'])}, committed "
+        f"{metrics.committed}, shed {int(metrics.extra['dropped'])} drops + "
+        f"{int(metrics.extra['timed_out'])} queue timeouts, max queue depth "
+        f"{int(metrics.extra['queue_depth_max'])}."
+    )
+    print(
+        "\nThe knee, the latency inflection and the explicit shed counts are"
+        "\nexactly what closed-loop saturation sweeps cannot show: demand and"
+        "\nservice rate are independent quantities here, so overload is a"
+        "\nmeasured state instead of an unreachable one."
+    )
+
+
+if __name__ == "__main__":
+    main()

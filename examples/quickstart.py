@@ -57,9 +57,7 @@ def audit(session, accounts, results):
 
 def main() -> None:
     accounts = [f"account-{index}" for index in range(8)]
-    config = ClusterConfig(
-        n_nodes=5, n_keys=len(accounts), replication_degree=2, seed=7
-    )
+    config = ClusterConfig(n_nodes=5, n_keys=len(accounts), replication_degree=2, seed=7)
     cluster = SSSCluster(config, keys=accounts, initial_value=100)
 
     results: list[str] = []

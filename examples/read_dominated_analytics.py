@@ -37,9 +37,7 @@ def main() -> None:
                 clients_per_node=3,
                 seed=31,
             )
-            workload = WorkloadConfig(
-                read_only_fraction=0.8, read_only_txn_keys=size
-            )
+            workload = WorkloadConfig(read_only_fraction=0.8, read_only_txn_keys=size)
             result = run_experiment(
                 protocol, config, workload, duration_us=60_000, warmup_us=10_000
             )

@@ -287,9 +287,7 @@ class RococoNode(ProtocolRuntime):
             if crash_phase is not TransactionPhase.PREPARING or meta.is_read_only:
                 continue  # read-only rounds buffer no pieces
             self.counters["crash_recoveries"] += 1
-            for key in sorted(
-                set(meta.read_set) | set(meta.write_set), key=repr
-            ):
+            for key in sorted(set(meta.read_set) | set(meta.write_set), key=repr):
                 primary = self.primary(key)
                 if primary != self.node_id:
                     self.send(primary, PieceAbort(txn_id=txn_id, key=key))
@@ -474,9 +472,7 @@ class RococoNode(ProtocolRuntime):
             return meta.write_set[key]
         reply = yield from self.reliable_request(
             self.primary(key),
-            lambda: SnapshotRead(
-                txn_id=meta.txn_id, key=key, wait_for_pending=meta.is_read_only
-            ),
+            lambda: SnapshotRead(txn_id=meta.txn_id, key=key, wait_for_pending=meta.is_read_only),
         )
         meta.record_read(
             key=key,
@@ -503,9 +499,7 @@ class RococoNode(ProtocolRuntime):
         if self._fault_mode:
             replies = yield from self._piece_round(
                 list(meta.read_set),
-                lambda key: SnapshotRead(
-                    txn_id=meta.txn_id, key=key, wait_for_pending=True
-                ),
+                lambda key: SnapshotRead(txn_id=meta.txn_id, key=key, wait_for_pending=True),
             )
             for key in meta.read_set:
                 first_version = getattr(meta.read_set[key], "version_number", 0)
@@ -535,9 +529,7 @@ class RococoNode(ProtocolRuntime):
         and commit handlers are idempotent so a primary that crashed and
         restarted simply answers the re-send.  Returns ``{key: reply}``.
         """
-        replies = yield from self.request_round(
-            list(keys), self.primary, make_message
-        )
+        replies = yield from self.request_round(list(keys), self.primary, make_message)
         return replies
 
     def _commit_update(self, meta: TransactionMeta):

@@ -260,9 +260,7 @@ class TwoPCNode(ProtocolRuntime):
         write_keys = tuple(key for key, _value in local_writes)
         read_keys = tuple(key for key, _version in local_reads)
 
-        yield self.cpu(
-            self.service.lock_op_us * max(1, len(read_keys) + len(write_keys))
-        )
+        yield self.cpu(self.service.lock_op_us * max(1, len(read_keys) + len(write_keys)))
         locked = yield from self.locks.acquire_all(
             txn_id,
             exclusive_keys=write_keys,
@@ -294,9 +292,7 @@ class TwoPCNode(ProtocolRuntime):
             read_keys = [key for key, _version in prepared.read_versions]
             write_keys = [key for key, _value in prepared.write_items]
             if message.outcome:
-                yield self.cpu(
-                    self.service.commit_apply_us * max(1, len(write_keys))
-                )
+                yield self.cpu(self.service.commit_apply_us * max(1, len(write_keys)))
                 for key, value in prepared.write_items:
                     state = self._data.setdefault(key, _KeyState())
                     state.value = value

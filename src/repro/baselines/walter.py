@@ -242,9 +242,7 @@ class WalterNode(ProtocolRuntime):
             for site in sorted(preferred_sites):
                 self.send(
                     site,
-                    WalterDecide(
-                        txn_id=txn_id, outcome=False, site=self.node_id, seqno=0
-                    ),
+                    WalterDecide(txn_id=txn_id, outcome=False, site=self.node_id, seqno=0),
                 )
 
     # ------------------------------------------------------------------
@@ -263,9 +261,7 @@ class WalterNode(ProtocolRuntime):
         if self.committed_vts[site] < seqno:
             self.committed_vts = self.committed_vts.with_entry(site, seqno)
 
-    def _visible_version(
-        self, key: object, start_vts: VectorClock
-    ) -> _WalterVersion:
+    def _visible_version(self, key: object, start_vts: VectorClock) -> _WalterVersion:
         chain = self._chains.get(key, [])
         for version in reversed(chain):
             if version.writer is None or version.seqno <= start_vts[version.site]:
@@ -367,9 +363,7 @@ class WalterNode(ProtocolRuntime):
             if payload:
                 self.send(
                     destination,
-                    WalterPropagate(
-                        txn_id=txn_id, site=site, seqno=seqno, write_items=payload
-                    ),
+                    WalterPropagate(txn_id=txn_id, site=site, seqno=seqno, write_items=payload),
                 )
 
     # ------------------------------------------------------------------
@@ -394,9 +388,7 @@ class WalterNode(ProtocolRuntime):
         else:
             reply, _events = yield from self.fastest_round(
                 replicas,
-                lambda _replica: WalterRead(
-                    txn_id=meta.txn_id, key=key, start_vts=meta.vc
-                ),
+                lambda _replica: WalterRead(txn_id=meta.txn_id, key=key, start_vts=meta.vc),
             )
             reply_value, writer, served_by = reply.value, reply.writer, reply.sender
             version_seq = reply.seqno
@@ -405,9 +397,7 @@ class WalterNode(ProtocolRuntime):
         meta.record_read(
             key=key,
             value=reply_value,
-            version_vc=VectorClock.zeros(self.config.n_nodes).with_entry(
-                served_by, version_seq
-            ),
+            version_vc=VectorClock.zeros(self.config.n_nodes).with_entry(served_by, version_seq),
             writer=writer,
             served_by=served_by,
         )
@@ -431,9 +421,7 @@ class WalterNode(ProtocolRuntime):
         if preferred_sites == {self.node_id}:
             committed = yield from self._fast_commit(meta, write_items)
         else:
-            committed = yield from self._slow_commit(
-                meta, write_items, preferred_sites
-            )
+            committed = yield from self._slow_commit(meta, write_items, preferred_sites)
         if not committed:
             return self._finish_abort(meta, reason="ww-conflict")
         meta.internal_commit_time = self.sim.now
@@ -469,9 +457,7 @@ class WalterNode(ProtocolRuntime):
         txn_id = meta.txn_id
         outcome, _votes = yield from self.vote_round(
             sorted(preferred_sites),
-            lambda _site: WalterPrepare(
-                txn_id=txn_id, start_vts=meta.vc, write_items=write_items
-            ),
+            lambda _site: WalterPrepare(txn_id=txn_id, start_vts=meta.vc, write_items=write_items),
             self.config.timeouts.prepare_timeout_us,
         )
 

@@ -107,9 +107,7 @@ class VCCodec:
         elif kind == self.DELTA:
             reference = self._last_received.get(peer)
             if reference is None:
-                raise ValueError(
-                    f"delta encoding from unknown peer {peer!r} (no reference clock)"
-                )
+                raise ValueError(f"delta encoding from unknown peer {peer!r} (no reference clock)")
             if not payload:
                 clock = reference
             else:

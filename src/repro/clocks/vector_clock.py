@@ -229,9 +229,7 @@ class VectorClock:
         if not isinstance(other, VectorClock):
             raise TypeError(f"expected VectorClock, got {type(other).__name__}")
         if other.size != self.size:
-            raise ValueError(
-                f"vector clock size mismatch: {self.size} vs {other.size}"
-            )
+            raise ValueError(f"vector clock size mismatch: {self.size} vs {other.size}")
 
     def __eq__(self, other: object) -> bool:
         if self is other:

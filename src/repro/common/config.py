@@ -18,10 +18,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import ConfigurationError
-
-MICROSECOND = 1.0
-MILLISECOND = 1_000.0
-SECOND = 1_000_000.0
+from repro.common.units import (  # noqa: F401  (re-exported, historical home)
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    parse_rate_tps,
+    parse_time_us,
+)
+from repro.traffic.plan import TrafficPlan
 
 
 @dataclass(frozen=True)
@@ -137,29 +141,9 @@ class TimeoutConfig:
 
 # ----------------------------------------------------------------------
 # Fault plane: declarative fault plans
+# (time/rate literal parsing lives in repro.common.units and is
+# re-exported above for the historical import path.)
 # ----------------------------------------------------------------------
-def parse_time_us(text: Union[str, int, float]) -> float:
-    """Parse a time literal into microseconds.
-
-    Accepts plain numbers (microseconds) and strings with a ``us`` / ``ms``
-    / ``s`` suffix: ``"30ms"`` -> 30000.0, ``"500us"`` -> 500.0, ``"1.5s"``
-    -> 1500000.0, ``"250"`` -> 250.0.
-    """
-    if isinstance(text, (int, float)):
-        return float(text)
-    raw = text.strip().lower()
-    for suffix, scale in (("us", MICROSECOND), ("ms", MILLISECOND), ("s", SECOND)):
-        if raw.endswith(suffix):
-            number = raw[: -len(suffix)]
-            break
-    else:
-        number, scale = raw, MICROSECOND
-    try:
-        return float(number) * scale
-    except ValueError:
-        raise ConfigurationError(f"cannot parse time literal {text!r}") from None
-
-
 @dataclass(frozen=True)
 class CrashFault:
     """Crash-stop ``node`` at ``at_us``; restart after ``duration_us``.
@@ -182,9 +166,7 @@ class CrashFault:
 
     def validate(self, n_nodes: int) -> None:
         if not 0 <= self.node < n_nodes:
-            raise ConfigurationError(
-                f"crash fault targets node {self.node}, cluster has {n_nodes}"
-            )
+            raise ConfigurationError(f"crash fault targets node {self.node}, cluster has {n_nodes}")
         if self.at_us < 0:
             raise ConfigurationError("crash at_us must be >= 0")
         if self.duration_us is not None and self.duration_us <= 0:
@@ -222,13 +204,9 @@ class PartitionFault:
                 raise ConfigurationError("empty partition group")
             for node in group:
                 if not 0 <= node < n_nodes:
-                    raise ConfigurationError(
-                        f"partition names node {node}, cluster has {n_nodes}"
-                    )
+                    raise ConfigurationError(f"partition names node {node}, cluster has {n_nodes}")
                 if node in seen:
-                    raise ConfigurationError(
-                        f"node {node} appears in two partition groups"
-                    )
+                    raise ConfigurationError(f"node {node} appears in two partition groups")
                 seen.add(node)
         if self.at_us < 0 or self.duration_us <= 0:
             raise ConfigurationError("partition window must be positive")
@@ -261,17 +239,13 @@ class SlowLinkFault:
     def validate(self, n_nodes: int) -> None:
         for node in (self.src, self.dst):
             if not 0 <= node < n_nodes:
-                raise ConfigurationError(
-                    f"slowlink names node {node}, cluster has {n_nodes}"
-                )
+                raise ConfigurationError(f"slowlink names node {node}, cluster has {n_nodes}")
         if self.src == self.dst:
             raise ConfigurationError("slowlink src and dst must differ")
         if self.at_us < 0 or self.duration_us <= 0:
             raise ConfigurationError("slowlink window must be positive")
         if self.factor < 1.0 or self.extra_us < 0:
-            raise ConfigurationError(
-                "slowlink must degrade (factor >= 1, extra_us >= 0)"
-            )
+            raise ConfigurationError("slowlink must degrade (factor >= 1, extra_us >= 0)")
 
 
 FaultSpec = Union[CrashFault, PartitionFault, SlowLinkFault]
@@ -298,9 +272,7 @@ def _parse_fault(spec: Union[str, Dict, FaultSpec]) -> FaultSpec:
         kind, fields = tokens[0].lower(), {}
         for token in tokens[1:]:
             if "=" not in token:
-                raise ConfigurationError(
-                    f"malformed fault field {token!r} in {spec!r}"
-                )
+                raise ConfigurationError(f"malformed fault field {token!r} in {spec!r}")
             key, value = token.split("=", 1)
             fields[key] = value
         spec = {"kind": kind, **fields}
@@ -328,9 +300,7 @@ def _parse_fault(spec: Union[str, Dict, FaultSpec]) -> FaultSpec:
         _reject_unknown(kind, fields)
         if duration_us is None:
             raise ConfigurationError("partition requires a 'for' window")
-        return PartitionFault(
-            groups=groups, at_us=at_us, duration_us=duration_us, mode=mode
-        )
+        return PartitionFault(groups=groups, at_us=at_us, duration_us=duration_us, mode=mode)
     if kind == "slowlink":
         src = int(fields.pop("src"))
         dst = int(fields.pop("dst"))
@@ -358,9 +328,7 @@ def _parse_fault(spec: Union[str, Dict, FaultSpec]) -> FaultSpec:
 
 def _reject_unknown(kind: str, leftover: Dict) -> None:
     if leftover:
-        raise ConfigurationError(
-            f"unknown field(s) {sorted(leftover)} for {kind!r} fault"
-        )
+        raise ConfigurationError(f"unknown field(s) {sorted(leftover)} for {kind!r} fault")
 
 
 @dataclass(frozen=True)
@@ -394,9 +362,7 @@ class FaultPlan:
         )
         for (_, prev_end), (next_start, _) in zip(partitions, partitions[1:]):
             if next_start < prev_end:
-                raise ConfigurationError(
-                    "overlapping partition windows are not supported"
-                )
+                raise ConfigurationError("overlapping partition windows are not supported")
 
     def phases(self, duration_us: float) -> List[Tuple[str, float, float]]:
         """Split ``[0, duration_us)`` at fault boundaries.
@@ -442,7 +408,8 @@ class ClusterConfig:
     replication_degree:
         Number of replicas per key (paper: 2; 1 for ROCOCO comparisons).
     clients_per_node:
-        Closed-loop clients co-located with every node (paper: 10).
+        Closed-loop clients co-located with every node (paper: 10);
+        ignored when a traffic plan switches the run to open loop.
     seed:
         Root seed from which every random stream in the cluster is derived.
     """
@@ -457,6 +424,11 @@ class ClusterConfig:
     timeouts: TimeoutConfig = field(default_factory=TimeoutConfig)
     faults: FaultPlan = field(default_factory=FaultPlan)
     """Declarative fault schedule; empty (the default) means fail-free."""
+
+    traffic: TrafficPlan = field(default_factory=TrafficPlan)
+    """Declarative open-loop traffic scenario; empty (the default) keeps the
+    historical closed-loop clients and changes nothing — see
+    :mod:`repro.traffic`."""
 
     def validate(self) -> None:
         if self.n_nodes < 1:
@@ -474,6 +446,7 @@ class ClusterConfig:
         self.service.validate()
         self.timeouts.validate()
         self.faults.validate(self.n_nodes)
+        self.traffic.validate()
 
 
 @dataclass(frozen=True)
@@ -516,9 +489,7 @@ class WorkloadConfig:
         if self.read_only_txn_keys < 1:
             raise ConfigurationError("read_only_txn_keys must be >= 1")
         if self.key_distribution not in ("uniform", "zipfian"):
-            raise ConfigurationError(
-                f"unknown key_distribution {self.key_distribution!r}"
-            )
+            raise ConfigurationError(f"unknown key_distribution {self.key_distribution!r}")
         if not 0.0 <= self.locality_fraction <= 1.0:
             raise ConfigurationError("locality_fraction must be in [0, 1]")
         if self.think_time_us < 0:

@@ -1,0 +1,62 @@
+"""Unit literals and parsers shared by the declarative plan grammars.
+
+Simulated time is expressed in microseconds throughout the library; offered
+load is expressed in transactions per simulated second.  The compact string
+grammars of :class:`~repro.common.config.FaultPlan` and
+:class:`~repro.traffic.plan.TrafficPlan` both parse their time and rate
+literals here, so ``"30ms"`` and ``"2000tps"`` mean the same thing on every
+plane.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.common.errors import ConfigurationError
+
+MICROSECOND = 1.0
+MILLISECOND = 1_000.0
+SECOND = 1_000_000.0
+
+
+def parse_time_us(text: Union[str, int, float]) -> float:
+    """Parse a time literal into microseconds.
+
+    Accepts plain numbers (microseconds) and strings with a ``us`` / ``ms``
+    / ``s`` suffix: ``"30ms"`` -> 30000.0, ``"500us"`` -> 500.0, ``"1.5s"``
+    -> 1500000.0, ``"250"`` -> 250.0.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    raw = text.strip().lower()
+    for suffix, scale in (("us", MICROSECOND), ("ms", MILLISECOND), ("s", SECOND)):
+        if raw.endswith(suffix):
+            number = raw[: -len(suffix)]
+            break
+    else:
+        number, scale = raw, MICROSECOND
+    try:
+        return float(number) * scale
+    except ValueError:
+        raise ConfigurationError(f"cannot parse time literal {text!r}") from None
+
+
+def parse_rate_tps(text: Union[str, int, float]) -> float:
+    """Parse an offered-load literal into transactions per simulated second.
+
+    Accepts plain numbers (tps) and strings with a ``tps`` / ``ktps``
+    suffix: ``"2000tps"`` -> 2000.0, ``"2ktps"`` -> 2000.0, ``"500"`` ->
+    500.0.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw.endswith("ktps"):
+        raw, scale = raw[:-4], 1_000.0
+    elif raw.endswith("tps"):
+        raw = raw[:-3]
+    try:
+        return float(raw) * scale
+    except ValueError:
+        raise ConfigurationError(f"cannot parse rate literal {text!r}") from None

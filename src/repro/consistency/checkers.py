@@ -44,10 +44,7 @@ class CheckResult:
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         detail = f" ({len(self.violations)} violations)" if self.violations else ""
-        return (
-            f"[{status}] {self.name}: "
-            f"{self.checked_transactions} transactions{detail}"
-        )
+        return f"[{status}] {self.name}: " f"{self.checked_transactions} transactions{detail}"
 
 
 def _transactions(history) -> Sequence[CommittedTransaction]:
@@ -90,21 +87,15 @@ def _cycle_check(
 # ----------------------------------------------------------------------
 def check_external_consistency(history) -> CheckResult:
     """Strict-serializability reading of external consistency."""
-    return _cycle_check(
-        _transactions(history), "external-consistency", realtime="precedence"
-    )
+    return _cycle_check(_transactions(history), "external-consistency", realtime="precedence")
 
 
 def check_serializability(history) -> CheckResult:
     """DSG acyclicity with dependency edges only."""
-    return _cycle_check(
-        _transactions(history), "serializability", realtime="none"
-    )
+    return _cycle_check(_transactions(history), "serializability", realtime="none")
 
 
-def check_update_completion_order(
-    history, tolerance_us: float = 25.0
-) -> CheckResult:
+def check_update_completion_order(history, tolerance_us: float = 25.0) -> CheckResult:
     """Statement 1: the update-only sub-history respects client response order."""
     updates = [txn for txn in _transactions(history) if txn.is_update]
     return _cycle_check(

@@ -114,9 +114,7 @@ def build_dependency_edges(
             writers = writers_per_key.get(read.key, [])
             if read.writer is not None and read.writer in by_id:
                 if read.writer != txn.txn_id:
-                    edges.append(
-                        DependencyEdge(read.writer, txn.txn_id, "wr", read.key)
-                    )
+                    edges.append(DependencyEdge(read.writer, txn.txn_id, "wr", read.key))
                 observed_position = position.get((read.key, read.writer))
             elif read.writer is None:
                 # Initial (preloaded) version: every writer overwrites it.
@@ -135,11 +133,7 @@ def build_dependency_edges(
                 if next_position < len(writers):
                     overwriter = writers[next_position]
                     if overwriter.txn_id != txn.txn_id:
-                        edges.append(
-                            DependencyEdge(
-                                txn.txn_id, overwriter.txn_id, "rw", read.key
-                            )
-                        )
+                        edges.append(DependencyEdge(txn.txn_id, overwriter.txn_id, "rw", read.key))
     return edges
 
 

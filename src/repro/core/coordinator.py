@@ -395,9 +395,7 @@ class CoordinatorMixin:
                 )
             return
         for replica in sorted(by_replica):
-            self.send(
-                replica, Remove(txn_id=meta.txn_id, keys=tuple(by_replica[replica]))
-            )
+            self.send(replica, Remove(txn_id=meta.txn_id, keys=tuple(by_replica[replica])))
 
     def _propagated_for_decide(self, meta: TransactionMeta):
         """Propagated entries eligible for (re-)insertion at write replicas.
@@ -410,9 +408,7 @@ class CoordinatorMixin:
         """
         return tuple(
             entry
-            for entry in sorted(
-                meta.propagated_set, key=lambda e: (e.txn_id, e.snapshot)
-            )
+            for entry in sorted(meta.propagated_set, key=lambda e: (e.txn_id, e.snapshot))
             if entry.txn_id not in self._removed_readers
         )
 
@@ -422,18 +418,14 @@ class CoordinatorMixin:
         meta.prepare_time = self.sim.now
         txn_id = meta.txn_id
 
-        participants = set(self.placement.replicas_of(
-            list(meta.read_set) + list(meta.write_set)
-        ))
+        participants = set(self.placement.replicas_of(list(meta.read_set) + list(meta.write_set)))
         participants.add(self.node_id)
         participants = sorted(participants)
         write_replicas = set(self.placement.replicas_of(list(meta.write_set)))
 
         # Prepare phase: one shared vote round (the runtime arms the coarse
         # crash-guard deadline and the fail-fast VoteCollector).
-        read_versions = tuple(
-            (key, record.version_vc) for key, record in meta.read_set.items()
-        )
+        read_versions = tuple((key, record.version_vc) for key, record in meta.read_set.items())
         write_items = tuple(meta.write_set.items())
         outcome, collected = yield from self.vote_round(
             participants,

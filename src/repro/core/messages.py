@@ -303,9 +303,7 @@ class ExternalDone(Message):
     priority = MessagePriority.CONTROL
     base_size = 40
 
-    def __init__(
-        self, txn_id: TransactionId = None, done_time: Optional[float] = None
-    ):
+    def __init__(self, txn_id: TransactionId = None, done_time: Optional[float] = None):
         Message.__init__(self)
         self.txn_id = txn_id
         self.done_time = done_time

@@ -94,9 +94,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         history: Optional["HistoryRecorder"] = None,
         strict_visibility: bool = False,
     ):
-        super().__init__(
-            sim, network, node_id, placement=placement, config=config, history=history
-        )
+        super().__init__(sim, network, node_id, placement=placement, config=config, history=history)
         self.strict_visibility = strict_visibility
         n_nodes = config.n_nodes
 
@@ -229,9 +227,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                     version_vc=version.vc,
                     writer=version.writer,
                     propagated=propagated,
-                    writer_pending=self._flag_pending_writer(
-                        version.writer, message.sender
-                    ),
+                    writer_pending=self._flag_pending_writer(version.writer, message.sender),
                 ),
             )
             return
@@ -302,9 +298,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
 
             # Lines 6-9: visible snapshot minus pre-committing writers above
             # the reader's bound.
-            excluded_vcs = self._excluded_vcs(
-                key, reader_vc, has_read, force_exclude=gated
-            )
+            excluded_vcs = self._excluded_vcs(key, reader_vc, has_read, force_exclude=gated)
             max_vc = self.nlog.visible_max_vc(
                 reader_vc, has_read, excluded_vcs, strict=self.strict_visibility
             )
@@ -360,9 +354,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             key, has_read, max_vc, excluded_vcs, check_stale=True
         )
         if rt_stale:
-            yield self.cpu(
-                service.version_walk_us * max(1, len(self.store.chain(key)))
-            )
+            yield self.cpu(service.version_walk_us * max(1, len(self.store.chain(key))))
             self.counters["reads_rt_stale"] += 1
             self.respond(
                 message,
@@ -395,9 +387,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                 version_vc=version.vc,
                 writer=version.writer,
                 propagated=(),
-                writer_pending=self._flag_pending_writer(
-                    version.writer, message.sender
-                ),
+                writer_pending=self._flag_pending_writer(version.writer, message.sender),
                 gated=tuple(sorted(gated)),
             ),
         )
@@ -442,10 +432,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         """
         if not any(has_read):
             return False
-        return all(
-            not flag or vc[index] <= reader_vc[index]
-            for index, flag in enumerate(has_read)
-        )
+        return all(not flag or vc[index] <= reader_vc[index] for index, flag in enumerate(has_read))
 
     def _excluded_vcs(
         self, key: object, reader_vc: VectorClock, has_read, force_exclude=frozenset()
@@ -672,9 +659,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                 for writer, message in probes
             ]
             guard = self.sim.timeout(retry_us)
-            yield self.sim.any_of(
-                [self.sim.all_of([event for _w, _m, event in events]), guard]
-            )
+            yield self.sim.any_of([self.sim.all_of([event for _w, _m, event in events]), guard])
             next_round = []
             for writer, message, event in events:
                 if event.triggered and event.ok:
@@ -747,9 +732,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
     # ------------------------------------------------------------------
     # Answer gates (ordered external-commit resolution)
     # ------------------------------------------------------------------
-    def _register_answer_gate(
-        self, writer: TransactionId, reader: Optional[TransactionId]
-    ) -> bool:
+    def _register_answer_gate(self, writer: TransactionId, reader: Optional[TransactionId]) -> bool:
         """Gate ``writer``'s client answer behind ``reader``.
 
         Refused (returns False) when the reader's Remove already passed
@@ -900,9 +883,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         age = squeue.oldest_writer_age(self.sim.now)
         if age is not None and age > timeouts.starvation_threshold_us:
             level = min(self._backoff_level[key], 6)
-            delay = min(
-                timeouts.backoff_initial_us * (2**level), timeouts.backoff_max_us
-            )
+            delay = min(timeouts.backoff_initial_us * (2**level), timeouts.backoff_max_us)
             self._backoff_level[key] += 1
             self.counters["starvation_backoffs"] += 1
             yield self.sim.timeout(delay)
@@ -921,9 +902,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             (k, vc) for k, vc in message.read_versions if self.is_replica_of(k)
         )
         local_reads = tuple(k for k, _vc in local_read_versions)
-        local_writes = tuple(
-            (k, v) for k, v in message.write_items if self.is_replica_of(k)
-        )
+        local_writes = tuple((k, v) for k, v in message.write_items if self.is_replica_of(k))
         write_keys = tuple(k for k, _v in local_writes)
 
         yield self.cpu(service.lock_op_us * max(1, len(local_reads) + len(write_keys)))
@@ -943,9 +922,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             if locked:
                 self.locks.release(txn_id, list(write_keys) + list(local_reads))
             self.counters["prepare_rejects"] += 1
-            self.respond(
-                message, Vote(txn_id=txn_id, vc=message.vc, success=False)
-            )
+            self.respond(message, Vote(txn_id=txn_id, vc=message.vc, success=False))
             return
 
         is_write_replica = bool(local_writes)
@@ -1009,9 +986,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             self.node_vc = self.node_vc.merge(message.commit_vc)
             if state.is_write_replica:
                 self._pending_propagated[txn_id] = message.propagated
-                self.redo_log.record_decision(
-                    txn_id, message.commit_vc, message.propagated
-                )
+                self.redo_log.record_decision(txn_id, message.commit_vc, message.propagated)
                 self.commit_queue.update(txn_id, message.commit_vc)
             else:
                 # Read-only participants are done once the decision arrives.
@@ -1021,9 +996,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         else:
             self.commit_queue.remove(txn_id)
             self.redo_log.discard(txn_id)
-            self.locks.release(
-                txn_id, [k for k, _v in state.write_items] + list(state.read_keys)
-            )
+            self.locks.release(txn_id, [k for k, _v in state.write_items] + list(state.read_keys))
             del self._prepared[txn_id]
             self._pending_writes.pop(txn_id, None)
             self.counters["participant_aborts"] += 1
@@ -1084,11 +1057,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             for entry in propagated:
                 if entry.txn_id in self._removed_readers:
                     continue
-                squeue.insert(
-                    SQueueEntry(
-                        entry.txn_id, entry.snapshot, READ_KIND, only_for=txn_id
-                    )
-                )
+                squeue.insert(SQueueEntry(entry.txn_id, entry.snapshot, READ_KIND, only_for=txn_id))
                 self._reader_keys[entry.txn_id].add(key)
             yield self.cpu(self.service.queue_op_us)
 
@@ -1109,9 +1078,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             while squeue.has_entry_below(snapshot, exclude_txn=txn_id):
                 self.counters["precommit_waits"] += 1
                 yield self.sim.condition(
-                    lambda sq=squeue: not sq.has_entry_below(
-                        snapshot, exclude_txn=txn_id
-                    ),
+                    lambda sq=squeue: not sq.has_entry_below(snapshot, exclude_txn=txn_id),
                     squeue.signal,
                     name=f"precommit-wait:{txn_id}",
                 )
@@ -1373,9 +1340,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         for record in self.redo_log.records():
             txn_id = record.txn_id
             self.counters["redo_replays"] += 1
-            self._prepared[txn_id] = _PreparedState(
-                record.read_keys, record.write_items, True
-            )
+            self._prepared[txn_id] = _PreparedState(record.read_keys, record.write_items, True)
             self._pending_writes[txn_id] = record.write_items
             self.commit_queue.put(txn_id, record.vc)
             if record.decided:
@@ -1400,9 +1365,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             self.counters["crash_recoveries"] += 1
             if crash_phase is TransactionPhase.PREPARING:
                 participants = set(
-                    self.placement.replicas_of(
-                        list(meta.read_set) + list(meta.write_set)
-                    )
+                    self.placement.replicas_of(list(meta.read_set) + list(meta.write_set))
                 )
                 participants.discard(self.node_id)
                 for participant in sorted(participants):
@@ -1430,9 +1393,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                 for node_id in range(self.config.n_nodes):
                     self.send(
                         node_id,
-                        Remove(
-                            txn_id=txn_id, keys=tuple(by_replica.get(node_id, ()))
-                        ),
+                        Remove(txn_id=txn_id, keys=tuple(by_replica.get(node_id, ()))),
                     )
 
     # ------------------------------------------------------------------
@@ -1440,9 +1401,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
     # ------------------------------------------------------------------
     def queued_writer_count(self) -> int:
         """Number of update transactions currently held in local squeues."""
-        return sum(
-            len(squeue.writers()) for squeue in self.store.squeues().values()
-        )
+        return sum(len(squeue.writers()) for squeue in self.store.squeues().values())
 
     def stats(self) -> Dict[str, int]:
         stats = dict(self.counters)

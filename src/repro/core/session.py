@@ -50,9 +50,7 @@ class Session:
     def begin(self, read_only: bool = False) -> TransactionMeta:
         """Start a new transaction coordinated by this session's node."""
         if self.current is not None:
-            raise TransactionStateError(
-                "previous transaction still open; commit or abort it first"
-            )
+            raise TransactionStateError("previous transaction still open; commit or abort it first")
         self.current = self.node.begin_transaction(read_only=read_only)
         return self.current
 

@@ -37,9 +37,7 @@ class ExperimentDefinition:
     locality_fraction: float = 0.0
     expectation: str = ""
 
-    def workload(
-        self, read_only_fraction: float, read_only_txn_keys: int = 2
-    ) -> WorkloadConfig:
+    def workload(self, read_only_fraction: float, read_only_txn_keys: int = 2) -> WorkloadConfig:
         return WorkloadConfig(
             read_only_fraction=read_only_fraction,
             update_txn_keys=2,
@@ -235,9 +233,7 @@ def benchmark_points(
                         config = ClusterConfig(
                             n_nodes=n_nodes,
                             n_keys=n_keys,
-                            replication_degree=min(
-                                definition.replication_degree, n_nodes
-                            ),
+                            replication_degree=min(definition.replication_degree, n_nodes),
                             clients_per_node=scale.clients_per_node,
                             seed=seed,
                         )

@@ -13,6 +13,13 @@ each window reports its committed/aborted counts, throughput and
 same run, capped at 1.  Stalled clients (clients whose in-flight transaction
 never completed by the post-run drain) and quiescence leaks (pre-commit
 state still held at drain) arrive through ``extra`` from the runner.
+
+Open-loop (traffic-plan) experiments reuse the same phase machinery for
+their scenario phases and additionally get **time-resolved** accounting:
+:func:`compute_timeseries` bins arrivals, completions and shed load into
+fixed windows and summarizes each window's latency percentiles, which is
+what makes "p99 under a burst" and "goodput during the ramp's collapse"
+readable quantities instead of run-wide averages.
 """
 
 from __future__ import annotations
@@ -92,21 +99,97 @@ def compute_phase_metrics(
             }
         )
     reference = max(
-        (
-            phase["throughput_tps"]
-            for phase in phases
-            if phase["label"].endswith("fail-free")
-        ),
+        (phase["throughput_tps"] for phase in phases if phase["label"].endswith("fail-free")),
         default=0.0,
     )
     for phase in phases:
         if reference > 0:
-            phase["availability"] = round(
-                min(1.0, phase["throughput_tps"] / reference), 4
-            )
+            phase["availability"] = round(min(1.0, phase["throughput_tps"] / reference), 4)
         else:
             phase["availability"] = None
     return phases
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+def compute_timeseries(
+    window_us: float,
+    horizon_us: float,
+    arrivals: Sequence[float],
+    completion_times: Sequence[float],
+    completion_latencies: Sequence[float],
+    drops: Sequence[float] = (),
+    timeouts: Sequence[float] = (),
+    abort_times: Sequence[float] = (),
+) -> List[Dict[str, float]]:
+    """Bin an open-loop run into fixed time windows.
+
+    Every window reports offered arrivals, completed (committed)
+    transactions with their latency percentiles, aborts, and shed load
+    (drops + queue timeouts), each binned by the instant the event
+    happened.  ``completion_times`` and ``completion_latencies`` are
+    parallel sequences.  Windows cover ``[0, horizon_us)``; the last one
+    may be partial and its rates are normalized by its true width.
+    Events at or past the horizon (completions and queue timeouts during
+    the post-run drain) are excluded — folding them into the last window
+    would inflate its goodput with work that did not happen inside it.
+    """
+    if window_us <= 0 or horizon_us <= 0:
+        return []
+    n_windows = max(1, math.ceil(horizon_us / window_us))
+
+    def bin_of(t: float) -> int:
+        if not 0.0 <= t < horizon_us:
+            return -1
+        return min(n_windows - 1, int(t // window_us))
+
+    offered = [0] * n_windows
+    dropped = [0] * n_windows
+    timed_out = [0] * n_windows
+    aborted = [0] * n_windows
+    latencies: List[List[float]] = [[] for _ in range(n_windows)]
+    for t in arrivals:
+        if (index := bin_of(t)) >= 0:
+            offered[index] += 1
+    for t in drops:
+        if (index := bin_of(t)) >= 0:
+            dropped[index] += 1
+    for t in timeouts:
+        if (index := bin_of(t)) >= 0:
+            timed_out[index] += 1
+    for t in abort_times:
+        if (index := bin_of(t)) >= 0:
+            aborted[index] += 1
+    for t, latency in zip(completion_times, completion_latencies):
+        if (index := bin_of(t)) >= 0:
+            latencies[index].append(latency)
+    windows: List[Dict[str, float]] = []
+    for index in range(n_windows):
+        start = index * window_us
+        end = min(start + window_us, horizon_us)
+        width_s = max(end - start, 1e-9) / SECOND
+        sample = sorted(latencies[index])
+        windows.append(
+            {
+                "start_us": start,
+                "end_us": end,
+                "offered": offered[index],
+                "offered_tps": round(offered[index] / width_s, 1),
+                "completed": len(sample),
+                "goodput_tps": round(len(sample) / width_s, 1),
+                "aborted": aborted[index],
+                "dropped": dropped[index],
+                "timed_out": timed_out[index],
+                "latency_p50_us": round(_percentile(sample, 0.50), 1),
+                "latency_p99_us": round(_percentile(sample, 0.99), 1),
+            }
+        )
+    return windows
 
 
 @dataclass
@@ -120,24 +203,22 @@ class ExperimentMetrics:
     committed_update: int = 0
     committed_read_only: int = 0
     aborted: int = 0
-    latency: LatencySummary = field(
-        default_factory=lambda: LatencySummary.from_samples(())
-    )
-    update_latency: LatencySummary = field(
-        default_factory=lambda: LatencySummary.from_samples(())
-    )
+    latency: LatencySummary = field(default_factory=lambda: LatencySummary.from_samples(()))
+    update_latency: LatencySummary = field(default_factory=lambda: LatencySummary.from_samples(()))
     read_only_latency: LatencySummary = field(
         default_factory=lambda: LatencySummary.from_samples(())
     )
     internal_latency: LatencySummary = field(
         default_factory=lambda: LatencySummary.from_samples(())
     )
-    precommit_wait: LatencySummary = field(
-        default_factory=lambda: LatencySummary.from_samples(())
-    )
+    precommit_wait: LatencySummary = field(default_factory=lambda: LatencySummary.from_samples(()))
     extra: Dict[str, float] = field(default_factory=dict)
     phases: List[Dict[str, float]] = field(default_factory=list)
-    """Per-phase accounting of fault-plan runs (empty for fail-free runs)."""
+    """Per-phase accounting of fault-plan and traffic-scenario runs
+    (empty for plain fail-free closed-loop runs)."""
+    timeseries: List[Dict[str, float]] = field(default_factory=list)
+    """Windowed time series of an open-loop run (see
+    :func:`compute_timeseries`); empty for closed-loop runs."""
 
     # ------------------------------------------------------------------
     @classmethod
@@ -149,6 +230,7 @@ class ExperimentMetrics:
         measured_duration_us: float,
         extra: Optional[Dict[str, float]] = None,
         phase_windows: Optional[Sequence] = None,
+        timeseries: Optional[List[Dict[str, float]]] = None,
     ) -> "ExperimentMetrics":
         clients = list(clients)
         latencies: List[float] = []
@@ -180,9 +262,7 @@ class ExperimentMetrics:
                 if phase.get("availability") is not None
             ]
             if availabilities:
-                metrics_extra.setdefault(
-                    "availability_min", round(min(availabilities), 4)
-                )
+                metrics_extra.setdefault("availability_min", round(min(availabilities), 4))
         return cls(
             protocol=protocol,
             n_nodes=n_nodes,
@@ -198,6 +278,7 @@ class ExperimentMetrics:
             precommit_wait=LatencySummary.from_samples(precommit_waits),
             extra=metrics_extra,
             phases=phases,
+            timeseries=list(timeseries or []),
         )
 
     # ------------------------------------------------------------------
@@ -235,6 +316,32 @@ class ExperimentMetrics:
     def clock_compression_ratio(self) -> Optional[float]:
         """Encoded/dense byte ratio over every clock shipped (lower = better)."""
         return self.extra.get("clock_compression_ratio")
+
+    # ---------------------------------------------------------- traffic plane
+    @property
+    def offered_tps(self) -> Optional[float]:
+        """Offered load of an open-loop run (arrivals per simulated second)."""
+        return self.extra.get("offered_tps")
+
+    @property
+    def goodput_tps(self) -> Optional[float]:
+        """Committed transactions per simulated second under open loop.
+
+        Distinct from ``throughput_tps`` only in intent: under open loop
+        the difference between *offered* and *goodput* is the system
+        falling behind, which closed-loop runs cannot express.
+        """
+        return self.extra.get("goodput_tps")
+
+    @property
+    def dropped(self) -> Optional[float]:
+        """Arrivals shed because the admission queue was full."""
+        return self.extra.get("dropped")
+
+    @property
+    def timed_out(self) -> Optional[float]:
+        """Queued arrivals abandoned unissued after ``queue_timeout_us``."""
+        return self.extra.get("timed_out")
 
     # ------------------------------------------------------------ fault plane
     @property

@@ -1,26 +1,37 @@
 """Experiment runner.
 
 :func:`run_experiment` builds a cluster for the requested protocol, starts
-``clients_per_node`` closed-loop clients on every node, runs the simulation
-for a warm-up window followed by a measurement window, and aggregates the
-client statistics into :class:`~repro.harness.metrics.ExperimentMetrics`.
+its clients, runs the simulation for a warm-up window followed by a
+measurement window, and aggregates the client statistics into
+:class:`~repro.harness.metrics.ExperimentMetrics`.  The client plane is
+chosen by the configuration: an empty
+:class:`~repro.traffic.plan.TrafficPlan` (the default) starts
+``clients_per_node`` closed-loop clients per node — byte-identical to the
+historical behaviour — while a non-empty plan starts one open-loop
+arrival source per node instead (see :mod:`repro.workload.openloop`) and
+additionally produces time-resolved metrics and per-scenario-phase
+summaries.
 
 :func:`find_saturation_throughput` is the Figure 4(a) procedure: it sweeps
 the number of clients per node and reports the best throughput achieved —
-"the number of clients per node differs per reported datapoint".
+"the number of clients per node differs per reported datapoint".  The
+sweep's datapoints are independent simulations and fan out across CPU
+cores like every other sweep (:func:`run_points`).
 """
 
 from __future__ import annotations
 
 import os
 import time
+from bisect import bisect_left
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import ClusterConfig, WorkloadConfig
 from repro.harness.cluster import build_cluster
-from repro.harness.metrics import ExperimentMetrics
+from repro.harness.metrics import ExperimentMetrics, compute_timeseries
+from repro.workload.openloop import aggregate_open_loop, install_open_loop
 from repro.workload.profiles import WorkloadGenerator
 from repro.workload.ycsb import ClientStats, closed_loop_client
 
@@ -82,31 +93,37 @@ def run_experiment(
 
     all_stats: List[ClientStats] = []
     sessions = []
-    for node_id in range(config.n_nodes):
-        for client_index in range(config.clients_per_node):
-            session = cluster.session(node_id)
-            sessions.append(session)
-            rng = cluster.sim.rng.stream(f"workload.n{node_id}.c{client_index}")
-            generator = WorkloadGenerator(
-                workload,
-                cluster.keys,
-                rng,
-                placement=cluster.placement,
-                node_id=node_id,
-            )
-            stats = ClientStats(node_id=node_id, client_index=client_index)
-            all_stats.append(stats)
-            cluster.spawn(
-                closed_loop_client(
-                    session,
-                    generator,
-                    stats,
-                    deadline_us=duration_us,
-                    warmup_us=warmup_us,
-                    think_time_us=workload.think_time_us,
-                ),
-                name=f"client-{node_id}-{client_index}",
-            )
+    sources = []
+    if config.traffic:
+        # Open loop: the traffic plan's arrival sources drive the run;
+        # closed-loop clients (and clients_per_node) do not apply.
+        sources = install_open_loop(cluster, workload, duration_us=duration_us, warmup_us=warmup_us)
+    else:
+        for node_id in range(config.n_nodes):
+            for client_index in range(config.clients_per_node):
+                session = cluster.session(node_id)
+                sessions.append(session)
+                rng = cluster.sim.rng.stream(f"workload.n{node_id}.c{client_index}")
+                generator = WorkloadGenerator(
+                    workload,
+                    cluster.keys,
+                    rng,
+                    placement=cluster.placement,
+                    node_id=node_id,
+                )
+                stats = ClientStats(node_id=node_id, client_index=client_index)
+                all_stats.append(stats)
+                cluster.spawn(
+                    closed_loop_client(
+                        session,
+                        generator,
+                        stats,
+                        deadline_us=duration_us,
+                        warmup_us=warmup_us,
+                        think_time_us=workload.think_time_us,
+                    ),
+                    name=f"client-{node_id}-{client_index}",
+                )
 
     wall_start = time.perf_counter()
     events_before = cluster.sim.processed_events
@@ -118,6 +135,37 @@ def run_experiment(
     wall_seconds = time.perf_counter() - wall_start
     measured = max(duration_us - warmup_us, 1.0)
     extra: Dict[str, float] = {}
+    timeseries: List[Dict[str, float]] = []
+    sorted_arrivals: List[float] = []
+    sorted_shed: List[float] = []
+    if sources:
+        open_loop_extra, all_stats = aggregate_open_loop(sources, measured)
+        extra.update(open_loop_extra)
+        sessions = [session for source in sources for session in source.sessions]
+        sorted_arrivals = sorted(t for source in sources for t in source.stats.arrival_times_us)
+        drop_times = [t for source in sources for t in source.stats.drop_times_us]
+        timeout_times = [
+            t for source in sources for t in source.stats.timeout_times_us
+        ]
+        sorted_shed = sorted(drop_times + timeout_times)
+        timeseries = compute_timeseries(
+            window_us=config.traffic.window_us,
+            horizon_us=duration_us,
+            arrivals=sorted_arrivals,
+            completion_times=[
+                t for source in sources for t in source.stats.completion_times_us
+            ],
+            completion_latencies=[
+                latency
+                for source in sources
+                for latency in source.stats.completion_latencies_us
+            ],
+            drops=drop_times,
+            timeouts=timeout_times,
+            abort_times=[
+                t for source in sources for t in source.stats.client.abort_times_us
+            ],
+        )
     counters = cluster.total_counters()
     if "starvation_backoffs" in counters:
         extra["starvation_backoffs"] = counters["starvation_backoffs"]
@@ -160,17 +208,25 @@ def run_experiment(
             extra["clock_bytes_per_msg"] = round(
                 encoded / messages_sent if messages_sent else 0.0, 2
             )
-            extra["clock_compression_ratio"] = round(
-                encoded / clock_stats["dense_bytes_total"], 4
-            )
+            extra["clock_compression_ratio"] = round(encoded / clock_stats["dense_bytes_total"], 4)
     metrics = ExperimentMetrics.from_clients(
         protocol=protocol,
         n_nodes=config.n_nodes,
         clients=all_stats,
         measured_duration_us=measured,
         extra=extra,
-        phase_windows=config.faults.phases(duration_us) if config.faults else None,
+        phase_windows=_experiment_phase_windows(config, duration_us),
+        timeseries=timeseries,
     )
+    if sources and metrics.phases:
+        # Per-scenario-phase offered-load accounting: goodput per phase is
+        # only meaningful next to what was asked of the system then.
+        for phase in metrics.phases:
+            start, end = phase["start_us"], phase["end_us"]
+            offered = bisect_left(sorted_arrivals, end) - bisect_left(sorted_arrivals, start)
+            phase["offered"] = offered
+            phase["offered_tps"] = round(offered / max((end - start) / 1_000_000.0, 1e-9), 1)
+            phase["shed"] = bisect_left(sorted_shed, end) - bisect_left(sorted_shed, start)
     return ExperimentResult(
         protocol=protocol,
         config=config,
@@ -180,6 +236,60 @@ def run_experiment(
         node_counters=dict(counters),
         cluster=cluster if keep_cluster else None,
     )
+
+
+def _experiment_phase_windows(
+    config: ClusterConfig, duration_us: float
+) -> Optional[List[Tuple[str, float, float]]]:
+    """Phase windows of a run: fault windows, scenario windows, or both.
+
+    Fault-only runs keep the exact windows (and labels) of
+    :meth:`~repro.common.config.FaultPlan.phases`, so historical fault
+    experiments are untouched.  Traffic-only runs use the scenario phases.
+    When both planes are active the cut points merge and each window is
+    labelled ``p<i>:<scenario>|<fault-kinds>`` — the fault part still ends
+    with ``fail-free`` outside fault windows, which is what the
+    availability reference in
+    :func:`~repro.harness.metrics.compute_phase_metrics` keys on.
+    """
+    fault_windows = config.faults.phases(duration_us) if config.faults else []
+    traffic_windows = config.traffic.phase_windows(duration_us) if config.traffic else []
+    if not traffic_windows:
+        return fault_windows or None
+    if not fault_windows:
+        return [(label, start, end) for label, start, end, _ in traffic_windows]
+    cuts = {0.0, duration_us}
+    for _, start, end, _ in traffic_windows:
+        cuts.update((start, end))
+    for fault in config.faults.faults:
+        cuts.add(min(fault.at_us, duration_us))
+        cuts.add(min(fault.end_us(duration_us), duration_us))
+    ordered = sorted(cut for cut in cuts if 0.0 <= cut <= duration_us)
+    merged: List[Tuple[str, float, float]] = []
+    for index, (start, end) in enumerate(zip(ordered, ordered[1:])):
+        if end - start <= 0:
+            continue
+        active = sorted(
+            {
+                fault.kind
+                for fault in config.faults.faults
+                if fault.at_us < end and fault.end_us(duration_us) > start
+            }
+        )
+        fault_label = "+".join(active) if active else "fail-free"
+        scenario = next(
+            (
+                label.split(":", 1)[1]
+                for label, t_start, t_end, _ in traffic_windows
+                if t_start < end and t_end > start
+            ),
+            None,
+        )
+        if scenario is not None:
+            merged.append((f"p{index}:{scenario}|{fault_label}", start, end))
+        else:
+            merged.append((f"p{index}:{fault_label}", start, end))
+    return merged
 
 
 @dataclass(frozen=True)
@@ -268,17 +378,52 @@ def find_saturation_throughput(
     config: ClusterConfig,
     workload: WorkloadConfig,
     client_counts: Sequence[int] = (1, 3, 5, 10, 15),
+    duration_us: float = 200_000.0,
+    warmup_us: float = 40_000.0,
+    max_workers: Optional[int] = None,
     **kwargs,
 ) -> ExperimentResult:
-    """Figure 4(a): best throughput over a sweep of clients per node."""
+    """Figure 4(a): best throughput over a sweep of clients per node.
+
+    Each client count is an independent simulation, so the sweep fans out
+    across CPU cores via :func:`run_points`; results (including which
+    count wins, ties broken toward the earliest count in ``client_counts``)
+    are identical to the historical serial loop.  Extra ``run_experiment``
+    keyword arguments force the serial path, since the parallel points
+    cannot carry them.
+    """
+    if kwargs:
+        results = [
+            (
+                clients,
+                run_experiment(
+                    protocol,
+                    replace(config, clients_per_node=clients),
+                    workload,
+                    duration_us=duration_us,
+                    warmup_us=warmup_us,
+                    **kwargs,
+                ),
+            )
+            for clients in client_counts
+        ]
+    else:
+        points = [
+            ExperimentPoint(
+                protocol=protocol,
+                config=replace(config, clients_per_node=clients),
+                workload=workload,
+                duration_us=duration_us,
+                warmup_us=warmup_us,
+                label=clients,
+            )
+            for clients in client_counts
+        ]
+        results = run_points(points, max_workers=max_workers)
     best: Optional[ExperimentResult] = None
-    for clients in client_counts:
-        swept = replace(config, clients_per_node=clients)
-        result = run_experiment(protocol, swept, workload, **kwargs)
+    for _clients, result in results:
         if best is None or result.throughput_ktps > best.throughput_ktps:
             best = result
     assert best is not None
-    best.metrics.extra["saturation_clients_per_node"] = float(
-        best.config.clients_per_node
-    )
+    best.metrics.extra["saturation_clients_per_node"] = float(best.config.clients_per_node)
     return best

@@ -101,9 +101,7 @@ class Message:
         super().__init_subclass__(**kwargs)
         cls.type_name = cls.__name__
 
-    def size_estimate(
-        self, codec: Optional["VCCodec"] = None, peer: object = None
-    ) -> int:
+    def size_estimate(self, codec: Optional["VCCodec"] = None, peer: object = None) -> int:
         """Rough serialized size in bytes, used by the congestion model.
 
         Subclasses carrying vector clocks or value payloads override this to

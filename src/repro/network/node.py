@@ -151,9 +151,7 @@ class NetworkedNode:
             return
         entry = self._lookup_handler(type(message))
         if entry is None:
-            raise LookupError(
-                f"node {self.node_id} has no handler for {message.type_name}"
-            )
+            raise LookupError(f"node {self.node_id} has no handler for {message.type_name}")
         handler, is_generator = entry
         if is_generator:
             message_type = type(message)

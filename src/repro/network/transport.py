@@ -360,9 +360,7 @@ class Network:
             wakes.append(deliver_at)
             sim.call_at(deliver_at, channel.drain)
 
-    def broadcast(
-        self, sender: NodeId, destinations: Iterable[NodeId], message_factory
-    ) -> None:
+    def broadcast(self, sender: NodeId, destinations: Iterable[NodeId], message_factory) -> None:
         """Send one message per destination, created by ``message_factory()``.
 
         A factory is required (rather than one shared message instance)

@@ -73,9 +73,7 @@ class ProtocolCluster:
             replication_degree=self.config.replication_degree,
             keys=self.keys,
         )
-        self.history: Optional[HistoryRecorder] = (
-            HistoryRecorder() if record_history else None
-        )
+        self.history: Optional[HistoryRecorder] = HistoryRecorder() if record_history else None
         self.nodes = [
             self.node_class(
                 self.sim,
@@ -129,9 +127,7 @@ class ProtocolCluster:
     def check_consistency(self) -> CheckResult:
         """Run the external-consistency check over the recorded history."""
         if self.history is None:
-            raise ConfigurationError(
-                "history recording is disabled for this cluster"
-            )
+            raise ConfigurationError("history recording is disabled for this cluster")
         return check_external_consistency(self.history)
 
     def total_counters(self) -> Dict[str, int]:

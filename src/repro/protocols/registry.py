@@ -33,9 +33,7 @@ def register(name: str, cluster_class: type) -> type:
     """
     existing = REGISTRY.get(name)
     if existing is not None and existing is not cluster_class:
-        raise ConfigurationError(
-            f"protocol {name!r} already registered to {existing.__name__}"
-        )
+        raise ConfigurationError(f"protocol {name!r} already registered to {existing.__name__}")
     REGISTRY[name] = cluster_class
     return cluster_class
 
@@ -75,6 +73,4 @@ def build_cluster(
         raise ConfigurationError(
             f"unknown protocol {protocol!r}; expected one of {sorted(REGISTRY)}"
         ) from None
-    return cluster_class(
-        config=config, keys=keys, record_history=record_history, **kwargs
-    )
+    return cluster_class(config=config, keys=keys, record_history=record_history, **kwargs)

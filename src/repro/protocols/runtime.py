@@ -152,9 +152,7 @@ class ProtocolRuntime(NetworkedNode):
         if meta.phase is not TransactionPhase.EXECUTING:
             raise TransactionStateError(f"write after completion of {meta}")
         if meta.is_read_only:
-            raise TransactionStateError(
-                f"{meta.txn_id} was declared read-only but issued a write"
-            )
+            raise TransactionStateError(f"{meta.txn_id} was declared read-only but issued a write")
         meta.record_write(key, value)
         self.counters["client_writes"] += 1
 
@@ -190,9 +188,7 @@ class ProtocolRuntime(NetworkedNode):
             self.history.record_commit(meta)
         return True
 
-    def _finish_abort(
-        self, meta: TransactionMeta, reason: str, counter: str = "aborts"
-    ) -> bool:
+    def _finish_abort(self, meta: TransactionMeta, reason: str, counter: str = "aborts") -> bool:
         meta.phase = TransactionPhase.ABORTED
         meta.abort_reason = reason
         meta.abort_time = self.sim.now
@@ -330,9 +326,7 @@ class ProtocolRuntime(NetworkedNode):
             pending.append((item, message, self.request(destination_of(item), message)))
         while True:
             guard = self.sim.timeout(retry_us)
-            yield self.sim.any_of(
-                [self.sim.all_of([event for _i, _m, event in pending]), guard]
-            )
+            yield self.sim.any_of([self.sim.all_of([event for _i, _m, event in pending]), guard])
             unanswered = []
             for item, message, event in pending:
                 if event.triggered and event.ok:
@@ -347,9 +341,7 @@ class ProtocolRuntime(NetworkedNode):
             pending = []
             for item in unanswered:
                 message = make_message(item)
-                pending.append(
-                    (item, message, self.request(destination_of(item), message))
-                )
+                pending.append((item, message, self.request(destination_of(item), message)))
 
     def request_all(self, destinations, make_message):
         """:meth:`request_round` specialized to one request per destination."""

@@ -57,9 +57,7 @@ class KeyPlacement:
         if n_nodes < 1:
             raise ConfigurationError("n_nodes must be >= 1")
         if not 1 <= replication_degree <= n_nodes:
-            raise ConfigurationError(
-                "replication_degree must be between 1 and n_nodes"
-            )
+            raise ConfigurationError("replication_degree must be between 1 and n_nodes")
         self.n_nodes = n_nodes
         self.replication_degree = replication_degree
         self._cache: Dict[object, Tuple[NodeId, ...]] = {}
@@ -75,9 +73,7 @@ class KeyPlacement:
     def replicas(self, key: object) -> Tuple[NodeId, ...]:
         """Nodes storing ``key`` (primary first)."""
         if key not in self._cache:
-            self._cache[key] = hash_placement(
-                key, self.n_nodes, self.replication_degree
-            )
+            self._cache[key] = hash_placement(key, self.n_nodes, self.replication_degree)
         return self._cache[key]
 
     def replicas_of(self, keys) -> Tuple[NodeId, ...]:

@@ -125,9 +125,7 @@ class Simulation:
         """Create a broadcast :class:`Signal` for condition waiters."""
         return Signal(self, name=name)
 
-    def condition(
-        self, predicate: Callable[[], bool], signals, name: str = ""
-    ) -> Condition:
+    def condition(self, predicate: Callable[[], bool], signals, name: str = "") -> Condition:
         """Create a :class:`Condition` firing when ``predicate()`` is true."""
         if isinstance(signals, Signal):
             signals = [signals]
@@ -146,9 +144,7 @@ class Simulation:
     # -------------------------------------------------------------- scheduling
     def _push(self, time: float, func: Callable, arg) -> None:
         if time < self._now - 1e-9:
-            raise SimulationError(
-                f"cannot schedule in the past: {time} < now {self._now}"
-            )
+            raise SimulationError(f"cannot schedule in the past: {time} < now {self._now}")
         heappush(self._heap, (time, self._sequence, func, arg))
         self._sequence += 1
 

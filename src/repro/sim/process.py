@@ -107,9 +107,7 @@ class Process(Event):
             return
         if not isinstance(target, Event):
             self.fail(
-                SimulationError(
-                    f"process {self.name!r} yielded {target!r}, expected an Event"
-                )
+                SimulationError(f"process {self.name!r} yielded {target!r}, expected an Event")
             )
             return
         # Inlined add_callback: the common case is a pending target.

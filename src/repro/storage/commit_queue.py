@@ -212,9 +212,7 @@ class ParticipantRedoLog:
         read_keys: Tuple[object, ...],
     ) -> RedoRecord:
         """Force-write the vote record (before the Vote message is sent)."""
-        record = RedoRecord(
-            txn_id=txn_id, vc=vc, write_items=write_items, read_keys=read_keys
-        )
+        record = RedoRecord(txn_id=txn_id, vc=vc, write_items=write_items, read_keys=read_keys)
         self._records[txn_id] = record
         return record
 

@@ -41,9 +41,7 @@ class _KeyLockState:
     """Lock state of a single key."""
 
     holders: Dict[TransactionId, LockMode] = field(default_factory=dict)
-    waiters: Deque[Tuple[TransactionId, LockMode, object]] = field(
-        default_factory=deque
-    )
+    waiters: Deque[Tuple[TransactionId, LockMode, object]] = field(default_factory=deque)
 
     def compatible(self, txn_id: TransactionId, mode: LockMode) -> bool:
         """Can ``txn_id`` obtain ``mode`` given current holders?"""
@@ -194,9 +192,7 @@ class LockTable:
                 acquired.add(key)
             else:
                 # Timed out while queued: withdraw the waiter and give up.
-                state.waiters = deque(
-                    waiter for waiter in state.waiters if waiter[2] is not grant
-                )
+                state.waiters = deque(waiter for waiter in state.waiters if waiter[2] is not grant)
                 self.timeout_count += 1
                 self._abandon(txn_id, acquired)
                 return False

@@ -107,6 +107,4 @@ class MultiVersionStore:
 
     def truncate_history(self, min_versions: int = 1) -> int:
         """Drop old versions on every chain; return the number removed."""
-        return sum(
-            chain.truncate_before(min_versions) for chain in self._chains.values()
-        )
+        return sum(chain.truncate_before(min_versions) for chain in self._chains.values())

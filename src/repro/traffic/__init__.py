@@ -1,0 +1,62 @@
+"""The traffic plane: open-loop load generation and scenario scheduling.
+
+The paper's harness (and PRs 1-4 of this reproduction) only ever drove the
+cluster **closed-loop**: each client issues its next transaction when the
+previous one answers, so the system self-throttles and the only reachable
+operating point is saturation.  This package decouples arrivals from
+completions:
+
+* :mod:`repro.traffic.arrivals` — rate schedules (constant, ramp, on/off
+  burst, piecewise/diurnal) and the two sampling disciplines
+  (deterministic spacing, non-homogeneous Poisson via exact time warping),
+  all driven by named :class:`~repro.sim.rng.RngRegistry` streams so runs
+  stay byte-deterministic;
+* :mod:`repro.traffic.plan` — the declarative :class:`TrafficPlan`
+  scenario DSL carried by :class:`~repro.common.config.ClusterConfig`, on
+  exact parity with the fault plane's ``FaultPlan`` (compact strings,
+  validation, pickling, per-phase windows), including per-phase
+  workload-mix overrides (shift the read-only share or move hot keys
+  mid-run).
+
+The open-loop client that consumes these plans lives in
+:mod:`repro.workload.openloop`; the time-resolved metrics they feed live
+in :mod:`repro.harness.metrics`.
+"""
+
+from repro.traffic.arrivals import (
+    ArrivalProcess,
+    RateSchedule,
+    RateSegment,
+    burst_schedule,
+    constant_schedule,
+    piecewise_schedule,
+    ramp_schedule,
+)
+from repro.traffic.plan import (
+    ArrivalSpec,
+    BurstArrivals,
+    ConstArrivals,
+    PiecewiseArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    TrafficPhase,
+    TrafficPlan,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "BurstArrivals",
+    "ConstArrivals",
+    "PiecewiseArrivals",
+    "PoissonArrivals",
+    "RampArrivals",
+    "RateSchedule",
+    "RateSegment",
+    "TrafficPhase",
+    "TrafficPlan",
+    "burst_schedule",
+    "constant_schedule",
+    "piecewise_schedule",
+    "ramp_schedule",
+]

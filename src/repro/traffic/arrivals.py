@@ -1,0 +1,321 @@
+"""Open-loop arrival processes.
+
+Every traffic scenario reduces to two orthogonal choices:
+
+* a **rate schedule** — the offered load as a function of time, built from
+  piecewise-linear segments (constant rate, linear ramps, repeating on/off
+  bursts, diurnal profiles);
+* a **sampling discipline** — how individual arrival instants are drawn
+  from that schedule: ``"deterministic"`` places an arrival exactly every
+  time the schedule's cumulative expected-arrival count crosses the next
+  integer (evenly spaced at constant rate), ``"poisson"`` draws unit-rate
+  exponential increments of the same cumulative count, which is exactly a
+  non-homogeneous Poisson process with the schedule as its intensity (time
+  warping, no thinning, no rejected samples).
+
+Both disciplines consume randomness only from the :class:`random.Random`
+stream handed to :meth:`ArrivalProcess.arrivals` (deterministic sampling
+consumes none at all), so arrival times are byte-reproducible from
+``(seed, stream name)`` like every other source of randomness in the
+simulator — see :class:`repro.sim.rng.RngRegistry`.
+
+Rates are expressed in transactions per simulated second (tps); times in
+simulated microseconds, consistent with the rest of the library.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import SECOND
+
+SAMPLING_DISCIPLINES = ("deterministic", "poisson")
+
+
+@dataclass(frozen=True)
+class RateSegment:
+    """One piecewise-linear segment of a rate schedule.
+
+    The rate ramps linearly from ``rate0_tps`` to ``rate1_tps`` over
+    ``duration_us``.  ``duration_us=None`` marks an infinite tail (constant
+    rate; ``rate1_tps`` must equal ``rate0_tps``), which is how a finite
+    schedule extends to the end of a run.
+    """
+
+    duration_us: Optional[float]
+    rate0_tps: float
+    rate1_tps: float
+
+    def validate(self) -> None:
+        if self.rate0_tps < 0 or self.rate1_tps < 0:
+            raise ConfigurationError("segment rates must be >= 0")
+        if self.duration_us is None:
+            if self.rate0_tps != self.rate1_tps:
+                raise ConfigurationError("an infinite tail segment must have a constant rate")
+        elif self.duration_us <= 0:
+            raise ConfigurationError("segment duration_us must be > 0 (or None)")
+
+    def units(self) -> float:
+        """Expected arrivals over the whole segment (inf for the tail)."""
+        if self.duration_us is None:
+            return math.inf if self.rate0_tps > 0 else 0.0
+        mean_rate = (self.rate0_tps + self.rate1_tps) / 2.0
+        return mean_rate / SECOND * self.duration_us
+
+
+class RateSchedule:
+    """A piecewise-linear offered-load profile.
+
+    The schedule is a sequence of :class:`RateSegment` pieces laid end to
+    end from ``t=0`` (relative to the start of the scenario phase using
+    it).  With ``repeat=True`` the segment list cycles forever (on/off
+    bursts, diurnal profiles); otherwise the schedule holds the last
+    segment's end rate forever once the segments are exhausted.
+
+    The only operation arrival generation needs is :meth:`advance`: the
+    earliest time at which the cumulative expected-arrival count
+    ``U(t) = integral of rate`` has grown by a target amount.  Constant and
+    linear segments both invert in closed form, so arrival instants are
+    exact — no numeric stepping, no drift.
+    """
+
+    def __init__(self, segments: Tuple[RateSegment, ...], repeat: bool = False):
+        if not segments:
+            raise ConfigurationError("a rate schedule needs at least one segment")
+        for segment in segments:
+            segment.validate()
+        if repeat:
+            if any(segment.duration_us is None for segment in segments):
+                raise ConfigurationError("a repeating schedule cannot contain an infinite tail")
+            if not any(segment.units() > 0 for segment in segments):
+                raise ConfigurationError(
+                    "a repeating schedule must offer a positive rate somewhere"
+                )
+        self.segments = tuple(segments)
+        self.repeat = repeat
+        self._cycle_us = sum(segment.duration_us for segment in segments) if repeat else None
+        self._cycle_units = sum(segment.units() for segment in segments) if repeat else None
+
+    # ------------------------------------------------------------------
+    def rate_at(self, t_us: float) -> float:
+        """Offered rate (tps) at relative time ``t_us``."""
+        if t_us < 0:
+            return 0.0
+        if self.repeat:
+            t_us = t_us % self._cycle_us
+        for segment in self.segments:
+            if segment.duration_us is None or t_us < segment.duration_us:
+                if segment.duration_us is None:
+                    return segment.rate0_tps
+                frac = t_us / segment.duration_us
+                return segment.rate0_tps + (segment.rate1_tps - segment.rate0_tps) * frac
+            t_us -= segment.duration_us
+        # Finite, non-repeating schedule: hold the final rate.
+        return self.segments[-1].rate1_tps
+
+    # ------------------------------------------------------------------
+    def advance(self, t_us: float, units: float) -> float:
+        """Earliest ``t' >= t_us`` with ``U(t') - U(t_us) == units``.
+
+        Returns ``math.inf`` when the schedule can never accumulate the
+        requested amount (rate fell to zero with no repeat).
+        """
+        if units <= 0:
+            return t_us
+        if self.repeat:
+            return self._advance_repeating(t_us, units)
+        return self._advance_once(t_us, units)
+
+    def _advance_once(self, t_us: float, units: float) -> float:
+        remaining = units
+        seg_start = 0.0
+        for segment in self.segments:
+            if segment.duration_us is None:
+                return _advance_constant(max(t_us, seg_start), remaining, segment.rate0_tps)
+            seg_end = seg_start + segment.duration_us
+            if t_us >= seg_end:
+                seg_start = seg_end
+                continue
+            offset = max(t_us - seg_start, 0.0)
+            landed, remaining = _advance_linear(offset, remaining, segment)
+            if landed is not None:
+                return seg_start + landed
+            seg_start = seg_end
+        # Finite schedule exhausted: hold the final rate forever.
+        return _advance_constant(max(t_us, seg_start), remaining, self.segments[-1].rate1_tps)
+
+    def _advance_repeating(self, t_us: float, units: float) -> float:
+        cycle_us, cycle_units = self._cycle_us, self._cycle_units
+        base = math.floor(t_us / cycle_us) * cycle_us
+        rel = t_us - base
+        remaining = units
+        # First, finish the current (partial) cycle segment by segment.
+        seg_start = 0.0
+        for segment in self.segments:
+            seg_end = seg_start + segment.duration_us
+            if rel >= seg_end:
+                seg_start = seg_end
+                continue
+            offset = max(rel - seg_start, 0.0)
+            landed, remaining = _advance_linear(offset, remaining, segment)
+            if landed is not None:
+                return base + seg_start + landed
+            seg_start = seg_end
+        base += cycle_us
+        # Then skip whole cycles at once and finish inside the last one.
+        whole_cycles = math.floor(remaining / cycle_units)
+        if whole_cycles > 0 and remaining - whole_cycles * cycle_units <= 0:
+            whole_cycles -= 1
+        base += whole_cycles * cycle_us
+        remaining -= whole_cycles * cycle_units
+        guard = 0
+        while True:
+            seg_start = 0.0
+            for segment in self.segments:
+                landed, remaining = _advance_linear(0.0, remaining, segment)
+                if landed is not None:
+                    return base + seg_start + landed
+                seg_start += segment.duration_us
+            base += cycle_us
+            guard += 1
+            if guard > 3:  # pragma: no cover - floating point safety valve
+                raise ConfigurationError("repeating schedule failed to advance")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RateSchedule segments={len(self.segments)} repeat={self.repeat}>"
+
+
+def _advance_constant(t_us: float, units: float, rate_tps: float) -> float:
+    if rate_tps <= 0:
+        return math.inf
+    return t_us + units / (rate_tps / SECOND)
+
+
+def _advance_linear(
+    offset_us: float, units: float, segment: RateSegment
+) -> Tuple[Optional[float], float]:
+    """Advance inside one finite segment starting at ``offset_us`` into it.
+
+    Returns ``(landing_offset_us, remaining_units)``: the landing offset is
+    ``None`` when the segment ends before the target accumulates, with the
+    leftover units to carry into the next segment.
+    """
+    duration = segment.duration_us
+    rho0 = segment.rate0_tps / SECOND
+    rho1 = segment.rate1_tps / SECOND
+    slope = (rho1 - rho0) / duration
+    rho_here = rho0 + slope * offset_us
+    span = duration - offset_us
+    available = (rho_here + rho1) / 2.0 * span
+    if units > available:
+        return None, units - available
+    if abs(slope) < 1e-18:
+        if rho_here <= 0:
+            return None, units  # zero-rate segment contributes nothing
+        return offset_us + units / rho_here, 0.0
+    # Solve (slope/2) dt^2 + rho_here dt - units = 0 for the positive root.
+    disc = rho_here * rho_here + 2.0 * slope * units
+    if disc < 0:  # pragma: no cover - excluded by the availability check
+        return None, units
+    dt = (-rho_here + math.sqrt(disc)) / slope
+    return offset_us + dt, 0.0
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """A sampling discipline bound to a rate schedule.
+
+    ``offset_units`` shifts the deterministic arrival grid by a fraction of
+    one interarrival interval.  The open-loop harness runs one process per
+    node, each offered ``1/n`` of the cluster rate with
+    ``offset_units=node_id/n``, so the aggregate deterministic stream is a
+    perfectly even grid at the full cluster rate instead of ``n`` arrivals
+    in lockstep.  Poisson sampling ignores the offset (superposed Poisson
+    streams are Poisson already).
+    """
+
+    schedule: RateSchedule
+    sampling: str = "poisson"
+    offset_units: float = 0.0
+
+    def __post_init__(self):
+        if self.sampling not in SAMPLING_DISCIPLINES:
+            raise ConfigurationError(
+                f"unknown sampling discipline {self.sampling!r} "
+                f"(expected one of {SAMPLING_DISCIPLINES})"
+            )
+        if not 0.0 <= self.offset_units < 1.0:
+            raise ConfigurationError("offset_units must be in [0, 1)")
+
+    def arrivals(self, rng: random.Random, start_us: float, end_us: float) -> Iterator[float]:
+        """Yield absolute arrival times in ``[start_us, end_us)``.
+
+        The schedule's ``t=0`` is ``start_us`` (scenario phases restart
+        their schedule at the phase boundary).  Times are yielded strictly
+        increasing; the iterator is exhausted at ``end_us`` or when the
+        schedule's offered rate dies out.
+        """
+        horizon = end_us - start_us
+        if horizon <= 0:
+            return
+        t = 0.0
+        deterministic = self.sampling == "deterministic"
+        first = True
+        while True:
+            if deterministic:
+                target = 1.0 - self.offset_units if first else 1.0
+            else:
+                target = rng.expovariate(1.0)
+            first = False
+            t = self.schedule.advance(t, target)
+            if t >= horizon or t == math.inf:
+                return
+            yield start_us + t
+
+
+# ----------------------------------------------------------------------
+# Schedule constructors for the four scenario primitives
+# ----------------------------------------------------------------------
+def constant_schedule(rate_tps: float) -> RateSchedule:
+    """Flat offered load forever."""
+    return RateSchedule((RateSegment(None, rate_tps, rate_tps),))
+
+
+def ramp_schedule(start_tps: float, end_tps: float, over_us: float) -> RateSchedule:
+    """Linear ramp from ``start_tps`` to ``end_tps`` over ``over_us``, then hold."""
+    return RateSchedule(
+        (
+            RateSegment(over_us, start_tps, end_tps),
+            RateSegment(None, end_tps, end_tps),
+        )
+    )
+
+
+def burst_schedule(
+    base_tps: float, peak_tps: float, every_us: float, for_us: float
+) -> RateSchedule:
+    """Repeating on/off bursts: ``peak`` for ``for_us`` out of every ``every_us``."""
+    if for_us >= every_us:
+        raise ConfigurationError("burst 'for' must be shorter than 'every'")
+    return RateSchedule(
+        (
+            RateSegment(for_us, peak_tps, peak_tps),
+            RateSegment(every_us - for_us, base_tps, base_tps),
+        ),
+        repeat=True,
+    )
+
+
+def piecewise_schedule(
+    pieces: Tuple[Tuple[float, float, float], ...], repeat: bool = False
+) -> RateSchedule:
+    """Diurnal-style profile from ``(duration_us, rate0_tps, rate1_tps)`` pieces."""
+    segments = tuple(RateSegment(dur, r0, r1) for dur, r0, r1 in pieces)
+    if not repeat:
+        last = segments[-1]
+        segments = segments + (RateSegment(None, last.rate1_tps, last.rate1_tps),)
+    return RateSchedule(segments, repeat=repeat)

@@ -11,6 +11,9 @@ biased in Figure 7), and clients operate in a closed loop.
   and written by one transaction instance).
 * :mod:`repro.workload.ycsb` — the closed-loop client process generator used
   by the harness and the examples.
+* :mod:`repro.workload.openloop` — open-loop arrival sources driven by a
+  :class:`~repro.traffic.plan.TrafficPlan`, with bounded pending sets and
+  explicit overload accounting (drops, queue timeouts, queue depth).
 """
 
 from repro.workload.distributions import (
@@ -20,6 +23,12 @@ from repro.workload.distributions import (
     ZipfianKeySelector,
     make_key_selector,
 )
+from repro.workload.openloop import (
+    OpenLoopSource,
+    OpenLoopStats,
+    aggregate_open_loop,
+    install_open_loop,
+)
 from repro.workload.profiles import TransactionSpec, WorkloadGenerator
 from repro.workload.ycsb import ClientStats, closed_loop_client
 
@@ -27,10 +36,14 @@ __all__ = [
     "ClientStats",
     "KeySelector",
     "LocalityKeySelector",
+    "OpenLoopSource",
+    "OpenLoopStats",
     "TransactionSpec",
     "UniformKeySelector",
     "WorkloadGenerator",
     "ZipfianKeySelector",
+    "aggregate_open_loop",
     "closed_loop_client",
+    "install_open_loop",
     "make_key_selector",
 ]

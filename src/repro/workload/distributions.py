@@ -44,9 +44,7 @@ class KeySelector(ABC):
                 seen.add(key)
                 chosen.append(key)
         if len(chosen) < count:
-            raise ConfigurationError(
-                f"could not draw {count} distinct keys (key space too small?)"
-            )
+            raise ConfigurationError(f"could not draw {count} distinct keys (key space too small?)")
         return chosen
 
 
@@ -60,9 +58,7 @@ class UniformKeySelector(KeySelector):
 
     def select(self, rng: random.Random, count: int) -> List[object]:
         if count > len(self.keys):
-            raise ConfigurationError(
-                f"cannot select {count} distinct keys from {len(self.keys)}"
-            )
+            raise ConfigurationError(f"cannot select {count} distinct keys from {len(self.keys)}")
         return self._distinct(rng, count, lambda: rng.choice(self.keys))
 
 
@@ -88,9 +84,7 @@ class ZipfianKeySelector(KeySelector):
 
     def select(self, rng: random.Random, count: int) -> List[object]:
         if count > len(self.keys):
-            raise ConfigurationError(
-                f"cannot select {count} distinct keys from {len(self.keys)}"
-            )
+            raise ConfigurationError(f"cannot select {count} distinct keys from {len(self.keys)}")
 
         def draw():
             rank = bisect.bisect_left(self._cumulative, rng.random())
@@ -134,9 +128,7 @@ def make_key_selector(
     """Build the selector matching ``workload`` for a client on ``node_id``."""
     if workload.locality_fraction > 0.0:
         if placement is None or node_id is None:
-            raise ConfigurationError(
-                "locality-biased workloads need a placement and a node id"
-            )
+            raise ConfigurationError("locality-biased workloads need a placement and a node id")
         return LocalityKeySelector(
             keys=keys,
             local_keys=placement.local_keys(node_id),

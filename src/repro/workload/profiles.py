@@ -61,14 +61,10 @@ class WorkloadGenerator:
         self.generated += 1
         if self.rng.random() < self.workload.read_only_fraction:
             keys = self.selector.select(self.rng, self.workload.read_only_txn_keys)
-            return TransactionSpec(
-                read_only=True, read_keys=tuple(keys), write_keys=()
-            )
+            return TransactionSpec(read_only=True, read_keys=tuple(keys), write_keys=())
         keys = self.selector.select(self.rng, self.workload.update_txn_keys)
         # The paper's update profile reads and writes the same two keys.
-        return TransactionSpec(
-            read_only=False, read_keys=tuple(keys), write_keys=tuple(keys)
-        )
+        return TransactionSpec(read_only=False, read_keys=tuple(keys), write_keys=tuple(keys))
 
     def specs(self, count: int) -> List[TransactionSpec]:
         """Draw ``count`` specifications (useful for tests and examples)."""

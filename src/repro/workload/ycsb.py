@@ -115,9 +115,7 @@ def execute_spec(session: Session, spec: TransactionSpec):
             # flatten every client onto the same delay, which would
             # reintroduce exactly the lockstep this back-off exists to
             # break.
-            stagger = ((session.node_id * 7 + session.client_index * 3) % 37) * (
-                base_us / 4.0
-            )
+            stagger = ((session.node_id * 7 + session.client_index * 3) % 37) * (base_us / 4.0)
             delay = min(base_us * (2 ** min(attempt, 4)), 16_000.0) + stagger
             yield session.node.sim.timeout(delay)
             continue

@@ -24,12 +24,8 @@ from repro.sim.engine import Simulation
 # modules themselves so collection also works under the bare ``pytest``
 # entrypoint).
 hypothesis_settings.register_profile("deterministic", derandomize=True)
-hypothesis_settings.register_profile(
-    "stress", derandomize=False, max_examples=400, print_blob=True
-)
-hypothesis_settings.load_profile(
-    os.environ.get("REPRO_HYPOTHESIS_PROFILE", "deterministic")
-)
+hypothesis_settings.register_profile("stress", derandomize=False, max_examples=400, print_blob=True)
+hypothesis_settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "deterministic"))
 
 
 @pytest.fixture

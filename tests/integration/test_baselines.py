@@ -37,16 +37,12 @@ class TestBasicOperation:
     def test_write_then_read_back(self, cluster_class):
         cluster = make_cluster(cluster_class)
         writer = cluster.session(0)
-        ok, meta, _ = run_client_txn(
-            cluster, writer, reads=["key-3"], writes={"key-3": 77}
-        )
+        ok, meta, _ = run_client_txn(cluster, writer, reads=["key-3"], writes={"key-3": 77})
         assert ok is True
         assert meta.committed
 
         reader = cluster.session(1)
-        ok, _meta, values = run_client_txn(
-            cluster, reader, reads=["key-3"], read_only=True
-        )
+        ok, _meta, values = run_client_txn(cluster, reader, reads=["key-3"], read_only=True)
         assert ok is True
         assert values["key-3"] == 77
 
@@ -61,16 +57,12 @@ class TestBasicOperation:
         assert ok is True
 
         local_reader = cluster.session(0)
-        ok, _meta, values = run_client_txn(
-            cluster, local_reader, reads=[key], read_only=True
-        )
+        ok, _meta, values = run_client_txn(cluster, local_reader, reads=[key], read_only=True)
         assert ok is True
         assert values[key] == 77
 
         remote_reader = cluster.session(1)
-        ok, _meta, values = run_client_txn(
-            cluster, remote_reader, reads=[key], read_only=True
-        )
+        ok, _meta, values = run_client_txn(cluster, remote_reader, reads=[key], read_only=True)
         assert ok is True
         assert values[key] in (0, 77)  # PSI permits the stale snapshot
 
@@ -122,9 +114,7 @@ class TestBasicOperation:
             cluster.spawn(incr())
             cluster.run()
             assert out["ok"] is True
-        ok, _meta, values = run_client_txn(
-            cluster, session, reads=["key-5"], read_only=True
-        )
+        ok, _meta, values = run_client_txn(cluster, session, reads=["key-5"], read_only=True)
         assert values["key-5"] == 3
 
 
@@ -249,17 +239,13 @@ class TestRococoSemantics:
             config = ClusterConfig(
                 n_nodes=3, n_keys=30, replication_degree=1, clients_per_node=3, seed=5
             )
-            workload = WorkloadConfig(
-                read_only_fraction=0.8, read_only_txn_keys=read_set_size
-            )
+            workload = WorkloadConfig(read_only_fraction=0.8, read_only_txn_keys=read_set_size)
             result = run_experiment(
                 "rococo", config, workload, duration_us=40_000, warmup_us=0,
                 record_history=True, keep_cluster=True,
             )
             history = result.cluster.history
-            read_only_aborts = sum(
-                1 for txn in history.aborted if not txn.is_update
-            )
+            read_only_aborts = sum(1 for txn in history.aborted if not txn.is_update)
             attempts = read_only_aborts + len(history.committed_read_only)
             return read_only_aborts / max(attempts, 1)
 

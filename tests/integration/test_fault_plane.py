@@ -106,9 +106,7 @@ class TestSSSUnderFaults:
 
     def test_availability_dips_during_fault_windows(self):
         result = _run("sss", _config(CRASH_RESTART))
-        crash_phase = next(
-            p for p in result.metrics.phases if "crash" in p["label"]
-        )
+        crash_phase = next(p for p in result.metrics.phases if "crash" in p["label"])
         first_phase = result.metrics.phases[0]
         assert first_phase["availability"] == 1.0
         assert crash_phase["availability"] < 0.5

@@ -112,17 +112,13 @@ def load_golden() -> dict:
     GOLDEN_POINTS,
     ids=[_point_key(*point) for point in GOLDEN_POINTS],
 )
-def test_fail_free_history_matches_pre_refactor_golden(
-    protocol, seed, replication_degree
-):
+def test_fail_free_history_matches_pre_refactor_golden(protocol, seed, replication_degree):
     golden = load_golden()
     key = _point_key(protocol, seed, replication_degree)
     assert key in golden["fingerprints"], (
         f"no golden fingerprint for {key}; regenerate with --write"
     )
-    assert run_golden_point(protocol, seed, replication_degree) == (
-        golden["fingerprints"][key]
-    ), (
+    assert run_golden_point(protocol, seed, replication_degree) == (golden["fingerprints"][key]), (
         f"fail-free history for {key} diverged from the pre-refactor golden "
         "capture — the runtime port must preserve byte-identical histories"
     )

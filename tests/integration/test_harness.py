@@ -18,9 +18,7 @@ from repro.harness.runner import (
 
 
 def small_config(**overrides):
-    defaults = dict(
-        n_nodes=3, n_keys=60, replication_degree=2, clients_per_node=2, seed=7
-    )
+    defaults = dict(n_nodes=3, n_keys=60, replication_degree=2, clients_per_node=2, seed=7)
     defaults.update(overrides)
     return ClusterConfig(**defaults)
 
@@ -28,9 +26,7 @@ def small_config(**overrides):
 class TestRunner:
     @pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
     def test_run_experiment_produces_metrics(self, protocol):
-        config = small_config(
-            replication_degree=1 if protocol == "rococo" else 2
-        )
+        config = small_config(replication_degree=1 if protocol == "rococo" else 2)
         result = run_experiment(
             protocol,
             config,
@@ -47,12 +43,8 @@ class TestRunner:
     def test_warmup_excluded_from_measurements(self):
         config = small_config()
         workload = WorkloadConfig(read_only_fraction=0.5)
-        with_warmup = run_experiment(
-            "sss", config, workload, duration_us=30_000, warmup_us=15_000
-        )
-        without_warmup = run_experiment(
-            "sss", config, workload, duration_us=30_000, warmup_us=0
-        )
+        with_warmup = run_experiment("sss", config, workload, duration_us=30_000, warmup_us=15_000)
+        without_warmup = run_experiment("sss", config, workload, duration_us=30_000, warmup_us=0)
         assert with_warmup.metrics.committed < without_warmup.metrics.committed
 
     def test_run_trials_uses_distinct_seeds(self):
@@ -90,9 +82,7 @@ class TestRunner:
         for name, cluster_class in PROTOCOLS.items():
             cluster = build_cluster(
                 name,
-                config=small_config(
-                    replication_degree=1 if name == "rococo" else 2
-                ),
+                config=small_config(replication_degree=1 if name == "rococo" else 2),
             )
             assert isinstance(cluster, cluster_class)
             assert cluster.history is None  # history off by default for benchmarks
@@ -182,11 +172,7 @@ class TestFaultTolerance:
         cluster = SSSCluster(config, record_history=True)
         crashed = 2
         cluster.network.crash(crashed)
-        key = next(
-            key
-            for key in cluster.keys
-            if cluster.placement.primary(key) == crashed
-        )
+        key = next(key for key in cluster.keys if cluster.placement.primary(key) == crashed)
         outcomes = []
 
         def client(session):

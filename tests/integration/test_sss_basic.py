@@ -14,25 +14,19 @@ from tests.conftest import run_client_txn
 class TestSingleTransactions:
     def test_read_initial_value(self, small_cluster):
         session = small_cluster.session(0)
-        ok, meta, values = run_client_txn(
-            small_cluster, session, reads=["key-1"], read_only=True
-        )
+        ok, meta, values = run_client_txn(small_cluster, session, reads=["key-1"], read_only=True)
         assert ok is True
         assert values["key-1"] == 0
         assert meta.is_read_only
 
     def test_update_then_read_back(self, small_cluster):
         writer = small_cluster.session(0)
-        ok, meta, _ = run_client_txn(
-            small_cluster, writer, reads=["key-5"], writes={"key-5": 42}
-        )
+        ok, meta, _ = run_client_txn(small_cluster, writer, reads=["key-5"], writes={"key-5": 42})
         assert ok is True
         assert meta.committed
 
         reader = small_cluster.session(1)
-        ok, _meta, values = run_client_txn(
-            small_cluster, reader, reads=["key-5"], read_only=True
-        )
+        ok, _meta, values = run_client_txn(small_cluster, reader, reads=["key-5"], read_only=True)
         assert ok is True
         assert values["key-5"] == 42
 
@@ -54,9 +48,7 @@ class TestSingleTransactions:
 
     def test_update_transaction_has_commit_vc(self, small_cluster):
         session = small_cluster.session(2)
-        ok, meta, _ = run_client_txn(
-            small_cluster, session, reads=["key-9"], writes={"key-9": 7}
-        )
+        ok, meta, _ = run_client_txn(small_cluster, session, reads=["key-9"], writes={"key-9": 7})
         assert ok
         assert meta.commit_vc is not None
         # The commit vector clock carries the same value on every write
@@ -67,18 +59,14 @@ class TestSingleTransactions:
 
     def test_read_only_transaction_never_runs_2pc(self, small_cluster):
         session = small_cluster.session(0)
-        run_client_txn(
-            small_cluster, session, reads=["key-2", "key-4"], read_only=True
-        )
+        run_client_txn(small_cluster, session, reads=["key-2", "key-4"], read_only=True)
         counters = small_cluster.total_counters()
         assert counters.get("prepares", 0) == 0
         assert counters.get("read_only_commits", 0) == 1
 
     def test_external_commit_time_after_internal(self, small_cluster):
         session = small_cluster.session(0)
-        ok, meta, _ = run_client_txn(
-            small_cluster, session, reads=["key-7"], writes={"key-7": 1}
-        )
+        ok, meta, _ = run_client_txn(small_cluster, session, reads=["key-7"], writes={"key-7": 1})
         assert ok
         assert meta.internal_commit_time is not None
         assert meta.external_commit_time >= meta.internal_commit_time
@@ -118,9 +106,7 @@ class TestSessionStateMachine:
         assert session.last.aborted
 
         reader = small_cluster.session(1)
-        ok, _meta, values = run_client_txn(
-            small_cluster, reader, reads=["key-20"], read_only=True
-        )
+        ok, _meta, values = run_client_txn(small_cluster, reader, reads=["key-20"], read_only=True)
         assert ok
         assert values["key-20"] == 0
 
@@ -199,9 +185,7 @@ class TestValidationAndAborts:
 class TestSnapshotQueueLifecycle:
     def test_remove_cleans_all_replicas(self, small_cluster):
         session = small_cluster.session(0)
-        run_client_txn(
-            small_cluster, session, reads=["key-40", "key-41"], read_only=True
-        )
+        run_client_txn(small_cluster, session, reads=["key-40", "key-41"], read_only=True)
         for key in ("key-40", "key-41"):
             for node_id in small_cluster.placement.replicas(key):
                 assert len(small_cluster.node(node_id).store.squeue(key)) == 0

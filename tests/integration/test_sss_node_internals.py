@@ -134,9 +134,7 @@ class TestStarvationBackoff:
         cluster.spawn(writer(cluster.session(1)))
         cluster.spawn(reader_stream(cluster.session(0)))
         cluster.run()
-        backoffs = sum(
-            node.counters.get("starvation_backoffs", 0) for node in cluster.nodes
-        )
+        backoffs = sum(node.counters.get("starvation_backoffs", 0) for node in cluster.nodes)
         assert backoffs > 0
 
     def test_no_backoff_without_queued_writers(self):
@@ -154,10 +152,7 @@ class TestStarvationBackoff:
 
         cluster.spawn(readers())
         cluster.run()
-        assert all(
-            node.counters.get("starvation_backoffs", 0) == 0
-            for node in cluster.nodes
-        )
+        assert all(node.counters.get("starvation_backoffs", 0) == 0 for node in cluster.nodes)
 
 
 class TestVisibilityModes:
@@ -178,9 +173,7 @@ class TestVisibilityModes:
                 cluster.sim.rng.stream(f"vis.{node_id}"),
             )
             cluster.spawn(
-                closed_loop_client(
-                    session, generator, ClientStats(node_id, 0), deadline_us=15_000
-                )
+                closed_loop_client(session, generator, ClientStats(node_id, 0), deadline_us=15_000)
             )
         cluster.run()
         assert len(cluster.history.committed) > 20
@@ -200,9 +193,7 @@ class TestVisibilityModes:
             warmup_us=0,
             keep_cluster=True,
         )
-        waits = sum(
-            node.counters.get("read_waits", 0) for node in result.cluster.nodes
-        )
+        waits = sum(node.counters.get("read_waits", 0) for node in result.cluster.nodes)
         # With multi-key read-only transactions crossing nodes, at least some
         # reads hit the Algorithm 6 line-5 wait.
         assert waits >= 0  # the wait path must at minimum not crash

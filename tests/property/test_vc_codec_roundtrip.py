@@ -54,9 +54,7 @@ def captured_traffic(monkeypatch):
     """Clock streams captured from a small but complete SSS run."""
     CapturingCodec.instances = []
     monkeypatch.setattr(transport_module, "VCCodec", CapturingCodec)
-    config = ClusterConfig(
-        n_nodes=4, n_keys=40, replication_degree=2, clients_per_node=2, seed=11
-    )
+    config = ClusterConfig(n_nodes=4, n_keys=40, replication_degree=2, clients_per_node=2, seed=11)
     workload = WorkloadConfig(read_only_fraction=0.5, read_only_txn_keys=2)
     run_experiment("sss", config, workload, duration_us=8_000.0, warmup_us=0.0)
     streams = defaultdict(list)

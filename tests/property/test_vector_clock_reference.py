@@ -23,9 +23,7 @@ class ReferenceClock:
         self.entries = [int(entry) for entry in entries]
 
     def merge(self, other):
-        return ReferenceClock(
-            [max(a, b) for a, b in zip(self.entries, other.entries)]
-        )
+        return ReferenceClock([max(a, b) for a, b in zip(self.entries, other.entries)])
 
     def increment(self, index, amount=1):
         entries = list(self.entries)
@@ -54,9 +52,7 @@ SIZE = st.shared(st.integers(min_value=1, max_value=8), key="vc-size")
 
 
 def clocks(size):
-    return st.lists(
-        st.integers(min_value=0, max_value=40), min_size=size, max_size=size
-    )
+    return st.lists(st.integers(min_value=0, max_value=40), min_size=size, max_size=size)
 
 
 @st.composite

@@ -33,9 +33,7 @@ def committed(
     hints=(),
 ):
     """Shorthand constructor for a committed-transaction record."""
-    reads = tuple(
-        ReadObservation(key=key, writer=writer) for key, writer in reads
-    )
+    reads = tuple(ReadObservation(key=key, writer=writer) for key, writer in reads)
     writes = tuple(writes)
     if is_update is None:
         is_update = bool(writes)
@@ -99,12 +97,8 @@ class TestCheckers:
     def test_dependency_cycle_detected(self):
         # t1 reads x before t2 writes it; t2 reads y before t1 writes it:
         # classic write-skew-like cycle (rw in both directions).
-        t1 = committed(
-            1, reads=[("x", None)], writes=["y"], begin=0, end=100, hints=[("y", 1.0)]
-        )
-        t2 = committed(
-            2, reads=[("y", None)], writes=["x"], begin=0, end=110, hints=[("x", 1.0)]
-        )
+        t1 = committed(1, reads=[("x", None)], writes=["y"], begin=0, end=100, hints=[("y", 1.0)])
+        t2 = committed(2, reads=[("y", None)], writes=["x"], begin=0, end=110, hints=[("x", 1.0)])
         result = check_serializability([t1, t2])
         assert not result.ok
         assert result.violations
@@ -113,9 +107,7 @@ class TestCheckers:
         writer = committed(1, writes=["x"], begin=0, end=100, hints=[("x", 1.0)])
         # The reader STARTS after the writer's client response, yet observes
         # the initial version: a strict-serializability violation.
-        stale_reader = committed(
-            2, reads=[("x", None)], begin=200, end=260, is_update=False
-        )
+        stale_reader = committed(2, reads=[("x", None)], begin=200, end=260, is_update=False)
         result = check_external_consistency([writer, stale_reader])
         assert not result.ok
         # Without real-time edges the same history is serializable.
@@ -123,20 +115,14 @@ class TestCheckers:
 
     def test_overlapping_transactions_are_not_realtime_ordered(self):
         writer = committed(1, writes=["x"], begin=0, end=300, hints=[("x", 1.0)])
-        overlapping_reader = committed(
-            2, reads=[("x", None)], begin=100, end=150, is_update=False
-        )
+        overlapping_reader = committed(2, reads=[("x", None)], begin=100, end=150, is_update=False)
         assert check_external_consistency([writer, overlapping_reader]).ok
 
     def test_update_completion_order_check(self):
         # Two conflicting updates whose responses are far apart but whose
         # version order contradicts the response order.
-        first_response = committed(
-            1, writes=["x"], begin=0, end=100, hints=[("x", 2.0)]
-        )
-        second_response = committed(
-            2, writes=["x"], begin=0, end=5_000, hints=[("x", 1.0)]
-        )
+        first_response = committed(1, writes=["x"], begin=0, end=100, hints=[("x", 2.0)])
+        second_response = committed(2, writes=["x"], begin=0, end=5_000, hints=[("x", 1.0)])
         result = check_update_completion_order([first_response, second_response])
         assert not result.ok
         # Within the observability tolerance the same pattern is accepted.
@@ -183,9 +169,7 @@ class TestHistoryRecorder:
         history.committed.append(committed(1, writes=["x"]))
         from repro.consistency.history import AbortedTransaction
 
-        history.aborted.append(
-            AbortedTransaction(TransactionId(0, 2), 0, True, "validation", 1.0)
-        )
+        history.aborted.append(AbortedTransaction(TransactionId(0, 2), 0, True, "validation", 1.0))
         assert history.abort_rate() == pytest.approx(0.5)
 
     def test_completion_order_sorted(self):
@@ -229,9 +213,7 @@ class TestMetrics:
         a.precommit_waits_us = [30.0] * 10
         b.committed, b.committed_read_only, b.latencies_us = 5, 5, [50.0] * 5
         b.aborted = 5
-        metrics = ExperimentMetrics.from_clients(
-            "sss", 2, [a, b], measured_duration_us=1_000_000.0
-        )
+        metrics = ExperimentMetrics.from_clients("sss", 2, [a, b], measured_duration_us=1_000_000.0)
         assert metrics.committed == 15
         assert metrics.aborted == 5
         assert metrics.throughput_tps == pytest.approx(15.0)
@@ -257,9 +239,7 @@ class TestMetrics:
 
 class TestReporting:
     def test_format_table_contains_values(self):
-        table = format_table(
-            "Example", ["5", "10"], {"sss": [1.0, 2.0], "2pc": [0.5, None]}
-        )
+        table = format_table("Example", ["5", "10"], {"sss": [1.0, 2.0], "2pc": [0.5, None]})
         assert "Example" in table
         assert "sss" in table and "2pc" in table
         assert "2.0" in table and "-" in table

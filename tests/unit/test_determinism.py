@@ -64,14 +64,62 @@ def _run_fingerprint(protocol: str = "sss", seed: int = 7) -> str:
     return _history_fingerprint(result.cluster.history)
 
 
+def _run_open_loop_fingerprint(protocol: str = "sss", seed: int = 7) -> str:
+    """History + traffic-accounting digest of an open-loop scenario run.
+
+    The scenario exercises every arrival-process kind plus a mix override,
+    so a hash-order leak anywhere in the traffic plane (phase walking,
+    admission queue, session pool) would flip the digest.
+    """
+    from repro.common.config import TrafficPlan
+
+    config = ClusterConfig(
+        n_nodes=3,
+        n_keys=24,
+        replication_degree=2,
+        clients_per_node=0,
+        seed=seed,
+        traffic=TrafficPlan.parse(
+            [
+                "ramp 2000..12000 over=5ms until=5ms",
+                "burst base=2000 peak=9000 every=4ms for=1ms until=10ms read_only=0.8",
+                "const rate=4000",
+            ]
+        ),
+    )
+    workload = WorkloadConfig(read_only_fraction=0.5)
+    result = run_experiment(
+        protocol,
+        config,
+        workload,
+        duration_us=15_000,
+        warmup_us=0,
+        record_history=True,
+        keep_cluster=True,
+    )
+    extra = result.metrics.extra
+    traffic_line = (
+        f"offered={extra['offered']}|dropped={extra['dropped']}"
+        f"|timed_out={extra['timed_out']}|series="
+        + ";".join(
+            f"{window['offered']},{window['completed']},{window['latency_p99_us']!r}"
+            for window in result.metrics.timeseries
+        )
+    )
+    history_digest = _history_fingerprint(result.cluster.history)
+    return hashlib.sha256(f"{history_digest}\n{traffic_line}".encode()).hexdigest()
+
+
 _SUBPROCESS_SNIPPET = (
     "import sys; sys.path.insert(0, {src!r}); sys.path.insert(0, {tests!r}); "
-    "from test_determinism import _run_fingerprint; "
-    "print(_run_fingerprint({protocol!r}, {seed}))"
+    "from test_determinism import {func}; "
+    "print({func}({protocol!r}, {seed}))"
 )
 
 
-def _fingerprint_in_subprocess(hash_seed: str, protocol: str, seed: int) -> str:
+def _fingerprint_in_subprocess(
+    hash_seed: str, protocol: str, seed: int, func: str = "_run_fingerprint"
+) -> str:
     root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = hash_seed
@@ -80,6 +128,7 @@ def _fingerprint_in_subprocess(hash_seed: str, protocol: str, seed: int) -> str:
         tests=os.path.join(root, "tests", "unit"),
         protocol=protocol,
         seed=seed,
+        func=func,
     )
     output = subprocess.run(
         [sys.executable, "-c", snippet],
@@ -111,6 +160,22 @@ class TestSameSeedSameHistory:
         second = _fingerprint_in_subprocess("4242", "sss", 7)
         assert first == second
         assert first == _fingerprint_in_subprocess("0", "sss", 7)
+
+    def test_open_loop_runs_are_identical(self):
+        assert _run_open_loop_fingerprint("sss") == _run_open_loop_fingerprint("sss")
+        assert _run_open_loop_fingerprint(seed=7) != _run_open_loop_fingerprint(seed=8)
+
+    def test_open_loop_survives_hash_randomization(self):
+        """Open-loop scenarios are as replayable as closed-loop runs.
+
+        Same digest (history + arrival/drop accounting + time series)
+        across interpreters with different ``PYTHONHASHSEED`` values —
+        which is what lets the latency-load sweep fan out across worker
+        processes and still emit byte-identical datapoints.
+        """
+        first = _fingerprint_in_subprocess("1", "sss", 7, func="_run_open_loop_fingerprint")
+        second = _fingerprint_in_subprocess("4242", "sss", 7, func="_run_open_loop_fingerprint")
+        assert first == second
 
 
 class TestEnginePathEquivalence:

@@ -63,9 +63,7 @@ class TestFaultPlanParsing:
         assert fault.duration_us is None
 
     def test_partition_string(self):
-        (fault,) = FaultPlan.parse(
-            ["partition groups=0,1|2,3 at=10ms for=20ms mode=drop"]
-        ).faults
+        (fault,) = FaultPlan.parse(["partition groups=0,1|2,3 at=10ms for=20ms mode=drop"]).faults
         assert fault == PartitionFault(
             groups=((0, 1), (2, 3)), at_us=10_000.0, duration_us=20_000.0, mode="drop"
         )
@@ -86,9 +84,7 @@ class TestFaultPlanParsing:
 
     def test_dict_and_object_specs(self):
         crash = CrashFault(node=1, at_us=10.0, duration_us=5.0)
-        plan = FaultPlan.parse(
-            [crash, {"kind": "crash", "node": 0, "at": "1ms", "for": "1ms"}]
-        )
+        plan = FaultPlan.parse([crash, {"kind": "crash", "node": 0, "at": "1ms", "for": "1ms"}])
         assert plan.faults[0] is crash
         assert plan.faults[1].node == 0
 
@@ -121,9 +117,7 @@ class TestFaultPlanParsing:
 
 class TestFaultPlanValidation:
     def test_cluster_config_validates_plan(self):
-        config = ClusterConfig(
-            n_nodes=3, faults=FaultPlan.parse(["crash node=7 at=1ms"])
-        )
+        config = ClusterConfig(n_nodes=3, faults=FaultPlan.parse(["crash node=7 at=1ms"]))
         with pytest.raises(ConfigurationError):
             config.validate()
 

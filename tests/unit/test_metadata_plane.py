@@ -126,9 +126,7 @@ class TestSlottedMessages:
         assert ReadRequest(vc=vc, has_read=(False,) * 4).size_estimate() == 48 + 32 + 4
         assert Vote(vc=vc).size_estimate() == 48 + 32
         assert Decide(commit_vc=vc).size_estimate() == 56 + 32
-        assert (
-            ReadReturn(max_vc=vc, version_vc=vc).size_estimate() == 66 + 32 + 32
-        )
+        assert ReadReturn(max_vc=vc, version_vc=vc).size_estimate() == 66 + 32 + 32
         prepare = Prepare(vc=vc, read_versions=(("k", vc),), write_items=(("k", 1),))
         assert prepare.size_estimate() == 64 + 32 + (16 + 32) + 32
 

@@ -164,9 +164,7 @@ class TestTransport:
                 self.register_handler(Slow, lambda m: order.append(m.tag))
                 self.register_handler(Urgent, lambda m: order.append(m.tag))
 
-        receiver = Receiver(
-            sim, network, 0, service=ServiceTimeConfig(message_handling_us=50.0)
-        )
+        receiver = Receiver(sim, network, 0, service=ServiceTimeConfig(message_handling_us=50.0))
         sender = NetworkedNode(sim, network, 1)
 
         def client():

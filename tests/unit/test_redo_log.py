@@ -15,9 +15,7 @@ class TestParticipantRedoLog:
     def test_vote_then_decision_then_discard(self):
         log = ParticipantRedoLog()
         txn = TransactionId(0, 1)
-        record = log.record_vote(
-            txn, _vc(3, 0), write_items=(("k", 9),), read_keys=("r",)
-        )
+        record = log.record_vote(txn, _vc(3, 0), write_items=(("k", 9),), read_keys=("r",))
         assert txn in log
         assert not record.decided
         assert log.find(txn).vc == _vc(3, 0)

@@ -300,9 +300,7 @@ class TestNLog:
         nlog.append(self._entry(1, VectorClock([5, 1])))
         nlog.append(self._entry(2, VectorClock([8, 9])))
         reader_vc = VectorClock([10, 1])
-        result = nlog.visible_max_vc(
-            reader_vc, has_read=[False, True], strict=True
-        )
+        result = nlog.visible_max_vc(reader_vc, has_read=[False, True], strict=True)
         # The second entry is invisible (vc[1]=9 > bound 1), so only the first counts.
         assert result == VectorClock([5, 1])
 

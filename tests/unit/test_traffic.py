@@ -1,0 +1,341 @@
+"""Unit tests for the traffic plane: schedules, arrivals, and the DSL.
+
+Three properties carry the subsystem:
+
+* **exactness** — the closed-form schedule inversion places deterministic
+  arrivals on the exact cumulative-rate grid (no drift), and Poisson
+  sampling realizes the schedule's intensity within statistical tolerance;
+* **determinism** — arrival streams are a pure function of ``(rng state,
+  schedule)``; the same seed yields the same instants, byte for byte;
+* **strictness** — the ``TrafficPlan`` parser round-trips every documented
+  form and rejects malformed specs loudly (a silently mis-parsed scenario
+  would invalidate a whole study).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
+from repro.common.units import parse_rate_tps, parse_time_us
+from repro.traffic import (
+    ArrivalProcess,
+    BurstArrivals,
+    ConstArrivals,
+    PiecewiseArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    TrafficPhase,
+    TrafficPlan,
+    burst_schedule,
+    constant_schedule,
+    piecewise_schedule,
+    ramp_schedule,
+)
+
+
+class TestUnitParsers:
+    def test_rate_literals(self):
+        assert parse_rate_tps(2000) == 2000.0
+        assert parse_rate_tps("2000") == 2000.0
+        assert parse_rate_tps("2000tps") == 2000.0
+        assert parse_rate_tps("2ktps") == 2000.0
+        assert parse_rate_tps("1.5ktps") == 1500.0
+
+    def test_time_literals_still_parse(self):
+        assert parse_time_us("30ms") == 30_000.0
+        assert parse_time_us("1.5s") == 1_500_000.0
+
+    def test_bad_literals(self):
+        with pytest.raises(ConfigurationError):
+            parse_rate_tps("fast")
+        with pytest.raises(ConfigurationError):
+            parse_time_us("soon")
+
+
+class TestRateSchedules:
+    def test_constant_deterministic_grid_is_exact(self):
+        process = ArrivalProcess(constant_schedule(1000), sampling="deterministic")
+        times = list(process.arrivals(random.Random(1), 0.0, 100_000.0))
+        assert times[0] == pytest.approx(1000.0)
+        gaps = {round(b - a, 9) for a, b in zip(times, times[1:])}
+        assert gaps == {1000.0}
+        assert len(times) == 99  # the 100th lands exactly on the horizon
+
+    def test_deterministic_consumes_no_randomness(self):
+        rng = random.Random(7)
+        before = rng.getstate()
+        list(
+            ArrivalProcess(
+                ramp_schedule(100, 5000, 50_000), sampling="deterministic"
+            ).arrivals(rng, 0.0, 50_000.0)
+        )
+        assert rng.getstate() == before
+
+    def test_ramp_count_matches_integral(self):
+        # 0 -> 2000 tps over 100 ms integrates to exactly 100 arrivals.
+        process = ArrivalProcess(ramp_schedule(0, 2000, 100_000), sampling="deterministic")
+        times = list(process.arrivals(random.Random(1), 0.0, 100_000.0))
+        assert len(times) == 99  # arrival 100 lands on the horizon itself
+        # Density grows along the ramp: late gaps are a fraction of early ones.
+        assert times[-1] - times[-2] < (times[1] - times[0]) / 4
+
+    def test_ramp_holds_final_rate_past_over(self):
+        schedule = ramp_schedule(1000, 4000, 10_000)
+        assert schedule.rate_at(5_000) == pytest.approx(2500.0)
+        assert schedule.rate_at(50_000) == pytest.approx(4000.0)
+        process = ArrivalProcess(schedule, sampling="deterministic")
+        times = [
+            t for t in process.arrivals(random.Random(1), 0.0, 30_000.0) if t > 10_000
+        ]
+        gaps = {round(b - a, 6) for a, b in zip(times, times[1:])}
+        assert gaps == {250.0}  # exactly 4000 tps after the ramp
+
+    def test_burst_arrivals_confined_to_burst_windows(self):
+        # base=0: every arrival must land inside a burst window.
+        process = ArrivalProcess(burst_schedule(0, 10_000, 10_000, 2_000), sampling="deterministic")
+        times = list(process.arrivals(random.Random(1), 0.0, 50_000.0))
+        assert len(times) == pytest.approx(100, abs=2)
+        assert all(t % 10_000 <= 2_000 + 1e-6 for t in times)
+
+    def test_burst_base_rate_fills_gaps(self):
+        process = ArrivalProcess(
+            burst_schedule(1000, 8000, 20_000, 5_000), sampling="deterministic"
+        )
+        times = list(process.arrivals(random.Random(1), 0.0, 100_000.0))
+        in_burst = sum(1 for t in times if t % 20_000 <= 5_000)
+        off_burst = len(times) - in_burst
+        # Expected per 20 ms period: 40 burst arrivals, 15 base arrivals.
+        assert in_burst == pytest.approx(200, abs=5)
+        assert off_burst == pytest.approx(75, abs=5)
+
+    def test_piecewise_repeat_cycles(self):
+        schedule = piecewise_schedule(((5_000, 1000, 1000), (5_000, 3000, 3000)), repeat=True)
+        assert schedule.rate_at(2_000) == 1000
+        assert schedule.rate_at(7_000) == 3000
+        assert schedule.rate_at(12_000) == 1000  # second cycle
+        process = ArrivalProcess(schedule, sampling="deterministic")
+        times = list(process.arrivals(random.Random(1), 0.0, 1_000_000.0))
+        # Mean rate 2000 tps over 1 s.
+        assert len(times) == pytest.approx(2000, abs=2)
+
+    def test_poisson_rate_accuracy(self):
+        process = ArrivalProcess(constant_schedule(2000), sampling="poisson")
+        times = list(process.arrivals(random.Random(42), 0.0, 1_000_000.0))
+        # 2000 expected, sd ~45; 4 sd tolerance keeps this deterministic-safe
+        # (the rng is seeded, so this is really a regression pin).
+        assert len(times) == pytest.approx(2000, abs=180)
+
+    def test_poisson_ramp_rate_accuracy(self):
+        # Non-homogeneous Poisson via time warping: the realized count over
+        # the ramp must match its integral, and the late half must be denser.
+        process = ArrivalProcess(ramp_schedule(500, 7500, 200_000), sampling="poisson")
+        times = list(process.arrivals(random.Random(9), 0.0, 200_000.0))
+        assert len(times) == pytest.approx(800, abs=110)
+        early = sum(1 for t in times if t < 100_000)
+        late = len(times) - early
+        assert late > 2 * early
+
+    def test_arrivals_are_deterministic_per_seed(self):
+        def draw(seed):
+            return list(
+                ArrivalProcess(
+                    burst_schedule(500, 4000, 15_000, 5_000), sampling="poisson"
+                ).arrivals(random.Random(seed), 0.0, 120_000.0)
+            )
+
+        assert draw(5) == draw(5)
+        assert draw(5) != draw(6)
+
+    def test_offset_units_interleave_to_even_grid(self):
+        merged = []
+        for node in range(4):
+            process = ArrivalProcess(
+                constant_schedule(1000), sampling="deterministic", offset_units=node / 4
+            )
+            merged.extend(process.arrivals(random.Random(1), 0.0, 40_000.0))
+        merged.sort()
+        gaps = {round(b - a, 6) for a, b in zip(merged, merged[1:])}
+        assert gaps == {250.0}
+
+    def test_zero_rate_tail_exhausts(self):
+        schedule = piecewise_schedule(((10_000, 2000, 0),))
+        process = ArrivalProcess(schedule, sampling="deterministic")
+        times = list(process.arrivals(random.Random(1), 0.0, math.inf))
+        assert times and times[-1] <= 10_000.0
+
+
+class TestTrafficPlanParsing:
+    def test_poisson_with_detached_unit(self):
+        plan = TrafficPlan.parse(["poisson rate=2000 tps"])
+        (phase,) = plan.phases
+        assert phase.arrival == PoissonArrivals(rate_tps=2000.0)
+        assert phase.until_us is None and phase.overrides == ()
+
+    def test_const_and_alias(self):
+        assert TrafficPlan.parse(["const rate=1ktps"]).phases[0].arrival == ConstArrivals(
+            rate_tps=1000.0
+        )
+        assert TrafficPlan.parse(["deterministic rate=500"]).phases[
+            0
+        ].arrival == ConstArrivals(rate_tps=500.0)
+
+    def test_ramp_positional_range(self):
+        plan = TrafficPlan.parse(["ramp 500..8000 tps over=150ms"])
+        assert plan.phases[0].arrival == RampArrivals(
+            start_tps=500.0, end_tps=8000.0, over_us=150_000.0
+        )
+
+    def test_ramp_keyword_range(self):
+        plan = TrafficPlan.parse(["ramp from=1ktps to=4ktps over=50ms"])
+        assert plan.phases[0].arrival == RampArrivals(
+            start_tps=1000.0, end_tps=4000.0, over_us=50_000.0
+        )
+
+    def test_burst(self):
+        plan = TrafficPlan.parse(["burst base=1000 peak=6000 every=40ms for=10ms"])
+        assert plan.phases[0].arrival == BurstArrivals(
+            base_tps=1000.0, peak_tps=6000.0, every_us=40_000.0, for_us=10_000.0
+        )
+
+    def test_piecewise(self):
+        plan = TrafficPlan.parse(
+            ["piecewise segments=1000:20ms,1000..8000:50ms,8000:30ms repeat=true"]
+        )
+        arrival = plan.phases[0].arrival
+        assert arrival == PiecewiseArrivals(
+            pieces=(
+                (20_000.0, 1000.0, 1000.0),
+                (50_000.0, 1000.0, 8000.0),
+                (30_000.0, 8000.0, 8000.0),
+            ),
+            repeat=True,
+        )
+
+    def test_phase_scheduling_and_overrides(self):
+        plan = TrafficPlan.parse(
+            [
+                "poisson rate=2000 until=40ms read_only=0.8",
+                "poisson rate=6000 until=80ms zipf=0.9",
+                "const rate=1000 dist=uniform locality=0.5 ro_keys=4",
+            ]
+        )
+        plan.validate()
+        first, second, third = plan.phases
+        assert first.until_us == 40_000.0
+        assert first.overrides == (("read_only", 0.8),)
+        assert second.overrides == (("zipf", 0.9),)
+        assert dict(third.overrides) == {
+            "dist": "uniform",
+            "locality": 0.5,
+            "ro_keys": 4,
+        }
+        windows = plan.phase_windows(100_000.0)
+        assert [(start, end) for _, start, end, _ in windows] == [
+            (0.0, 40_000.0),
+            (40_000.0, 80_000.0),
+            (80_000.0, 100_000.0),
+        ]
+
+    def test_overrides_apply_to_workload(self):
+        plan = TrafficPlan.parse(["poisson rate=100 zipf=0.9 read_only=0.8"])
+        base = WorkloadConfig(read_only_fraction=0.2)
+        overridden = plan.phases[0].workload_config(base)
+        assert overridden.read_only_fraction == 0.8
+        assert overridden.key_distribution == "zipfian"
+        assert overridden.zipf_theta == 0.9
+        # The base config is untouched (phases do not leak into each other).
+        assert base.read_only_fraction == 0.2 and base.key_distribution == "uniform"
+
+    def test_sampling_override(self):
+        plan = TrafficPlan.parse(
+            ["burst base=0 peak=4000 every=10ms for=2ms sampling=deterministic"]
+        )
+        assert plan.phases[0].process().sampling == "deterministic"
+        assert TrafficPlan.parse(["const rate=100"]).phases[0].process().sampling == "deterministic"
+        assert TrafficPlan.parse(["poisson rate=100"]).phases[0].process().sampling == "poisson"
+
+    def test_dict_and_phase_objects(self):
+        phase = TrafficPhase(arrival=ConstArrivals(rate_tps=10.0))
+        plan = TrafficPlan.parse([{"kind": "poisson", "rate": 100}, phase])
+        assert plan.phases[1] is phase
+        assert plan.phases[0].arrival == PoissonArrivals(rate_tps=100.0)
+
+    def test_plan_is_picklable_and_hashable(self):
+        import pickle
+
+        plan = TrafficPlan.parse(["ramp 500..8000 over=150ms until=150ms", "poisson rate=2000"])
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        assert hash(plan.phases[0]) is not None
+
+    def test_cluster_config_carries_plan(self):
+        config = ClusterConfig(traffic=TrafficPlan.parse(["poisson rate=100"]))
+        config.validate()
+        assert config.traffic
+        assert not ClusterConfig().traffic
+
+
+class TestTrafficPlanRejections:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",  # empty
+            "warp rate=100",  # unknown kind
+            "poisson",  # missing rate
+            "poisson rate=100 speed=9",  # unknown field
+            "poisson rate=100 rate=200",  # duplicate field
+            "poisson rate=100 tps tps",  # dangling unit after merged unit
+            "poisson tps",  # unit with nothing to attach to
+            "poisson rate=-5",  # negative rate (validate)
+            "poisson rate=nope",  # unparsable rate
+            "const rate=0",  # zero rate
+            "burst base=1000 peak=500 every=10ms for=2ms",  # peak < base
+            "burst base=0 peak=100 every=10ms for=10ms",  # for >= every
+            "burst base=0 peak=100 every=10ms",  # missing for
+            "ramp 500..8000",  # missing over
+            "ramp over=10ms",  # missing range
+            "ramp 0..0 over=10ms",  # never offers load
+            "piecewise segments=",  # empty segments
+            "piecewise segments=100:0ms",  # zero-duration piece
+            "poisson rate=100 until=0",  # non-positive until
+            "poisson rate=100 sampling=quantum",  # unknown discipline
+            "poisson rate=100 ro_keys=0",  # override out of range
+            "poisson rate=100 ro_keys=two",  # non-integer override
+            "poisson rate=100 read_only=lots",  # non-numeric override
+            "poisson rate=100 read_only=1.5",  # fraction out of [0, 1]
+            "poisson rate=100 locality=2",  # fraction out of [0, 1]
+            "poisson rate=100 zipf=1.0",  # theta out of [0, 1)
+            "poisson rate=100 dist=pareto",  # unknown distribution
+        ],
+    )
+    def test_malformed_specs_are_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            TrafficPlan.parse([spec]).validate()
+
+    def test_phase_order_must_increase(self):
+        plan = TrafficPlan.parse(["poisson rate=100 until=40ms", "poisson rate=200 until=30ms"])
+        with pytest.raises(ConfigurationError):
+            plan.validate()
+
+    def test_only_last_phase_may_be_open_ended(self):
+        plan = TrafficPlan.parse(["poisson rate=100", "poisson rate=200 until=40ms"])
+        with pytest.raises(ConfigurationError):
+            plan.validate()
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"max_pending": 0},
+            {"queue_limit": -1},
+            {"queue_timeout_us": 0.0},
+            {"window_us": 0.0},
+        ],
+    )
+    def test_bad_envelope_knobs(self, knobs):
+        plan = TrafficPlan.parse(["poisson rate=100"], **knobs)
+        with pytest.raises(ConfigurationError):
+            plan.validate()

@@ -160,17 +160,13 @@ class TestKeySelectors:
 
     def test_make_key_selector_dispatch(self):
         placement = KeyPlacement(n_nodes=3, replication_degree=2, keys=KEYS)
-        assert isinstance(
-            make_key_selector(WorkloadConfig(), KEYS), UniformKeySelector
-        )
+        assert isinstance(make_key_selector(WorkloadConfig(), KEYS), UniformKeySelector)
         assert isinstance(
             make_key_selector(WorkloadConfig(key_distribution="zipfian"), KEYS),
             ZipfianKeySelector,
         )
         assert isinstance(
-            make_key_selector(
-                WorkloadConfig(locality_fraction=0.5), KEYS, placement, node_id=1
-            ),
+            make_key_selector(WorkloadConfig(locality_fraction=0.5), KEYS, placement, node_id=1),
             LocalityKeySelector,
         )
 
