@@ -4,15 +4,22 @@ Compares the events/sec of freshly produced ``BENCH_<figure>.json`` files
 against the committed baselines under ``benchmarks/baselines/`` and exits
 non-zero when any checked figure is more than the allowed percentage slower.
 
+Figures whose baseline carries ``totals.memory_high_water_bytes`` (the
+``scale`` figure) are additionally gated on memory: the current high-water
+mark must stay below the baseline plus the allowed memory headroom.
+Speed is a floor, memory is a ceiling.
+
 Usage::
 
     python benchmarks/check_regression.py [--figures fig3 scaling]
         [--current-dir DIR] [--baseline-dir DIR] [--threshold-pct 25]
+        [--memory-threshold-pct 50]
 
 (``--figure X`` remains as an alias for ``--figures X``.)
 
 Environment overrides: ``REPRO_BENCH_OUT`` (current dir),
-``REPRO_BENCH_REGRESSION_PCT`` (threshold).
+``REPRO_BENCH_REGRESSION_PCT`` (speed threshold),
+``REPRO_BENCH_MEMORY_PCT`` (memory threshold).
 
 The committed baselines are calibrated for the CI runner class (see the
 ``provenance`` field inside each baseline file); refresh them deliberately
@@ -82,6 +89,31 @@ def check_figure(figure: str, args) -> int:
             file=sys.stderr,
         )
         return 1
+
+    baseline_mem = baseline["totals"].get("memory_high_water_bytes")
+    if baseline_mem is not None:
+        current_mem = current["totals"].get("memory_high_water_bytes")
+        if current_mem is None:
+            print(
+                f"FAIL: {figure} baseline pins memory_high_water_bytes but the "
+                f"current run did not report one",
+                file=sys.stderr,
+            )
+            return 1
+        ceiling = baseline_mem * (1.0 + args.memory_threshold_pct / 100.0)
+        print(
+            f"figure={figure}  baseline memory={baseline_mem}  "
+            f"current memory={current_mem}  allowed ceiling={ceiling:.0f} "
+            f"(+{args.memory_threshold_pct:.0f}%)"
+        )
+        if current_mem > ceiling:
+            print(
+                f"FAIL: {figure} memory high-water mark grew by more than "
+                f"{args.memory_threshold_pct:.0f}% ({current_mem} > {ceiling:.0f})",
+                file=sys.stderr,
+            )
+            return 1
+
     print(f"OK: {figure} within the regression budget")
     return 0
 
@@ -108,6 +140,11 @@ def main() -> int:
         "--threshold-pct",
         type=float,
         default=float(os.environ.get("REPRO_BENCH_REGRESSION_PCT", 25.0)),
+    )
+    parser.add_argument(
+        "--memory-threshold-pct",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_MEMORY_PCT", 50.0)),
     )
     parser.add_argument(
         "--write-baseline",

@@ -14,6 +14,10 @@ by the simulated clusters:
 * :mod:`repro.consistency.checkers` — external consistency, serializability
   and snapshot-isolation style checks used by tests, property tests and the
   ``consistency_audit`` example.
+* :mod:`repro.consistency.window` — the windowed/online variant: the same
+  checks run epoch by epoch as the run progresses, with closed epochs
+  discarded so memory stays bounded (the post-hoc checkers above remain
+  the golden oracle).
 """
 
 from repro.consistency.checkers import (
@@ -24,14 +28,22 @@ from repro.consistency.checkers import (
 )
 from repro.consistency.dsg import DependencyEdge, build_dsg
 from repro.consistency.history import CommittedTransaction, HistoryRecorder
+from repro.consistency.window import (
+    WindowedConsistencyChecker,
+    WindowedHistoryRecorder,
+    default_retention_us,
+)
 
 __all__ = [
     "CheckResult",
     "CommittedTransaction",
     "DependencyEdge",
     "HistoryRecorder",
+    "WindowedConsistencyChecker",
+    "WindowedHistoryRecorder",
     "build_dsg",
     "check_external_consistency",
     "check_serializability",
     "check_snapshot_reads",
+    "default_retention_us",
 ]

@@ -73,6 +73,48 @@ class AbortedTransaction:
     abort_time: float
 
 
+def committed_from_meta(meta: "TransactionMeta") -> CommittedTransaction:
+    """Normalize a committed :class:`TransactionMeta` into the checker record.
+
+    Shared by the post-hoc :class:`HistoryRecorder` and the windowed
+    :class:`~repro.consistency.window.WindowedHistoryRecorder`, so both
+    paths see byte-identical transaction records.
+    """
+    reads = tuple(
+        ReadObservation(
+            key=record.key,
+            writer=record.writer,
+            version_local_value=record.version_vc[record.served_by]
+            if record.served_by < record.version_vc.size
+            else 0,
+        )
+        for record in meta.read_set.values()
+    )
+    return CommittedTransaction(
+        txn_id=meta.txn_id,
+        coordinator=meta.coordinator,
+        is_update=meta.is_update,
+        reads=reads,
+        writes=tuple(meta.write_set),
+        begin_time=meta.begin_time,
+        external_commit_time=meta.external_commit_time
+        if meta.external_commit_time is not None
+        else meta.begin_time,
+        write_version_hints=tuple(meta.version_hints.items()),
+    )
+
+
+def aborted_from_meta(meta: "TransactionMeta") -> AbortedTransaction:
+    """Normalize an aborted :class:`TransactionMeta` (statistics only)."""
+    return AbortedTransaction(
+        txn_id=meta.txn_id,
+        coordinator=meta.coordinator,
+        is_update=meta.is_update,
+        reason=meta.abort_reason,
+        abort_time=meta.abort_time if meta.abort_time is not None else 0.0,
+    )
+
+
 @dataclass
 class HistoryRecorder:
     """Collects the history of one experiment or test run."""
@@ -86,43 +128,12 @@ class HistoryRecorder:
         """Record the external commit of ``meta``."""
         if not self.enabled:
             return
-        reads = tuple(
-            ReadObservation(
-                key=record.key,
-                writer=record.writer,
-                version_local_value=record.version_vc[record.served_by]
-                if record.served_by < record.version_vc.size
-                else 0,
-            )
-            for record in meta.read_set.values()
-        )
-        self.committed.append(
-            CommittedTransaction(
-                txn_id=meta.txn_id,
-                coordinator=meta.coordinator,
-                is_update=meta.is_update,
-                reads=reads,
-                writes=tuple(meta.write_set),
-                begin_time=meta.begin_time,
-                external_commit_time=meta.external_commit_time
-                if meta.external_commit_time is not None
-                else meta.begin_time,
-                write_version_hints=tuple(meta.version_hints.items()),
-            )
-        )
+        self.committed.append(committed_from_meta(meta))
 
     def record_abort(self, meta: "TransactionMeta") -> None:
         if not self.enabled:
             return
-        self.aborted.append(
-            AbortedTransaction(
-                txn_id=meta.txn_id,
-                coordinator=meta.coordinator,
-                is_update=meta.is_update,
-                reason=meta.abort_reason,
-                abort_time=meta.abort_time if meta.abort_time is not None else 0.0,
-            )
-        )
+        self.aborted.append(aborted_from_meta(meta))
 
     # ------------------------------------------------------------------
     @property

@@ -125,7 +125,23 @@ class Session:
     def _require_open(self) -> TransactionMeta:
         if self.current is None:
             raise TransactionStateError("no open transaction; call begin() first")
-        return self.current
+        meta = self.current
+        if (
+            meta.phase is TransactionPhase.ABORTED
+            and meta.abort_reason == "coordinator-crash"
+        ):
+            # The coordinator crash-stopped and tore this transaction down
+            # while the client process was suspended on a purely local step
+            # (a CPU charge has no network event to fail, unlike a remote
+            # request).  Surface the crash as the documented client-visible
+            # outcome instead of letting the next operation run against a
+            # dead transaction — Walter's local-replica reads hit exactly
+            # this window and used to double-commit (TransactionStateError).
+            self._finish(meta)
+            raise NodeCrashedError(
+                f"node {self.node_id} crashed while {meta.txn_id} was in flight"
+            )
+        return meta
 
     def _finish(self, meta: TransactionMeta) -> None:
         self.current = None

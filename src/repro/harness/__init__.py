@@ -8,6 +8,9 @@ rates, latency percentiles and the internal/external commit breakdown.
 * :mod:`repro.harness.runner` — run one experiment (closed-loop clients,
   warm-up, measurement window) and the saturation search used by Figure 4(a).
 * :mod:`repro.harness.metrics` — aggregation of client statistics.
+* :mod:`repro.harness.sketch` — deterministic mergeable quantile sketches.
+* :mod:`repro.harness.streaming` — online aggregation for open-loop runs
+  (bounded memory at heavy traffic).
 * :mod:`repro.harness.experiments` — the per-figure experiment definitions
   (workload and sweep parameters for Figures 3 through 8).
 * :mod:`repro.harness.reporting` — plain-text tables mirroring the paper's
@@ -18,12 +21,16 @@ from repro.harness.cluster import PROTOCOLS, build_cluster
 from repro.harness.metrics import ExperimentMetrics, LatencySummary
 from repro.harness.runner import ExperimentResult, run_experiment, find_saturation_throughput
 from repro.harness.reporting import format_series, format_table
+from repro.harness.sketch import QuantileSketch
+from repro.harness.streaming import StreamingAccumulator
 
 __all__ = [
     "ExperimentMetrics",
     "ExperimentResult",
     "LatencySummary",
     "PROTOCOLS",
+    "QuantileSketch",
+    "StreamingAccumulator",
     "build_cluster",
     "find_saturation_throughput",
     "format_series",

@@ -62,6 +62,24 @@ class LatencySummary:
             max_us=ordered[-1],
         )
 
+    @classmethod
+    def from_sketch(cls, sketch) -> "LatencySummary":
+        """Summary read back from a :class:`~repro.harness.sketch.QuantileSketch`.
+
+        Count, mean and max are exact; the percentiles carry the sketch's
+        relative-error guarantee (pinned by ``tests/unit/test_sketch.py``).
+        """
+        if sketch.count == 0:
+            return cls(count=0, mean_us=0.0, p50_us=0.0, p95_us=0.0, p99_us=0.0, max_us=0.0)
+        return cls(
+            count=sketch.count,
+            mean_us=sketch.mean,
+            p50_us=sketch.quantile(0.50),
+            p95_us=sketch.quantile(0.95),
+            p99_us=sketch.quantile(0.99),
+            max_us=sketch.max,
+        )
+
     @property
     def mean_ms(self) -> float:
         return self.mean_us / 1_000.0
@@ -98,6 +116,17 @@ def compute_phase_metrics(
                 "throughput_tps": round(committed / (width_us / SECOND), 1),
             }
         )
+    attach_availability(phases)
+    return phases
+
+
+def attach_availability(phases: List[Dict[str, float]]) -> None:
+    """Attach per-phase availability in place (shared with the streaming path).
+
+    Availability is each phase's committed throughput relative to the best
+    phase whose label ends with ``fail-free``, capped at 1; ``None``
+    everywhere when the run has no non-empty fail-free phase.
+    """
     reference = max(
         (phase["throughput_tps"] for phase in phases if phase["label"].endswith("fail-free")),
         default=0.0,
@@ -107,7 +136,6 @@ def compute_phase_metrics(
             phase["availability"] = round(min(1.0, phase["throughput_tps"] / reference), 4)
         else:
             phase["availability"] = None
-    return phases
 
 
 def _percentile(ordered: Sequence[float], fraction: float) -> float:
@@ -279,6 +307,51 @@ class ExperimentMetrics:
             extra=metrics_extra,
             phases=phases,
             timeseries=list(timeseries or []),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_streaming(
+        cls,
+        protocol: str,
+        n_nodes: int,
+        accumulator,
+        measured_duration_us: float,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> "ExperimentMetrics":
+        """Aggregate from a :class:`~repro.harness.streaming.StreamingAccumulator`.
+
+        The streaming twin of :meth:`from_clients`: counts are exact,
+        latency summaries come from the accumulator's quantile sketches,
+        and the phase/time-series tables were binned online — no
+        per-transaction record was ever retained.
+        """
+        phases = accumulator.phase_metrics()
+        metrics_extra = dict(extra or {})
+        if phases:
+            availabilities = [
+                phase["availability"]
+                for phase in phases
+                if phase.get("availability") is not None
+            ]
+            if availabilities:
+                metrics_extra.setdefault("availability_min", round(min(availabilities), 4))
+        return cls(
+            protocol=protocol,
+            n_nodes=n_nodes,
+            measured_duration_us=measured_duration_us,
+            committed=accumulator.committed,
+            committed_update=accumulator.committed_update,
+            committed_read_only=accumulator.committed_read_only,
+            aborted=accumulator.aborted,
+            latency=LatencySummary.from_sketch(accumulator.latency),
+            update_latency=LatencySummary.from_sketch(accumulator.update_latency),
+            read_only_latency=LatencySummary.from_sketch(accumulator.read_only_latency),
+            internal_latency=LatencySummary.from_sketch(accumulator.internal_latency),
+            precommit_wait=LatencySummary.from_sketch(accumulator.precommit_wait),
+            extra=metrics_extra,
+            phases=phases,
+            timeseries=accumulator.timeseries(),
         )
 
     # ------------------------------------------------------------------

@@ -29,8 +29,10 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
 from repro.harness.cluster import build_cluster
 from repro.harness.metrics import ExperimentMetrics, compute_timeseries
+from repro.harness.streaming import StreamingAccumulator
 from repro.workload.openloop import aggregate_open_loop, install_open_loop
 from repro.workload.profiles import WorkloadGenerator
 from repro.workload.ycsb import ClientStats, closed_loop_client
@@ -63,6 +65,7 @@ def run_experiment(
     keep_cluster: bool = False,
     keys: Optional[Sequence[object]] = None,
     drain_us: Optional[float] = None,
+    streaming_metrics: bool = False,
 ) -> ExperimentResult:
     """Run one (protocol, configuration, workload) experiment.
 
@@ -74,8 +77,12 @@ def run_experiment(
         Simulated time during which client statistics are not recorded (the
         system fills its pipelines and reaches steady state).
     record_history:
-        Record every committed transaction for consistency checking (slows
-        the run down and grows memory; off for benchmarks).
+        ``True`` records every committed transaction for post-hoc
+        consistency checking (slows the run down and grows memory;
+        off for benchmarks).  ``"windowed"`` records through the
+        online :class:`~repro.consistency.window.WindowedHistoryRecorder`
+        instead — bounded memory, verdicts as the run progresses.  A
+        recorder instance is used as-is (custom epoch/retention bounds).
     keep_cluster:
         Keep the cluster object on the result (tests use it to inspect node
         state); off by default so large runs can be garbage collected.
@@ -84,6 +91,12 @@ def run_experiment(
         transactions finish so stalls and quiescence leaks can be measured.
         Defaults to 0 for fail-free runs (byte-identical to the historical
         behaviour) and to 25 ms when the config carries a fault plan.
+    streaming_metrics:
+        Aggregate measurements online through a
+        :class:`~repro.harness.streaming.StreamingAccumulator` instead of
+        retaining per-transaction records (open-loop runs only): memory
+        stays O(windows + sketch buckets) regardless of transaction
+        count, at the cost of sketch-accurate (±1%) latency percentiles.
     """
     config.validate()
     workload.validate()
@@ -94,10 +107,25 @@ def run_experiment(
     all_stats: List[ClientStats] = []
     sessions = []
     sources = []
+    sink: Optional[StreamingAccumulator] = None
+    phase_windows = _experiment_phase_windows(config, duration_us)
     if config.traffic:
         # Open loop: the traffic plan's arrival sources drive the run;
         # closed-loop clients (and clients_per_node) do not apply.
-        sources = install_open_loop(cluster, workload, duration_us=duration_us, warmup_us=warmup_us)
+        if streaming_metrics:
+            sink = StreamingAccumulator(
+                window_us=config.traffic.window_us,
+                horizon_us=duration_us,
+                phase_windows=phase_windows,
+            )
+        sources = install_open_loop(
+            cluster, workload, duration_us=duration_us, warmup_us=warmup_us, sink=sink
+        )
+    elif streaming_metrics:
+        raise ConfigurationError(
+            "streaming_metrics requires an open-loop traffic plan "
+            "(set config.traffic); closed-loop runs keep exact samples"
+        )
     else:
         for node_id in range(config.n_nodes):
             for client_index in range(config.clients_per_node):
@@ -142,30 +170,33 @@ def run_experiment(
         open_loop_extra, all_stats = aggregate_open_loop(sources, measured)
         extra.update(open_loop_extra)
         sessions = [session for source in sources for session in source.sessions]
-        sorted_arrivals = sorted(t for source in sources for t in source.stats.arrival_times_us)
-        drop_times = [t for source in sources for t in source.stats.drop_times_us]
-        timeout_times = [
-            t for source in sources for t in source.stats.timeout_times_us
-        ]
-        sorted_shed = sorted(drop_times + timeout_times)
-        timeseries = compute_timeseries(
-            window_us=config.traffic.window_us,
-            horizon_us=duration_us,
-            arrivals=sorted_arrivals,
-            completion_times=[
-                t for source in sources for t in source.stats.completion_times_us
-            ],
-            completion_latencies=[
-                latency
-                for source in sources
-                for latency in source.stats.completion_latencies_us
-            ],
-            drops=drop_times,
-            timeouts=timeout_times,
-            abort_times=[
-                t for source in sources for t in source.stats.client.abort_times_us
-            ],
-        )
+        if sink is None:
+            sorted_arrivals = sorted(
+                t for source in sources for t in source.stats.arrival_times_us
+            )
+            drop_times = [t for source in sources for t in source.stats.drop_times_us]
+            timeout_times = [
+                t for source in sources for t in source.stats.timeout_times_us
+            ]
+            sorted_shed = sorted(drop_times + timeout_times)
+            timeseries = compute_timeseries(
+                window_us=config.traffic.window_us,
+                horizon_us=duration_us,
+                arrivals=sorted_arrivals,
+                completion_times=[
+                    t for source in sources for t in source.stats.completion_times_us
+                ],
+                completion_latencies=[
+                    latency
+                    for source in sources
+                    for latency in source.stats.completion_latencies_us
+                ],
+                drops=drop_times,
+                timeouts=timeout_times,
+                abort_times=[
+                    t for source in sources for t in source.stats.client.abort_times_us
+                ],
+            )
     counters = cluster.total_counters()
     if "starvation_backoffs" in counters:
         extra["starvation_backoffs"] = counters["starvation_backoffs"]
@@ -209,24 +240,35 @@ def run_experiment(
                 encoded / messages_sent if messages_sent else 0.0, 2
             )
             extra["clock_compression_ratio"] = round(encoded / clock_stats["dense_bytes_total"], 4)
-    metrics = ExperimentMetrics.from_clients(
-        protocol=protocol,
-        n_nodes=config.n_nodes,
-        clients=all_stats,
-        measured_duration_us=measured,
-        extra=extra,
-        phase_windows=_experiment_phase_windows(config, duration_us),
-        timeseries=timeseries,
-    )
-    if sources and metrics.phases:
-        # Per-scenario-phase offered-load accounting: goodput per phase is
-        # only meaningful next to what was asked of the system then.
-        for phase in metrics.phases:
-            start, end = phase["start_us"], phase["end_us"]
-            offered = bisect_left(sorted_arrivals, end) - bisect_left(sorted_arrivals, start)
-            phase["offered"] = offered
-            phase["offered_tps"] = round(offered / max((end - start) / 1_000_000.0, 1e-9), 1)
-            phase["shed"] = bisect_left(sorted_shed, end) - bisect_left(sorted_shed, start)
+    if sink is not None:
+        # Streaming path: sketches and online bins instead of raw samples
+        # (the per-phase offered/shed accounting was binned online too).
+        metrics = ExperimentMetrics.from_streaming(
+            protocol=protocol,
+            n_nodes=config.n_nodes,
+            accumulator=sink,
+            measured_duration_us=measured,
+            extra=extra,
+        )
+    else:
+        metrics = ExperimentMetrics.from_clients(
+            protocol=protocol,
+            n_nodes=config.n_nodes,
+            clients=all_stats,
+            measured_duration_us=measured,
+            extra=extra,
+            phase_windows=phase_windows,
+            timeseries=timeseries,
+        )
+        if sources and metrics.phases:
+            # Per-scenario-phase offered-load accounting: goodput per phase
+            # is only meaningful next to what was asked of the system then.
+            for phase in metrics.phases:
+                start, end = phase["start_us"], phase["end_us"]
+                offered = bisect_left(sorted_arrivals, end) - bisect_left(sorted_arrivals, start)
+                phase["offered"] = offered
+                phase["offered_tps"] = round(offered / max((end - start) / 1_000_000.0, 1e-9), 1)
+                phase["shed"] = bisect_left(sorted_shed, end) - bisect_left(sorted_shed, start)
     return ExperimentResult(
         protocol=protocol,
         config=config,

@@ -1,0 +1,216 @@
+"""Online (streaming) aggregation of open-loop experiment measurements.
+
+The exact metrics path records one float per event — every arrival,
+completion latency, drop, abort — and summarizes after the run.  That is
+fine at benchmark scale but linear in transaction count, which is exactly
+the term a million-user run cannot afford.  :class:`StreamingAccumulator`
+is the O(1)-per-event replacement: the open-loop sources feed it each
+outcome as it happens, and it maintains
+
+* run-wide :class:`~repro.harness.sketch.QuantileSketch` instances for
+  every latency family :class:`~repro.harness.metrics.ExperimentMetrics`
+  reports (overall, update, read-only, internal, pre-commit wait);
+* the windowed time series (offered / completed / shed / aborted counts
+  plus a per-window latency sketch), same shape as
+  :func:`~repro.harness.metrics.compute_timeseries`;
+* per-phase commit/abort/offered/shed counters binned online against the
+  experiment's phase windows, same shape as
+  :func:`~repro.harness.metrics.compute_phase_metrics` (plus the
+  offered-load fields the runner attaches for open-loop runs).
+
+Memory is bounded by ``n_windows + n_phases + sketch buckets`` — it does
+not grow with the number of transactions.  The accumulator is passive:
+it never touches the simulation, so enabling streaming cannot change a
+run's committed/aborted outcomes (the equivalence test in
+``tests/integration/test_streaming_metrics.py`` pins counts exactly and
+percentiles within the sketch tolerance).
+
+Event-time filtering mirrors the exact path precisely: time-series bins
+accept *all* events inside the horizon (including warm-up, like the raw
+``*_times_us`` lists did), while the run-wide sketches and the per-phase
+commit/abort counters only see measured (post-warm-up) events, like
+:class:`~repro.workload.ycsb.ClientStats` did.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import SECOND
+from repro.harness.metrics import attach_availability
+from repro.harness.sketch import QuantileSketch
+
+
+class StreamingAccumulator:
+    """Single shared sink for every open-loop source of one run."""
+
+    def __init__(
+        self,
+        window_us: float,
+        horizon_us: float,
+        phase_windows: Optional[Sequence[Tuple[str, float, float]]] = None,
+        relative_error: float = 0.01,
+    ):
+        self.window_us = float(window_us)
+        self.horizon_us = float(horizon_us)
+        self.relative_error = relative_error
+        # Run-wide latency sketches (measured events only).
+        self.latency = QuantileSketch(relative_error)
+        self.update_latency = QuantileSketch(relative_error)
+        self.read_only_latency = QuantileSketch(relative_error)
+        self.internal_latency = QuantileSketch(relative_error)
+        self.precommit_wait = QuantileSketch(relative_error)
+        # Measured outcome counters.
+        self.committed = 0
+        self.committed_update = 0
+        self.committed_read_only = 0
+        self.aborted = 0
+        # Time-series bins (all events inside the horizon).
+        if self.window_us > 0 and self.horizon_us > 0:
+            self._n_windows = max(1, math.ceil(self.horizon_us / self.window_us))
+        else:
+            self._n_windows = 0
+        n = self._n_windows
+        self._ts_offered = [0] * n
+        self._ts_dropped = [0] * n
+        self._ts_timed_out = [0] * n
+        self._ts_aborted = [0] * n
+        self._ts_completed = [0] * n
+        self._ts_latency = [QuantileSketch(relative_error) for _ in range(n)]
+        # Phase bins (all arrivals/shed; measured commits/aborts).
+        windows = list(phase_windows or [])
+        self._phase_bounds = [start for _label, start, _end in windows]
+        self._phases = [
+            {
+                "label": label,
+                "start_us": start,
+                "end_us": end,
+                "committed": 0,
+                "aborted": 0,
+                "offered": 0,
+                "shed": 0,
+            }
+            for label, start, end in windows
+        ]
+
+    # ------------------------------------------------------------------
+    # Binning helpers
+    # ------------------------------------------------------------------
+    def _window_of(self, t: float) -> int:
+        if self._n_windows == 0 or not 0.0 <= t < self.horizon_us:
+            return -1
+        return min(self._n_windows - 1, int(t // self.window_us))
+
+    def _phase_of(self, t: float) -> Optional[Dict[str, float]]:
+        index = bisect_right(self._phase_bounds, t) - 1
+        if index < 0:
+            return None
+        phase = self._phases[index]
+        if phase["start_us"] <= t < phase["end_us"]:
+            return phase
+        return None
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the open-loop sources)
+    # ------------------------------------------------------------------
+    def on_arrival(self, t: float) -> None:
+        if (index := self._window_of(t)) >= 0:
+            self._ts_offered[index] += 1
+        if (phase := self._phase_of(t)) is not None:
+            phase["offered"] += 1
+
+    def on_drop(self, t: float) -> None:
+        if (index := self._window_of(t)) >= 0:
+            self._ts_dropped[index] += 1
+        if (phase := self._phase_of(t)) is not None:
+            phase["shed"] += 1
+
+    def on_timeout(self, t: float) -> None:
+        if (index := self._window_of(t)) >= 0:
+            self._ts_timed_out[index] += 1
+        if (phase := self._phase_of(t)) is not None:
+            phase["shed"] += 1
+
+    def on_completion(self, t: float, latency_us: float) -> None:
+        """Every commit completion inside the horizon (warm-up included)."""
+        if (index := self._window_of(t)) >= 0:
+            self._ts_completed[index] += 1
+            self._ts_latency[index].add(latency_us)
+
+    def on_commit(
+        self,
+        latency_us: float,
+        commit_time_us: float,
+        read_only: bool,
+        internal_latency_us: Optional[float] = None,
+        precommit_wait_us: Optional[float] = None,
+    ) -> None:
+        """A measured (post-warm-up) commit."""
+        self.committed += 1
+        self.latency.add(latency_us)
+        if read_only:
+            self.committed_read_only += 1
+            self.read_only_latency.add(latency_us)
+        else:
+            self.committed_update += 1
+            self.update_latency.add(latency_us)
+            if internal_latency_us is not None:
+                self.internal_latency.add(internal_latency_us)
+            if precommit_wait_us is not None:
+                self.precommit_wait.add(precommit_wait_us)
+        if (phase := self._phase_of(commit_time_us)) is not None:
+            phase["committed"] += 1
+
+    def on_abort(self, abort_time_us: float) -> None:
+        """A measured (post-warm-up) abort."""
+        self.aborted += 1
+        if (index := self._window_of(abort_time_us)) >= 0:
+            self._ts_aborted[index] += 1
+        if (phase := self._phase_of(abort_time_us)) is not None:
+            phase["aborted"] += 1
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def timeseries(self) -> List[Dict[str, float]]:
+        """Same shape as :func:`~repro.harness.metrics.compute_timeseries`."""
+        windows: List[Dict[str, float]] = []
+        for index in range(self._n_windows):
+            start = index * self.window_us
+            end = min(start + self.window_us, self.horizon_us)
+            width_s = max(end - start, 1e-9) / SECOND
+            sketch = self._ts_latency[index]
+            windows.append(
+                {
+                    "start_us": start,
+                    "end_us": end,
+                    "offered": self._ts_offered[index],
+                    "offered_tps": round(self._ts_offered[index] / width_s, 1),
+                    "completed": self._ts_completed[index],
+                    "goodput_tps": round(self._ts_completed[index] / width_s, 1),
+                    "aborted": self._ts_aborted[index],
+                    "dropped": self._ts_dropped[index],
+                    "timed_out": self._ts_timed_out[index],
+                    "latency_p50_us": round(sketch.quantile(0.50), 1),
+                    "latency_p99_us": round(sketch.quantile(0.99), 1),
+                }
+            )
+        return windows
+
+    def phase_metrics(self) -> List[Dict[str, float]]:
+        """Same shape as the exact path's per-phase accounting."""
+        phases: List[Dict[str, float]] = []
+        for source in self._phases:
+            phase = dict(source)
+            width_us = max(phase["end_us"] - phase["start_us"], 1e-9)
+            phase["throughput_tps"] = round(phase["committed"] / (width_us / SECOND), 1)
+            phase["offered_tps"] = round(phase["offered"] / (width_us / SECOND), 1)
+            phases.append(phase)
+        if phases:
+            attach_availability(phases)
+        return phases
+
+
+__all__ = ["StreamingAccumulator"]

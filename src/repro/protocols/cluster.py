@@ -31,6 +31,11 @@ from repro.common.config import ClusterConfig
 from repro.common.errors import ConfigurationError
 from repro.consistency.checkers import CheckResult, check_external_consistency
 from repro.consistency.history import HistoryRecorder
+from repro.consistency.window import (
+    WindowedConsistencyChecker,
+    WindowedHistoryRecorder,
+    default_retention_us,
+)
 from repro.core.session import Session
 from repro.network.transport import Network
 from repro.protocols.faults import install_fault_plan
@@ -53,10 +58,17 @@ class ProtocolCluster:
         self,
         config: Optional[ClusterConfig] = None,
         keys: Optional[Sequence[object]] = None,
-        record_history: bool = True,
+        record_history=True,
         initial_value=0,
         **node_kwargs,
     ):
+        """``record_history`` selects the history plane: ``True`` records
+        everything for post-hoc checking, ``False`` records nothing,
+        ``"windowed"`` checks online with bounded memory (retention derived
+        from the config's timeouts via
+        :func:`~repro.consistency.window.default_retention_us`), and a
+        recorder instance (:class:`HistoryRecorder` or
+        :class:`WindowedHistoryRecorder`) is used as-is."""
         if self.node_class is None:  # pragma: no cover - abstract use
             raise ConfigurationError("ProtocolCluster must be subclassed")
         self.config = config or ClusterConfig()
@@ -73,7 +85,21 @@ class ProtocolCluster:
             replication_degree=self.config.replication_degree,
             keys=self.keys,
         )
-        self.history: Optional[HistoryRecorder] = HistoryRecorder() if record_history else None
+        if record_history == "windowed":
+            self.history = WindowedHistoryRecorder(
+                checker=WindowedConsistencyChecker(
+                    retention_us=default_retention_us(self.config.timeouts)
+                )
+            )
+        elif isinstance(record_history, (HistoryRecorder, WindowedHistoryRecorder)):
+            self.history = record_history
+        elif isinstance(record_history, str):
+            raise ConfigurationError(
+                f"unknown record_history mode {record_history!r}; "
+                "expected True/False/'windowed' or a recorder instance"
+            )
+        else:
+            self.history = HistoryRecorder() if record_history else None
         self.nodes = [
             self.node_class(
                 self.sim,
@@ -128,6 +154,8 @@ class ProtocolCluster:
         """Run the external-consistency check over the recorded history."""
         if self.history is None:
             raise ConfigurationError("history recording is disabled for this cluster")
+        if isinstance(self.history, WindowedHistoryRecorder):
+            return self.history.check_external_consistency()
         return check_external_consistency(self.history)
 
     def total_counters(self) -> Dict[str, int]:

@@ -83,6 +83,7 @@ class OpenLoopSource:
         workload,
         duration_us: float,
         warmup_us: float,
+        sink=None,
     ):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -91,6 +92,11 @@ class OpenLoopSource:
         self.base_workload = workload
         self.duration_us = duration_us
         self.warmup_us = warmup_us
+        self.sink = sink
+        """Optional :class:`~repro.harness.streaming.StreamingAccumulator`:
+        when set, per-event timestamps/latencies stream into it instead of
+        growing the raw ``*_times_us`` lists (O(1) memory per event).  The
+        scalar counters are maintained either way."""
         self.stats = OpenLoopStats(node_id=node_id)
         self.sessions: List = []
         """Every session this source ever opened (for stall accounting)."""
@@ -127,7 +133,10 @@ class OpenLoopSource:
     def _on_arrival(self, generator: WorkloadGenerator) -> None:
         now = self.sim.now
         stats = self.stats
-        stats.arrival_times_us.append(now)
+        if self.sink is None:
+            stats.arrival_times_us.append(now)
+        else:
+            self.sink.on_arrival(now)
         measured = now >= self.warmup_us
         if measured:
             stats.offered += 1
@@ -142,7 +151,10 @@ class OpenLoopSource:
         elif len(self._queue) < self.plan.queue_limit:
             self._queue.append((now, spec))
         else:
-            stats.drop_times_us.append(now)
+            if self.sink is None:
+                stats.drop_times_us.append(now)
+            else:
+                self.sink.on_drop(now)
             if measured:
                 stats.dropped += 1
 
@@ -179,25 +191,44 @@ class OpenLoopSource:
         now = self.sim.now
         stats = self.stats
         client = stats.client
+        sink = self.sink
         if not committed:
             if now >= self.warmup_us:
                 client.aborted += 1
-                client.abort_times_us.append(
+                abort_time = (
                     meta.abort_time
                     if meta is not None and meta.abort_time is not None
                     else now
                 )
+                if sink is None:
+                    client.abort_times_us.append(abort_time)
+                else:
+                    sink.on_abort(abort_time)
             return
         latency = now - arrival_us
-        stats.completion_times_us.append(now)
-        stats.completion_latencies_us.append(latency)
+        if sink is None:
+            stats.completion_times_us.append(now)
+            stats.completion_latencies_us.append(latency)
+        else:
+            sink.on_completion(now, latency)
         if now < self.warmup_us:
             return
         client.committed += 1
-        client.latencies_us.append(latency)
         commit_time = now
         if meta is not None and meta.external_commit_time is not None:
             commit_time = meta.external_commit_time
+        internal = wait = None
+        if not spec.read_only and meta is not None:
+            internal = meta.internal_latency()
+            wait = meta.precommit_wait()
+        if sink is not None:
+            if spec.read_only:
+                client.committed_read_only += 1
+            else:
+                client.committed_update += 1
+            sink.on_commit(latency, commit_time, spec.read_only, internal, wait)
+            return
+        client.latencies_us.append(latency)
         client.commit_times_us.append(commit_time)
         if spec.read_only:
             client.committed_read_only += 1
@@ -205,13 +236,10 @@ class OpenLoopSource:
         else:
             client.committed_update += 1
             client.update_latencies_us.append(latency)
-            if meta is not None:
-                internal = meta.internal_latency()
-                if internal is not None:
-                    client.internal_latencies_us.append(internal)
-                wait = meta.precommit_wait()
-                if wait is not None:
-                    client.precommit_waits_us.append(wait)
+            if internal is not None:
+                client.internal_latencies_us.append(internal)
+            if wait is not None:
+                client.precommit_waits_us.append(wait)
 
     def _release(self, session) -> None:
         """Return a slot: serve the admission queue or park the session."""
@@ -220,7 +248,10 @@ class OpenLoopSource:
         while self._queue:
             arrival_us, spec = self._queue.popleft()
             if now - arrival_us > self.plan.queue_timeout_us:
-                stats.timeout_times_us.append(now)
+                if self.sink is None:
+                    stats.timeout_times_us.append(now)
+                else:
+                    self.sink.on_timeout(now)
                 if now >= self.warmup_us:
                     stats.timed_out += 1
                 continue
@@ -237,16 +268,21 @@ def install_open_loop(
     duration_us: float,
     warmup_us: float,
     plan: Optional[TrafficPlan] = None,
+    sink=None,
 ) -> List[OpenLoopSource]:
     """Start one open-loop source per node; returns the sources.
 
     ``plan`` defaults to the cluster config's traffic plan.  The sources'
     statistics are live objects — read them after the simulation ran.
+    ``sink`` (a :class:`~repro.harness.streaming.StreamingAccumulator`) is
+    shared by all sources and switches them to streaming recording.
     """
     plan = plan if plan is not None else cluster.config.traffic
     sources = []
     for node_id in range(cluster.config.n_nodes):
-        source = OpenLoopSource(cluster, node_id, plan, workload, duration_us, warmup_us)
+        source = OpenLoopSource(
+            cluster, node_id, plan, workload, duration_us, warmup_us, sink=sink
+        )
         sources.append(source)
         cluster.spawn(source.run(), name=f"traffic-source-{node_id}")
     return sources

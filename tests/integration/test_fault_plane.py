@@ -213,3 +213,49 @@ class TestQuiescenceLeakRegression:
             txn for txn in result.cluster.history.aborted if not txn.is_update
         ]
         assert read_only_aborts == []
+
+
+class TestCoordinatorCrashSessionTeardown:
+    """Regression: the Walter small-offset double-commit.
+
+    When a coordinator crash-stops while a client process is suspended on a
+    purely *local* step (Walter's local-replica reads charge cpu() with no
+    network round-trip to fail), the fault plane marks the in-flight
+    transaction ABORTED under the client's feet.  The session used to let
+    the resumed client drive ``txn_commit`` against the dead transaction —
+    on Walter this raised ``TransactionStateError`` (a double state
+    transition) and killed the whole run.  ``Session._require_open`` now
+    surfaces the crash as ``NodeCrashedError``, the documented
+    client-visible outcome, and the client reconnects.
+    """
+
+    # Small offsets land the crash inside the local-read window; this exact
+    # configuration reproduced the crash before the fix.
+    SMALL_OFFSET_CRASH = ["crash node=1 at=3750us for=2250us"]
+
+    def test_walter_survives_small_offset_crash(self):
+        # drain long enough for Walter's prepare timeout (~40 ms) to abort
+        # updates whose participant crashed mid-prepare; those are slow
+        # aborts, not stalls.
+        result = _run(
+            "walter",
+            _config(self.SMALL_OFFSET_CRASH, n_keys=400, seed=2024),
+            duration_us=15_000,
+            drain_us=45_000,
+        )
+        metrics = result.metrics
+        assert metrics.committed > 0
+        assert metrics.aborted > 0  # the torn-down transactions abort cleanly
+        assert metrics.extra["stalled_clients"] == 0
+
+    @pytest.mark.parametrize("protocol", ["sss", "2pc", "walter", "rococo"])
+    def test_all_protocols_survive_crash_offset_sweep(self, protocol):
+        # Sweep the crash instant across the transaction lifecycle so the
+        # teardown window keeps being exercised as service times shift.
+        for at_us in (1_500, 3_750, 7_500):
+            result = _run(
+                protocol,
+                _config([f"crash node=1 at={at_us}us for=2250us"], n_keys=400, seed=2024),
+                duration_us=15_000,
+            )
+            assert result.metrics.committed > 0, (protocol, at_us)

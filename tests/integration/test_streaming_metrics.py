@@ -1,0 +1,169 @@
+"""Exact vs streaming metrics: the equivalence the streaming path pins.
+
+``run_experiment(..., streaming_metrics=True)`` must be a drop-in
+replacement for the exact aggregation on open-loop runs: identical counts
+(committed, aborted, offered, shed), identical time series and phase
+tables, exactly equal means, and quantiles within the sketch's pinned
+relative-error tolerance.  The exact path stays the oracle; the streaming
+path buys bounded memory at heavy traffic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, CrashFault, FaultPlan, TrafficPlan, WorkloadConfig
+from repro.common.errors import ConfigurationError
+from repro.harness.runner import run_experiment
+
+WORKLOAD = WorkloadConfig(read_only_fraction=0.5)
+
+#: Pinned quantile tolerance: the sketch guarantees 1% relative error on
+#: the value at the same ceil-rank; 1.5% leaves room for one rank-boundary
+#: crossing inside a bucket.
+QUANTILE_REL_TOL = 0.015
+
+PHASED_PLAN = TrafficPlan.parse(
+    [
+        "const rate=2500 until=12ms",
+        "burst base=2500 peak=9000 every=6ms for=2ms until=26ms",
+        "poisson rate=3500",
+    ]
+)
+
+
+def _config(traffic, faults=FaultPlan(), seed=7):
+    return ClusterConfig(
+        n_nodes=3,
+        n_keys=200,
+        replication_degree=2,
+        clients_per_node=0,
+        seed=seed,
+        faults=faults,
+        traffic=traffic,
+    )
+
+
+def _pair(protocol, config, duration_us=40_000.0, warmup_us=8_000.0):
+    exact = run_experiment(
+        protocol, config, WORKLOAD, duration_us=duration_us, warmup_us=warmup_us
+    )
+    streaming = run_experiment(
+        protocol,
+        config,
+        WORKLOAD,
+        duration_us=duration_us,
+        warmup_us=warmup_us,
+        streaming_metrics=True,
+    )
+    return exact.metrics, streaming.metrics
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("protocol", ["sss", "2pc"])
+    def test_counts_match_exactly(self, protocol):
+        exact, streaming = _pair(protocol, _config(PHASED_PLAN))
+        assert streaming.committed == exact.committed
+        assert streaming.aborted == exact.aborted
+        assert streaming.committed_read_only == exact.committed_read_only
+        assert streaming.committed_update == exact.committed_update
+        for field in ("offered", "dropped", "timed_out", "goodput_tps", "open_loop"):
+            assert streaming.extra[field] == exact.extra[field], field
+
+    def test_timeseries_identical(self):
+        exact, streaming = _pair("sss", _config(PHASED_PLAN))
+        assert exact.timeseries and streaming.timeseries
+        assert len(streaming.timeseries) == len(exact.timeseries)
+        for exact_win, stream_win in zip(exact.timeseries, streaming.timeseries):
+            # Counts and window bounds are exact.
+            for field in (
+                "start_us",
+                "end_us",
+                "offered",
+                "completed",
+                "aborted",
+                "dropped",
+                "timed_out",
+                "offered_tps",
+                "goodput_tps",
+            ):
+                assert stream_win[field] == exact_win[field], (field, exact_win)
+            # Per-window percentiles come from per-window sketches.
+            for field in ("latency_p50_us", "latency_p99_us"):
+                assert stream_win[field] == pytest.approx(
+                    exact_win[field], rel=QUANTILE_REL_TOL, abs=0.11
+                ), (field, exact_win)
+
+    def test_phase_tables_identical(self):
+        exact, streaming = _pair("sss", _config(PHASED_PLAN))
+        assert [phase["label"] for phase in streaming.phases] == [
+            phase["label"] for phase in exact.phases
+        ]
+        for exact_phase, stream_phase in zip(exact.phases, streaming.phases):
+            for field in ("committed", "aborted", "offered", "shed", "start_us", "end_us"):
+                assert stream_phase[field] == exact_phase[field], (field, exact_phase)
+            assert stream_phase["throughput_tps"] == pytest.approx(
+                exact_phase["throughput_tps"]
+            )
+
+    def test_latency_summaries_within_pinned_tolerance(self):
+        exact, streaming = _pair("sss", _config(PHASED_PLAN))
+        for family in ("latency", "update_latency", "read_only_latency", "internal_latency"):
+            exact_summary = getattr(exact, family)
+            stream_summary = getattr(streaming, family)
+            assert stream_summary.count == exact_summary.count, family
+            if exact_summary.count == 0:
+                continue
+            assert stream_summary.mean_us == pytest.approx(exact_summary.mean_us), family
+            for attr in ("p50_us", "p95_us", "p99_us"):
+                assert getattr(stream_summary, attr) == pytest.approx(
+                    getattr(exact_summary, attr), rel=QUANTILE_REL_TOL
+                ), (family, attr)
+            assert stream_summary.max_us == pytest.approx(exact_summary.max_us)
+
+    def test_equivalence_holds_under_faults(self):
+        faults = FaultPlan(faults=(CrashFault(node=1, at_us=16_000.0, duration_us=6_000.0),))
+        exact, streaming = _pair("sss", _config(PHASED_PLAN, faults=faults))
+        assert streaming.committed == exact.committed
+        assert streaming.aborted == exact.aborted
+        assert streaming.extra.get("availability_min") == exact.extra.get("availability_min")
+        for exact_phase, stream_phase in zip(exact.phases, streaming.phases):
+            assert stream_phase["committed"] == exact_phase["committed"]
+            assert stream_phase.get("availability") == exact_phase.get("availability")
+
+
+class TestStreamingGuards:
+    def test_requires_an_open_loop_plan(self):
+        config = ClusterConfig(
+            n_nodes=3, n_keys=100, replication_degree=2, clients_per_node=2, seed=7
+        )
+        with pytest.raises(ConfigurationError):
+            run_experiment(
+                "sss",
+                config,
+                WORKLOAD,
+                duration_us=5_000.0,
+                warmup_us=0.0,
+                streaming_metrics=True,
+            )
+
+    def test_streaming_run_keeps_no_raw_latency_lists(self):
+        result = run_experiment(
+            "sss",
+            _config(PHASED_PLAN),
+            WORKLOAD,
+            duration_us=30_000.0,
+            warmup_us=6_000.0,
+            streaming_metrics=True,
+            keep_cluster=True,
+        )
+        stats_list = result.clients
+        assert stats_list, "open-loop run should expose per-source client stats"
+        for stats in stats_list:
+            assert stats.latencies_us == []
+            assert stats.update_latencies_us == []
+            assert stats.read_only_latencies_us == []
+            assert stats.commit_times_us == []
+            assert stats.abort_times_us == []
+            assert stats.committed > 0  # scalar counters still maintained
+        assert result.metrics.latency.count > 0

@@ -1,0 +1,114 @@
+"""Windowed checker vs post-hoc oracle: verdict equivalence on real runs.
+
+The tentpole guarantee of the windowed consistency plane: for every sweep
+shape the repo runs (each protocol, fail-free and faulted), feeding the
+same committed history through the epoch-windowed checker — with a
+retention small enough that most of the history is pruned mid-run — yields
+the *same pass/fail verdict per check* as the post-hoc oracle over the
+full history.  The oracle remains golden; the windowed checker must never
+invent a violation (pruned-version reads, crash-frozen replica staleness)
+nor lose one (sticky verdicts across closed epochs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ClusterConfig, CrashFault, FaultPlan, WorkloadConfig
+from repro.consistency.checkers import run_all_checks
+from repro.consistency.window import WindowedConsistencyChecker, WindowedHistoryRecorder
+from repro.harness.runner import run_experiment
+from repro.protocols.registry import REGISTRY
+
+DURATION_US = 30_000.0
+# Deliberately tiny: ~2.5 retention spans fit in the run, so the checker
+# closes many epochs and prunes most of the history while running.
+EPOCH_US = 3_000.0
+RETENTION_US = 9_000.0
+
+FAULT_PLANS = {
+    "fail-free": FaultPlan(),
+    "crash": FaultPlan(faults=(CrashFault(node=1, at_us=3_750.0, duration_us=2_250.0),)),
+}
+
+
+def _config(faults):
+    return ClusterConfig(
+        n_nodes=3,
+        n_keys=120,
+        replication_degree=2,
+        clients_per_node=3,
+        seed=11,
+        faults=faults,
+    )
+
+
+@pytest.mark.parametrize("protocol", sorted(REGISTRY))
+@pytest.mark.parametrize("fault_name", sorted(FAULT_PLANS))
+def test_windowed_verdicts_match_post_hoc(protocol, fault_name):
+    result = run_experiment(
+        protocol,
+        _config(FAULT_PLANS[fault_name]),
+        WorkloadConfig(read_only_fraction=0.5),
+        duration_us=DURATION_US,
+        warmup_us=0.0,
+        record_history=True,
+        keep_cluster=True,
+    )
+    history = result.cluster.history
+    oracle = {check.name: check.ok for check in run_all_checks(history)}
+
+    checker = WindowedConsistencyChecker(epoch_us=EPOCH_US, retention_us=RETENTION_US)
+    for txn in sorted(history.committed, key=lambda t: t.external_commit_time):
+        checker.observe(txn)
+    windowed = {name: check.ok for name, check in checker.results().items()}
+
+    assert windowed == oracle, {
+        "windowed_violations": {
+            name: check.violations[:5] for name, check in checker.results().items()
+        }
+    }
+    # The run is several retention spans long, so the window really pruned.
+    stats = checker.stats()
+    assert stats["epochs_closed"] > 0
+    assert stats["pruned"] > 0
+
+
+def test_windowed_recorder_end_to_end_bounds_memory():
+    # record_history="windowed" wires the online checker into the cluster:
+    # commits stream straight into the checker, no full history is kept,
+    # and check_consistency() answers from the sticky verdicts.
+    result = run_experiment(
+        "sss",
+        _config(FaultPlan()),
+        WorkloadConfig(read_only_fraction=0.5),
+        duration_us=DURATION_US,
+        warmup_us=0.0,
+        record_history="windowed",
+        keep_cluster=True,
+    )
+    recorder = result.cluster.history
+    assert isinstance(recorder, WindowedHistoryRecorder)
+    assert recorder.committed_count > 0
+    assert not hasattr(recorder, "committed")  # no per-transaction retention
+
+    check = result.cluster.check_consistency()
+    assert check.ok, check.violations
+    assert check.checked_transactions == recorder.checker.observed
+
+    results = recorder.results()
+    assert all(result.ok for result in results.values())
+
+
+def test_unknown_record_history_mode_is_rejected():
+    from repro.common.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        run_experiment(
+            "sss",
+            _config(FaultPlan()),
+            WorkloadConfig(),
+            duration_us=1_000.0,
+            warmup_us=0.0,
+            record_history="onlineish",
+        )
