@@ -23,10 +23,15 @@ Intensities:
 
 What to expect (and what the assertions pin, loosely, because this is a
 scaled-down simulator sweep): availability collapses during the fault
-windows and recovers after crash-recovery/heal; SSS and 2PC-baseline keep
-external consistency under faults (asserted by the integration tests),
-while ROCOCO's order-based replay and Walter's lossy propagation do not —
-that contrast is part of the result, not a bug in the sweep.
+windows and recovers after crash-recovery/heal — and **every** protocol
+keeps its own consistency contract under every intensity.  Since the
+crash-consistency work (ROCOCO's piece redo log with order fencing,
+Walter's durable ack-watermarked propagation), the weaker protocols no
+longer trade correctness for availability: each point runs with history
+recording and its protocol's contract checks (external consistency for
+SSS/2PC, serializability plus committed reads for ROCOCO, committed reads
+plus replica convergence for Walter) are asserted unconditionally —
+availability during the fault window is the only remaining cost.
 
 Environment: ``REPRO_BENCH_FAULTS_DURATION_US`` overrides the per-point
 duration (default: the suite-wide ``REPRO_BENCH_DURATION_US``).
@@ -152,6 +157,11 @@ def _sweep():
             duration_us=DURATION_US,
             warmup_us=0.0,
             label=(protocol, intensity),
+            # Contract checking: record the history and run the protocol's
+            # own consistency checks in the worker; the uniform drain keeps
+            # the convergence check valid for the fail-free control too.
+            record_history=True,
+            drain_us=25_000.0,
         )
         for protocol, replication_degree in PROTOCOLS
         for intensity in INTENSITIES
@@ -166,6 +176,9 @@ def _sweep():
             "leaked_writers": metrics.extra.get("quiescence_leaked_writers", 0.0),
             "phases": metrics.phases,
             "committed": metrics.committed,
+            "consistency_ok": metrics.extra.get("consistency_ok"),
+            "consistency_violations": metrics.extra.get("consistency_violations", 0.0),
+            "consistency_detail": metrics.extra.get("consistency_detail", ""),
             # Open-loop mode only: what the constant offered load revealed.
             "offered": metrics.extra.get("offered"),
             "goodput_tps": metrics.extra.get("goodput_tps"),
@@ -216,6 +229,15 @@ def test_fault_availability(benchmark):
         for phase in point["phases"]:
             if phase["availability"] is not None:
                 assert 0.0 <= phase["availability"] <= 1.0
+
+    # Crash consistency, valid at any duration and asserted unconditionally:
+    # every protocol keeps its own contract under every fault intensity.
+    for (protocol, intensity), point in availability.items():
+        assert point["consistency_ok"] == 1.0, (
+            f"{protocol}/{intensity} violated its consistency contract "
+            f"({point['consistency_violations']:.0f} violations): "
+            f"{point['consistency_detail']}"
+        )
 
     if not shape_checks_enabled():
         return

@@ -7,19 +7,25 @@ non-zero when any checked figure is more than the allowed percentage slower.
 Figures whose baseline carries ``totals.memory_high_water_bytes`` (the
 ``scale`` figure) are additionally gated on memory: the current high-water
 mark must stay below the baseline plus the allowed memory headroom.
-Speed is a floor, memory is a ceiling.
+Figures whose baseline carries ``totals.availability_min`` (the ``faults``
+figure) are additionally gated on availability: the current worst per-point
+availability must not fall more than the availability threshold below the
+baseline's, and a baseline asserting ``consistency_ok_all`` requires the
+current run to keep it.  Speed and availability are floors, memory is a
+ceiling.
 
 Usage::
 
     python benchmarks/check_regression.py [--figures fig3 scaling]
         [--current-dir DIR] [--baseline-dir DIR] [--threshold-pct 25]
-        [--memory-threshold-pct 50]
+        [--memory-threshold-pct 50] [--availability-threshold-pct 40]
 
 (``--figure X`` remains as an alias for ``--figures X``.)
 
 Environment overrides: ``REPRO_BENCH_OUT`` (current dir),
 ``REPRO_BENCH_REGRESSION_PCT`` (speed threshold),
-``REPRO_BENCH_MEMORY_PCT`` (memory threshold).
+``REPRO_BENCH_MEMORY_PCT`` (memory threshold),
+``REPRO_BENCH_AVAILABILITY_PCT`` (availability threshold).
 
 The committed baselines are calibrated for the CI runner class (see the
 ``provenance`` field inside each baseline file); refresh them deliberately
@@ -114,6 +120,42 @@ def check_figure(figure: str, args) -> int:
             )
             return 1
 
+    baseline_avail = baseline["totals"].get("availability_min")
+    if baseline_avail is not None:
+        current_avail = current["totals"].get("availability_min")
+        if current_avail is None:
+            print(
+                f"FAIL: {figure} baseline pins availability_min but the "
+                f"current run did not report one",
+                file=sys.stderr,
+            )
+            return 1
+        avail_floor = baseline_avail * (1.0 - args.availability_threshold_pct / 100.0)
+        print(
+            f"figure={figure}  baseline availability_min={baseline_avail}  "
+            f"current availability_min={current_avail}  allowed floor="
+            f"{avail_floor:.4f} (-{args.availability_threshold_pct:.0f}%)"
+        )
+        if current_avail < avail_floor:
+            print(
+                f"FAIL: {figure} worst-point availability fell by more than "
+                f"{args.availability_threshold_pct:.0f}% "
+                f"({current_avail} < {avail_floor:.4f})",
+                file=sys.stderr,
+            )
+            return 1
+
+    if baseline["totals"].get("consistency_ok_all") == 1.0:
+        if current["totals"].get("consistency_ok_all") != 1.0:
+            print(
+                f"FAIL: {figure} baseline asserts every point keeps its "
+                f"consistency contract, but the current run reported "
+                f"consistency_ok_all="
+                f"{current['totals'].get('consistency_ok_all')!r}",
+                file=sys.stderr,
+            )
+            return 1
+
     print(f"OK: {figure} within the regression budget")
     return 0
 
@@ -145,6 +187,11 @@ def main() -> int:
         "--memory-threshold-pct",
         type=float,
         default=float(os.environ.get("REPRO_BENCH_MEMORY_PCT", 50.0)),
+    )
+    parser.add_argument(
+        "--availability-threshold-pct",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_AVAILABILITY_PCT", 40.0)),
     )
     parser.add_argument(
         "--write-baseline",

@@ -163,6 +163,10 @@ class _BenchRecorder:
             "quiescence_commit_queue",
             "fault_events",
             "recovery_us",
+            # Crash-consistency verdicts (present when the point ran with
+            # record_history; see ExperimentPoint / _run_point_worker).
+            "consistency_ok",
+            "consistency_violations",
         ):
             value = metrics.extra.get(field_name)
             if value is not None:
@@ -179,6 +183,16 @@ class _BenchRecorder:
         events = sum(point["sim_events"] for point in bucket)
         wall = sum(point["wall_seconds"] for point in bucket)
         committed = sum(point["committed"] for point in bucket)
+        availabilities = [
+            point["availability_min"]
+            for point in bucket
+            if point.get("availability_min") is not None
+        ]
+        checked = [
+            point["consistency_ok"]
+            for point in bucket
+            if point.get("consistency_ok") is not None
+        ]
         payload = {
             "figure": figure,
             "schema_version": 1,
@@ -196,6 +210,19 @@ class _BenchRecorder:
                 "events_per_sec": round(events / wall) if wall > 0 else 0,
                 "committed_txns": committed,
                 "committed_txns_per_wall_sec": (round(committed / wall) if wall > 0 else 0),
+                # Fault-plane floors (absent for fail-free figures): the
+                # worst per-point availability, and whether every checked
+                # point kept its protocol's consistency contract.
+                **(
+                    {"availability_min": round(min(availabilities), 4)}
+                    if availabilities
+                    else {}
+                ),
+                **(
+                    {"consistency_ok_all": float(all(flag == 1.0 for flag in checked))}
+                    if checked
+                    else {}
+                ),
             },
             "datapoints": bucket,
         }

@@ -13,6 +13,16 @@ seeds through that configuration and checks every run for
 * read-only aborts reaching the history (snapshot restarts must stay
   externally invisible).
 
+Each seed runs the configuration under three **fault variants** — fail-free
+(``none``), a mid-run crash/restart (``crash``), and the crash plus a later
+buffered partition (``crash+partition``), scheduled like the fault bench's
+intensities — because the crash-consistency machinery (redo logs, reliable
+re-sends, crash recovery) is exactly the code a single pathological seed is
+most likely to wedge.  Every variant runs the full check set — external
+consistency, stalled clients, quiescence leaks, read-only aborts — since
+SSS promises external consistency under faults too (the fault bench and
+the fault-plane integration tests assert the same).
+
 Failures write a repro bundle (config + metrics + the failure reason) as
 JSON into ``--out`` so the nightly workflow can upload them as artifacts;
 the exit status is non-zero when any seed fails.
@@ -21,6 +31,7 @@ Usage::
 
     python benchmarks/seed_sweep.py --seeds 0 63 --out sweep-results
     python benchmarks/seed_sweep.py --seeds 17 17 --duration-us 60000
+    python benchmarks/seed_sweep.py --variants crash --seeds 29 29
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 
-from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.common.config import ClusterConfig, FaultPlan, WorkloadConfig
 from repro.harness.runner import run_experiment
 
 PATHOLOGICAL = dict(
@@ -41,11 +52,34 @@ PATHOLOGICAL = dict(
 )
 WORKLOAD = dict(read_only_fraction=0.5, update_txn_keys=2)
 
+VARIANTS = ("none", "crash", "crash+partition")
+
+
+def _fault_plan(variant: str, duration_us: float) -> FaultPlan:
+    """Fault schedule of one variant, scaled like the fault bench's."""
+    if variant == "none":
+        return FaultPlan()
+    crash = f"crash node=1 at={0.25 * duration_us} for={0.15 * duration_us}"
+    if variant == "crash":
+        return FaultPlan.parse([crash])
+    if variant == "crash+partition":
+        rest = ",".join(str(node) for node in range(1, PATHOLOGICAL["n_nodes"]))
+        partition = (
+            f"partition groups=0|{rest} "
+            f"at={0.60 * duration_us} for={0.15 * duration_us}"
+        )
+        return FaultPlan.parse([crash, partition])
+    raise ValueError(f"unknown variant {variant!r}")
+
 
 def probe_seed(args):
-    """Run one seed; returns a picklable result record."""
-    seed, duration_us, drain_us = args
-    config = ClusterConfig(seed=seed, **PATHOLOGICAL)
+    """Run one (seed, variant); returns a picklable result record."""
+    seed, variant, duration_us, drain_us = args
+    config = ClusterConfig(
+        seed=seed,
+        faults=_fault_plan(variant, duration_us),
+        **PATHOLOGICAL,
+    )
     result = run_experiment(
         "sss",
         config,
@@ -79,14 +113,17 @@ def probe_seed(args):
         failures.append(f"read-only aborts in history: {read_only_aborts}")
     return {
         "seed": seed,
+        "variant": variant,
         "failures": failures,
         "committed": metrics.committed,
         "aborted": metrics.aborted,
         "readonly_restarts": result.node_counters.get("readonly_restarts", 0),
         "reads_rt_stale": result.node_counters.get("reads_rt_stale", 0),
         "answer_gates": result.node_counters.get("answer_gates_registered", 0),
+        "crash_recoveries": result.node_counters.get("crash_recoveries", 0),
         "config": {**PATHOLOGICAL, "seed": seed},
         "workload": WORKLOAD,
+        "faults": [str(fault) for fault in config.faults.faults] if config.faults else [],
         "duration_us": duration_us,
         "drain_us": drain_us,
     }
@@ -105,6 +142,13 @@ def main() -> int:
     parser.add_argument("--duration-us", type=float, default=60_000.0)
     parser.add_argument("--drain-us", type=float, default=40_000.0)
     parser.add_argument(
+        "--variants",
+        nargs="+",
+        choices=VARIANTS,
+        default=list(VARIANTS),
+        help="Fault variants to run per seed (default: all three).",
+    )
+    parser.add_argument(
         "--out",
         default=os.environ.get("REPRO_SWEEP_OUT", "sweep-results"),
         help="Directory for failure repro bundles and the summary JSON.",
@@ -118,7 +162,11 @@ def main() -> int:
 
     first, last = args.seeds
     seeds = list(range(first, last + 1))
-    jobs = [(seed, args.duration_us, args.drain_us) for seed in seeds]
+    jobs = [
+        (seed, variant, args.duration_us, args.drain_us)
+        for seed in seeds
+        for variant in args.variants
+    ]
     if args.parallel > 1 and len(jobs) > 1:
         with ProcessPoolExecutor(max_workers=args.parallel) as pool:
             results = list(pool.map(probe_seed, jobs))
@@ -128,15 +176,24 @@ def main() -> int:
     os.makedirs(args.out, exist_ok=True)
     failing = [record for record in results if record["failures"]]
     for record in failing:
-        path = os.path.join(args.out, f"seed-{record['seed']}-repro.json")
+        path = os.path.join(
+            args.out, f"seed-{record['seed']}-{record['variant']}-repro.json"
+        )
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2)
             handle.write("\n")
-        print(f"FAIL seed={record['seed']}: {record['failures']} -> {path}")
+        print(
+            f"FAIL seed={record['seed']} variant={record['variant']}: "
+            f"{record['failures']} -> {path}"
+        )
     summary = {
         "seeds": [first, last],
+        "variants": list(args.variants),
         "clean": len(results) - len(failing),
-        "failing": [record["seed"] for record in failing],
+        "failing": [
+            {"seed": record["seed"], "variant": record["variant"]}
+            for record in failing
+        ],
         "total_committed": sum(record["committed"] for record in results),
         "total_restarts": sum(record["readonly_restarts"] for record in results),
     }

@@ -26,6 +26,16 @@ trend.
 
 The paper disables replication when comparing against ROCOCO; this
 implementation accordingly routes every piece to the key's primary replica.
+
+Under the fault plane (and only then) the node is crash-consistent: a
+durable per-server piece redo log (:class:`repro.storage.durable_log.
+PieceRedoLog`) persists the piece payload at dispatch and the assigned order
+before the execute-round reply, a restart restores and replays
+logged-but-unexecuted pieces in order, and an **order fence** refuses any
+piece ordered below the key's durably-recorded execution frontier.  A
+coordinator that crashed after assigning an order re-runs the commit round
+on restart so the decided writes are all-or-nothing.  Fail-free runs never
+touch any of it.
 """
 
 from __future__ import annotations
@@ -35,11 +45,13 @@ from typing import Dict, Optional, Tuple
 
 from repro.common.errors import TransactionStateError
 from repro.common.ids import TransactionId
+from repro.consistency.checkers import check_committed_reads, check_serializability
 from repro.core.metadata import TransactionMeta, TransactionPhase
 from repro.network.message import Message, MessagePriority
 from repro.protocols.cluster import ProtocolCluster
 from repro.protocols.registry import register
 from repro.protocols.runtime import ProtocolRuntime
+from repro.storage.durable_log import PieceRedoLog
 
 
 # ----------------------------------------------------------------------
@@ -239,12 +251,18 @@ class RococoNode(ProtocolRuntime):
         self._data: Dict[object, _RococoKey] = {}
         # Per-key pending pieces of dispatched-but-not-executed transactions.
         self._pending: Dict[object, Dict[TransactionId, _PendingPiece]] = {}
-        # Fault mode only: per-key executed-piece tombstones, so a re-sent
-        # PieceCommit whose original raced it can never double-apply (the
-        # pending entry — and with it the ``executed`` flag — is popped at
-        # execution).  Grows with the committed transactions of a run, like
-        # the other fault-recovery indexes; fail-free runs never write it.
-        self._executed_pieces: Dict[object, set] = {}
+        # Fault mode only: the durable piece redo log.  The piece payload is
+        # force-written at dispatch, the assigned order before the execute
+        # reply, and execution advances the per-key order frontier — the
+        # order fence a restarted server enforces.  Executed records double
+        # as faithful answers for re-sent commits whose original raced them.
+        # Grows with the committed transactions of a run, like the other
+        # fault-recovery indexes; fail-free runs never write it.
+        self.redo = PieceRedoLog()
+        # Fault mode only, durable: order assignments of transactions this
+        # node coordinated whose commit round a crash cut short.  The restart
+        # re-runs the round so the decided writes land on every key.
+        self._crash_completions: Dict[TransactionId, float] = {}
         self.register_handler(PieceDispatch, self.on_dispatch)
         self.register_handler(PieceCommit, self.on_commit)
         self.register_handler(PieceAbort, self.on_piece_abort)
@@ -262,22 +280,50 @@ class RococoNode(ProtocolRuntime):
     # Fault plane
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
-        """Volatile state: the buffered-but-unexecuted piece lists.
+        """Volatile state: the in-memory piece buffers.
 
         The executed key states (value/version/writer) are the node's
-        durable data.  Dropped pieces stall their coordinators' commit
-        rounds — ROCOCO transactions block rather than abort on a crashed
-        participant.
+        durable data, and so are the piece redo log and the coordinator's
+        crash-completion entries — the restart rebuilds the pending lists
+        from the log and replays ordered-but-unexecuted pieces.
         """
         self._pending.clear()
 
     def on_restart(self) -> None:
-        """Withdraw pieces left pending by transactions that died with us.
+        """Replay the piece redo log, then recover coordinated transactions.
 
-        An unordered piece buffered at an alive server blocks every later
-        piece on its key (``ready()`` waits for it to receive an order that
-        will never come); the restarted coordinator aborts them explicitly.
+        Server side first: every logged-but-unexecuted piece is restored to
+        its key's pending list (so the ``ready()`` waits and the order fence
+        see it) and, if it already holds an order, replayed in order by a
+        background process.  Coordinator side: an update transaction that
+        crashed *after* its order was assigned (``meta.version_hints`` is
+        force-written with the order) had its outcome decided — the restart
+        re-runs its commit round so no key keeps a partial write; one that
+        crashed *before* is withdrawn with ``PieceAbort`` (an unordered piece
+        buffered at an alive server would otherwise block every later piece
+        on its key, waiting for an order that will never come).
         """
+        restored = False
+        for record in self.redo.unexecuted_records():
+            pending = self._pending.setdefault(record.key, {})
+            piece = pending.get(record.txn_id)
+            if piece is None:
+                piece = _PendingPiece(
+                    txn_id=record.txn_id,
+                    is_write=record.is_write,
+                    write_value=record.write_value,
+                    order=record.order,
+                )
+                pending[record.txn_id] = piece
+            restored = True
+            if piece.order is not None:
+                self.counters["pieces_replayed"] += 1
+                self.spawn_process(
+                    self._replay_piece(record.key, piece),
+                    name=f"rococo-replay:{record.txn_id}",
+                )
+        if restored:
+            self._progress.notify()
         for txn_id in sorted(self.coordinated):
             meta = self.coordinated[txn_id]
             crash_phase = meta.crash_phase
@@ -287,10 +333,33 @@ class RococoNode(ProtocolRuntime):
             if crash_phase is not TransactionPhase.PREPARING or meta.is_read_only:
                 continue  # read-only rounds buffer no pieces
             self.counters["crash_recoveries"] += 1
+            if meta.version_hints:
+                # The order was assigned (force-written with version_hints)
+                # before the crash: the outcome is decided, finish the
+                # commit round instead of tearing the writes.
+                self._crash_completions[txn_id] = next(iter(meta.version_hints.values()))
+                continue
             for key in sorted(set(meta.read_set) | set(meta.write_set), key=repr):
                 primary = self.primary(key)
                 if primary != self.node_id:
                     self.send(primary, PieceAbort(txn_id=txn_id, key=key))
+                else:
+                    # The withdraw a PieceAbort would have performed, applied
+                    # locally — including to the piece just restored above.
+                    record = self.redo.find(key, txn_id)
+                    if record is not None and record.order is None:
+                        self.redo.discard(key, txn_id)
+                    pending = self._pending.get(key)
+                    piece = pending.get(txn_id) if pending is not None else None
+                    if piece is not None and piece.order is None:
+                        del pending[txn_id]
+                        self.counters["pieces_aborted"] += 1
+                        self._progress.notify()
+        for txn_id in sorted(self._crash_completions):
+            self.spawn_process(
+                self._complete_crashed_commit(txn_id),
+                name=f"rococo-complete:{txn_id}",
+            )
 
     # ------------------------------------------------------------------
     # Server-side handlers
@@ -311,6 +380,13 @@ class RococoNode(ProtocolRuntime):
                 is_write=message.is_write,
                 write_value=message.write_value,
             )
+        if self._fault_mode:
+            # Force-write the piece payload before the dispatch reply: once
+            # the coordinator has seen the reply it may assign an order, and
+            # a crash on this server must not lose the piece it covers.
+            self.redo.log_dispatch(
+                message.key, message.txn_id, message.is_write, message.write_value
+            )
         self._progress.notify()
         self.counters["pieces_dispatched"] += 1
         self.respond(
@@ -323,23 +399,25 @@ class RococoNode(ProtocolRuntime):
         pending = self._pending.setdefault(key, {})
         piece = pending.get(message.txn_id)
         if piece is None:
-            executed_here = self._executed_pieces.get(key)
-            if executed_here is not None and message.txn_id in executed_here:
-                # Fault-mode re-send racing its own original: the piece
-                # already executed (and its pending entry was popped).
-                # Answer from the current state without applying twice.
-                state = self._data.setdefault(key, _RococoKey())
-                self.respond(
-                    message,
-                    PieceExecuted(
-                        txn_id=message.txn_id,
-                        key=key,
-                        value=state.value,
-                        version=state.version,
-                        writer=state.writer,
-                    ),
-                )
-                return
+            if self._fault_mode:
+                record = self.redo.find(key, message.txn_id)
+                if record is not None and record.executed:
+                    # Fault-mode re-send racing its own original (or arriving
+                    # after a restart replayed the piece): answer with the
+                    # durably-logged execution observation, exactly what the
+                    # lost original reply carried.
+                    read_value, read_version, read_writer = record.reply
+                    self.respond(
+                        message,
+                        PieceExecuted(
+                            txn_id=message.txn_id,
+                            key=key,
+                            value=read_value,
+                            version=read_version,
+                            writer=read_writer,
+                        ),
+                    )
+                    return
             # The buffered piece is gone — a crash wiped the pending map (or
             # the dispatch itself was lost).  Recreate it from the commit
             # message's payload; fail-free runs never take this branch.
@@ -350,57 +428,34 @@ class RococoNode(ProtocolRuntime):
             )
             pending[message.txn_id] = piece
         piece.order = message.order
-        self._progress.notify()
-
-        # Deferrable execution: wait until no pending piece on this key is
-        # ordered before us.  Pieces that are still in their dispatch round
-        # (order not assigned yet) are also waited for — their commit round
-        # will assign an order shortly and executing ahead of them could
-        # order the two transactions differently on different keys, which is
-        # exactly what ROCOCO's dependency tracking prevents.
-        def ready() -> bool:
-            for other in pending.values():
-                if other.txn_id == message.txn_id or other.executed:
-                    continue
-                if other.order is None or other.order < message.order:
-                    return False
-            return True
-
-        if not ready():
-            self.counters["piece_waits"] += 1
-            yield self.sim.condition(ready, self._progress, name=f"piece:{message.txn_id}")
-
-        yield self.cpu(self.service.commit_apply_us)
-        state = self._data.setdefault(key, _RococoKey())
-        if piece.executed:
-            # Fault-mode re-sent commit raced the original execution: answer
-            # from the current state without applying twice.
-            self.respond(
-                message,
-                PieceExecuted(
-                    txn_id=message.txn_id,
-                    key=key,
-                    value=state.value,
-                    version=state.version,
-                    writer=state.writer,
-                ),
-            )
-            return
-        read_value = state.value
-        read_version = state.version
-        read_writer = state.writer
-        if piece.is_write:
-            state.value = piece.write_value
-            state.version += 1
-            state.writer = message.txn_id
-        piece.executed = True
         if self._fault_mode:
-            self._executed_pieces.setdefault(key, set()).add(message.txn_id)
-        # pop, not del: a fault-plane PieceAbort (or a crash clearing the
-        # pending map) may already have withdrawn the entry.
-        pending.pop(message.txn_id, None)
+            if not piece.executed and message.order < self.redo.frontier(key):
+                # Order fence: this key has durably executed a piece ordered
+                # *after* this one, so executing it now would interleave the
+                # two transactions differently than every other key did.
+                # Withdraw the piece instead of wedging the key; the
+                # coordinator's re-send keeps asking, making this an
+                # availability cost, never a consistency one.  With the redo
+                # log in place the fence is a backstop — restored pieces
+                # replay before the frontier can pass them.
+                self.counters["order_fence_refusals"] += 1
+                pending.pop(message.txn_id, None)
+                self.redo.discard(key, message.txn_id)
+                self._progress.notify()
+                return
+            # Force-write the assigned order before the execute reply so a
+            # crash after the reply can never forget the piece was ordered.
+            self.redo.log_order(
+                key,
+                message.txn_id,
+                message.order,
+                is_write=piece.is_write,
+                write_value=piece.write_value,
+            )
         self._progress.notify()
-        self.counters["pieces_executed"] += 1
+        read_value, read_version, read_writer = yield from self._run_piece(
+            key, piece, message.order
+        )
         self.respond(
             message,
             PieceExecuted(
@@ -412,8 +467,83 @@ class RococoNode(ProtocolRuntime):
             ),
         )
 
+    def _run_piece(self, key, piece: _PendingPiece, order: float):
+        """Execute one ordered piece once its turn on the key comes.
+
+        The shared execution core of the commit handler and the restart
+        replay.  Returns the ``(value, version, writer)`` the piece observed
+        — the pre-state for a fresh execution, the durably-logged
+        observation for a piece that already executed.
+        """
+        pending = self._pending.setdefault(key, {})
+
+        # Deferrable execution: wait until no pending piece on this key is
+        # ordered before us.  Pieces that are still in their dispatch round
+        # (order not assigned yet) are also waited for — their commit round
+        # will assign an order shortly and executing ahead of them could
+        # order the two transactions differently on different keys, which is
+        # exactly what ROCOCO's dependency tracking prevents.
+        def ready() -> bool:
+            for other in pending.values():
+                if other.txn_id == piece.txn_id or other.executed:
+                    continue
+                if other.order is None or other.order < order:
+                    return False
+            return True
+
+        if not ready():
+            self.counters["piece_waits"] += 1
+            yield self.sim.condition(ready, self._progress, name=f"piece:{piece.txn_id}")
+
+        yield self.cpu(self.service.commit_apply_us)
+        state = self._data.setdefault(key, _RococoKey())
+        if piece.executed:
+            # Fault-mode re-sent commit raced the original execution (or the
+            # restart replay): answer what the execution observed when the
+            # redo log has it, the current state otherwise.
+            if self._fault_mode:
+                record = self.redo.find(key, piece.txn_id)
+                if record is not None and record.reply is not None:
+                    return record.reply
+            return (state.value, state.version, state.writer)
+        read_value = state.value
+        read_version = state.version
+        read_writer = state.writer
+        if piece.is_write:
+            state.value = piece.write_value
+            state.version += 1
+            state.writer = piece.txn_id
+        piece.executed = True
+        if self._fault_mode:
+            # Same simulation step as the state mutation: the execution (and
+            # the frontier advance behind the order fence) is force-written.
+            self.redo.log_execution(
+                key, piece.txn_id, order, (read_value, read_version, read_writer)
+            )
+        # pop, not del: a fault-plane PieceAbort (or a crash clearing the
+        # pending map) may already have withdrawn the entry.
+        pending.pop(piece.txn_id, None)
+        self._progress.notify()
+        self.counters["pieces_executed"] += 1
+        return (read_value, read_version, read_writer)
+
+    def _replay_piece(self, key, piece: _PendingPiece):
+        """Restart replay of one logged ordered piece.
+
+        There is no requester to answer — the coordinator's fault-mode
+        re-send of the commit message collects the reply from the redo log.
+        """
+        yield from self._run_piece(key, piece, piece.order)
+
     def on_piece_abort(self, message: PieceAbort) -> None:
         """Withdraw a dispatched piece that never received an order."""
+        if self._fault_mode:
+            # Drop the durable record too, or a later restart would restore
+            # (and re-wedge) the withdrawn piece.  Ordered records stay: the
+            # transaction's outcome is decided and the piece must execute.
+            record = self.redo.find(message.key, message.txn_id)
+            if record is not None and record.order is None:
+                self.redo.discard(message.key, message.txn_id)
         pending = self._pending.get(message.key)
         if pending is None:
             return
@@ -583,12 +713,66 @@ class RococoNode(ProtocolRuntime):
         self.counters["two_round_commits"] += 1
         return self._finish_commit(meta, "update_commits")
 
+    def _complete_crashed_commit(self, txn_id: TransactionId):
+        """Finish the commit round of a decided transaction the crash cut short.
+
+        The order was assigned (force-written) before the crash, so the
+        transaction committed on every key or none — re-running the commit
+        round with the same order is idempotent at every server (the redo
+        log answers duplicates) and lands the writes on any key the original
+        round never reached.  Finishing into the history makes the recovered
+        writes legitimately committed for the consistency checkers: crash
+        recovery is all-or-nothing, never a torn partial commit.
+        """
+        meta = self.coordinated[txn_id]
+        order = self._crash_completions.get(txn_id)
+        if order is None:
+            return
+        pieces: Dict[object, bool] = {}
+        for key in meta.read_set:
+            pieces[key] = False
+        for key in meta.write_set:
+            pieces[key] = True
+        executed_replies = yield from self._piece_round(
+            pieces,
+            lambda key: PieceCommit(
+                txn_id=txn_id,
+                key=key,
+                order=order,
+                is_write=pieces[key],
+                write_value=meta.write_set.get(key),
+            ),
+        )
+        # Fold the execution observations into the recorded reads, exactly as
+        # the fail-free commit round does: the durable replies carry what the
+        # pieces observed *at the assigned order* — recording the stale
+        # EXECUTING-phase snapshot instead would fabricate anti-dependencies
+        # against writers ordered before us.
+        for executed in executed_replies.values():
+            if executed.key in meta.read_set:
+                record = meta.read_set[executed.key]
+                record.value = executed.value
+                record.writer = executed.writer
+        if self._crash_completions.pop(txn_id, None) is None:
+            return  # a racing completion (re-restart) already finished it
+        self.counters["crash_completed_commits"] += 1
+        self._finish_commit(meta, "update_commits")
+
 
 class RococoCluster(ProtocolCluster):
     """Cluster facade for the ROCOCO baseline."""
 
     node_class = RococoNode
     protocol_name = "rococo"
+
+    def check_contract(self) -> list:
+        """ROCOCO's contract under faults: serializability (the guarantee the
+        integration tests pin for this baseline) plus committed-writer reads —
+        no client may observe a torn or uncommitted write."""
+        return [
+            check_serializability(self.history),
+            check_committed_reads(self.history),
+        ]
 
 
 register("rococo", RococoCluster)

@@ -23,6 +23,17 @@ below the 2PC-baseline's.  The reproduction keeps these performance-relevant
 properties; PSI's long-fork anomaly is observable in the recorded histories
 (the external-consistency checker is expected to fail on adversarial
 interleavings, which is demonstrated in the test suite).
+
+Under the fault plane (and only then) the node is crash-consistent: the
+slow-path prepare buffers are durable 2PC-style (locks of prepared
+transactions survive a crash, decides are delivered reliably from a durable
+:class:`~repro.storage.durable_log.DecisionLog`), and the propagation stream
+is genuinely durable — every outbound batch is force-written to a
+:class:`~repro.storage.durable_log.PropagationLog` (which also owns the
+site's commit sequence counter), receivers apply per-sender streams
+gap-checked and idempotent behind a durable watermark, and everything above
+the acked watermark is retransmitted on restart and on the fault-mode
+cadence until acknowledged.  Fail-free runs never touch any of it.
 """
 
 from __future__ import annotations
@@ -33,12 +44,14 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.clocks.vector_clock import VectorClock
 from repro.common.errors import TransactionStateError
 from repro.common.ids import TransactionId
+from repro.consistency.checkers import CheckResult, check_committed_reads
 from repro.core.messages import vc_wire_size
 from repro.core.metadata import TransactionMeta, TransactionPhase
 from repro.network.message import Message, MessagePriority
 from repro.protocols.cluster import ProtocolCluster
 from repro.protocols.registry import register
 from repro.protocols.runtime import ProtocolRuntime
+from repro.storage.durable_log import DecisionLog, PropagationLog
 from repro.storage.locks import LockTable
 
 
@@ -150,9 +163,15 @@ class WalterDecide(Message):
 
 
 class WalterPropagate(Message):
-    """Asynchronous replication of committed versions to the other replicas."""
+    """Asynchronous replication of committed versions to the other replicas.
 
-    __slots__ = ("txn_id", "site", "seqno", "write_items")
+    In fault mode each batch additionally carries ``stream_seq``, its
+    1-based position in the sender's per-destination durable propagation
+    stream, so the receiver can detect gaps and apply idempotently;
+    fail-free batches leave it 0 (and pay no wire cost for it).
+    """
+
+    __slots__ = ("txn_id", "site", "seqno", "write_items", "stream_seq")
     priority = MessagePriority.BULK
     base_size = 48
 
@@ -162,15 +181,50 @@ class WalterPropagate(Message):
         site: int = 0,
         seqno: int = 0,
         write_items: Tuple[Tuple[object, object], ...] = (),
+        stream_seq: int = 0,
     ):
         Message.__init__(self)
         self.txn_id = txn_id
         self.site = site
         self.seqno = seqno
         self.write_items = write_items
+        self.stream_seq = stream_seq
 
     def size_estimate(self, codec=None, peer=None) -> int:
-        return 48 + 32 * len(self.write_items)
+        size = 48 + 32 * len(self.write_items)
+        if self.stream_seq:
+            size += 8
+        return size
+
+
+class WalterPropagateAck(Message):
+    """Fault mode: cumulative per-sender propagation watermark."""
+
+    __slots__ = ("watermark",)
+    priority = MessagePriority.CONTROL
+    base_size = 40
+
+    def __init__(self, watermark: int = 0):
+        Message.__init__(self)
+        self.watermark = watermark
+
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 40
+
+
+class WalterDecideAck(Message):
+    """Fault mode: acknowledges a reliably-delivered slow-path decide."""
+
+    __slots__ = ("txn_id",)
+    priority = MessagePriority.CONTROL
+    base_size = 40
+
+    def __init__(self, txn_id: TransactionId = None):
+        Message.__init__(self)
+        self.txn_id = txn_id
+
+    def size_estimate(self, codec=None, peer=None) -> int:
+        return 40
 
 
 @dataclass
@@ -191,13 +245,37 @@ class WalterNode(ProtocolRuntime):
         self._chains: Dict[object, List[_WalterVersion]] = {}
         # Committed vector timestamp: highest sequence number applied per site.
         self.committed_vts = VectorClock.zeros(n_nodes)
-        self._local_seq = 0
+        # Durable outbound propagation streams; also owns the site commit
+        # sequence counter (the historical ``_local_seq``), so a restarted
+        # preferred site never reuses a seqno it already handed out.
+        self.plog = PropagationLog()
         self.locks = LockTable(self.sim, name=f"walter-locks@{self.node_id}")
         self._prepared: Dict[TransactionId, Tuple[Tuple[object, object], ...]] = {}
+        # Fault mode only — durable slow-path state: coordinator decisions
+        # awaiting reliable delivery, recorded votes (for idempotent prepare
+        # re-sends), delivered decides, and the per-sender propagation
+        # watermark.  All grow with the faulted transactions of a run, like
+        # the other fault-recovery indexes; fail-free runs never write them.
+        self.decisions = DecisionLog()
+        self._vote_log: Dict[TransactionId, bool] = {}
+        self._decide_done: set = set()
+        self._prop_applied: Dict[int, int] = {}
+        # Fault mode only — volatile: prepares in flight (dedupes re-sends
+        # racing their original), out-of-order propagation batches awaiting
+        # their gap, and the retransmit-loop guard.
+        self._preparing: set = set()
+        self._prop_buffer: Dict[int, Dict[int, tuple]] = {}
+        self._retx_running = False
+        self._prep_progress = self.sim.signal(name=f"walter-prepare@{self.node_id}")
         self.register_handler(WalterRead, self.on_read)
         self.register_handler(WalterPrepare, self.on_prepare)
         self.register_handler(WalterDecide, self.on_decide)
         self.register_handler(WalterPropagate, self.on_propagate)
+        self.register_handler(WalterPropagateAck, self.on_propagate_ack)
+
+    @property
+    def _local_seq(self) -> int:
+        return self.plog.seqno
 
     # ------------------------------------------------------------------
     def preload(self, keys, initial_value=0) -> None:
@@ -211,22 +289,28 @@ class WalterNode(ProtocolRuntime):
     # Fault plane
     # ------------------------------------------------------------------
     def on_crash(self) -> None:
-        """Volatile state: the lock table and the slow-path prepare buffers.
+        """Volatile state: non-prepared locks, in-flight prepares, gap buffers.
 
-        The version chains, the committed vector timestamp and the local
-        sequence counter are durable — ``_local_seq`` in particular must
-        survive so a restarted preferred site never reuses a sequence number
-        it already handed out.
+        The version chains, the committed vector timestamp, the propagation
+        log (with the site sequence counter), the slow-path prepare buffers
+        with their recorded votes, the decision log and the propagation
+        watermark are all durable.  Prepared transactions keep their locks
+        across the crash — 2PC-style — so a decide arriving after the
+        restart still finds the write-set it covers.
         """
-        self._prepared.clear()
-        self.locks.reset()
+        self.locks.reset_except(set(self._prepared))
+        self._preparing.clear()
+        self._prop_buffer.clear()
 
     def on_restart(self) -> None:
-        """Abort slow-path rounds that were in flight when we crashed.
+        """Re-deliver decisions and retransmit unacked propagation.
 
-        Preferred sites holding prepared write-sets (and their locks) for a
-        transaction whose coordinator died release them on this decided
-        abort; without it the locks leak until the end of the run.
+        Transactions this node was coordinating that died mid-vote-round
+        never decided — record a durable abort decision for them (their
+        prepared sites hold locks that would otherwise leak).  Then re-fan
+        every undelivered decision — including this node's own prepared
+        entry — and retransmit everything above the acked propagation
+        watermarks.
         """
         for txn_id in sorted(self.coordinated):
             meta = self.coordinated[txn_id]
@@ -237,13 +321,18 @@ class WalterNode(ProtocolRuntime):
             if crash_phase is not TransactionPhase.PREPARING:
                 continue
             self.counters["crash_recoveries"] += 1
-            preferred_sites = {self.primary(key) for key in meta.write_set}
-            preferred_sites.discard(self.node_id)
-            for site in sorted(preferred_sites):
-                self.send(
-                    site,
-                    WalterDecide(txn_id=txn_id, outcome=False, site=self.node_id, seqno=0),
-                )
+            if txn_id in self.decisions:
+                continue
+            preferred_sites = tuple(sorted({self.primary(key) for key in meta.write_set}))
+            self.decisions.record(txn_id, False, 0, preferred_sites)
+        for txn_id in self.decisions.txn_ids():
+            self.spawn_process(
+                self._decide_fanout(txn_id), name=f"walter-decide:{txn_id}"
+            )
+        # The pre-crash retransmit loop died with the node's epoch.
+        self._retx_running = False
+        self._retransmit_unacked()
+        self._ensure_retransmit_loop()
 
     # ------------------------------------------------------------------
     # Storage helpers
@@ -300,6 +389,26 @@ class WalterNode(ProtocolRuntime):
 
     def on_prepare(self, message: WalterPrepare):
         txn_id = message.txn_id
+        if self._fault_mode:
+            # Idempotency against the coordinator's re-send cadence: a vote
+            # already recorded is simply repeated; a re-send racing its own
+            # original (still mid-prepare on this node) waits for it.
+            recorded = self._vote_log.get(txn_id)
+            if recorded is not None:
+                self.respond(message, WalterVote(txn_id=txn_id, success=recorded))
+                return
+            if txn_id in self._preparing:
+                yield self.sim.condition(
+                    lambda: txn_id not in self._preparing,
+                    self._prep_progress,
+                    name=f"prepare-dup:{txn_id}",
+                )
+                self.respond(
+                    message,
+                    WalterVote(txn_id=txn_id, success=self._vote_log.get(txn_id, False)),
+                )
+                return
+            self._preparing.add(txn_id)
         local_items = tuple(
             (key, value)
             for key, value in message.write_items
@@ -320,12 +429,50 @@ class WalterNode(ProtocolRuntime):
                     break
         if not success and locked:
             self.locks.release(txn_id, keys)
+        if self._fault_mode:
+            if success and txn_id in self._decide_done:
+                # A stale re-sent prepare delivered after the decision was
+                # already applied: re-preparing would leak the locks forever
+                # (no second decide is coming).
+                self.locks.release(txn_id, keys)
+                success = False
+            if success:
+                self._prepared[txn_id] = local_items
+            self._vote_log[txn_id] = success
+            self._preparing.discard(txn_id)
+            self._prep_progress.notify()
+            self.respond(message, WalterVote(txn_id=txn_id, success=success))
+            return
         if success:
             self._prepared[txn_id] = local_items
         self.respond(message, WalterVote(txn_id=txn_id, success=success))
 
     def on_decide(self, message: WalterDecide):
         txn_id = message.txn_id
+        if self._fault_mode:
+            # Reliable delivery: decides arrive through the coordinator's
+            # re-sending fan-out, so apply exactly once (keeping the prepared
+            # entry until the installation lands — a crash mid-apply redoes
+            # it from the re-send) and always acknowledge.
+            if txn_id not in self._decide_done:
+                items = self._prepared.get(txn_id, ())
+                if message.outcome and items:
+                    yield self.cpu(self.service.commit_apply_us * max(1, len(items)))
+                if txn_id not in self._decide_done:
+                    # Re-checked after the yield: a duplicate decide may have
+                    # completed the installation while we held the CPU.
+                    if message.outcome and items:
+                        for key, value in items:
+                            self._install(key, value, message.site, message.seqno, txn_id)
+                        self._async_propagate(txn_id, message.site, message.seqno, items)
+                    self._decide_done.add(txn_id)
+                    items = self._prepared.pop(txn_id, ())
+                    self._vote_log.pop(txn_id, None)
+                    keys = [key for key, _value in items]
+                    if keys:
+                        self.locks.release(txn_id, keys)
+            self.respond(message, WalterDecideAck(txn_id=txn_id))
+            return
         items = self._prepared.pop(txn_id, ())
         keys = [key for key, _value in items]
         if message.outcome and items:
@@ -338,10 +485,53 @@ class WalterNode(ProtocolRuntime):
             self.locks.release(txn_id, keys)
 
     def on_propagate(self, message: WalterPropagate) -> None:
-        for key, value in message.write_items:
+        if self._fault_mode and message.stream_seq:
+            sender = message.sender
+            applied = self._prop_applied.get(sender, 0)
+            if message.stream_seq <= applied:
+                # Retransmission of a batch we already applied.
+                self.counters["propagation_duplicates"] += 1
+            elif message.stream_seq > applied + 1:
+                # Gap: an earlier batch of this sender's stream is missing
+                # (lost while we were crashed or partitioned).  Buffer this
+                # one and keep acking the old watermark so the sender's
+                # cadence retransmits the gap.
+                self._prop_buffer.setdefault(sender, {})[message.stream_seq] = (
+                    message.txn_id,
+                    message.site,
+                    message.seqno,
+                    message.write_items,
+                )
+                self.counters["propagation_gaps_buffered"] += 1
+            else:
+                self._apply_propagation(
+                    message.site, message.seqno, message.txn_id, message.write_items
+                )
+                applied += 1
+                buffered = self._prop_buffer.get(sender)
+                while buffered:
+                    successor = buffered.pop(applied + 1, None)
+                    if successor is None:
+                        break
+                    txn_id, site, seqno, write_items = successor
+                    self._apply_propagation(site, seqno, txn_id, write_items)
+                    applied += 1
+                # Same step as the installs: the watermark is force-written.
+                self._prop_applied[sender] = applied
+            self.send(sender, WalterPropagateAck(watermark=self._prop_applied.get(sender, 0)))
+            return
+        self._apply_propagation(
+            message.site, message.seqno, message.txn_id, message.write_items
+        )
+
+    def _apply_propagation(self, site, seqno, txn_id, write_items) -> None:
+        for key, value in write_items:
             if self.is_replica_of(key):
-                self._install(key, value, message.site, message.seqno, message.txn_id)
+                self._install(key, value, site, seqno, txn_id)
         self.counters["propagations_applied"] += 1
+
+    def on_propagate_ack(self, message: WalterPropagateAck) -> None:
+        self.plog.ack(message.sender, message.watermark)
 
     def _async_propagate(
         self,
@@ -361,10 +551,83 @@ class WalterNode(ProtocolRuntime):
                 if destination in self.replicas(key)
             )
             if payload:
+                if self._fault_mode:
+                    # Force-write the batch to the durable stream before the
+                    # send; the cadence retransmits it until acknowledged.
+                    record = self.plog.append(destination, txn_id, site, seqno, payload)
+                    self.send(
+                        destination,
+                        WalterPropagate(
+                            txn_id=txn_id,
+                            site=site,
+                            seqno=seqno,
+                            write_items=payload,
+                            stream_seq=record.stream_seq,
+                        ),
+                    )
+                else:
+                    self.send(
+                        destination,
+                        WalterPropagate(txn_id=txn_id, site=site, seqno=seqno, write_items=payload),
+                    )
+        if self._fault_mode:
+            self._ensure_retransmit_loop()
+
+    # ------------------------------------------------------------------
+    # Fault mode: reliable propagation and decide delivery
+    # ------------------------------------------------------------------
+    def _ensure_retransmit_loop(self) -> None:
+        if self._retx_running or not self.plog.has_unacked():
+            return
+        self._retx_running = True
+        self.spawn_process(self._retransmit_loop(), name=f"walter-retx@{self.node_id}")
+
+    def _retransmit_loop(self):
+        """Re-send unacked propagation batches on the fault-mode cadence."""
+        try:
+            while self.plog.has_unacked():
+                yield self.sim.timeout(self.config.timeouts.crash_resubscribe_us)
+                self._retransmit_unacked()
+        finally:
+            self._retx_running = False
+
+    def _retransmit_unacked(self) -> None:
+        for destination in self.plog.destinations_with_unacked():
+            for record in self.plog.unacked(destination):
+                self.counters["propagation_retransmits"] += 1
                 self.send(
                     destination,
-                    WalterPropagate(txn_id=txn_id, site=site, seqno=seqno, write_items=payload),
+                    WalterPropagate(
+                        txn_id=record.txn_id,
+                        site=record.origin_site,
+                        seqno=record.seqno,
+                        write_items=record.write_items,
+                        stream_seq=record.stream_seq,
+                    ),
                 )
+
+    def _decide_fanout(self, txn_id: TransactionId):
+        """Reliably deliver one durable decision to its prepared sites.
+
+        ``request_all`` re-sends on the fault-mode cadence until every site
+        (this node included — its own prepared entry and locks need the
+        decide too) acknowledged; the decide handler is idempotent, so
+        re-sends and restart re-fans are harmless.  The record is dropped
+        only once every site acked.
+        """
+        decision = self.decisions.find(txn_id)
+        if decision is None:
+            return
+        yield from self.request_all(
+            list(decision.sites),
+            lambda _site: WalterDecide(
+                txn_id=txn_id,
+                outcome=decision.outcome,
+                site=self.node_id,
+                seqno=decision.seqno,
+            ),
+        )
+        self.decisions.discard(txn_id)
 
     # ------------------------------------------------------------------
     # Coordinator side (Session interface)
@@ -443,8 +706,7 @@ class WalterNode(ProtocolRuntime):
             self.locks.release(txn_id, keys)
             return False
         yield self.cpu(self.service.commit_apply_us * max(1, len(keys)))
-        self._local_seq += 1
-        seqno = self._local_seq
+        seqno = self.plog.next_seqno()
         for key, value in write_items:
             self._install(key, value, self.node_id, seqno, txn_id)
         self.locks.release(txn_id, keys)
@@ -455,15 +717,38 @@ class WalterNode(ProtocolRuntime):
     def _slow_commit(self, meta: TransactionMeta, write_items, preferred_sites):
         """2PC-like round over the written keys' preferred sites."""
         txn_id = meta.txn_id
+        sites = sorted(preferred_sites)
+
+        def make_prepare(_site):
+            return WalterPrepare(txn_id=txn_id, start_vts=meta.vc, write_items=write_items)
+
+        if self._fault_mode:
+            # Bounded prepare: the re-send cadence detects a dead participant
+            # within the retry envelope instead of idling out the full
+            # prepare timeout; the decision is force-written and delivered
+            # reliably by a background fan-out — the client is answered now,
+            # as on the fail-free path.
+            outcome, _votes = yield from self.vote_round_retry(
+                sites,
+                make_prepare,
+                retry_us=self.config.timeouts.crash_resubscribe_us,
+                max_resends=self.config.timeouts.prepare_retry_limit,
+            )
+            seqno = self.plog.next_seqno()
+            self.decisions.record(txn_id, outcome, seqno, tuple(sites))
+            self.spawn_process(
+                self._decide_fanout(txn_id), name=f"walter-decide:{txn_id}"
+            )
+            self.counters["slow_commits"] += 1
+            return outcome
         outcome, _votes = yield from self.vote_round(
-            sorted(preferred_sites),
-            lambda _site: WalterPrepare(txn_id=txn_id, start_vts=meta.vc, write_items=write_items),
+            sites,
+            make_prepare,
             self.config.timeouts.prepare_timeout_us,
         )
 
-        self._local_seq += 1
-        seqno = self._local_seq
-        for site in sorted(preferred_sites):
+        seqno = self.plog.next_seqno()
+        for site in sites:
             self.send(
                 site,
                 WalterDecide(
@@ -482,6 +767,59 @@ class WalterCluster(ProtocolCluster):
 
     node_class = WalterNode
     protocol_name = "walter"
+
+    def check_contract(self) -> List[CheckResult]:
+        """Walter's PSI contract under faults.
+
+        PSI permits long forks and torn cross-site snapshot cuts, so the
+        external-consistency and consistent-cut checks legitimately fail on
+        adversarial interleavings; what Walter *does* promise — and what the
+        durable propagation plane restores under crashes — is dirty-read
+        freedom (every read from a committed writer) and convergence of
+        every key's replicas once propagation drains.
+        """
+        return [
+            check_committed_reads(self.history),
+            self.check_replica_convergence(),
+        ]
+
+    def check_replica_convergence(self) -> CheckResult:
+        """Every replica of a key holds the same committed version set.
+
+        A propagation batch lost to a crash or partition (and never
+        retransmitted) surfaces here as a replica missing a ``(site,
+        seqno)`` version that its peers hold.  Meaningful at quiescence —
+        after the run's drain, when the durable streams have been acked.
+        """
+        violations: List[str] = []
+        checked = 0
+        for key in self.keys:
+            replicas = self.placement.replicas(key)
+            if len(replicas) < 2:
+                continue
+            checked += 1
+            held: Dict[int, set] = {}
+            for node_id in replicas:
+                chain = self.nodes[node_id]._chains.get(key, [])
+                held[node_id] = {
+                    (version.site, version.seqno)
+                    for version in chain
+                    if version.writer is not None
+                }
+            union = set().union(*held.values())
+            for node_id in sorted(held):
+                missing = union - held[node_id]
+                if missing:
+                    violations.append(
+                        f"replica {node_id} of {key!r} is missing committed "
+                        f"versions {sorted(missing)}"
+                    )
+        return CheckResult(
+            ok=not violations,
+            name="walter-replica-convergence",
+            violations=violations,
+            checked_transactions=checked,
+        )
 
 
 register("walter", WalterCluster)

@@ -128,11 +128,22 @@ class TimeoutConfig:
     what lets gated readers resolve once the writer's coordinator restarts.
     Fail-free runs never take this path."""
 
+    prepare_retry_limit: int = 3
+    """Fault-mode only: how many unanswered ``crash_resubscribe_us`` re-send
+    waves a retrying prepare fan-out (``vote_round_retry``) tolerates before
+    declaring the silent participant dead and failing the round.  Bounds the
+    dead-participant abort at ``(limit + 1) * crash_resubscribe_us`` —
+    20 ms at the defaults — instead of the full ``prepare_timeout_us``,
+    while a participant that restarts within the envelope still answers a
+    re-send and the round completes honestly."""
+
     def validate(self) -> None:
         if self.lock_timeout_us <= 0:
             raise ConfigurationError("lock_timeout_us must be > 0")
         if self.prepare_timeout_us <= 0:
             raise ConfigurationError("prepare_timeout_us must be > 0")
+        if self.prepare_retry_limit < 1:
+            raise ConfigurationError("prepare_retry_limit must be >= 1")
         if self.backoff_initial_us <= 0 or self.backoff_max_us < self.backoff_initial_us:
             raise ConfigurationError("invalid back-off window")
         if self.readonly_restart_wait_us <= 0:

@@ -22,6 +22,7 @@ by the simulated clusters:
 
 from repro.consistency.checkers import (
     CheckResult,
+    check_committed_reads,
     check_external_consistency,
     check_serializability,
     check_snapshot_reads,
@@ -42,6 +43,7 @@ __all__ = [
     "WindowedConsistencyChecker",
     "WindowedHistoryRecorder",
     "build_dsg",
+    "check_committed_reads",
     "check_external_consistency",
     "check_serializability",
     "check_snapshot_reads",

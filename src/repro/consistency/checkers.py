@@ -17,6 +17,11 @@ repository:
 * :func:`check_snapshot_reads` — every read observed a committed version and
   the versions observed by one transaction form a consistent cut (the
   "consistent view" part of Statements 2 and 3).
+* :func:`check_committed_reads` — only the committed-writer half of
+  :func:`check_snapshot_reads`: no read may observe an uncommitted or
+  unknown (torn) write.  This is the durability floor every protocol must
+  hold under crashes, including Walter, whose PSI contract permits the
+  cross-site cuts the full snapshot check rejects.
 """
 
 from __future__ import annotations
@@ -165,6 +170,34 @@ def check_snapshot_reads(history) -> CheckResult:
     return CheckResult(
         ok=not violations,
         name="snapshot-reads",
+        violations=violations,
+        checked_transactions=len(transactions),
+    )
+
+
+def check_committed_reads(history) -> CheckResult:
+    """Every read observed a committed (never torn or lost) write.
+
+    The dirty-read half of :func:`check_snapshot_reads`, separated out as
+    the crash-durability floor: a crash that loses a write some client
+    already read, or tears a multi-key commit so only part of it is ever
+    recorded, surfaces here as a read from an unknown writer.  Unlike the
+    consistent-cut half this holds for *every* protocol in the repository,
+    PSI included.
+    """
+    transactions = _transactions(history)
+    committed = {txn.txn_id for txn in transactions}
+    violations: List[str] = []
+    for txn in transactions:
+        for read in txn.reads:
+            if read.writer is not None and read.writer not in committed:
+                violations.append(
+                    f"{txn.txn_id} read {read.key!r} from uncommitted/unknown "
+                    f"writer {read.writer}"
+                )
+    return CheckResult(
+        ok=not violations,
+        name="committed-reads",
         violations=violations,
         checked_transactions=len(transactions),
     )

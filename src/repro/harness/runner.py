@@ -345,17 +345,42 @@ class ExperimentPoint:
     warmup_us: float = 40_000.0
     label: object = None
     """Opaque tag (figure coordinates, sweep indices) echoed with the result."""
+    record_history: object = False
+    """History plane for the point (``run_experiment`` semantics).  When
+    truthy the worker additionally runs the protocol's contract checks
+    in-process — clusters cannot cross the process boundary, so the verdict
+    travels back in ``metrics.extra`` (``consistency_ok`` /
+    ``consistency_violations``)."""
+    drain_us: Optional[float] = None
 
 
 def _run_point_worker(point: ExperimentPoint) -> Tuple[object, ExperimentResult]:
     """Module-level worker so ProcessPoolExecutor can pickle it."""
+    record_history = point.record_history
     result = run_experiment(
         point.protocol,
         point.config,
         point.workload,
         duration_us=point.duration_us,
         warmup_us=point.warmup_us,
+        record_history=record_history,
+        keep_cluster=bool(record_history),
+        drain_us=point.drain_us,
     )
+    if record_history and result.cluster is not None:
+        checks = result.cluster.check_contract()
+        violations = sum(len(check.violations) for check in checks)
+        result.metrics.extra["consistency_ok"] = float(all(check.ok for check in checks))
+        result.metrics.extra["consistency_violations"] = float(violations)
+        if violations:
+            detail = "; ".join(
+                f"{check.name}: {check.violations[0]}"
+                for check in checks
+                if check.violations
+            )
+            result.metrics.extra["consistency_detail"] = detail  # type: ignore[assignment]
+        # The cluster cannot cross the process boundary back to the parent.
+        result.cluster = None
     return point.label, result
 
 

@@ -158,6 +158,18 @@ class ProtocolCluster:
             return self.history.check_external_consistency()
         return check_external_consistency(self.history)
 
+    def check_contract(self) -> List[CheckResult]:
+        """Run the checks this protocol *promises* to pass, faults included.
+
+        The default is the full external-consistency check — correct for SSS
+        and the 2PC baseline.  Weaker protocols override it with their own
+        contract (ROCOCO: serializability, Walter: PSI's dirty-read freedom
+        and replica convergence) so the fault benches can assert "every
+        protocol keeps its own guarantee under every fault kind" instead of
+        holding all protocols to the strongest one.
+        """
+        return [self.check_consistency()]
+
     def total_counters(self) -> Dict[str, int]:
         """Aggregate protocol counters over every node."""
         totals: Dict[str, int] = {}

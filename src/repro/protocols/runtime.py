@@ -22,7 +22,9 @@ every protocol node (SSS and the three competitors) extends:
   pattern behind every multi-replica read.
 * **Vote collection** — :meth:`vote_round`: one 2PC-style prepare wave with
   a shared coarse crash-guard deadline and a :class:`VoteCollector` that
-  fails fast on the first negative vote.
+  fails fast on the first negative vote; :meth:`vote_round_retry` is its
+  fault-mode counterpart, re-sending unanswered prepares on a cadence and
+  declaring a participant dead after a bounded number of silent waves.
 * **Fault plane** — :meth:`crash` / :meth:`restart`: a crashed node drops
   its volatile state (inbound queue, in-flight RPCs, whatever the protocol
   declares volatile via :meth:`on_crash`) and replays its durable state on
@@ -278,6 +280,52 @@ class ProtocolRuntime(NetworkedNode):
         if votes.triggered:
             return votes.value
         return False, []
+
+    def vote_round_retry(self, participants, make_message, retry_us: float, max_resends: int):
+        """Process generator: a vote round with fault-mode re-send cadence.
+
+        The fault-mode counterpart of :meth:`vote_round`: prepares left
+        unanswered for ``retry_us`` are re-sent (a briefly-crashed or
+        partitioned participant answers the re-send after recovery — its
+        prepare handler must be idempotent), and a participant still silent
+        after ``max_resends`` re-send waves is declared dead and the round
+        fails.  The abort therefore lands within the retry envelope,
+        ``(max_resends + 1) * retry_us``, instead of idling out the full
+        prepare timeout.  Negative votes still fail fast within a wave (the
+        :class:`VoteCollector` semantics).  Returns ``(outcome, votes)``.
+        """
+        remaining = list(participants)
+        votes_collected: List[object] = []
+        resends = 0
+        while True:
+            pairs = [(participant, make_message(participant)) for participant in remaining]
+            events = [
+                self.request(participant, message) for participant, message in pairs
+            ]
+            collector = VoteCollector(self.sim, events)
+            yield self.sim.any_of([collector, self.sim.timeout(retry_us)])
+            if collector.triggered:
+                outcome, votes = collector.value
+                votes_collected.extend(votes)
+                return outcome, votes_collected
+            # Cadence expired: bank the yes-votes that did arrive (a negative
+            # vote would have fired the collector) and re-send to the silent
+            # participants, retiring the stale correlation entries.
+            silent = []
+            for (participant, message), event in zip(pairs, events):
+                if event.triggered and event.ok:
+                    votes_collected.append(event.value)
+                else:
+                    self._pending_replies.pop(message.msg_id, None)
+                    silent.append(participant)
+            if not silent:
+                return True, votes_collected
+            resends += 1
+            if resends > max_resends:
+                self.counters["prepare_retry_aborts"] += 1
+                return False, votes_collected
+            self.counters["prepare_retries"] += 1
+            remaining = silent
 
     def reliable_request(self, destination, make_message):
         """Process generator: one request, re-sent in fault mode until answered.

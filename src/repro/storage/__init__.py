@@ -18,9 +18,22 @@ Everything one node keeps on its data plane lives here:
 * :class:`~repro.storage.commit_queue.CommitQueue` — the paper's
   ``CommitQ`` ordering internally-committing transactions by their commit
   vector clock entry for this node.
+* :mod:`~repro.storage.durable_log` — the crash-consistency logs
+  (:class:`~repro.storage.durable_log.PieceRedoLog`,
+  :class:`~repro.storage.durable_log.PropagationLog`,
+  :class:`~repro.storage.durable_log.DecisionLog`), generalizing the SSS
+  :class:`~repro.storage.commit_queue.ParticipantRedoLog` to the baselines.
 """
 
 from repro.storage.commit_queue import CommitQueue, CommitQueueEntry
+from repro.storage.durable_log import (
+    DecisionLog,
+    DecisionRecord,
+    PieceRecord,
+    PieceRedoLog,
+    PropagationLog,
+    PropagationRecord,
+)
 from repro.storage.locks import LockMode, LockTable
 from repro.storage.mvstore import MultiVersionStore
 from repro.storage.nlog import NLog, NLogEntry
@@ -30,11 +43,17 @@ from repro.storage.version import Version, VersionChain
 __all__ = [
     "CommitQueue",
     "CommitQueueEntry",
+    "DecisionLog",
+    "DecisionRecord",
     "LockMode",
     "LockTable",
     "MultiVersionStore",
     "NLog",
     "NLogEntry",
+    "PieceRecord",
+    "PieceRedoLog",
+    "PropagationLog",
+    "PropagationRecord",
     "SQueueEntry",
     "SnapshotQueue",
     "Version",

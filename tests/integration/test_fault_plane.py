@@ -9,7 +9,13 @@ The contract this suite pins:
   availability (phases, stalls), never correctness;
 * the 2PC-baseline also holds (durable prepared state + decision re-send);
 * crash recovery actually recovers: after a crash+restart the cluster
-  drains with no stalled clients and no leaked pre-commit state.
+  drains with no stalled clients and no leaked pre-commit state;
+* the weaker baselines keep their own contracts under faults too — ROCOCO
+  stays serializable across crash/replay orderings (piece redo log + order
+  fencing), Walter keeps dirty-read freedom and replica convergence across
+  propagation gaps (durable ack-watermarked streams), and Walter's
+  dead-participant aborts stay inside the retry envelope instead of the
+  old ~40 ms prepare-timeout drain.
 """
 
 from __future__ import annotations
@@ -128,15 +134,22 @@ class TestBaselinesUnderFaults:
         assert result.cluster.check_consistency().ok
 
     @pytest.mark.parametrize("protocol,rf", [("walter", 2), ("rococo", 1)])
-    def test_weaker_protocols_survive_crash_without_stalling(self, protocol, rf):
-        """Walter/ROCOCO recover availability; their consistency under
-        crashes is *not* guaranteed (PSI anomalies, order-based replay) and
-        is deliberately not asserted here."""
-        result = _run(protocol, _config(CRASH_RESTART, replication_degree=rf))
+    def test_weaker_protocols_survive_crash_and_keep_contract(self, protocol, rf):
+        """Walter/ROCOCO recover availability *and* keep their own
+        consistency contracts (committed reads + convergence for Walter,
+        serializability + committed reads for ROCOCO) — the crash-recovery
+        machinery removed the old correctness-for-availability trade."""
+        result = _run(
+            protocol,
+            _config(CRASH_RESTART, replication_degree=rf),
+            drain_us=30_000,
+        )
         metrics = result.metrics
         assert metrics.extra["stalled_clients"] == 0
         tail_phase = metrics.phases[-1]
         assert tail_phase["availability"] > 0.2
+        for check in result.cluster.check_contract():
+            assert check.ok, f"{protocol} broke {check.name} under crash: {check}"
 
 
 class TestFaultDeterminism:
@@ -259,3 +272,166 @@ class TestCoordinatorCrashSessionTeardown:
                 duration_us=15_000,
             )
             assert result.metrics.committed > 0, (protocol, at_us)
+
+
+class TestRococoReplayOrdering:
+    """ROCOCO's piece redo log and order fencing under crash/replay races.
+
+    The historical Known Defect: a server restarting mid-transaction lost
+    its volatile piece state, so a fault-mode re-send could re-execute a
+    piece *behind* already-executed higher-ordered pieces — a replay
+    reordering that broke serializability.  The durable piece redo log
+    replays logged-but-unexecuted pieces in order on restart, and the order
+    fence refuses anything below the executed frontier.  The fence is a
+    backstop: because the dispatch round completes on every server before
+    any order is assigned, a correctly recovered server never actually has
+    to refuse — so these tests pin ``order_fence_refusals == 0`` as well.
+    """
+
+    # Offsets straddle the dispatch round (~piece payload logged, no order
+    # yet), the execute round (order assigned, execution racing the crash)
+    # and the post-commit window; the short down-time makes the restart's
+    # replay race live fault-mode re-sends of the same pieces.
+    CRASH_OFFSETS_US = (1_500, 3_750, 7_500, 30_000)
+
+    @pytest.mark.parametrize("at_us", CRASH_OFFSETS_US)
+    def test_replay_keeps_serializability_across_crash_offsets(self, at_us):
+        result = _run(
+            "rococo",
+            _config(
+                [f"crash node=1 at={at_us}us for=2250us"],
+                replication_degree=1,
+                n_keys=40,
+                seed=2024,
+            ),
+            duration_us=60_000,
+            drain_us=30_000,
+        )
+        for check in result.cluster.check_contract():
+            assert check.ok, f"rococo broke {check.name} at crash offset {at_us}: {check}"
+        assert result.node_counters.get("order_fence_refusals", 0) == 0
+        assert result.metrics.extra["stalled_clients"] == 0
+
+    def test_crash_window_exercises_replay_and_crash_completion(self):
+        # Across a contended sweep the recovery machinery must actually
+        # engage — otherwise the offsets above silently stopped covering
+        # the dispatch/execute race and this suite tests nothing.
+        engaged = 0
+        for seed in (11, 2024, 77):
+            result = _run(
+                "rococo",
+                _config(CRASH_RESTART, replication_degree=1, seed=seed),
+                drain_us=30_000,
+            )
+            counters = result.node_counters
+            engaged += counters.get("pieces_replayed", 0)
+            engaged += counters.get("crash_completed_commits", 0)
+            engaged += counters.get("crash_recoveries", 0)
+            for check in result.cluster.check_contract():
+                assert check.ok, f"seed {seed}: {check}"
+        assert engaged > 0, "no crash ever engaged the redo log / recovery path"
+
+
+class TestWalterPropagationDurability:
+    """Walter's durable propagation streams: no batch is ever lost.
+
+    The historical gap: ``_async_propagate`` was fire-and-forget, so a
+    crash (sender or receiver) or a partition could permanently lose a
+    propagation batch and the replicas of a key silently diverged.  The
+    propagation log force-writes every batch, receivers apply in stream
+    order (buffering gaps) and ack a cumulative watermark, and restart plus
+    the fault-mode cadence retransmit everything above the watermark.
+    """
+
+    def test_crash_retransmits_until_replicas_converge(self):
+        result = _run(
+            "walter",
+            _config(CRASH_RESTART, replication_degree=2),
+            drain_us=30_000,
+        )
+        for check in result.cluster.check_contract():
+            assert check.ok, f"walter broke {check.name} under crash: {check}"
+        # The crash must have forced actual retransmission work...
+        assert result.node_counters.get("propagation_retransmits", 0) > 0
+        # ...and at quiescence every durable stream has been fully acked.
+        for node in result.cluster.nodes:
+            assert not node.plog.has_unacked(), (
+                f"node {node.node_id} still holds unacked propagation records"
+            )
+
+    def test_partition_heals_with_watermark_catchup(self):
+        result = _run(
+            "walter",
+            _config(PARTITION, replication_degree=2),
+            drain_us=30_000,
+        )
+        for check in result.cluster.check_contract():
+            assert check.ok, f"walter broke {check.name} under partition: {check}"
+        # After the heal the watermarks catch up: nothing left unacked and
+        # every receiver's applied watermark matches what was sent to it.
+        for node in result.cluster.nodes:
+            assert not node.plog.has_unacked()
+        for sender in result.cluster.nodes:
+            sent_to = sender.plog._next_stream_seq
+            for destination, high in sent_to.items():
+                receiver = result.cluster.nodes[destination]
+                applied = receiver._prop_applied.get(sender.node_id, 0)
+                assert applied == high, (
+                    f"receiver {destination} applied watermark {applied} != "
+                    f"stream high {high} from sender {sender.node_id}"
+                )
+
+    def test_crash_offset_sweep_never_diverges(self):
+        # The small-offset window that produced the session-teardown bug is
+        # also the hardest propagation race: decide applied, propagation
+        # half-sent, crash.  Sweep it and require convergence every time.
+        for at_us in (1_500, 3_750, 7_500):
+            result = _run(
+                "walter",
+                _config(
+                    [f"crash node=1 at={at_us}us for=2250us"],
+                    n_keys=400,
+                    seed=2024,
+                ),
+                duration_us=15_000,
+                drain_us=30_000,
+            )
+            for check in result.cluster.check_contract():
+                assert check.ok, f"offset {at_us}: {check}"
+
+
+class TestWalterBoundedPrepareAbort:
+    """Regression pin: dead-participant slow aborts stay inside the retry
+    envelope.
+
+    Before the fault-mode prepare retry cadence, an update whose slow-path
+    participant crash-stopped sat on the full ``prepare_timeout_us`` (50 ms
+    — the "~40 ms drain" the session-teardown test historically budgeted
+    for).  With ``vote_round_retry`` the coordinator re-sends every
+    ``crash_resubscribe_us`` (5 ms) and gives up after
+    ``prepare_retry_limit`` (3) resends: the abort lands within ~20 ms, so
+    a 30 ms drain — well under the old timeout — must fully quiesce.
+    """
+
+    def test_dead_participant_abort_bounded_by_retry_envelope(self):
+        config = _config(CRASH_FOREVER, replication_degree=2)
+        timeouts = config.timeouts
+        envelope_us = (timeouts.prepare_retry_limit + 1) * timeouts.crash_resubscribe_us
+        assert envelope_us < timeouts.prepare_timeout_us, (
+            "retry envelope must undercut the prepare timeout for the bound "
+            "to mean anything"
+        )
+        result = _run("walter", config, duration_us=60_000, drain_us=30_000)
+        counters = result.node_counters
+        # The bound must have been exercised: some slow-path prepare gave up
+        # through the retry cadence, and no survivor is left stalled on the
+        # old 50 ms timeout (the 30 ms drain would catch that as a stall).
+        assert counters.get("prepare_retry_aborts", 0) > 0
+        assert result.metrics.extra["stalled_clients"] == 0
+        # Dirty-read freedom still holds; convergence is deliberately not
+        # asserted — the victim never restarts, so its replicas legitimately
+        # miss the tail of the propagation streams.
+        from repro.consistency.checkers import check_committed_reads
+
+        check = check_committed_reads(result.cluster.history)
+        assert check.ok, f"dead-participant aborts leaked dirty reads: {check}"
