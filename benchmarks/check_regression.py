@@ -12,7 +12,11 @@ figure) are additionally gated on availability: the current worst per-point
 availability must not fall more than the availability threshold below the
 baseline's, and a baseline asserting ``consistency_ok_all`` requires the
 current run to keep it.  Speed and availability are floors, memory is a
-ceiling.
+ceiling.  Baselines carrying ``totals.max_n_nodes`` pin cluster-size
+coverage (the current run may not measure a narrower cluster), and
+baselines with ``totals.parallel_datapoints`` additionally gate the
+node-sharded engine's ``parallel_events_per_sec`` as its own floor, so a
+parallel-path regression cannot hide behind fast serial points.
 
 Usage::
 
@@ -141,6 +145,44 @@ def check_figure(figure: str, args) -> int:
                 f"FAIL: {figure} worst-point availability fell by more than "
                 f"{args.availability_threshold_pct:.0f}% "
                 f"({current_avail} < {avail_floor:.4f})",
+                file=sys.stderr,
+            )
+            return 1
+
+    baseline_max_nodes = baseline["totals"].get("max_n_nodes")
+    if baseline_max_nodes is not None:
+        current_max_nodes = current["totals"].get("max_n_nodes", 0)
+        if current_max_nodes < baseline_max_nodes:
+            print(
+                f"FAIL: {figure} cluster-size coverage shrank — the baseline "
+                f"measured up to {baseline_max_nodes} servers, the current run "
+                f"only up to {current_max_nodes}",
+                file=sys.stderr,
+            )
+            return 1
+
+    if baseline["totals"].get("parallel_datapoints"):
+        current_parallel = current["totals"].get("parallel_datapoints", 0)
+        if not current_parallel:
+            print(
+                f"FAIL: {figure} baseline includes parallel-engine datapoints "
+                f"but the current run produced none",
+                file=sys.stderr,
+            )
+            return 1
+        baseline_peps = baseline["totals"].get("parallel_events_per_sec", 0)
+        current_peps = current["totals"].get("parallel_events_per_sec", 0)
+        parallel_floor = baseline_peps * (1.0 - args.threshold_pct / 100.0)
+        print(
+            f"figure={figure}  baseline parallel events/sec={baseline_peps}  "
+            f"current parallel events/sec={current_peps}  allowed floor="
+            f"{parallel_floor:.0f} (-{args.threshold_pct:.0f}%)"
+        )
+        if current_peps < parallel_floor:
+            print(
+                f"FAIL: {figure} parallel-engine events/sec regressed by more "
+                f"than {args.threshold_pct:.0f}% ({current_peps} < "
+                f"{parallel_floor:.0f})",
                 file=sys.stderr,
             )
             return 1

@@ -154,6 +154,27 @@ class _BenchRecorder:
             value = metrics.extra.get(field_name)
             if value is not None:
                 point[field_name] = value
+        # Parallel-engine accounting (present when the point ran on the
+        # node-sharded conservative engine; see repro.harness.parallel).
+        # ``engine`` is recorded explicitly so regression gates can match
+        # serial and parallel datapoints separately.
+        if metrics.extra.get("parallel_shards") is not None:
+            point["engine"] = "parallel"
+            for field_name in (
+                "parallel_shards",
+                "parallel_sync_rounds",
+                "parallel_null_messages",
+                "parallel_cross_shard_messages",
+                "parallel_shard_events_min",
+                "parallel_shard_events_max",
+                "parallel_shard_utilization_min",
+                "parallel_shard_busy_max_s",
+            ):
+                value = metrics.extra.get(field_name)
+                if value is not None:
+                    point[field_name] = value
+        else:
+            point["engine"] = "serial"
         # Fault-plane accounting (present when the config carried a fault
         # plan; see run_experiment and ExperimentMetrics.phases).
         for field_name in (
@@ -193,6 +214,11 @@ class _BenchRecorder:
             for point in bucket
             if point.get("consistency_ok") is not None
         ]
+        parallel_points = [
+            point for point in bucket if point.get("engine") == "parallel"
+        ]
+        parallel_wall = sum(point["wall_seconds"] for point in parallel_points)
+        parallel_events = sum(point["sim_events"] for point in parallel_points)
         payload = {
             "figure": figure,
             "schema_version": 1,
@@ -221,6 +247,33 @@ class _BenchRecorder:
                 **(
                     {"consistency_ok_all": float(all(flag == 1.0 for flag in checked))}
                     if checked
+                    else {}
+                ),
+                # Coverage floor: the widest cluster the figure measured.
+                # check_regression fails if a later run silently shrinks it
+                # (e.g. the >=256-server parallel points dropping out).
+                **(
+                    {"max_n_nodes": max(point["n_nodes"] for point in bucket)}
+                    if bucket
+                    else {}
+                ),
+                # Parallel-engine rollup (absent for all-serial figures):
+                # how many points ran on the node-sharded engine and the
+                # events/sec over just those, gated separately so a
+                # regression in the parallel path cannot hide behind fast
+                # serial points.
+                **(
+                    {
+                        "parallel_datapoints": len(parallel_points),
+                        "parallel_sim_events": parallel_events,
+                        "parallel_wall_seconds": round(parallel_wall, 4),
+                        "parallel_events_per_sec": (
+                            round(parallel_events / parallel_wall)
+                            if parallel_wall > 0
+                            else 0
+                        ),
+                    }
+                    if parallel_points
                     else {}
                 ),
             },

@@ -9,16 +9,29 @@ Usage::
     PYTHONPATH=src python benchmarks/profile_hotpath.py
         [--nodes 6] [--duration-us 60000] [--top 30]
         [--sort cumulative|tottime] [--out PROFILE.pstats]
+        [--engine serial|parallel] [--shards N] [--profile-shard K]
 
 ``--out`` additionally dumps the raw stats for ``snakeviz``/``pstats``
 post-processing.
+
+With ``--engine parallel`` the run uses the node-sharded conservative
+engine: every shard worker dumps its own ``shard-<i>.pstats`` (via the
+``REPRO_PARALLEL_PROFILE_DIR`` hook in :mod:`repro.harness.parallel`), the
+rankings printed come from the shard chosen with ``--profile-shard``
+(default 0), and the parallel-overhead counters — sync rounds, null
+messages, cross-shard messages, per-shard utilization — are printed so the
+conservative-synchronization cost is observable, not guessed.  The
+in-process profile (``--out``) then covers the coordinator: routing,
+pickling and barrier bookkeeping.
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
+import tempfile
 import time
 
 
@@ -40,6 +53,29 @@ def main() -> int:
         help="Print only one ranking instead of both.",
     )
     parser.add_argument("--out", default=None, help="Dump raw pstats here.")
+    parser.add_argument(
+        "--engine",
+        choices=("serial", "parallel"),
+        default="serial",
+        help="Event loop to profile; 'parallel' is the node-sharded engine.",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="Shard count for --engine parallel (default: engine default).",
+    )
+    parser.add_argument(
+        "--profile-shard",
+        type=int,
+        default=0,
+        help="Which shard's worker profile to print (--engine parallel).",
+    )
+    parser.add_argument(
+        "--shard-profile-dir",
+        default=None,
+        help="Keep per-shard pstats dumps here (default: a temp directory).",
+    )
     args = parser.parse_args()
 
     # Import after argparse so --help stays fast.
@@ -55,35 +91,67 @@ def main() -> int:
     )
     workload = WorkloadConfig(read_only_fraction=args.read_only, read_only_txn_keys=2)
 
+    shard_dir = None
+    if args.engine == "parallel":
+        shard_dir = args.shard_profile_dir or tempfile.mkdtemp(prefix="repro-shard-prof-")
+        os.environ["REPRO_PARALLEL_PROFILE_DIR"] = shard_dir
+
     profiler = cProfile.Profile()
     wall_start = time.perf_counter()
     profiler.enable()
-    result = run_experiment(
-        args.protocol,
-        config,
-        workload,
-        duration_us=args.duration_us,
-        warmup_us=args.warmup_us,
-    )
-    profiler.disable()
+    try:
+        result = run_experiment(
+            args.protocol,
+            config,
+            workload,
+            duration_us=args.duration_us,
+            warmup_us=args.warmup_us,
+            engine=args.engine,
+            shards=args.shards if args.engine == "parallel" else None,
+        )
+    finally:
+        profiler.disable()
+        os.environ.pop("REPRO_PARALLEL_PROFILE_DIR", None)
     wall = time.perf_counter() - wall_start
 
     metrics = result.metrics
     events = metrics.extra.get("sim_events", 0.0)
     print(
-        f"{args.protocol} n={args.nodes} duration={args.duration_us:.0f}us: "
+        f"{args.protocol} n={args.nodes} engine={args.engine} "
+        f"duration={args.duration_us:.0f}us: "
         f"wall={wall:.2f}s (under cProfile, ~2-3x slower than bare), "
         f"events={events:.0f}, committed={metrics.committed}, "
         f"ktps={metrics.throughput_ktps:.2f}"
     )
+    if args.engine == "parallel":
+        print(
+            f"parallel: shards={metrics.extra['parallel_shards']}, "
+            f"sync_rounds={metrics.extra['parallel_sync_rounds']}, "
+            f"null_messages={metrics.extra['parallel_null_messages']}, "
+            f"cross_shard_messages={metrics.extra['parallel_cross_shard_messages']}, "
+            f"shard_events=[{metrics.extra['parallel_shard_events_min']:.0f}, "
+            f"{metrics.extra['parallel_shard_events_max']:.0f}], "
+            f"shard_utilization_min={metrics.extra['parallel_shard_utilization_min']}"
+        )
 
-    stats = pstats.Stats(profiler)
-    for sort in ([args.sort] if args.sort else ["cumulative", "tottime"]):
+    if args.engine == "parallel":
+        shard_path = os.path.join(shard_dir, f"shard-{args.profile_shard}.pstats")
+        if os.path.exists(shard_path):
+            print(f"\nper-shard profiles in {shard_dir}; printing shard {args.profile_shard}")
+            stats = pstats.Stats(shard_path)
+        else:
+            # Inline fallback (shards=1 runs in-process): the coordinator
+            # profile below already contains the whole event loop.
+            print(f"\nno worker profile at {shard_path}; printing the in-process profile")
+            stats = pstats.Stats(profiler)
+    else:
+        stats = pstats.Stats(profiler)
+    for sort in [args.sort] if args.sort else ["cumulative", "tottime"]:
         print(f"\n=== top {args.top} by {sort} ===")
         stats.sort_stats(sort).print_stats(args.top)
     if args.out:
-        stats.dump_stats(args.out)
-        print(f"raw stats written to {args.out}")
+        pstats.Stats(profiler).dump_stats(args.out)
+        print(f"coordinator/in-process raw stats written to {args.out}")
     return 0
 
 

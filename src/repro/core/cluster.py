@@ -32,6 +32,7 @@ class SSSCluster(ProtocolCluster):
         record_history: bool = True,
         strict_visibility: bool = False,
         initial_value=0,
+        **kwargs,
     ):
         super().__init__(
             config=config,
@@ -39,6 +40,7 @@ class SSSCluster(ProtocolCluster):
             record_history=record_history,
             initial_value=initial_value,
             strict_visibility=strict_visibility,
+            **kwargs,
         )
 
     def node(self, node_id: int) -> SSSNode:

@@ -66,6 +66,9 @@ def run_experiment(
     keys: Optional[Sequence[object]] = None,
     drain_us: Optional[float] = None,
     streaming_metrics: bool = False,
+    engine: str = "serial",
+    shards: Optional[int] = None,
+    parallel_mode: str = "process",
 ) -> ExperimentResult:
     """Run one (protocol, configuration, workload) experiment.
 
@@ -94,10 +97,51 @@ def run_experiment(
     streaming_metrics:
         Aggregate measurements online through a
         :class:`~repro.harness.streaming.StreamingAccumulator` instead of
-        retaining per-transaction records (open-loop runs only): memory
-        stays O(windows + sketch buckets) regardless of transaction
-        count, at the cost of sketch-accurate (±1%) latency percentiles.
+        retaining per-transaction records: memory stays O(windows + sketch
+        buckets) regardless of transaction count, at the cost of
+        sketch-accurate (±1%) latency percentiles.  Open-loop runs keep
+        their windowed time series; closed-loop runs stream the run-wide
+        sketches and phase counters (no time series, matching the exact
+        path).
+    engine:
+        ``"serial"`` (default) runs the single event loop.  ``"parallel"``
+        runs the node-sharded conservative engine
+        (:mod:`repro.harness.parallel`): the cluster's nodes split over
+        ``shards`` worker processes that exchange messages at
+        lookahead-sized window barriers — byte-identical results, scaled
+        across cores.  Closed-loop only; ``record_history`` must be
+        ``True``/``False``.
+    shards:
+        Shard count for ``engine="parallel"`` (default: up to 4, capped at
+        the node count).  Each shard is one worker process, so sweeps
+        fanning out via :func:`run_points` budget ``shards × pool workers``
+        against the CPU count.
+    parallel_mode:
+        ``"process"`` (default) runs one worker process per shard;
+        ``"inline"`` runs every shard in-process (debugging, equivalence
+        tests — same results, no parallel speed-up).
     """
+    if engine == "parallel":
+        from repro.harness.parallel import run_parallel_experiment
+
+        return run_parallel_experiment(
+            protocol,
+            config,
+            workload,
+            duration_us=duration_us,
+            warmup_us=warmup_us,
+            record_history=record_history,
+            keep_cluster=keep_cluster,
+            keys=keys,
+            drain_us=drain_us,
+            streaming_metrics=streaming_metrics,
+            shards=shards,
+            mode=parallel_mode,
+        )
+    if engine != "serial":
+        raise ConfigurationError(f"unknown engine {engine!r}; expected 'serial' or 'parallel'")
+    if shards is not None:
+        raise ConfigurationError("shards only applies to engine='parallel'")
     config.validate()
     workload.validate()
     if drain_us is None:
@@ -121,12 +165,14 @@ def run_experiment(
         sources = install_open_loop(
             cluster, workload, duration_us=duration_us, warmup_us=warmup_us, sink=sink
         )
-    elif streaming_metrics:
-        raise ConfigurationError(
-            "streaming_metrics requires an open-loop traffic plan "
-            "(set config.traffic); closed-loop runs keep exact samples"
-        )
     else:
+        if streaming_metrics:
+            # Closed-loop streaming: run-wide sketches and online phase
+            # counters; no windowed time series (window_us=0), matching the
+            # exact closed-loop path, which never produced one.
+            sink = StreamingAccumulator(
+                window_us=0.0, horizon_us=duration_us, phase_windows=phase_windows
+            )
         for node_id in range(config.n_nodes):
             for client_index in range(config.clients_per_node):
                 session = cluster.session(node_id)
@@ -139,8 +185,11 @@ def run_experiment(
                     placement=cluster.placement,
                     node_id=node_id,
                 )
-                stats = ClientStats(node_id=node_id, client_index=client_index)
+                stats = ClientStats(node_id=node_id, client_index=client_index, sink=sink)
                 all_stats.append(stats)
+                # unit=node_id charges each client's scheduling to its
+                # node's execution unit — the serial half of the engine
+                # equivalence contract (see repro.harness.parallel).
                 cluster.spawn(
                     closed_loop_client(
                         session,
@@ -151,6 +200,7 @@ def run_experiment(
                         think_time_us=workload.think_time_us,
                     ),
                     name=f"client-{node_id}-{client_index}",
+                    unit=node_id,
                 )
 
     wall_start = time.perf_counter()
@@ -352,6 +402,24 @@ class ExperimentPoint:
     travels back in ``metrics.extra`` (``consistency_ok`` /
     ``consistency_violations``)."""
     drain_us: Optional[float] = None
+    streaming_metrics: bool = False
+    engine: str = "serial"
+    """``"serial"`` or ``"parallel"`` (the node-sharded engine).  Parallel
+    points spawn ``shards`` worker processes *each*, so :func:`run_points`
+    shrinks its pool to keep ``shards × pool workers`` within the CPU
+    count."""
+    shards: Optional[int] = None
+
+
+def _point_shards(point: ExperimentPoint) -> int:
+    """How many worker processes one point occupies while running."""
+    if point.engine != "parallel":
+        return 1
+    if point.shards is not None:
+        return max(1, min(point.shards, point.config.n_nodes))
+    from repro.harness.parallel import default_shards
+
+    return default_shards(point.config.n_nodes)
 
 
 def _run_point_worker(point: ExperimentPoint) -> Tuple[object, ExperimentResult]:
@@ -366,6 +434,9 @@ def _run_point_worker(point: ExperimentPoint) -> Tuple[object, ExperimentResult]
         record_history=record_history,
         keep_cluster=bool(record_history),
         drain_us=point.drain_us,
+        streaming_metrics=point.streaming_metrics,
+        engine=point.engine,
+        shards=point.shards if point.engine == "parallel" else None,
     )
     if record_history and result.cluster is not None:
         checks = result.cluster.check_contract()
@@ -408,9 +479,20 @@ def run_points(
     only wall-clock time changes.  Results are returned in input order.
     With one worker (or a single point) everything runs in-process, which
     keeps debugging and profiling simple.
+
+    Points using the parallel engine spawn their own shard processes, so
+    the pool shrinks to keep ``max point shards × pool workers`` within
+    the CPU count (``REPRO_BENCH_PARALLEL`` still caps the pool
+    explicitly; it is applied after the shard budget).
     """
+    explicit_cap = max_workers is not None or bool(
+        (os.environ.get("REPRO_BENCH_PARALLEL") or "").strip()
+    )
     if max_workers is None:
         max_workers = default_parallelism()
+    widest = max((_point_shards(point) for point in points), default=1)
+    if widest > 1 and not explicit_cap:
+        max_workers = min(max_workers, max(1, (os.cpu_count() or 2) // widest))
     max_workers = min(max_workers, len(points)) or 1
     if max_workers <= 1 or len(points) <= 1:
         return [_run_point_worker(point) for point in points]

@@ -172,6 +172,45 @@ class StreamingAccumulator:
             phase["aborted"] += 1
 
     # ------------------------------------------------------------------
+    # Shard merging
+    # ------------------------------------------------------------------
+    def merge_from(self, other: "StreamingAccumulator") -> None:
+        """Fold a shard's accumulator into this one.
+
+        Requires identical construction parameters (same window/horizon/
+        phase windows), which the parallel driver guarantees by building
+        every shard's accumulator from the one experiment spec.  Counters
+        and bins are summed, sketches merged exactly; derived quantities
+        (availability, rates) are computed at finalization only.
+        """
+        if (
+            other._n_windows != self._n_windows
+            or len(other._phases) != len(self._phases)
+            or other.window_us != self.window_us
+            or other.horizon_us != self.horizon_us
+        ):
+            raise ValueError("cannot merge streaming accumulators of different shapes")
+        self.latency.merge(other.latency)
+        self.update_latency.merge(other.update_latency)
+        self.read_only_latency.merge(other.read_only_latency)
+        self.internal_latency.merge(other.internal_latency)
+        self.precommit_wait.merge(other.precommit_wait)
+        self.committed += other.committed
+        self.committed_update += other.committed_update
+        self.committed_read_only += other.committed_read_only
+        self.aborted += other.aborted
+        for index in range(self._n_windows):
+            self._ts_offered[index] += other._ts_offered[index]
+            self._ts_dropped[index] += other._ts_dropped[index]
+            self._ts_timed_out[index] += other._ts_timed_out[index]
+            self._ts_aborted[index] += other._ts_aborted[index]
+            self._ts_completed[index] += other._ts_completed[index]
+            self._ts_latency[index].merge(other._ts_latency[index])
+        for phase, other_phase in zip(self._phases, other._phases):
+            for counter in ("committed", "aborted", "offered", "shed"):
+                phase[counter] += other_phase[counter]
+
+    # ------------------------------------------------------------------
     # Finalization
     # ------------------------------------------------------------------
     def timeseries(self) -> List[Dict[str, float]]:

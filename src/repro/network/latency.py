@@ -25,6 +25,16 @@ class LatencyModel(ABC):
     def mean(self) -> float:
         """Return the model's mean latency, used for sizing timeouts."""
 
+    def min_latency(self) -> float:
+        """Infimum of :meth:`sample` — the parallel engine's safe lookahead.
+
+        A conservative node-sharded simulation may only advance a shard to
+        ``t + min_latency`` before exchanging cross-shard messages, so a
+        model whose infimum is 0 (e.g. :class:`LogNormalLatency`) cannot be
+        used with ``engine="parallel"``.
+        """
+        return 0.0
+
 
 class ConstantLatency(LatencyModel):
     """Every message takes exactly ``value`` microseconds."""
@@ -38,6 +48,9 @@ class ConstantLatency(LatencyModel):
         return self.value
 
     def mean(self) -> float:
+        return self.value
+
+    def min_latency(self) -> float:
         return self.value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -58,6 +71,9 @@ class UniformLatency(LatencyModel):
 
     def mean(self) -> float:
         return self.base
+
+    def min_latency(self) -> float:
+        return self.base - self.jitter
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"UniformLatency(base={self.base}, jitter={self.jitter})"

@@ -42,6 +42,15 @@ scripted degradations (driven by the declarative
 
 All fault state is ``None``/empty by default and checked with one truthiness
 test on the send path, so fail-free runs are untouched.
+
+Shard awareness: randomness and sequence numbers are *per sender* (stream
+``network.latency.n<id>``, and a sequence key packing ``(sender, seq)`` into
+one integer), so a message's delivery key depends only on its sender's own
+send history — never on global send interleaving.  A node-sharded engine
+(:mod:`repro.sim.shard`) can therefore compute identical delivery keys with
+only a subset of nodes present; sends to nodes that are not registered
+locally go through the :meth:`Network._export` hook, which subclasses
+override to hand the message to the owning shard.
 """
 
 from __future__ import annotations
@@ -95,6 +104,23 @@ class NetworkStats:
             "released": self.released,
         }
 
+    def merge_from(self, other: "NetworkStats") -> None:
+        """Accumulate ``other`` into this instance (shard-merge path).
+
+        Send-side counters (sent/bytes/held) and delivery-side counters
+        (delivered/dropped/released) are each counted on exactly one shard
+        per message, so summing per-shard stats never double-counts.
+        """
+        for name, count in other.sent.items():
+            self.sent[name] += count
+        for name, count in other.delivered.items():
+            self.delivered[name] += count
+        for name, count in other.dropped.items():
+            self.dropped[name] += count
+        self.bytes_sent += other.bytes_sent
+        self.held += other.held
+        self.released += other.released
+
 
 class _Channel:
     """Per-destination delivery state: in-flight heap + drain scheduling.
@@ -105,11 +131,12 @@ class _Channel:
     retires exactly its own tail entry.
     """
 
-    __slots__ = ("network", "node", "pending", "wakes", "drain")
+    __slots__ = ("network", "node", "unit", "pending", "wakes", "drain")
 
     def __init__(self, network: "Network", node: "NetworkedNode"):
         self.network = network
         self.node = node
+        self.unit = node.node_id
         self.pending: List[Tuple[float, int, Message]] = []
         self.wakes: List[float] = []
         # Preallocated bound method: one drain callback object per node for
@@ -155,7 +182,7 @@ class _Channel:
                 # No outstanding wake covers the new head; schedule one at
                 # its exact delivery time.
                 wakes.append(head_time)
-                network.sim.call_at(head_time, self.drain)
+                network.sim.schedule_wake(head_time, self.unit, self.drain)
 
 
 class Network:
@@ -180,15 +207,25 @@ class Network:
         self._partition: Optional[Dict[NodeId, int]] = None
         self._partition_mode: str = "buffer"
         self._held: List[Tuple[float, int, NodeId, Message]] = []
+        #: Simulated times of past heals, newest last.  A shard that imports
+        #: a partition-held message after the heal already ran locally uses
+        #: this to release it directly (see ShardNetwork.admit).
+        self._heal_times: List[float] = []
         self._degraded: Dict[Tuple[NodeId, NodeId], Tuple[float, float]] = {}
         self._link_busy_until: Dict[NodeId, float] = defaultdict(float)
-        self._rng = sim.rng.stream("network.latency")
+        # Per-sender latency streams and sequence counters: a message's
+        # delivery key must depend only on its sender's own history so that
+        # shards reproduce it without observing other senders' traffic.
+        self._rngs: Dict[NodeId, "random.Random"] = {}
+        self._seqs: Dict[NodeId, int] = {}
         self.stats = NetworkStats()
         # Per-sender codec for delta-compressed clock accounting (adaptive
         # width: the transport carries every protocol's messages).
         self._codecs: Dict[NodeId, VCCodec] = {}
         self._channels: Dict[NodeId, _Channel] = {}
-        self._pending_seq = 0
+        # Full-cluster membership for partition mapping; defaults to the
+        # locally registered nodes (see declare_node_ids).
+        self._all_node_ids: Optional[List[NodeId]] = None
         rate = self.config.bandwidth_msgs_per_us
         self._link_service_us = 1.0 / rate if rate > 0 else 0.0
 
@@ -202,6 +239,16 @@ class Network:
 
     def node(self, node_id: NodeId) -> "NetworkedNode":
         return self._nodes[node_id]
+
+    def declare_node_ids(self, node_ids: Iterable[NodeId]) -> None:
+        """Declare the full cluster membership.
+
+        A shard registers only the nodes it owns, but partition groups are
+        defined over the whole cluster; the declared membership keeps the
+        implicit "every unnamed node" partition group identical on every
+        shard (and on the serial engine).
+        """
+        self._all_node_ids = sorted(node_ids)
 
     @property
     def node_ids(self) -> List[NodeId]:
@@ -234,7 +281,8 @@ class Network:
         for group_count, group in enumerate(groups, start=1):
             for node_id in group:
                 mapping[node_id] = group_count - 1
-        for node_id in self._nodes:
+        members = self._all_node_ids if self._all_node_ids is not None else self._nodes
+        for node_id in members:
             mapping.setdefault(node_id, group_count)
         self._partition = mapping
         self._partition_mode = mode
@@ -247,6 +295,7 @@ class Network:
         delivery time or ``now``, whichever is later.
         """
         self._partition = None
+        self._heal_times.append(self.sim.now)
         if not self._held:
             return
         held = self._held
@@ -267,7 +316,7 @@ class Network:
             wakes = channel.wakes
             if not wakes or wakes[-1] > head_time:
                 wakes.append(head_time)
-                sim.call_at(head_time, channel.drain)
+                sim.schedule_wake(head_time, channel.unit, channel.drain)
 
     def is_partitioned(self, sender: NodeId, destination: NodeId) -> bool:
         """True when an active partition separates the two nodes."""
@@ -332,33 +381,59 @@ class Network:
         else:
             deliver_at = now
         if sender != destination:
-            latency = self.latency_model.sample(self._rng)
+            rng = self._rngs.get(sender)
+            if rng is None:
+                rng = self._rngs[sender] = sim.rng.stream(f"network.latency.n{sender}")
+            latency = self.latency_model.sample(rng)
             if self._degraded:
                 degradation = self._degraded.get((sender, destination))
                 if degradation is not None:
                     latency = latency * degradation[0] + degradation[1]
             deliver_at += latency
 
-        seq = self._pending_seq
-        self._pending_seq = seq + 1
+        # Globally unique, sender-local delivery key: ties at one delivery
+        # instant break by (sender, per-sender seq) rather than by global
+        # send order, which every shard can reproduce independently.
+        seq = self._seqs.get(sender, 0)
+        self._seqs[sender] = seq + 1
+        skey = ((sender + 1) << 44) | seq
 
+        held = False
         if self._partition is not None and sender != destination:
             partition = self._partition
             if partition.get(sender) != partition.get(destination):
                 if self._partition_mode == "drop":
                     stats.dropped[type_name] += 1
-                else:
-                    # Eventual delivery: hold the message until the heal.
-                    stats.held += 1
-                    self._held.append((deliver_at, seq, destination, message))
-                return
+                    return
+                # Eventual delivery: hold the message until the heal.  Held
+                # messages live at the *destination* side so a mirrored heal
+                # releases them with purely local state.
+                stats.held += 1
+                held = True
 
-        channel = self._channels[destination]
-        heappush(channel.pending, (deliver_at, seq, message))
+        channel = self._channels.get(destination)
+        if channel is None:
+            self._export(deliver_at, skey, destination, message, held)
+            return
+        if held:
+            self._held.append((deliver_at, skey, destination, message))
+            return
+        heappush(channel.pending, (deliver_at, skey, message))
         wakes = channel.wakes
         if not wakes or deliver_at < wakes[-1]:
             wakes.append(deliver_at)
-            sim.call_at(deliver_at, channel.drain)
+            sim.schedule_wake(deliver_at, channel.unit, channel.drain)
+
+    def _export(
+        self, deliver_at: float, skey: int, destination: NodeId, message: Message, held: bool
+    ) -> None:
+        """Hand a message addressed to an unregistered node to its owner.
+
+        The base network owns every node, so reaching this hook is a
+        routing bug; :class:`~repro.sim.shard.ShardNetwork` overrides it to
+        buffer the message for cross-shard delivery.
+        """
+        raise KeyError(destination)
 
     def broadcast(self, sender: NodeId, destinations: Iterable[NodeId], message_factory) -> None:
         """Send one message per destination, created by ``message_factory()``.

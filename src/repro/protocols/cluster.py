@@ -60,6 +60,9 @@ class ProtocolCluster:
         keys: Optional[Sequence[object]] = None,
         record_history=True,
         initial_value=0,
+        sim: Optional[Simulation] = None,
+        network: Optional[Network] = None,
+        owned_node_ids: Optional[Sequence[int]] = None,
         **node_kwargs,
     ):
         """``record_history`` selects the history plane: ``True`` records
@@ -68,7 +71,14 @@ class ProtocolCluster:
         from the config's timeouts via
         :func:`~repro.consistency.window.default_retention_us`), and a
         recorder instance (:class:`HistoryRecorder` or
-        :class:`WindowedHistoryRecorder`) is used as-is."""
+        :class:`WindowedHistoryRecorder`) is used as-is.
+
+        ``sim`` / ``network`` inject a pre-built engine and transport (the
+        parallel driver passes a :class:`~repro.sim.shard.ShardNetwork`);
+        ``owned_node_ids`` restricts node construction to a subset of the
+        cluster — the facade still describes the full cluster (placement,
+        partitions, fault plan), but only the owned nodes exist locally and
+        ``self.nodes`` holds ``None`` for the rest."""
         if self.node_class is None:  # pragma: no cover - abstract use
             raise ConfigurationError("ProtocolCluster must be subclassed")
         self.config = config or ClusterConfig()
@@ -78,8 +88,12 @@ class ProtocolCluster:
             if keys is not None
             else [f"key-{index}" for index in range(self.config.n_keys)]
         )
-        self.sim = Simulation(seed=self.config.seed)
-        self.network = Network(self.sim, config=self.config.network)
+        self.sim = sim if sim is not None else Simulation(seed=self.config.seed)
+        self.network = (
+            network if network is not None else Network(self.sim, config=self.config.network)
+        )
+        self.sim.declare_units(self.config.n_nodes)
+        self.network.declare_node_ids(range(self.config.n_nodes))
         self.placement = KeyPlacement(
             n_nodes=self.config.n_nodes,
             replication_degree=self.config.replication_degree,
@@ -100,23 +114,39 @@ class ProtocolCluster:
             )
         else:
             self.history = HistoryRecorder() if record_history else None
-        self.nodes = [
-            self.node_class(
-                self.sim,
-                self.network,
-                node_id,
-                placement=self.placement,
-                config=self.config,
-                history=self.history,
-                **node_kwargs,
-            )
-            for node_id in range(self.config.n_nodes)
-        ]
-        for node in self.nodes:
-            node.preload(self.keys, initial_value=initial_value)
+        if owned_node_ids is None:
+            self.owned_node_ids: List[int] = list(range(self.config.n_nodes))
+        else:
+            self.owned_node_ids = sorted(owned_node_ids)
+        # Every node's construction-time scheduling (dispatcher processes,
+        # timers, preload) is charged to its own unit, so the per-unit event
+        # keys a shard assigns for its nodes match the serial engine's.
+        self.nodes: List[object] = [None] * self.config.n_nodes
+        for node_id in self.owned_node_ids:
+            prev = self.sim.set_unit(node_id)
+            try:
+                self.nodes[node_id] = self.node_class(
+                    self.sim,
+                    self.network,
+                    node_id,
+                    placement=self.placement,
+                    config=self.config,
+                    history=self.history,
+                    **node_kwargs,
+                )
+            finally:
+                self.sim.set_unit(prev)
+        for node_id in self.owned_node_ids:
+            prev = self.sim.set_unit(node_id)
+            try:
+                self.nodes[node_id].preload(self.keys, initial_value=initial_value)
+            finally:
+                self.sim.set_unit(prev)
+        self.local_nodes: List[object] = [self.nodes[node_id] for node_id in self.owned_node_ids]
         self._session_counter: Dict[int, int] = {}
         # Fault plane: schedule the declarative plan (no-op when empty).
         install_fault_plan(self, self.config.faults)
+        self.sim.set_unit(0)
 
     # ------------------------------------------------------------------
     # Client-facing API
@@ -128,13 +158,28 @@ class ProtocolCluster:
                 f"node_id {node_id} out of range (cluster has "
                 f"{self.config.n_nodes} nodes)"
             )
+        node = self.nodes[node_id]
+        if node is None:
+            raise ConfigurationError(f"node {node_id} is not owned by this shard")
         index = self._session_counter.get(node_id, 0)
         self._session_counter[node_id] = index + 1
-        return Session(self.nodes[node_id], client_index=index)
+        return Session(node, client_index=index)
 
-    def spawn(self, generator, name: str = ""):
-        """Run a client process (a generator) inside the simulation."""
-        return self.sim.process(generator, name=name or "client")
+    def spawn(self, generator, name: str = "", unit: Optional[int] = None):
+        """Run a client process (a generator) inside the simulation.
+
+        ``unit`` charges the process's scheduling to a node's execution unit
+        (pass the node the client is co-located with); the harness always
+        does, so client event keys are identical under the serial and the
+        node-sharded engine.
+        """
+        if unit is None:
+            return self.sim.process(generator, name=name or "client")
+        prev = self.sim.set_unit(unit)
+        try:
+            return self.sim.process(generator, name=name or "client")
+        finally:
+            self.sim.set_unit(prev)
 
     def run(self, until: Optional[float] = None) -> float:
         """Advance the simulation (to ``until`` microseconds, or to quiescence)."""
@@ -171,9 +216,9 @@ class ProtocolCluster:
         return [self.check_consistency()]
 
     def total_counters(self) -> Dict[str, int]:
-        """Aggregate protocol counters over every node."""
+        """Aggregate protocol counters over every locally owned node."""
         totals: Dict[str, int] = {}
-        for node in self.nodes:
+        for node in self.local_nodes:
             for name, value in node.stats().items():
                 totals[name] = totals.get(name, 0) + value
         return totals

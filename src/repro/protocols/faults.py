@@ -35,23 +35,57 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.protocols.cluster import ProtocolCluster
 
 
+def _as_unit(sim, unit: int, func):
+    """Wrap ``func`` so its scheduling is charged to node ``unit``.
+
+    Fault events execute under the engine's control unit; a crash/restart
+    callback's effects (recovery processes, timers) belong to the target
+    node, and charging them to its unit keeps the node's event keys
+    identical whether the fault runs on the serial engine or on the shard
+    owning the node.
+    """
+
+    def run():
+        prev = sim.set_unit(unit)
+        try:
+            func()
+        finally:
+            sim.set_unit(prev)
+
+    return run
+
+
 def install_fault_plan(cluster: "ProtocolCluster", plan: Optional[FaultPlan]) -> None:
-    """Schedule ``plan``'s events on ``cluster``'s engine (no-op when empty)."""
+    """Schedule ``plan``'s events on ``cluster``'s engine (no-op when empty).
+
+    On a shard owning a subset of the cluster, crash/restart events for
+    non-owned nodes install *mirrors* that update only the shared network
+    state (the crashed-set), so every shard agrees on message drops while
+    the owning shard alone runs the node's real crash/restart logic.  All
+    shards install the full plan, which keeps the engine's control-unit
+    event keys and ``fault_log`` identical everywhere.
+    """
     if plan is None or not plan.faults:
         return
     sim = cluster.sim
     network = cluster.network
     nodes = cluster.nodes
-    for node in nodes:
+    for node in cluster.local_nodes:
         node.enable_fault_mode()
     for fault in plan.faults:
         if isinstance(fault, CrashFault):
             node = nodes[fault.node]
-            sim.schedule_fault(fault.at_us, node.crash, f"crash:{fault.node}")
+            if node is not None:
+                crash_cb = _as_unit(sim, fault.node, node.crash)
+                restart_cb = _as_unit(sim, fault.node, node.restart)
+            else:
+                crash_cb = partial(network.crash, fault.node)
+                restart_cb = partial(network.recover, fault.node)
+            sim.schedule_fault(fault.at_us, crash_cb, f"crash:{fault.node}")
             if fault.duration_us is not None:
                 sim.schedule_fault(
                     fault.at_us + fault.duration_us,
-                    node.restart,
+                    restart_cb,
                     f"restart:{fault.node}",
                 )
         elif isinstance(fault, PartitionFault):

@@ -11,19 +11,38 @@ Hot-path design
 The event loop executes hundreds of thousands of callbacks per simulated
 second, so the kernel avoids per-event allocations wherever possible:
 
-* heap entries are plain ``(time, seq, func, arg)`` tuples — scheduling never
+* heap entries are plain ``(time, key, func, arg)`` tuples — scheduling never
   allocates a closure; ``func(arg)`` is invoked directly, with a private
   sentinel marking zero-argument callables;
 * the run loop hoists the heap and ``heappop`` into locals and pops exactly
   once per event (an event past the ``until`` horizon is pushed back, which
-  preserves its original sequence number and therefore the replay order);
+  preserves its original key and therefore the replay order);
 * :class:`~repro.sim.events.Timeout` and the network transport schedule
   bound methods with their argument in the heap entry instead of lambdas.
 
-The ``(time, seq)`` ordering and sequence-number assignment are identical to
-the straightforward implementation, so histories are byte-for-byte
-reproducible across kernel versions for a fixed seed (see the determinism
-tests in ``tests/unit/test_sim_engine.py``).
+Unit-keyed event ordering
+-------------------------
+Tie-breaking at equal timestamps is *unit-local* rather than global: every
+event belongs to an execution unit (a node id, or the control unit ``-1``
+for scripted faults) and carries a packed integer key::
+
+    key = ((unit + 1) << 41) | (lane << 40) | useq
+
+``lane 0`` is reserved for channel drain wake-ups (at most one per
+``(time, unit)``), ``lane 1`` for ordinary events, and ``useq`` is a
+monotonic per-unit counter.  At one timestamp, control events run first
+(``unit -1`` packs to the smallest keys), then each unit's pending deliveries
+and events in unit order.  Because the counter is per-unit, the total order
+over any single unit's events depends only on that unit's own scheduling
+history — which is what allows the node-sharded parallel engine
+(:mod:`repro.harness.parallel`) to replay an identical order with only a
+subset of units present.  Within a unit, creation order still breaks ties,
+so single-unit usage behaves exactly like the old global-sequence kernel.
+
+Histories are byte-for-byte reproducible across kernel versions for a fixed
+seed (see the determinism tests in ``tests/unit/test_sim_engine.py`` and the
+serial-vs-parallel equivalence tests in
+``tests/unit/test_parallel_engine.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +58,13 @@ from repro.sim.rng import RngRegistry
 # Sentinel argument marking a zero-argument callable in a heap entry.
 _CALL0 = object()
 
+#: Bit layout of the packed event key (see module docstring).
+_UNIT_SHIFT = 41
+_LANE1 = 1 << 40
+
+#: The control unit that scripted fault-plane events execute under.
+CTRL_UNIT = -1
+
 
 class Simulation:
     """Event loop and virtual clock for one simulated cluster run.
@@ -53,7 +79,10 @@ class Simulation:
     __slots__ = (
         "_now",
         "_heap",
-        "_sequence",
+        "_useq",
+        "_unitp",
+        "_ekey_time",
+        "_ekey_key",
         "rng",
         "_crashed",
         "_event_count",
@@ -64,11 +93,17 @@ class Simulation:
     def __init__(self, seed: int = 1):
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Callable, object]] = []
-        self._sequence = 0
+        #: Per-unit monotonic sequence counters, indexed by ``unit + 1``
+        #: (index 0 is the control unit).  Unit 0 exists from the start so
+        #: bare ``Simulation`` usage needs no unit declarations.
+        self._useq: List[int] = [0, 0]
+        self._unitp = 1  # current scheduling unit, as unit + 1
+        self._ekey_time: float = 0.0  # (time, key) of the executing event,
+        self._ekey_key: int = 0  # exposed for shard-merge record tagging
         self.rng = RngRegistry(seed)
         self._crashed: List[Tuple[Process, BaseException]] = []
         self._event_count = 0
-        self._deadline_buckets: dict[float, Event] = {}
+        self._deadline_buckets: dict[Tuple[int, float], Event] = {}
         #: Scripted fault-plane events (time, label), in scheduling order.
         self.fault_log: List[Tuple[float, str]] = []
 
@@ -82,6 +117,37 @@ class Simulation:
     def processed_events(self) -> int:
         """Number of callbacks executed so far (useful for progress stats)."""
         return self._event_count
+
+    # ------------------------------------------------------------------ units
+    @property
+    def current_unit(self) -> int:
+        """The execution unit new events are currently charged to."""
+        return self._unitp - 1
+
+    def _ensure_unit(self, unitp: int) -> None:
+        useqs = self._useq
+        if unitp >= len(useqs):
+            useqs.extend([0] * (unitp + 1 - len(useqs)))
+
+    def declare_units(self, count: int) -> None:
+        """Pre-size the per-unit counters for units ``0 .. count - 1``."""
+        self._ensure_unit(count)
+
+    def set_unit(self, unit: int) -> int:
+        """Switch the scheduling unit context; returns the previous unit.
+
+        Used by the cluster facade to charge construction-time scheduling
+        (node timers, client spawns, preloads) to the owning node, and by the
+        fault plane to charge a crash/restart's effects to its target node.
+        The run loop overrides the context per event from the event's own
+        key, so ``set_unit`` only matters outside event execution and for
+        the first pushes of a control-unit callback.
+        """
+        prev = self._unitp - 1
+        unitp = unit + 1
+        self._ensure_unit(unitp)
+        self._unitp = unitp
+        return prev
 
     # --------------------------------------------------------------- creation
     def event(self, name: str = "") -> Event:
@@ -97,11 +163,13 @@ class Simulation:
 
         Returns an event firing at the first multiple of ``granularity`` at
         or after ``now + delay`` — i.e. up to ``granularity`` *later* than a
-        :meth:`timeout` of the same delay, never earlier.  All deadlines
-        landing in the same bucket share one event and one heap entry, so
-        guard timers that exist only to catch crashes (2PC prepare timeouts:
-        one per update transaction, ~50 ms, virtually never firing) do not
-        each bloat the event heap for their whole lifetime.  Use
+        :meth:`timeout` of the same delay, never earlier.  All deadlines of
+        one unit landing in the same bucket share one event and one heap
+        entry, so guard timers that exist only to catch crashes (2PC prepare
+        timeouts: one per update transaction, ~50 ms, virtually never
+        firing) do not each bloat the event heap for their whole lifetime.
+        Buckets are per-unit so a shard owning a subset of nodes creates
+        exactly the entries the serial engine creates for those nodes.  Use
         :meth:`timeout` when the exact expiry instant matters.
         """
         fire_at = self._now + delay
@@ -109,15 +177,16 @@ class Simulation:
         if bucket_time < fire_at:
             bucket_time += granularity
         buckets = self._deadline_buckets
-        event = buckets.get(bucket_time)
+        bucket_key = (self._unitp, bucket_time)
+        event = buckets.get(bucket_key)
         if event is None:
             event = Event(self, name="deadline")
-            buckets[bucket_time] = event
-            self._push(bucket_time, self._fire_deadline, bucket_time)
+            buckets[bucket_key] = event
+            self._push(bucket_time, self._fire_deadline, bucket_key)
         return event
 
-    def _fire_deadline(self, bucket_time: float) -> None:
-        event = self._deadline_buckets.pop(bucket_time, None)
+    def _fire_deadline(self, bucket_key: Tuple[int, float]) -> None:
+        event = self._deadline_buckets.pop(bucket_key, None)
         if event is not None and not event.triggered:
             event.succeed()
 
@@ -145,8 +214,27 @@ class Simulation:
     def _push(self, time: float, func: Callable, arg) -> None:
         if time < self._now - 1e-9:
             raise SimulationError(f"cannot schedule in the past: {time} < now {self._now}")
-        heappush(self._heap, (time, self._sequence, func, arg))
-        self._sequence += 1
+        unitp = self._unitp
+        useqs = self._useq
+        useq = useqs[unitp]
+        useqs[unitp] = useq + 1
+        heappush(self._heap, (time, (unitp << _UNIT_SHIFT) | _LANE1 | useq, func, arg))
+
+    def schedule_wake(self, time: float, unit: int, func: Callable) -> None:
+        """Schedule a lane-0 wake-up for ``unit`` at absolute ``time``.
+
+        Wake-ups sort *before* every ordinary event of the unit at the same
+        timestamp and consume no per-unit sequence number, so a shard that
+        imports a cross-shard message can schedule the destination channel's
+        drain with a key identical to the one the serial engine would use.
+        Callers must guarantee at most one wake per ``(time, unit)`` (the
+        transport's per-channel ``wakes`` list does).
+        """
+        if time < self._now - 1e-9:
+            raise SimulationError(f"cannot schedule in the past: {time} < now {self._now}")
+        unitp = unit + 1
+        self._ensure_unit(unitp)
+        heappush(self._heap, (time, unitp << _UNIT_SHIFT, func, _CALL0))
 
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         """Schedule ``event``'s callbacks to run ``delay`` from now."""
@@ -177,10 +265,17 @@ class Simulation:
         Crash/restart/partition/slow-link events are first-class in the
         engine: they go through the same heap as every other event (so they
         interleave deterministically with protocol traffic) and are recorded
-        in :attr:`fault_log` for experiment reports and tests.
+        in :attr:`fault_log` for experiment reports and tests.  Fault events
+        execute under the control unit (:data:`CTRL_UNIT`), which sorts
+        before every node unit at the same timestamp; a shard that installs
+        the full fault plan therefore assigns the same control-unit keys the
+        serial engine does, regardless of which nodes it owns.
         """
         self.fault_log.append((at, label))
-        self._push(at, callback, _CALL0)
+        useqs = self._useq
+        useq = useqs[0]
+        useqs[0] = useq + 1
+        heappush(self._heap, (at, _LANE1 | useq, callback, _CALL0))
 
     def _dispatch(self, event: Event) -> None:
         callbacks = event.callbacks
@@ -228,11 +323,14 @@ class Simulation:
                 ) from exc
             while heap:
                 entry = heappop(heap)
-                time, _seq, func, arg = entry
+                time, key, func, arg = entry
                 if until is not None and time > until:
                     heappush(heap, entry)
                     break
                 self._now = time
+                self._unitp = key >> _UNIT_SHIFT
+                self._ekey_time = time
+                self._ekey_key = key
                 count += 1
                 if arg is sentinel:
                     func()
@@ -247,6 +345,51 @@ class Simulation:
             self._event_count += count
         if until is not None and self._now < until:
             self._now = until
+        return self._now
+
+    def run_window(self, until: float) -> float:
+        """Run every event *strictly before* ``until``; end with ``now == until``.
+
+        The parallel engine's window step.  Unlike :meth:`run` (which is
+        inclusive of ``until``), events at exactly ``until`` stay in the heap:
+        the barrier at ``until`` may still admit cross-shard messages due at
+        that instant, and their lane-0 wakes must sort before the local
+        events of the same timestamp — so everything at ``until`` belongs to
+        the *next* window.  The clock always lands exactly on ``until``.
+        """
+        heap = self._heap
+        crashed = self._crashed
+        sentinel = _CALL0
+        count = 0
+        try:
+            if crashed:
+                process, exc = crashed[0]
+                raise SimulationError(
+                    f"process {process.name!r} crashed at t={self._now:.1f}"
+                ) from exc
+            while heap:
+                entry = heappop(heap)
+                time, key, func, arg = entry
+                if time >= until:
+                    heappush(heap, entry)
+                    break
+                self._now = time
+                self._unitp = key >> _UNIT_SHIFT
+                self._ekey_time = time
+                self._ekey_key = key
+                count += 1
+                if arg is sentinel:
+                    func()
+                else:
+                    func(arg)
+                if crashed:
+                    process, exc = crashed[0]
+                    raise SimulationError(
+                        f"process {process.name!r} crashed at t={self._now:.1f}"
+                    ) from exc
+        finally:
+            self._event_count += count
+        self._now = until
         return self._now
 
     def peek(self) -> float:

@@ -1,0 +1,216 @@
+"""Shard-local pieces of the node-sharded conservative parallel engine.
+
+The parallel engine (driven by :mod:`repro.harness.parallel`) partitions a
+cluster's nodes over *shards*.  Each shard owns a disjoint subset of nodes
+and runs an ordinary :class:`~repro.sim.engine.Simulation` over them in
+bounded windows of length ``L`` — the *lookahead*, the minimum cross-node
+network latency.  Because no message can arrive earlier than ``L`` after it
+was sent, every event in the window ``[B, B + L)`` is already present in the
+shard's own heap at time ``B``: shards therefore never wait on each other
+inside a window, and only exchange cross-shard messages at window barriers
+(a windowed variant of classic Chandy–Misra–Bryant null-message PDES; an
+empty exchange *is* the null message, carrying only the horizon promise).
+
+This module holds the shard-local machinery:
+
+* :class:`ShardNetwork` — a :class:`~repro.network.transport.Network` whose
+  :meth:`~repro.network.transport.Network._export` hook buffers messages for
+  non-local nodes into an outbox, and which can *admit* messages imported
+  from other shards at a barrier with delivery keys identical to the serial
+  engine's;
+* :class:`ShardHistoryRecorder` — a history recorder that tags every record
+  with the engine key of the event that produced it, so per-shard histories
+  merge back into exactly the serial recording order;
+* the deterministic node→shard assignment and the lookahead derivation
+  shared by the driver, the benchmarks and the tests.
+
+Determinism argument (sketch): the engine's event keys are unit-local
+(:mod:`repro.sim.engine`), the transport's delivery keys are sender-local,
+and scripted faults run under the control unit with the full plan installed
+on every shard — so each shard assigns its nodes the exact keys the serial
+engine would, and a barrier admission reproduces the serial channel state.
+The serial-vs-parallel digest tests in ``tests/unit/test_parallel_engine.py``
+assert byte-identical histories for every protocol × fault plan.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import NodeId
+from repro.consistency.history import HistoryRecorder
+from repro.network.message import Message
+from repro.network.transport import Network
+
+#: One cross-shard message in flight: ``(deliver_at, skey, destination,
+#: message, held)`` — exactly the transport's channel entry plus the
+#: partition-held flag decided at the sender.
+ExportEntry = Tuple[float, int, NodeId, Message, bool]
+
+
+def shard_of(node_id: int, n_nodes: int, shards: int) -> int:
+    """Deterministic node→shard assignment: contiguous balanced blocks."""
+    return node_id * shards // n_nodes
+
+
+def shard_node_ids(shard: int, n_nodes: int, shards: int) -> List[int]:
+    """The node ids owned by ``shard`` under :func:`shard_of`."""
+    return [n for n in range(n_nodes) if n * shards // n_nodes == shard]
+
+
+def safe_lookahead(config) -> float:
+    """The parallel engine's window length for ``config``.
+
+    Conservative simulation may only advance a shard ``L`` past the last
+    barrier before exchanging messages, where ``L`` is a lower bound on
+    cross-node delivery delay: the latency model's infimum.  Link
+    degradations never lower it (``factor >= 1``, ``extra >= 0`` are
+    enforced by the driver), and send-side congestion only adds delay.
+    """
+    from repro.network.latency import UniformLatency
+
+    network = config.network
+    model = UniformLatency(base=network.base_latency_us, jitter=network.jitter_us)
+    lookahead = model.min_latency()
+    if lookahead <= 0.0:
+        raise ConfigurationError(
+            "the parallel engine requires a strictly positive minimum "
+            f"cross-node latency (got {lookahead}); zero-infimum latency "
+            "models cannot provide conservative lookahead"
+        )
+    return lookahead
+
+
+class ShardHistoryRecorder(HistoryRecorder):
+    """History recorder that tags records for deterministic shard-merge.
+
+    Every committed/aborted record is stamped with ``(time, key, sub)`` —
+    the engine key of the event that recorded it plus a within-event
+    counter.  Engine keys are unique and totally ordered across shards
+    (unit-local keys; control-unit keys shared identically by all shards),
+    so sorting the concatenated per-shard records by tag reproduces the
+    exact order a serial :class:`HistoryRecorder` would have appended them
+    in.
+    """
+
+    def __init__(self, sim):
+        super().__init__()
+        self.sim = sim
+        self.committed_tags: List[Tuple[float, int, int]] = []
+        self.aborted_tags: List[Tuple[float, int, int]] = []
+        self._tag_time = -1.0
+        self._tag_key = -1
+        self._tag_sub = 0
+
+    def _next_tag(self) -> Tuple[float, int, int]:
+        sim = self.sim
+        time, key = sim._ekey_time, sim._ekey_key
+        if time == self._tag_time and key == self._tag_key:
+            self._tag_sub += 1
+        else:
+            self._tag_time = time
+            self._tag_key = key
+            self._tag_sub = 0
+        return (time, key, self._tag_sub)
+
+    def record_commit(self, meta) -> None:
+        if not self.enabled:
+            return
+        super().record_commit(meta)
+        self.committed_tags.append(self._next_tag())
+
+    def record_abort(self, meta) -> None:
+        if not self.enabled:
+            return
+        super().record_abort(meta)
+        self.aborted_tags.append(self._next_tag())
+
+    def clear(self) -> None:
+        super().clear()
+        self.committed_tags.clear()
+        self.aborted_tags.clear()
+
+
+def merge_shard_histories(
+    parts: List[Tuple[List, List, List, List]],
+) -> HistoryRecorder:
+    """Merge per-shard ``(committed, committed_tags, aborted, aborted_tags)``
+    quadruples into one recorder in serial append order."""
+    merged = HistoryRecorder()
+    committed: List[Tuple[Tuple[float, int, int], object]] = []
+    aborted: List[Tuple[Tuple[float, int, int], object]] = []
+    for commits, commit_tags, aborts, abort_tags in parts:
+        committed.extend(zip(commit_tags, commits))
+        aborted.extend(zip(abort_tags, aborts))
+    committed.sort(key=lambda pair: pair[0])
+    aborted.sort(key=lambda pair: pair[0])
+    merged.committed.extend(record for _tag, record in committed)
+    merged.aborted.extend(record for _tag, record in aborted)
+    return merged
+
+
+class ShardNetwork(Network):
+    """Transport of one shard: local delivery plus cross-shard buffering."""
+
+    def __init__(self, sim, config=None, latency_model=None):
+        super().__init__(sim, config=config, latency_model=latency_model)
+        self.outbox: List[ExportEntry] = []
+        self.exported_messages = 0
+        self.imported_messages = 0
+
+    # ------------------------------------------------------------------
+    def _export(
+        self, deliver_at: float, skey: int, destination: NodeId, message: Message, held: bool
+    ) -> None:
+        self.outbox.append((deliver_at, skey, destination, message, held))
+        self.exported_messages += 1
+
+    def take_outbox(self) -> List[ExportEntry]:
+        """Drain and return the pending cross-shard exports (barrier step)."""
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def admit(self, imports: List[ExportEntry]) -> None:
+        """Deliver messages exported by other shards (called at a barrier).
+
+        Ordinary messages enter the destination channel with their original
+        sender-local key, so their delivery order is the serial one.  A
+        partition-held message joins the local held set *unless* a mirrored
+        heal already ran since it was sent — then the serial engine would
+        have released it at that heal, at ``max(deliver_at, heal_time) ==
+        deliver_at`` (cross-shard delivery times always lie at or beyond
+        the barrier, hence beyond any already-executed heal).
+        """
+        if not imports:
+            return
+        sim = self.sim
+        held_list = self._held
+        heal_times = self._heal_times
+        stats = self.stats
+        for deliver_at, skey, destination, message, held in imports:
+            if held and not (heal_times and heal_times[-1] > message.send_time):
+                held_list.append((deliver_at, skey, destination, message))
+                continue
+            if held:
+                stats.released += 1
+            channel = self._channels[destination]
+            heappush(channel.pending, (deliver_at, skey, message))
+            wakes = channel.wakes
+            if not wakes or deliver_at < wakes[-1]:
+                wakes.append(deliver_at)
+                sim.schedule_wake(deliver_at, channel.unit, channel.drain)
+        self.imported_messages += len(imports)
+
+
+__all__ = [
+    "ExportEntry",
+    "ShardHistoryRecorder",
+    "ShardNetwork",
+    "merge_shard_histories",
+    "safe_lookahead",
+    "shard_node_ids",
+    "shard_of",
+]

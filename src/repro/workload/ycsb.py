@@ -42,8 +42,18 @@ class ClientStats:
     #: fault-plan experiments (one float per outcome, like the latencies).
     commit_times_us: List[float] = field(default_factory=list)
     abort_times_us: List[float] = field(default_factory=list)
+    #: Optional :class:`~repro.harness.streaming.StreamingAccumulator`.
+    #: When set, per-outcome samples stream into it instead of the lists
+    #: above (O(1) memory per client); the scalar counters are kept either
+    #: way.  Missing timestamps stream as ``-1.0``, which falls outside
+    #: every time bin — mirroring the exact path, which skipped them.
+    sink: Optional[object] = None
 
     def record(self, meta: TransactionMeta, committed: bool) -> None:
+        sink = self.sink
+        if sink is not None:
+            self._record_streaming(sink, meta, committed)
+            return
         if not committed:
             self.aborted += 1
             if meta.abort_time is not None:
@@ -69,6 +79,31 @@ class ClientStats:
             self.committed_read_only += 1
             if latency is not None:
                 self.read_only_latencies_us.append(latency)
+
+    def _record_streaming(self, sink, meta: TransactionMeta, committed: bool) -> None:
+        if not committed:
+            self.aborted += 1
+            sink.on_abort(meta.abort_time if meta.abort_time is not None else -1.0)
+            return
+        self.committed += 1
+        latency = meta.latency()
+        commit_time = meta.external_commit_time
+        if meta.is_update:
+            self.committed_update += 1
+            internal = meta.internal_latency()
+            wait = meta.precommit_wait()
+        else:
+            self.committed_read_only += 1
+            internal = wait = None
+        sink.on_commit(
+            latency if latency is not None else 0.0,
+            commit_time if commit_time is not None else -1.0,
+            not meta.is_update,
+            internal,
+            wait,
+        )
+        if commit_time is not None and latency is not None:
+            sink.on_completion(commit_time, latency)
 
 
 def execute_spec(session: Session, spec: TransactionSpec):

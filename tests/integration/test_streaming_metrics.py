@@ -13,7 +13,6 @@ from __future__ import annotations
 import pytest
 
 from repro.common.config import ClusterConfig, CrashFault, FaultPlan, TrafficPlan, WorkloadConfig
-from repro.common.errors import ConfigurationError
 from repro.harness.runner import run_experiment
 
 WORKLOAD = WorkloadConfig(read_only_fraction=0.5)
@@ -132,20 +131,51 @@ class TestEquivalence:
             assert stream_phase.get("availability") == exact_phase.get("availability")
 
 
-class TestStreamingGuards:
-    def test_requires_an_open_loop_plan(self):
+class TestClosedLoopStreaming:
+    def test_closed_loop_counts_and_latencies_match_exact_path(self):
+        # Closed-loop streaming (used by the big sweeps) must agree with the
+        # exact closed-loop aggregation: identical outcome counts, means
+        # exactly equal, percentiles within the sketch tolerance.
         config = ClusterConfig(
             n_nodes=3, n_keys=100, replication_degree=2, clients_per_node=2, seed=7
         )
-        with pytest.raises(ConfigurationError):
-            run_experiment(
-                "sss",
-                config,
-                WORKLOAD,
-                duration_us=5_000.0,
-                warmup_us=0.0,
-                streaming_metrics=True,
-            )
+        kwargs = dict(duration_us=12_000.0, warmup_us=2_000.0)
+        exact = run_experiment("sss", config, WORKLOAD, **kwargs).metrics
+        streaming = run_experiment(
+            "sss", config, WORKLOAD, streaming_metrics=True, **kwargs
+        ).metrics
+        assert streaming.committed == exact.committed
+        assert streaming.aborted == exact.aborted
+        assert streaming.committed_update == exact.committed_update
+        assert streaming.committed_read_only == exact.committed_read_only
+        assert streaming.latency.count == exact.latency.count
+        assert streaming.latency.mean_us == pytest.approx(exact.latency.mean_us)
+        assert streaming.latency.p99_us == pytest.approx(
+            exact.latency.p99_us, rel=QUANTILE_REL_TOL
+        )
+        # No time series for closed loop, matching the exact path.
+        assert streaming.timeseries == []
+
+    def test_closed_loop_streaming_keeps_no_raw_lists(self):
+        config = ClusterConfig(
+            n_nodes=3, n_keys=100, replication_degree=2, clients_per_node=2, seed=7
+        )
+        result = run_experiment(
+            "sss",
+            config,
+            WORKLOAD,
+            duration_us=8_000.0,
+            warmup_us=0.0,
+            streaming_metrics=True,
+        )
+        assert result.clients
+        for stats in result.clients:
+            assert stats.latencies_us == []
+            assert stats.commit_times_us == []
+            assert stats.abort_times_us == []
+
+
+class TestStreamingGuards:
 
     def test_streaming_run_keeps_no_raw_latency_lists(self):
         result = run_experiment(

@@ -1,0 +1,262 @@
+"""Serial-vs-parallel engine equivalence: the tentpole guarantee.
+
+The node-sharded conservative engine (``run_experiment(engine="parallel")``)
+must be a drop-in replacement for the serial event loop — not statistically
+close, *byte-identical*: the same committed/aborted history, the same
+per-client statistics, the same protocol and network counters.  The serial
+engine stays the golden reference; these tests pin the equivalence
+
+* for every protocol × {fail-free, crash, crash+partition};
+* across shard counts (1, 2, 4 shards — one digest);
+* across execution modes (inline vs worker processes);
+* across interpreters with different ``PYTHONHASHSEED`` values.
+
+plus the driver's configuration guards (closed-loop only, no windowed
+recording, positive lookahead required).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.common.config import (
+    ClusterConfig,
+    CrashFault,
+    FaultPlan,
+    PartitionFault,
+    TrafficPlan,
+    WorkloadConfig,
+)
+from repro.common.errors import ConfigurationError
+from repro.harness.runner import run_experiment
+from repro.protocols.registry import protocol_names
+
+WORKLOAD = WorkloadConfig(read_only_fraction=0.5)
+DURATION_US = 8_000.0
+
+FAULT_PLANS = {
+    "fail-free": FaultPlan(),
+    "crash": FaultPlan(faults=(CrashFault(node=1, at_us=2_500.0, duration_us=1_500.0),)),
+    "crash+partition": FaultPlan(
+        faults=(
+            CrashFault(node=1, at_us=2_500.0, duration_us=1_500.0),
+            PartitionFault(groups=((0, 1), (2, 3)), at_us=4_000.0, duration_us=1_500.0),
+        )
+    ),
+}
+
+
+def _config(faults=FaultPlan(), seed=5):
+    return ClusterConfig(
+        n_nodes=4,
+        n_keys=48,
+        replication_degree=2,
+        clients_per_node=2,
+        seed=seed,
+        faults=faults,
+    )
+
+
+def _digest(result) -> str:
+    """Byte-stable digest of everything the equivalence contract covers."""
+    history = result.cluster.history
+    lines = []
+    for txn in history.committed:
+        reads = ";".join(
+            f"{read.key}<-{read.writer}@{read.version_local_value}" for read in txn.reads
+        )
+        lines.append(
+            f"{txn.txn_id}|{txn.coordinator}|{int(txn.is_update)}|{reads}|"
+            f"{','.join(map(str, txn.writes))}|{txn.begin_time!r}|"
+            f"{txn.external_commit_time!r}"
+        )
+    for txn in history.aborted:
+        lines.append(f"ABORT {txn.txn_id}|{txn.reason}|{txn.abort_time!r}")
+    for name, value in sorted(result.node_counters.items()):
+        lines.append(f"COUNTER {name}={value}")
+    for stats in result.clients:
+        lines.append(
+            f"CLIENT {stats.node_id}.{stats.client_index}|{stats.committed}|"
+            f"{stats.aborted}|{stats.latencies_us!r}|{stats.commit_times_us!r}|"
+            f"{stats.abort_times_us!r}"
+        )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _run(engine, faults=FaultPlan(), seed=5, **kwargs):
+    return run_experiment(
+        "sss" if "protocol" not in kwargs else kwargs.pop("protocol"),
+        _config(faults, seed=seed),
+        WORKLOAD,
+        duration_us=DURATION_US,
+        warmup_us=0.0,
+        record_history=True,
+        keep_cluster=True,
+        engine=engine,
+        **kwargs,
+    )
+
+
+def _run_parallel_fingerprint(protocol: str = "sss", seed: int = 5) -> str:
+    """Module-level hook for the PYTHONHASHSEED subprocess test."""
+    result = run_experiment(
+        protocol,
+        _config(FAULT_PLANS["crash"], seed=seed),
+        WORKLOAD,
+        duration_us=DURATION_US,
+        warmup_us=0.0,
+        record_history=True,
+        keep_cluster=True,
+        engine="parallel",
+        shards=2,
+        parallel_mode="inline",
+    )
+    return _digest(result)
+
+
+_SUBPROCESS_SNIPPET = (
+    "import sys; sys.path.insert(0, {src!r}); sys.path.insert(0, {tests!r}); "
+    "from test_parallel_engine import _run_parallel_fingerprint; "
+    "print(_run_parallel_fingerprint({protocol!r}, {seed}))"
+)
+
+
+def _fingerprint_in_subprocess(hash_seed: str, protocol: str, seed: int) -> str:
+    root = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    snippet = _SUBPROCESS_SNIPPET.format(
+        src=os.path.join(root, "src"),
+        tests=os.path.join(root, "tests", "unit"),
+        protocol=protocol,
+        seed=seed,
+    )
+    output = subprocess.run(
+        [sys.executable, "-c", snippet],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+        timeout=600,
+    )
+    return output.stdout.strip()
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("fault_name", sorted(FAULT_PLANS))
+    @pytest.mark.parametrize("protocol", protocol_names())
+    def test_histories_identical(self, protocol, fault_name):
+        faults = FAULT_PLANS[fault_name]
+        serial = _run("serial", faults, protocol=protocol)
+        parallel = _run(
+            "parallel", faults, protocol=protocol, shards=2, parallel_mode="inline"
+        )
+        assert _digest(parallel) == _digest(serial)
+
+    @pytest.mark.parametrize("fault_name", sorted(FAULT_PLANS))
+    def test_contract_checks_match(self, fault_name):
+        # The merged view must answer the same contract verdicts the real
+        # cluster does — including Walter's replica-convergence check, which
+        # is rebuilt from per-shard chain summaries.
+        faults = FAULT_PLANS[fault_name]
+        serial = _run("serial", faults, protocol="walter")
+        parallel = _run(
+            "parallel", faults, protocol="walter", shards=2, parallel_mode="inline"
+        )
+        serial_checks = serial.cluster.check_contract()
+        parallel_checks = parallel.cluster.check_contract()
+        assert [(c.name, c.ok, c.violations) for c in parallel_checks] == [
+            (c.name, c.ok, c.violations) for c in serial_checks
+        ]
+
+
+class TestShardCountInvariance:
+    def test_shard_count_does_not_change_the_history(self):
+        faults = FAULT_PLANS["crash"]
+        digests = {
+            shards: _digest(_run("parallel", faults, shards=shards, parallel_mode="inline"))
+            for shards in (1, 2, 4)
+        }
+        assert len(set(digests.values())) == 1, digests
+        assert digests[2] == _digest(_run("serial", faults))
+
+
+class TestProcessMode:
+    def test_process_mode_matches_inline(self):
+        faults = FAULT_PLANS["crash+partition"]
+        inline = _run("parallel", faults, shards=2, parallel_mode="inline")
+        process = _run("parallel", faults, shards=2, parallel_mode="process")
+        assert _digest(process) == _digest(inline)
+        assert process.metrics.extra["parallel_sync_rounds"] == (
+            inline.metrics.extra["parallel_sync_rounds"]
+        )
+
+    def test_streaming_metrics_merge_across_shards(self):
+        exact = _run("serial")
+        streaming = run_experiment(
+            "sss",
+            _config(),
+            WORKLOAD,
+            duration_us=DURATION_US,
+            warmup_us=0.0,
+            streaming_metrics=True,
+            engine="parallel",
+            shards=2,
+            parallel_mode="process",
+        )
+        assert streaming.metrics.committed == exact.metrics.committed
+        assert streaming.metrics.aborted == exact.metrics.aborted
+        assert streaming.metrics.latency.count == exact.metrics.latency.count
+        assert streaming.metrics.latency.mean_us == pytest.approx(
+            exact.metrics.latency.mean_us
+        )
+
+
+class TestHashSeedIndependence:
+    def test_parallel_engine_survives_hash_randomization(self):
+        first = _fingerprint_in_subprocess("1", "sss", 5)
+        second = _fingerprint_in_subprocess("4242", "sss", 5)
+        assert first == second
+
+
+class TestGuards:
+    def test_traffic_plans_are_rejected(self):
+        config = ClusterConfig(
+            n_nodes=4,
+            n_keys=48,
+            replication_degree=2,
+            clients_per_node=0,
+            seed=5,
+            traffic=TrafficPlan.parse(["const rate=2000"]),
+        )
+        with pytest.raises(ConfigurationError):
+            run_experiment("sss", config, WORKLOAD, engine="parallel")
+
+    def test_windowed_history_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(
+                "sss", _config(), WORKLOAD, record_history="windowed", engine="parallel"
+            )
+
+    def test_zero_lookahead_is_rejected(self):
+        from dataclasses import replace
+
+        config = _config()
+        config = replace(
+            config, network=replace(config.network, jitter_us=config.network.base_latency_us)
+        )
+        with pytest.raises(ConfigurationError):
+            run_experiment("sss", config, WORKLOAD, engine="parallel")
+
+    def test_unknown_engine_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("sss", _config(), WORKLOAD, engine="warp")
+
+    def test_shards_require_the_parallel_engine(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("sss", _config(), WORKLOAD, shards=2)
