@@ -32,6 +32,12 @@ Usage::
     python benchmarks/seed_sweep.py --seeds 0 63 --out sweep-results
     python benchmarks/seed_sweep.py --seeds 17 17 --duration-us 60000
     python benchmarks/seed_sweep.py --variants crash --seeds 29 29
+
+With ``--corpus-out DIR`` the sweep doubles as the corpus-seeding phase of
+the scenario searcher (``python -m repro.search``): every swept (seed,
+variant) is also written as a ``*.genome.json`` the searcher can load and
+mutate, so nightly search campaigns start from the exact configurations
+the sweep already vetted.
 """
 
 from __future__ import annotations
@@ -123,10 +129,31 @@ def probe_seed(args):
         "crash_recoveries": result.node_counters.get("crash_recoveries", 0),
         "config": {**PATHOLOGICAL, "seed": seed},
         "workload": WORKLOAD,
-        "faults": [str(fault) for fault in config.faults.faults] if config.faults else [],
+        "faults": config.faults.specs(),
         "duration_us": duration_us,
         "drain_us": drain_us,
     }
+
+
+def _write_corpus_genome(record, corpus_dir: str) -> str:
+    """Persist one swept configuration as a searcher corpus genome."""
+    from repro.search.genome import ScenarioGenome
+
+    genome = ScenarioGenome(
+        protocol="sss",
+        seed=record["seed"],
+        duration_us=record["duration_us"],
+        drain_us=record["drain_us"],
+        fault_specs=tuple(record["faults"]),
+        **{key: value for key, value in PATHOLOGICAL.items()},
+        **{key: value for key, value in WORKLOAD.items()},
+    ).normalize()
+    path = os.path.join(
+        corpus_dir, f"sweep-seed{record['seed']}-{record['variant']}.genome.json"
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(genome.to_json() + "\n")
+    return path
 
 
 def main() -> int:
@@ -158,6 +185,12 @@ def main() -> int:
         type=int,
         default=max(1, (os.cpu_count() or 2) - 1),
     )
+    parser.add_argument(
+        "--corpus-out",
+        default=None,
+        help="Also write every swept configuration as a *.genome.json seed "
+        "for the scenario searcher (python -m repro.search).",
+    )
     args = parser.parse_args()
 
     first, last = args.seeds
@@ -174,6 +207,11 @@ def main() -> int:
         results = [probe_seed(job) for job in jobs]
 
     os.makedirs(args.out, exist_ok=True)
+    if args.corpus_out:
+        os.makedirs(args.corpus_out, exist_ok=True)
+        for record in results:
+            _write_corpus_genome(record, args.corpus_out)
+        print(f"wrote {len(results)} corpus genomes to {args.corpus_out}")
     failing = [record for record in results if record["failures"]]
     for record in failing:
         path = os.path.join(

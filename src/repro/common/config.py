@@ -22,6 +22,7 @@ from repro.common.units import (  # noqa: F401  (re-exported, historical home)
     MICROSECOND,
     MILLISECOND,
     SECOND,
+    format_number,
     parse_rate_tps,
     parse_time_us,
 )
@@ -175,6 +176,13 @@ class CrashFault:
             return horizon
         return self.at_us + self.duration_us
 
+    def to_spec(self) -> str:
+        """Canonical compact string; re-parses to an equal fault."""
+        spec = f"crash node={self.node} at={format_number(self.at_us)}"
+        if self.duration_us is not None:
+            spec += f" for={format_number(self.duration_us)}"
+        return spec
+
     def validate(self, n_nodes: int) -> None:
         if not 0 <= self.node < n_nodes:
             raise ConfigurationError(f"crash fault targets node {self.node}, cluster has {n_nodes}")
@@ -205,6 +213,17 @@ class PartitionFault:
 
     def end_us(self, horizon: float) -> float:
         return self.at_us + self.duration_us
+
+    def to_spec(self) -> str:
+        """Canonical compact string; re-parses to an equal fault."""
+        groups = "|".join(",".join(str(node) for node in group) for group in self.groups)
+        spec = (
+            f"partition groups={groups} "
+            f"at={format_number(self.at_us)} for={format_number(self.duration_us)}"
+        )
+        if self.mode != "buffer":
+            spec += f" mode={self.mode}"
+        return spec
 
     def validate(self, n_nodes: int) -> None:
         if len(self.groups) < 2:
@@ -246,6 +265,20 @@ class SlowLinkFault:
 
     def end_us(self, horizon: float) -> float:
         return self.at_us + self.duration_us
+
+    def to_spec(self) -> str:
+        """Canonical compact string; re-parses to an equal fault."""
+        spec = (
+            f"slowlink src={self.src} dst={self.dst} "
+            f"at={format_number(self.at_us)} for={format_number(self.duration_us)}"
+        )
+        if self.factor != 1.0:
+            spec += f" factor={format_number(self.factor)}"
+        if self.extra_us != 0.0:
+            spec += f" extra={format_number(self.extra_us)}"
+        if not self.bidirectional:
+            spec += " bidirectional=false"
+        return spec
 
     def validate(self, n_nodes: int) -> None:
         for node in (self.src, self.dst):
@@ -295,26 +328,28 @@ def _parse_fault(spec: Union[str, Dict, FaultSpec]) -> FaultSpec:
     raw_for = fields.pop("for", fields.pop("duration_us", None))
     duration_us = None if raw_for is None else parse_time_us(raw_for)
     if kind == "crash":
-        node = int(fields.pop("node"))
+        node = _parse_node(fields.pop("node"), kind)
         _reject_unknown(kind, fields)
         return CrashFault(node=node, at_us=at_us, duration_us=duration_us)
     if kind == "partition":
         raw_groups = fields.pop("groups")
         if isinstance(raw_groups, str):
             groups = tuple(
-                tuple(int(part) for part in group.split(",") if part != "")
+                tuple(_parse_node(part, kind) for part in group.split(",") if part != "")
                 for group in raw_groups.split("|")
             )
         else:
-            groups = tuple(tuple(int(node) for node in group) for group in raw_groups)
+            groups = tuple(
+                tuple(_parse_node(node, kind) for node in group) for group in raw_groups
+            )
         mode = str(fields.pop("mode", "buffer"))
         _reject_unknown(kind, fields)
         if duration_us is None:
             raise ConfigurationError("partition requires a 'for' window")
         return PartitionFault(groups=groups, at_us=at_us, duration_us=duration_us, mode=mode)
     if kind == "slowlink":
-        src = int(fields.pop("src"))
-        dst = int(fields.pop("dst"))
+        src = _parse_node(fields.pop("src"), kind)
+        dst = _parse_node(fields.pop("dst"), kind)
         factor = float(fields.pop("factor", 1.0))
         extra_us = parse_time_us(fields.pop("extra", fields.pop("extra_us", 0.0)))
         raw_bidi = fields.pop("bidirectional", True)
@@ -335,6 +370,13 @@ def _parse_fault(spec: Union[str, Dict, FaultSpec]) -> FaultSpec:
             bidirectional=bidirectional,
         )
     raise ConfigurationError(f"unknown fault kind {kind!r}")
+
+
+def _parse_node(value, kind: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{kind!r} fault: node id {value!r} is not an integer") from None
 
 
 def _reject_unknown(kind: str, leftover: Dict) -> None:
@@ -361,6 +403,16 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.faults)
+
+    def specs(self) -> List[str]:
+        """Canonical compact strings: ``FaultPlan.parse(plan.specs()) == plan``.
+
+        Parsing used to be one-way; the scenario searcher's mutators parse,
+        perturb and re-serialize plans, so every fault knows how to print
+        itself back (pinned by the hypothesis round-trip test in
+        ``tests/property/test_plan_roundtrip.py``).
+        """
+        return [fault.to_spec() for fault in self.faults]
 
     def validate(self, n_nodes: int) -> None:
         for fault in self.faults:

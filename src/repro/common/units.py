@@ -41,6 +41,20 @@ def parse_time_us(text: Union[str, int, float]) -> float:
         raise ConfigurationError(f"cannot parse time literal {text!r}") from None
 
 
+def format_number(value: Union[int, float]) -> str:
+    """Canonical numeric literal for plan serialization.
+
+    Integral values print without a decimal point; everything else uses
+    Python's shortest round-tripping float repr, so
+    ``parse_time_us(format_number(x)) == x`` (and the same for rates)
+    holds exactly — the contract the plan ``to_spec`` serializers rely on.
+    """
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e16:
+        return str(int(number))
+    return repr(number)
+
+
 def parse_rate_tps(text: Union[str, int, float]) -> float:
     """Parse an offered-load literal into transactions per simulated second.
 

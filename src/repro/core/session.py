@@ -19,6 +19,7 @@ sets), which the example programs and the harness rely on.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.common.errors import (
@@ -30,6 +31,14 @@ from repro.core.metadata import TransactionMeta, TransactionPhase
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import SSSNode
+
+#: Test-only planted regression: setting this environment variable reverts
+#: the coordinator-crash teardown guard in :meth:`Session._require_open`
+#: (the fix for Walter's crash-window double-commit), restoring the historical
+#: ``TransactionStateError`` crash.  It exists solely so the scenario
+#: searcher's acceptance test can prove it rediscovers a real, once-shipped
+#: bug from scratch; nothing outside tests may set it.
+PLANTED_REGRESSION_ENV = "REPRO_SEARCH_PLANT_REQUIRE_OPEN_REGRESSION"
 
 
 class Session:
@@ -129,6 +138,7 @@ class Session:
         if (
             meta.phase is TransactionPhase.ABORTED
             and meta.abort_reason == "coordinator-crash"
+            and not os.environ.get(PLANTED_REGRESSION_ENV)
         ):
             # The coordinator crash-stopped and tore this transaction down
             # while the client process was suspended on a purely local step

@@ -15,12 +15,15 @@ rates, latency percentiles and the internal/external commit breakdown.
   (workload and sweep parameters for Figures 3 through 8).
 * :mod:`repro.harness.reporting` — plain-text tables mirroring the paper's
   figures, used by the benchmarks and EXPERIMENTS.md.
+* :mod:`repro.harness.scenario` — one-shot scenario probe returning the
+  signal vector and coverage signature consumed by :mod:`repro.search`.
 """
 
 from repro.harness.cluster import PROTOCOLS, build_cluster
 from repro.harness.metrics import ExperimentMetrics, LatencySummary
 from repro.harness.runner import ExperimentResult, run_experiment, find_saturation_throughput
 from repro.harness.reporting import format_series, format_table
+from repro.harness.scenario import ScenarioOutcome, run_scenario
 from repro.harness.sketch import QuantileSketch
 from repro.harness.streaming import StreamingAccumulator
 
@@ -30,10 +33,12 @@ __all__ = [
     "LatencySummary",
     "PROTOCOLS",
     "QuantileSketch",
+    "ScenarioOutcome",
     "StreamingAccumulator",
     "build_cluster",
     "find_saturation_throughput",
     "format_series",
     "format_table",
     "run_experiment",
+    "run_scenario",
 ]

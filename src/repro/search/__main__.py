@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.search``."""
+
+import sys
+
+from repro.search.cli import main
+
+sys.exit(main())

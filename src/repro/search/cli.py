@@ -1,0 +1,134 @@
+"""Command-line front end: ``python -m repro.search``.
+
+Examples::
+
+    # PR smoke: tiny deterministic campaign, never fails the build
+    python -m repro.search --budget-runs 12 --search-seed 7 --no-fail-on-new
+
+    # Nightly: seed from the committed corpus, run for 20 minutes, fail
+    # only on findings not listed in known_findings.json
+    python -m repro.search --budget-minutes 20 --search-seed 1 \\
+        --corpus benchmarks/search_corpus --corpus .github/search-corpus \\
+        --known benchmarks/search_corpus/known_findings.json \\
+        --out search-out --save-corpus .github/search-corpus
+
+Exit codes: 0 — no new findings (known ones may still have produced
+bundles); 1 — at least one NEW finding (suppress by triaging it into the
+known-findings file); 2 — configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.search.driver import SearchSettings, run_search
+from repro.search.genome import PROTOCOL_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.search",
+        description="Coverage-guided scenario search over the fault x traffic space.",
+    )
+    parser.add_argument(
+        "--protocols",
+        default=",".join(PROTOCOL_NAMES),
+        help="comma-separated protocols to search (default: all)",
+    )
+    parser.add_argument(
+        "--budget-runs",
+        type=int,
+        default=None,
+        help="stop after N mutation-loop runs (deterministic budget)",
+    )
+    parser.add_argument(
+        "--budget-minutes",
+        type=float,
+        default=None,
+        help="stop after N wall-clock minutes (CI time box)",
+    )
+    parser.add_argument(
+        "--search-seed", type=int, default=0, help="RNG seed for the campaign"
+    )
+    parser.add_argument(
+        "--corpus",
+        action="append",
+        type=Path,
+        default=[],
+        help="corpus directory of *.genome.json seeds (repeatable)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("search-out"),
+        help="output directory for bundles and search-summary.json",
+    )
+    parser.add_argument(
+        "--known",
+        type=Path,
+        default=None,
+        help="JSON array of triaged finding fingerprints to tolerate",
+    )
+    parser.add_argument(
+        "--minimize-budget",
+        type=int,
+        default=120,
+        help="max scenario runs the minimizer may spend per finding",
+    )
+    parser.add_argument(
+        "--save-corpus",
+        type=Path,
+        default=None,
+        help="persist the evolved corpus to this directory at the end",
+    )
+    parser.add_argument(
+        "--max-seed-evals",
+        type=int,
+        default=48,
+        help="cap on corpus genomes evaluated during the seed phase",
+    )
+    parser.add_argument(
+        "--no-fail-on-new",
+        action="store_true",
+        help="exit 0 even when new findings appear (PR smoke mode)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    settings = SearchSettings(
+        protocols=tuple(
+            name.strip() for name in arguments.protocols.split(",") if name.strip()
+        ),
+        budget_runs=arguments.budget_runs,
+        budget_minutes=arguments.budget_minutes,
+        search_seed=arguments.search_seed,
+        corpus_dirs=tuple(arguments.corpus),
+        out_dir=arguments.out,
+        known_findings_path=arguments.known,
+        minimize_budget=arguments.minimize_budget,
+        max_seed_evals=arguments.max_seed_evals,
+        save_corpus=arguments.save_corpus,
+    )
+    try:
+        summary = run_search(settings, log=lambda line: print(line, flush=True))
+    except ConfigurationError as exc:
+        print(f"search: {exc}", file=sys.stderr)
+        return 2
+    if summary.new_findings and not arguments.no_fail_on_new:
+        print(
+            "search: NEW findings: "
+            + ", ".join(finding.fingerprint for finding in summary.new_findings),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

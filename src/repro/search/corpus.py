@@ -1,0 +1,142 @@
+"""Coverage-driven corpus of interesting genomes.
+
+The corpus is the searcher's memory: a genome earns a place by reaching a
+coverage atom no retained genome has reached (``new coverage``) or by
+producing a strictly higher severity score for an atom it shares with the
+current best (``raised signal``).  Everything else is discarded — the
+corpus stays small, and mutation energy concentrates on scenarios that
+demonstrably exercise distinct protocol behavior.
+
+On disk a corpus is a directory of ``*.genome.json`` files (one canonical
+genome each) — small enough to commit (``benchmarks/search_corpus/``) and
+to cache between nightly CI runs (``.github/search-corpus/``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.harness.scenario import ScenarioOutcome
+from repro.search.genome import ScenarioGenome
+
+
+@dataclass
+class CorpusEntry:
+    genome: ScenarioGenome
+    coverage: Tuple[str, ...]
+    score: float
+
+
+@dataclass
+class Corpus:
+    """In-memory corpus with per-atom best-score bookkeeping."""
+
+    entries: List[CorpusEntry] = field(default_factory=list)
+    best_score_by_atom: Dict[str, float] = field(default_factory=dict)
+    _keys: set = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def covered_atoms(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.best_score_by_atom))
+
+    def consider(self, genome: ScenarioGenome, outcome: ScenarioOutcome) -> Optional[str]:
+        """Admit ``genome`` if it is interesting; returns the reason or None.
+
+        Reasons: ``"new-coverage"`` (at least one unseen atom) or
+        ``"raised-signal"`` (a strictly better severity score on a known
+        atom).  Either way the per-atom score table is updated, so later
+        candidates are judged against the new high-water mark.
+        """
+        key = genome.key()
+        if key in self._keys:
+            return None
+        score = outcome.score()
+        new_atoms = [
+            atom for atom in outcome.coverage if atom not in self.best_score_by_atom
+        ]
+        raised = any(
+            score > self.best_score_by_atom.get(atom, float("-inf"))
+            for atom in outcome.coverage
+        )
+        reason = None
+        if new_atoms:
+            reason = "new-coverage"
+        elif raised:
+            reason = "raised-signal"
+        if reason is None:
+            return None
+        for atom in outcome.coverage:
+            if score > self.best_score_by_atom.get(atom, float("-inf")):
+                self.best_score_by_atom[atom] = score
+        self.entries.append(CorpusEntry(genome=genome, coverage=outcome.coverage, score=score))
+        self._keys.add(key)
+        return reason
+
+    # ------------------------------------------------------------------
+    # Disk format: a directory of *.genome.json files.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load_genomes(directory: Path) -> List[ScenarioGenome]:
+        """Load every parseable genome under ``directory`` (sorted by name).
+
+        Unparseable files are skipped with a stderr note rather than
+        aborting the run: a stale corpus entry from an older grammar must
+        not take down nightly CI.
+        """
+        import sys
+
+        genomes: List[ScenarioGenome] = []
+        if not directory.is_dir():
+            return genomes
+        for path in sorted(directory.glob("*.genome.json")):
+            try:
+                genome = ScenarioGenome.from_json(path.read_text())
+                genome.validate()
+                genomes.append(genome)
+            except (ConfigurationError, ValueError, KeyError, TypeError) as exc:
+                print(f"corpus: skipping {path.name}: {exc}", file=sys.stderr)
+        return genomes
+
+    def save(self, directory: Path, prefix: str = "g") -> List[Path]:
+        """Write every entry as ``<prefix><index>-<protocol>.genome.json``."""
+        directory.mkdir(parents=True, exist_ok=True)
+        written = []
+        for index, entry in enumerate(self.entries):
+            path = directory / f"{prefix}{index:04d}-{entry.genome.protocol}.genome.json"
+            path.write_text(entry.genome.to_json() + "\n")
+            written.append(path)
+        return written
+
+
+def load_corpus_dirs(directories: Iterable[Path]) -> List[ScenarioGenome]:
+    """Union of genomes from several corpus directories, deduplicated."""
+    seen = set()
+    genomes: List[ScenarioGenome] = []
+    for directory in directories:
+        for genome in Corpus.load_genomes(Path(directory)):
+            key = genome.key()
+            if key not in seen:
+                seen.add(key)
+                genomes.append(genome)
+    return genomes
+
+
+def dump_genome(genome: ScenarioGenome, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(genome.to_json() + "\n")
+
+
+def load_known_findings(path: Optional[Path]) -> Tuple[str, ...]:
+    """Read the suppression list (a JSON array of fingerprints)."""
+    if path is None or not Path(path).is_file():
+        return ()
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise ConfigurationError(f"{path}: known-findings file must be a JSON array")
+    return tuple(str(item) for item in data)

@@ -1,0 +1,301 @@
+"""The deterministic search loop and repro-bundle writer.
+
+One :func:`run_search` call is one fuzzing campaign:
+
+1. **Seed phase** — load genomes from the given corpus directories (plus
+   built-in per-protocol baselines when the corpus is empty), score each,
+   and admit the interesting ones.
+2. **Mutation loop** — repeatedly pick a retained genome, mutate it, score
+   the mutant, and keep it if it adds coverage or raises signal.  The loop
+   is bounded by ``budget_runs`` (deterministic; used by tests and the PR
+   smoke job) and/or ``budget_minutes`` (wall clock; used by nightly CI).
+3. **Findings** — the first genome to hit each ``protocol:category``
+   fingerprint is auto-minimized (:mod:`repro.search.minimize`) and
+   written as a repro bundle under ``out_dir`` together with a
+   ``search-summary.json``.  Fingerprints listed in the known-findings
+   file are still minimized and bundled but do not make the campaign
+   "fail" — nightly CI fails only on findings nobody has triaged yet.
+
+All randomness comes from one ``random.Random(search_seed)``; scoring is
+deterministic per genome; so with ``budget_runs`` the whole campaign —
+including which findings appear and what they minimize to — replays
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from dataclasses import dataclass, field, replace as dc_replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.search.corpus import Corpus, load_corpus_dirs, load_known_findings
+from repro.search.genome import PROTOCOL_NAMES, ScenarioGenome
+from repro.search.minimize import minimize_genome
+from repro.search.mutators import mutate
+from repro.search.scoring import finding_fingerprint, score_genome
+
+BUNDLE_KIND = "repro-bundle"
+BUNDLE_VERSION = 1
+
+
+@dataclass
+class SearchSettings:
+    protocols: Tuple[str, ...] = PROTOCOL_NAMES
+    budget_runs: Optional[int] = None
+    budget_minutes: Optional[float] = None
+    search_seed: int = 0
+    corpus_dirs: Tuple[Path, ...] = ()
+    out_dir: Path = Path("search-out")
+    known_findings_path: Optional[Path] = None
+    minimize_budget: int = 120
+    max_seed_evals: int = 48
+    save_corpus: Optional[Path] = None
+
+    def validate(self) -> None:
+        for protocol in self.protocols:
+            if protocol not in PROTOCOL_NAMES:
+                raise ConfigurationError(f"unknown protocol {protocol!r}")
+        if self.budget_runs is None and self.budget_minutes is None:
+            raise ConfigurationError(
+                "search needs a budget: --budget-runs and/or --budget-minutes"
+            )
+
+
+@dataclass
+class Finding:
+    fingerprint: str
+    category: str
+    detail: Tuple[str, ...]
+    genome: ScenarioGenome
+    minimized: ScenarioGenome
+    signal: Dict[str, float]
+    known: bool
+    minimize_evaluations: int
+    bundle_path: Optional[Path] = None
+
+    def bundle(self, settings: SearchSettings) -> Dict[str, object]:
+        return {
+            "kind": BUNDLE_KIND,
+            "version": BUNDLE_VERSION,
+            "fingerprint": self.fingerprint,
+            "category": self.category,
+            "detail": list(self.detail),
+            "signal": {key: self.signal[key] for key in sorted(self.signal)},
+            "genome": self.minimized.to_dict(),
+            "original_genome": self.genome.to_dict(),
+            "search_seed": settings.search_seed,
+            "minimize_evaluations": self.minimize_evaluations,
+            "replay": "python -m repro.search.replay <this file>",
+        }
+
+
+@dataclass
+class SearchSummary:
+    runs: int = 0
+    seed_runs: int = 0
+    corpus_size: int = 0
+    coverage_atoms: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    mutator_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def new_findings(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.known]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "runs": self.runs,
+            "seed_runs": self.seed_runs,
+            "corpus_size": self.corpus_size,
+            "coverage_atoms": self.coverage_atoms,
+            "mutator_counts": dict(sorted(self.mutator_counts.items())),
+            "findings": [
+                {
+                    "fingerprint": finding.fingerprint,
+                    "category": finding.category,
+                    "known": finding.known,
+                    "bundle": str(finding.bundle_path) if finding.bundle_path else None,
+                    "genome": finding.minimized.describe(),
+                }
+                for finding in self.findings
+            ],
+            "new_findings": [finding.fingerprint for finding in self.new_findings],
+        }
+
+
+def default_seeds(protocols: Tuple[str, ...]) -> List[ScenarioGenome]:
+    """Built-in baselines: per protocol, one fail-free and one mid-run crash.
+
+    These exist so a campaign started with an empty corpus still covers
+    every protocol's happy path and simplest fault path before mutation
+    takes over.
+    """
+    seeds: List[ScenarioGenome] = []
+    for protocol in protocols:
+        base = ScenarioGenome(
+            protocol=protocol,
+            n_nodes=3,
+            n_keys=120,
+            replication_degree=2,
+            clients_per_node=3,
+            seed=1,
+            duration_us=20_000.0,
+            drain_us=25_000.0,
+        )
+        seeds.append(base.normalize())
+        seeds.append(
+            dc_replace(
+                base, fault_specs=("crash node=1 at=5000 for=3000",)
+            ).normalize()
+        )
+    return seeds
+
+
+def _reproduces(category: str) -> Callable[[ScenarioGenome], bool]:
+    def predicate(genome: ScenarioGenome) -> bool:
+        return category in score_genome(genome).failures
+
+    return predicate
+
+
+def run_search(
+    settings: SearchSettings,
+    log: Callable[[str], None] = lambda line: None,
+) -> SearchSummary:
+    settings.validate()
+    rng = random.Random(settings.search_seed)
+    known = set(load_known_findings(settings.known_findings_path))
+    corpus = Corpus()
+    summary = SearchSummary()
+    seen_fingerprints: set = set()
+    out_dir = Path(settings.out_dir)
+    deadline = (
+        time.monotonic() + settings.budget_minutes * 60.0
+        if settings.budget_minutes is not None
+        else None
+    )
+
+    def out_of_time() -> bool:
+        return deadline is not None and time.monotonic() >= deadline
+
+    def handle_outcome(genome: ScenarioGenome, outcome) -> None:
+        reason = corpus.consider(genome, outcome)
+        if reason:
+            log(f"corpus[{len(corpus)}] +{reason}: {genome.describe()}")
+        for category in outcome.failures:
+            fingerprint = finding_fingerprint(genome, category)
+            if fingerprint in seen_fingerprints:
+                continue
+            seen_fingerprints.add(fingerprint)
+            log(f"FINDING {fingerprint}: minimizing ...")
+            try:
+                minimized, evaluations = minimize_genome(
+                    genome, _reproduces(category), budget=settings.minimize_budget
+                )
+            except ConfigurationError:
+                # Flaky across the minimizer's re-run (should not happen for
+                # deterministic genomes); keep the original as the repro.
+                minimized, evaluations = genome, 0
+            # The bundle's signal/detail describe the *minimized* genome —
+            # what replay will actually run — not the original trigger.
+            final = outcome if minimized.key() == genome.key() else score_genome(minimized)
+            finding = Finding(
+                fingerprint=fingerprint,
+                category=category,
+                detail=final.failure_detail,
+                genome=genome,
+                minimized=minimized,
+                signal=dict(final.signal),
+                known=fingerprint in known,
+                minimize_evaluations=evaluations,
+            )
+            slug = fingerprint.replace(":", "-").replace("/", "-")
+            bundle_path = out_dir / f"bundle-{slug}.json"
+            bundle_path.parent.mkdir(parents=True, exist_ok=True)
+            bundle_path.write_text(
+                json.dumps(finding.bundle(settings), indent=2, sort_keys=True) + "\n"
+            )
+            finding.bundle_path = bundle_path
+            summary.findings.append(finding)
+            status = "known" if finding.known else "NEW"
+            log(f"FINDING {fingerprint} [{status}] -> {bundle_path}")
+
+    # ------------------------------------------------------------------
+    # Seed phase
+    # ------------------------------------------------------------------
+    seeds = [
+        genome
+        for genome in load_corpus_dirs(settings.corpus_dirs)
+        if genome.protocol in settings.protocols
+    ]
+    if not seeds:
+        seeds = default_seeds(settings.protocols)
+    seeds = seeds[: settings.max_seed_evals]
+    log(f"seed phase: {len(seeds)} genomes")
+    for genome in seeds:
+        if out_of_time():
+            break
+        try:
+            genome.validate()
+        except ConfigurationError as exc:
+            log(f"seed rejected: {exc}")
+            continue
+        outcome = score_genome(genome)
+        summary.seed_runs += 1
+        summary.runs += 1
+        handle_outcome(genome, outcome)
+
+    # ------------------------------------------------------------------
+    # Mutation loop
+    # ------------------------------------------------------------------
+    if not corpus.entries:
+        # Every seed failed validation — nothing to mutate from.
+        summary.corpus_size = 0
+        summary.coverage_atoms = 0
+        _write_summary(summary, out_dir)
+        return summary
+
+    mutation_runs = 0
+    while True:
+        if settings.budget_runs is not None and mutation_runs >= settings.budget_runs:
+            break
+        if out_of_time():
+            break
+        parent = rng.choice(corpus.entries).genome
+        try:
+            mutator_name, mutant = mutate(parent, rng)
+        except ConfigurationError:
+            continue
+        if mutant.protocol not in settings.protocols:
+            mutant = dc_replace(mutant, protocol=parent.protocol)
+            if mutant.key() == parent.key():
+                continue
+        outcome = score_genome(mutant)
+        mutation_runs += 1
+        summary.runs += 1
+        summary.mutator_counts[mutator_name] = summary.mutator_counts.get(mutator_name, 0) + 1
+        handle_outcome(mutant, outcome)
+
+    summary.corpus_size = len(corpus)
+    summary.coverage_atoms = len(corpus.covered_atoms())
+    if settings.save_corpus is not None:
+        corpus.save(Path(settings.save_corpus))
+        log(f"saved {len(corpus)} corpus genomes to {settings.save_corpus}")
+    _write_summary(summary, out_dir)
+    log(
+        f"done: {summary.runs} runs, corpus {summary.corpus_size}, "
+        f"{summary.coverage_atoms} atoms, {len(summary.findings)} findings "
+        f"({len(summary.new_findings)} new)"
+    )
+    return summary
+
+
+def _write_summary(summary: SearchSummary, out_dir: Path) -> None:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "search-summary.json").write_text(
+        json.dumps(summary.to_dict(), indent=2, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,178 @@
+"""The unit of scenario search: a serializable (protocol, config, plans) tuple.
+
+A :class:`ScenarioGenome` is everything needed to reproduce one scenario
+run bit-for-bit: the protocol under test, the cluster shape, the workload
+mix, the simulation seed, the run window, and the fault/traffic plans *as
+canonical DSL strings*.  Keeping the plans as strings (rather than parsed
+objects) makes genomes trivially JSON-serializable, diffable in repro
+bundles, and guarantees the searcher can only express scenarios the real
+parsers accept — a genome that does not parse is rejected at construction,
+not at run time.
+
+Canonicalization matters for corpus dedup: ``normalize()`` round-trips
+every plan spec through parse -> ``to_spec`` so that two genomes meaning
+the same scenario compare equal regardless of how their specs were
+spelled (``"crash node=1 at=3ms"`` vs ``"crash  at=3000 node=1"``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from repro.common.config import ClusterConfig, FaultPlan, WorkloadConfig
+from repro.common.errors import ConfigurationError
+from repro.traffic.plan import TrafficPlan
+
+PROTOCOL_NAMES = ("sss", "2pc", "rococo", "walter")
+
+#: Workload knobs carried by a genome, in serialization order.
+WORKLOAD_FIELDS = (
+    "read_only_fraction",
+    "update_txn_keys",
+    "read_only_txn_keys",
+    "key_distribution",
+    "zipf_theta",
+    "locality_fraction",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioGenome:
+    """One point in scenario space, canonical and JSON-round-trippable."""
+
+    protocol: str = "sss"
+    n_nodes: int = 3
+    n_keys: int = 120
+    replication_degree: int = 2
+    clients_per_node: int = 3
+    seed: int = 1
+    duration_us: float = 20_000.0
+    drain_us: float = 25_000.0
+    read_only_fraction: float = 0.5
+    update_txn_keys: int = 2
+    read_only_txn_keys: int = 2
+    key_distribution: str = "uniform"
+    zipf_theta: float = 0.7
+    locality_fraction: float = 0.0
+    fault_specs: Tuple[str, ...] = ()
+    traffic_specs: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    def cluster_config(self) -> ClusterConfig:
+        """Materialize the genome's :class:`ClusterConfig` (validated)."""
+        return ClusterConfig(
+            n_nodes=self.n_nodes,
+            n_keys=self.n_keys,
+            replication_degree=self.replication_degree,
+            clients_per_node=self.clients_per_node,
+            seed=self.seed,
+            faults=FaultPlan.parse(list(self.fault_specs)),
+            traffic=TrafficPlan.parse(list(self.traffic_specs)),
+        )
+
+    def workload_config(self) -> WorkloadConfig:
+        return WorkloadConfig(
+            read_only_fraction=self.read_only_fraction,
+            update_txn_keys=self.update_txn_keys,
+            read_only_txn_keys=self.read_only_txn_keys,
+            key_distribution=self.key_distribution,
+            zipf_theta=self.zipf_theta,
+            locality_fraction=self.locality_fraction,
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if the genome is not runnable."""
+        if self.protocol not in PROTOCOL_NAMES:
+            raise ConfigurationError(f"unknown protocol {self.protocol!r}")
+        if self.duration_us <= 0:
+            raise ConfigurationError("duration_us must be > 0")
+        if self.drain_us < 0:
+            raise ConfigurationError("drain_us must be >= 0")
+        if self.clients_per_node == 0 and not self.traffic_specs:
+            raise ConfigurationError(
+                "genome drives no load: clients_per_node=0 and no traffic plan"
+            )
+        config = self.cluster_config()
+        config.validate()
+        self.workload_config().validate()
+
+    def normalize(self) -> "ScenarioGenome":
+        """Canonical form: every plan spec re-serialized via ``to_spec``.
+
+        Relies on the parse/serialize round-trip contract pinned by
+        ``tests/property/test_plan_roundtrip.py`` — two genomes describing
+        the same scenario normalize to equal objects, which is what corpus
+        dedup keys on.
+        """
+        faults = FaultPlan.parse(list(self.fault_specs))
+        traffic = TrafficPlan.parse(list(self.traffic_specs))
+        return replace(
+            self,
+            duration_us=float(self.duration_us),
+            drain_us=float(self.drain_us),
+            fault_specs=tuple(faults.specs()),
+            traffic_specs=tuple(traffic.specs()),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "n_nodes": self.n_nodes,
+            "n_keys": self.n_keys,
+            "replication_degree": self.replication_degree,
+            "clients_per_node": self.clients_per_node,
+            "seed": self.seed,
+            "duration_us": self.duration_us,
+            "drain_us": self.drain_us,
+            "workload": {name: getattr(self, name) for name in WORKLOAD_FIELDS},
+            "faults": list(self.fault_specs),
+            "traffic": list(self.traffic_specs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioGenome":
+        workload = dict(data.get("workload", {}))
+        fields: Dict[str, object] = {
+            name: workload[name] for name in WORKLOAD_FIELDS if name in workload
+        }
+        for name in (
+            "protocol",
+            "n_nodes",
+            "n_keys",
+            "replication_degree",
+            "clients_per_node",
+            "seed",
+            "duration_us",
+            "drain_us",
+        ):
+            if name in data:
+                fields[name] = data[name]
+        fields["fault_specs"] = tuple(data.get("faults", ()))
+        fields["traffic_specs"] = tuple(data.get("traffic", ()))
+        return cls(**fields).normalize()
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioGenome":
+        return cls.from_dict(json.loads(text))
+
+    def key(self) -> str:
+        """Stable dedup key (canonical JSON of the normalized genome)."""
+        return json.dumps(self.normalize().to_dict(), sort_keys=True)
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.protocol} n={self.n_nodes} rf={self.replication_degree}",
+            f"keys={self.n_keys} clients={self.clients_per_node} seed={self.seed}",
+            f"dur={self.duration_us:g}us",
+        ]
+        if self.fault_specs:
+            parts.append("faults=[" + "; ".join(self.fault_specs) + "]")
+        if self.traffic_specs:
+            parts.append("traffic=[" + "; ".join(self.traffic_specs) + "]")
+        return " ".join(parts)

@@ -1,0 +1,168 @@
+"""Auto-minimization of failing genomes.
+
+Given a genome that fails and a predicate "does this genome still fail the
+same way?", :func:`minimize_genome` shrinks it in two passes:
+
+1. **ddmin over plan phases** — classic delta debugging over the fault
+   spec list and the traffic phase list: try dropping halves, then
+   quarters, ... until no single phase can be removed without losing the
+   failure.  This is where most of the shrinking happens; a genome bred
+   through dozens of ``add_fault``/``add_traffic_phase`` mutations usually
+   needs only one or two of its phases to fail.
+2. **Field-level shrinking** — greedy per-knob reduction toward the
+   simplest cluster that still fails: fewer clients, fewer nodes, fewer
+   keys, a shorter run, and fault windows snapped to round numbers.
+
+Every candidate is judged by re-running the scenario, so minimization cost
+is bounded by ``budget`` predicate evaluations (results are memoized by
+genome key — ddmin revisits configurations).  The output is always a
+genome for which the predicate held, ready to be wrapped in a repro
+bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.search.genome import ScenarioGenome
+
+Predicate = Callable[[ScenarioGenome], bool]
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spent(self) -> bool:
+        return self.used >= self.limit
+
+
+def _checked(
+    predicate: Predicate, cache: Dict[str, bool], budget: _Budget
+) -> Predicate:
+    def check(genome: ScenarioGenome) -> bool:
+        try:
+            genome = genome.normalize()
+            genome.validate()
+        except ConfigurationError:
+            return False
+        key = genome.key()
+        if key in cache:
+            return cache[key]
+        if budget.spent():
+            return False
+        budget.used += 1
+        result = bool(predicate(genome))
+        cache[key] = result
+        return result
+
+    return check
+
+
+def _ddmin(
+    items: List[str],
+    rebuild: Callable[[List[str]], ScenarioGenome],
+    check: Predicate,
+) -> List[str]:
+    """Minimal sublist of ``items`` for which ``check(rebuild(subset))`` holds.
+
+    Standard ddmin: start with granularity 2, try removing each chunk; on
+    success restart at granularity 2 on the smaller list, otherwise refine
+    granularity up to one-chunk-per-item.
+    """
+    if not items or not check(rebuild(items)):
+        return items
+    granularity = 2
+    while items:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk:]
+            if not check(rebuild(candidate)):
+                continue
+            items = candidate
+            granularity = max(granularity - 1, 2)
+            reduced = True
+            break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+def minimize_genome(
+    genome: ScenarioGenome,
+    predicate: Predicate,
+    budget: int = 120,
+) -> Tuple[ScenarioGenome, int]:
+    """Shrink ``genome`` while ``predicate`` keeps holding.
+
+    Returns ``(minimized, evaluations_used)``.  The input genome must
+    satisfy the predicate; the result always does.  ``budget`` caps how
+    many *distinct* candidate runs the minimizer may spend — when it runs
+    out, the best genome found so far is returned.
+    """
+    genome = genome.normalize()
+    cache: Dict[str, bool] = {}
+    tracker = _Budget(budget)
+    check = _checked(predicate, cache, tracker)
+    if not check(genome):
+        raise ConfigurationError("minimize_genome: input genome does not fail")
+
+    # Pass 1: ddmin over the two phase lists, faults first (usually the
+    # trigger), then traffic.
+    faults = _ddmin(
+        list(genome.fault_specs),
+        lambda specs: dc_replace(genome, fault_specs=tuple(specs)),
+        check,
+    )
+    genome = dc_replace(genome, fault_specs=tuple(faults))
+    traffic = _ddmin(
+        list(genome.traffic_specs),
+        lambda specs: dc_replace(genome, traffic_specs=tuple(specs)),
+        check,
+    )
+    genome = dc_replace(genome, traffic_specs=tuple(traffic))
+
+    # Pass 2: greedy field shrinking — accept any candidate that still
+    # fails, trying the most aggressive reduction first.
+    def try_candidates(current: ScenarioGenome, variants) -> ScenarioGenome:
+        for variant in variants:
+            if variant.key() != current.key() and check(variant):
+                return variant
+        return current
+
+    for clients in (1, 2):
+        if genome.clients_per_node > clients:
+            genome = try_candidates(
+                genome, [dc_replace(genome, clients_per_node=clients)]
+            )
+    genome = try_candidates(
+        genome,
+        [
+            dc_replace(genome, n_nodes=n)
+            for n in (2, 3, 4)
+            if n < genome.n_nodes and n >= genome.replication_degree
+        ],
+    )
+    genome = try_candidates(
+        genome,
+        [
+            dc_replace(genome, n_keys=keys)
+            for keys in (4, 16, 60)
+            if keys < genome.n_keys
+        ],
+    )
+    genome = try_candidates(
+        genome,
+        [
+            dc_replace(genome, duration_us=round(genome.duration_us * factor, 1))
+            for factor in (0.25, 0.5)
+            if genome.duration_us * factor >= 2_500.0
+        ],
+    )
+    return genome.normalize(), tracker.used

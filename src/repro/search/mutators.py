@@ -1,0 +1,416 @@
+"""Structure-aware genome mutations.
+
+Every mutator takes ``(genome, rng)`` and returns a new
+:class:`~repro.search.genome.ScenarioGenome` or ``None`` when it does not
+apply (e.g. "remove a fault" on a fault-free genome).  Mutations operate on
+*parsed plan objects* and re-serialize through the canonical ``to_spec``
+path, so by construction a mutant's plan strings are always accepted by the
+real DSL parsers — the searcher can never drift into a private dialect the
+replay CLI would reject.  ``tests/unit/test_search_mutators.py`` pins this:
+every mutator output re-parses and validates.
+
+:func:`mutate` is the entry point: it shuffles the mutator table with the
+search RNG, applies the first mutator that yields a *valid, different*
+genome, and returns ``(mutator_name, mutant)``.  All randomness flows from
+the caller's ``random.Random`` — same RNG state, same mutant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.config import (
+    CrashFault,
+    FaultPlan,
+    PartitionFault,
+    SlowLinkFault,
+)
+from repro.common.errors import ConfigurationError
+from repro.search.genome import PROTOCOL_NAMES, ScenarioGenome
+from repro.traffic.plan import (
+    BurstArrivals,
+    ConstArrivals,
+    PiecewiseArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    TrafficPhase,
+    TrafficPlan,
+)
+
+Mutator = Callable[[ScenarioGenome, random.Random], Optional[ScenarioGenome]]
+
+#: Node-count ceiling for cluster-resize mutations: big enough to cover every
+#: replication regime the paper studies, small enough that one scenario run
+#: stays cheap.
+MAX_NODES = 8
+MAX_CLIENTS_PER_NODE = 8
+MAX_TRAFFIC_PHASES = 4
+MAX_FAULTS = 4
+
+
+def _faults(genome: ScenarioGenome) -> List:
+    return list(FaultPlan.parse(list(genome.fault_specs)).faults)
+
+
+def _phases(genome: ScenarioGenome) -> List[TrafficPhase]:
+    return list(TrafficPlan.parse(list(genome.traffic_specs)).phases)
+
+
+def _with_faults(genome: ScenarioGenome, faults: List) -> ScenarioGenome:
+    return dc_replace(
+        genome, fault_specs=tuple(fault.to_spec() for fault in faults)
+    )
+
+
+def _with_phases(genome: ScenarioGenome, phases: List[TrafficPhase]) -> ScenarioGenome:
+    phases = _repair_phase_order(phases)
+    return dc_replace(
+        genome, traffic_specs=tuple(phase.to_spec() for phase in phases)
+    )
+
+
+def _repair_phase_order(phases: List[TrafficPhase]) -> List[TrafficPhase]:
+    """Restore the plan invariants after a structural edit.
+
+    ``until`` times must be strictly increasing and only the final phase may
+    be open-ended; a retimed or inserted phase can violate either, so bump
+    offending end times forward instead of rejecting the mutant.
+    """
+    repaired: List[TrafficPhase] = []
+    previous_end = 0.0
+    for index, phase in enumerate(phases):
+        last = index == len(phases) - 1
+        until = phase.until_us
+        if until is None and not last:
+            until = previous_end + 2_000.0
+        if until is not None and until <= previous_end:
+            until = round(previous_end + max(500.0, previous_end * 0.25), 1)
+        if until is not None:
+            previous_end = until
+        repaired.append(dc_replace(phase, until_us=until))
+    return repaired
+
+
+def _jitter(rng: random.Random, value: float, low: float = 0.4, high: float = 2.2) -> float:
+    return value * rng.uniform(low, high)
+
+
+# ----------------------------------------------------------------------
+# Fault-plane mutators
+# ----------------------------------------------------------------------
+def perturb_fault_timing(genome: ScenarioGenome, rng: random.Random):
+    faults = _faults(genome)
+    if not faults:
+        return None
+    index = rng.randrange(len(faults))
+    fault = faults[index]
+    if rng.random() < 0.5 or getattr(fault, "duration_us", None) is None:
+        at = max(0.0, min(_jitter(rng, fault.at_us or 250.0), genome.duration_us * 0.95))
+        faults[index] = dc_replace(fault, at_us=round(at, 1))
+    else:
+        duration = max(50.0, _jitter(rng, fault.duration_us))
+        faults[index] = dc_replace(fault, duration_us=round(duration, 1))
+    return _with_faults(genome, faults)
+
+
+def move_fault_target(genome: ScenarioGenome, rng: random.Random):
+    faults = _faults(genome)
+    if not faults or genome.n_nodes < 2:
+        return None
+    index = rng.randrange(len(faults))
+    fault = faults[index]
+    nodes = list(range(genome.n_nodes))
+    if isinstance(fault, CrashFault):
+        faults[index] = dc_replace(fault, node=rng.choice(nodes))
+    elif isinstance(fault, SlowLinkFault):
+        src = rng.choice(nodes)
+        dst = rng.choice([node for node in nodes if node != src])
+        faults[index] = dc_replace(fault, src=src, dst=dst)
+    else:  # PartitionFault: re-split the cluster into two random groups
+        rng.shuffle(nodes)
+        cut = rng.randrange(1, len(nodes))
+        groups = (tuple(sorted(nodes[:cut])), tuple(sorted(nodes[cut:])))
+        faults[index] = dc_replace(fault, groups=groups)
+    return _with_faults(genome, faults)
+
+
+def add_fault(genome: ScenarioGenome, rng: random.Random):
+    faults = _faults(genome)
+    if len(faults) >= MAX_FAULTS:
+        return None
+    at = round(rng.uniform(0.05, 0.7) * genome.duration_us, 1)
+    duration = round(rng.uniform(0.05, 0.4) * genome.duration_us, 1)
+    kind = rng.choice(("crash", "crash", "partition", "slowlink"))
+    if kind == "crash":
+        fault = CrashFault(
+            node=rng.randrange(genome.n_nodes),
+            at_us=at,
+            duration_us=None if rng.random() < 0.15 else duration,
+        )
+    elif kind == "partition" and genome.n_nodes >= 2:
+        nodes = list(range(genome.n_nodes))
+        rng.shuffle(nodes)
+        cut = rng.randrange(1, len(nodes))
+        fault = PartitionFault(
+            groups=(tuple(sorted(nodes[:cut])), tuple(sorted(nodes[cut:]))),
+            at_us=at,
+            duration_us=duration,
+            mode=rng.choice(("buffer", "buffer", "drop")),
+        )
+    elif kind == "slowlink" and genome.n_nodes >= 2:
+        src = rng.randrange(genome.n_nodes)
+        dst = rng.choice([node for node in range(genome.n_nodes) if node != src])
+        fault = SlowLinkFault(
+            src=src,
+            dst=dst,
+            at_us=at,
+            duration_us=duration,
+            factor=rng.choice((2.0, 4.0, 8.0)),
+            extra_us=rng.choice((0.0, 200.0, 1000.0)),
+        )
+    else:
+        return None
+    faults.append(fault)
+    return _with_faults(genome, faults)
+
+
+def remove_fault(genome: ScenarioGenome, rng: random.Random):
+    faults = _faults(genome)
+    if not faults:
+        return None
+    del faults[rng.randrange(len(faults))]
+    return _with_faults(genome, faults)
+
+
+# ----------------------------------------------------------------------
+# Traffic-plane mutators
+# ----------------------------------------------------------------------
+def _random_arrival(rng: random.Random, duration_us: float):
+    rate = rng.choice((500.0, 1000.0, 2000.0, 4000.0, 8000.0))
+    kind = rng.choice(("const", "poisson", "poisson", "burst", "ramp"))
+    if kind == "const":
+        return ConstArrivals(rate_tps=rate)
+    if kind == "poisson":
+        return PoissonArrivals(rate_tps=rate)
+    if kind == "burst":
+        every = round(rng.uniform(0.1, 0.4) * duration_us, 1)
+        return BurstArrivals(
+            base_tps=rate / 4.0,
+            peak_tps=rate * 2.0,
+            every_us=every,
+            for_us=round(every * rng.uniform(0.2, 0.6), 1),
+        )
+    return RampArrivals(
+        start_tps=rate / 4.0,
+        end_tps=rate,
+        over_us=round(rng.uniform(0.3, 0.9) * duration_us, 1),
+    )
+
+
+def perturb_traffic_rate(genome: ScenarioGenome, rng: random.Random):
+    phases = _phases(genome)
+    if not phases:
+        return None
+    index = rng.randrange(len(phases))
+    phase = phases[index]
+    arrival = phase.arrival
+    if isinstance(arrival, (ConstArrivals, PoissonArrivals)):
+        arrival = dc_replace(arrival, rate_tps=round(_jitter(rng, arrival.rate_tps), 1))
+    elif isinstance(arrival, BurstArrivals):
+        scale = rng.uniform(0.5, 2.0)
+        arrival = dc_replace(
+            arrival,
+            base_tps=round(arrival.base_tps * scale, 1),
+            peak_tps=round(arrival.peak_tps * scale, 1),
+        )
+    elif isinstance(arrival, RampArrivals):
+        arrival = dc_replace(arrival, end_tps=round(_jitter(rng, arrival.end_tps), 1))
+    elif isinstance(arrival, PiecewiseArrivals):
+        scale = rng.uniform(0.5, 2.0)
+        arrival = dc_replace(
+            arrival,
+            pieces=tuple(
+                (duration, round(rate0 * scale, 1), round(rate1 * scale, 1))
+                for duration, rate0, rate1 in arrival.pieces
+            ),
+        )
+    phases[index] = dc_replace(phase, arrival=arrival)
+    return _with_phases(genome, phases)
+
+
+def retime_traffic_phase(genome: ScenarioGenome, rng: random.Random):
+    phases = _phases(genome)
+    if not phases:
+        return None
+    index = rng.randrange(len(phases))
+    phase = phases[index]
+    until = phase.until_us or genome.duration_us * 0.5
+    phases[index] = dc_replace(
+        phase, until_us=round(max(100.0, _jitter(rng, until)), 1)
+    )
+    return _with_phases(genome, phases)
+
+
+def add_traffic_phase(genome: ScenarioGenome, rng: random.Random):
+    phases = _phases(genome)
+    if len(phases) >= MAX_TRAFFIC_PHASES:
+        return None
+    until = round(rng.uniform(0.2, 0.9) * genome.duration_us, 1)
+    phase = TrafficPhase(arrival=_random_arrival(rng, genome.duration_us), until_us=until)
+    phases.insert(rng.randrange(len(phases) + 1), phase)
+    return _with_phases(genome, phases)
+
+
+def remove_traffic_phase(genome: ScenarioGenome, rng: random.Random):
+    phases = _phases(genome)
+    if not phases:
+        return None
+    del phases[rng.randrange(len(phases))]
+    mutant = _with_phases(genome, phases)
+    if not phases and genome.clients_per_node == 0:
+        # Dropping the last phase of an open-loop genome must not leave it
+        # loadless; fall back to closed-loop clients.
+        mutant = dc_replace(mutant, clients_per_node=3)
+    return mutant
+
+
+def shift_phase_mix(genome: ScenarioGenome, rng: random.Random):
+    phases = _phases(genome)
+    if not phases:
+        return None
+    index = rng.randrange(len(phases))
+    phase = phases[index]
+    overrides = dict(phase.overrides)
+    choice = rng.choice(("read_only", "zipf", "dist", "ro_keys", "update_keys"))
+    if choice == "read_only":
+        overrides[choice] = round(rng.uniform(0.0, 1.0), 2)
+    elif choice == "zipf":
+        overrides[choice] = rng.choice((0.5, 0.7, 0.9, 0.99))
+    elif choice == "dist":
+        overrides[choice] = rng.choice(("uniform", "zipfian"))
+    else:
+        overrides[choice] = rng.choice((1, 2, 3, 4))
+    phases[index] = dc_replace(phase, overrides=tuple(sorted(overrides.items())))
+    return _with_phases(genome, phases)
+
+
+# ----------------------------------------------------------------------
+# Workload / cluster / run mutators
+# ----------------------------------------------------------------------
+def shift_workload(genome: ScenarioGenome, rng: random.Random):
+    choice = rng.choice(
+        ("read_only_fraction", "zipf", "locality", "update_txn_keys", "read_only_txn_keys")
+    )
+    if choice == "read_only_fraction":
+        return dc_replace(genome, read_only_fraction=round(rng.uniform(0.0, 1.0), 2))
+    if choice == "zipf":
+        return dc_replace(
+            genome,
+            key_distribution="zipfian",
+            zipf_theta=rng.choice((0.5, 0.7, 0.9, 0.99)),
+        )
+    if choice == "locality":
+        return dc_replace(genome, locality_fraction=rng.choice((0.0, 0.5, 0.9, 1.0)))
+    return dc_replace(genome, **{choice: rng.choice((1, 2, 3, 4))})
+
+
+def resize_cluster(genome: ScenarioGenome, rng: random.Random):
+    choice = rng.choice(("n_nodes", "replication", "clients", "n_keys"))
+    if choice == "n_nodes":
+        n_nodes = max(2, min(MAX_NODES, genome.n_nodes + rng.choice((-1, 1, 2))))
+        mutant = dc_replace(genome, n_nodes=n_nodes)
+        if mutant.replication_degree > n_nodes:
+            mutant = dc_replace(mutant, replication_degree=n_nodes)
+        # Node-targeted faults may now point past the cluster; retarget them.
+        if any(node >= n_nodes for node in _named_nodes(mutant)):
+            return None
+        return mutant
+    if choice == "replication":
+        return dc_replace(
+            genome, replication_degree=rng.randint(1, genome.n_nodes)
+        )
+    if choice == "clients":
+        clients = rng.randint(0 if genome.traffic_specs else 1, MAX_CLIENTS_PER_NODE)
+        return dc_replace(genome, clients_per_node=clients)
+    return dc_replace(genome, n_keys=rng.choice((4, 16, 60, 120, 500, 2000)))
+
+
+def _named_nodes(genome: ScenarioGenome):
+    for fault in _faults(genome):
+        if isinstance(fault, CrashFault):
+            yield fault.node
+        elif isinstance(fault, SlowLinkFault):
+            yield fault.src
+            yield fault.dst
+        else:
+            for group in fault.groups:
+                yield from group
+
+
+def reseed(genome: ScenarioGenome, rng: random.Random):
+    return dc_replace(genome, seed=rng.randrange(1, 1_000_000))
+
+
+def switch_protocol(genome: ScenarioGenome, rng: random.Random):
+    others = [name for name in PROTOCOL_NAMES if name != genome.protocol]
+    return dc_replace(genome, protocol=rng.choice(others))
+
+
+def retime_run(genome: ScenarioGenome, rng: random.Random):
+    duration = max(5_000.0, min(60_000.0, _jitter(rng, genome.duration_us, 0.6, 1.8)))
+    return dc_replace(genome, duration_us=round(duration, 1))
+
+
+#: Name -> mutator, in a stable order (iteration order feeds the RNG shuffle,
+#: so reordering this table changes search trajectories).
+MUTATORS: Tuple[Tuple[str, Mutator], ...] = (
+    ("perturb_fault_timing", perturb_fault_timing),
+    ("move_fault_target", move_fault_target),
+    ("add_fault", add_fault),
+    ("remove_fault", remove_fault),
+    ("perturb_traffic_rate", perturb_traffic_rate),
+    ("retime_traffic_phase", retime_traffic_phase),
+    ("add_traffic_phase", add_traffic_phase),
+    ("remove_traffic_phase", remove_traffic_phase),
+    ("shift_phase_mix", shift_phase_mix),
+    ("shift_workload", shift_workload),
+    ("resize_cluster", resize_cluster),
+    ("reseed", reseed),
+    ("switch_protocol", switch_protocol),
+    ("retime_run", retime_run),
+)
+
+
+def mutate(
+    genome: ScenarioGenome,
+    rng: random.Random,
+    attempts: int = 24,
+) -> Tuple[str, ScenarioGenome]:
+    """Produce one valid mutant of ``genome``; returns ``(mutator_name, mutant)``.
+
+    Tries RNG-shuffled mutators until one yields a genome that (a) differs
+    from the input and (b) passes full validation.  With the default attempt
+    budget this never fails in practice — ``reseed`` alone always applies —
+    but a pathological genome raises :class:`ConfigurationError` rather than
+    looping forever.
+    """
+    table = list(MUTATORS)
+    for _ in range(attempts):
+        rng.shuffle(table)
+        name, mutator = table[0]
+        mutant = mutator(genome, rng)
+        if mutant is None:
+            continue
+        try:
+            mutant = mutant.normalize()
+            mutant.validate()
+        except ConfigurationError:
+            continue
+        if mutant.key() != genome.key():
+            return name, mutant
+    raise ConfigurationError(
+        f"no applicable mutation found for genome after {attempts} attempts: "
+        f"{genome.describe()}"
+    )

@@ -1,0 +1,90 @@
+"""Replay a minimized repro bundle: ``python -m repro.search.replay bundle.json``.
+
+A bundle (written by :mod:`repro.search.driver`) carries the minimized
+genome plus the finding it demonstrates.  Replay re-runs the genome
+through the exact scoring path the searcher used and reports whether the
+finding still reproduces:
+
+* exit 0 — reproduced (the bundle's failure category fired again);
+* exit 2 — did NOT reproduce (the bug may be fixed — or the replay
+  environment differs);
+* exit 1 — the bundle itself is unreadable.
+
+Plain ``*.genome.json`` files (corpus entries) are accepted too; those
+"reproduce" when the run fails in *any* category.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.search.driver import BUNDLE_KIND
+from repro.search.genome import ScenarioGenome
+from repro.search.scoring import score_genome
+
+
+def replay_bundle(path: Path, out=sys.stdout) -> int:
+    """Replay one bundle or genome file; returns the process exit code."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"replay: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    expected_category: Optional[str] = None
+    try:
+        if isinstance(data, dict) and data.get("kind") == BUNDLE_KIND:
+            genome = ScenarioGenome.from_dict(data["genome"])
+            expected_category = data.get("category")
+            print(f"bundle: {data.get('fingerprint')} ({path})", file=out)
+        else:
+            genome = ScenarioGenome.from_dict(data)
+            print(f"genome: {path}", file=out)
+    except (ConfigurationError, KeyError, TypeError, ValueError) as exc:
+        print(f"replay: malformed bundle {path}: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"scenario: {genome.describe()}", file=out)
+    outcome = score_genome(genome)
+    for key in sorted(outcome.signal):
+        print(f"  signal {key} = {outcome.signal[key]:g}", file=out)
+    for line in outcome.failure_detail:
+        print(f"  detail: {line}", file=out)
+
+    if expected_category is not None:
+        reproduced = expected_category in outcome.failures
+        label = expected_category
+    else:
+        reproduced = outcome.failed
+        label = "any failure"
+    if reproduced:
+        print(f"REPRODUCED: {label} (failures: {', '.join(outcome.failures)})", file=out)
+        return 0
+    print(
+        f"NOT REPRODUCED: expected {label}, got "
+        f"{', '.join(outcome.failures) or 'a clean run'}",
+        file=out,
+    )
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.search.replay",
+        description="Re-run a minimized repro bundle and verify the finding.",
+    )
+    parser.add_argument("bundle", type=Path, nargs="+", help="bundle or genome JSON file(s)")
+    arguments = parser.parse_args(argv)
+    worst = 0
+    for path in arguments.bundle:
+        worst = max(worst, replay_bundle(path))
+    return worst
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

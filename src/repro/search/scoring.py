@@ -1,0 +1,38 @@
+"""Run a genome through the harness and keep its outcome.
+
+This is deliberately a thin seam between the search loop and
+:func:`repro.harness.scenario.run_scenario`: the searcher, the minimizer
+and the replay CLI all score genomes through this one function, so a
+finding minimized by one and replayed by another is judged by identical
+rules.  Determinism across processes is part of the contract
+(``tests/integration/test_search_end_to_end.py`` re-scores in a subprocess
+under a different ``PYTHONHASHSEED`` and asserts byte-equal signal
+vectors).
+"""
+
+from __future__ import annotations
+
+from repro.harness.scenario import ScenarioOutcome, run_scenario
+from repro.search.genome import ScenarioGenome
+
+
+def score_genome(genome: ScenarioGenome) -> ScenarioOutcome:
+    """Run one genome and return its signal/coverage/failure outcome."""
+    genome.validate()
+    return run_scenario(
+        genome.protocol,
+        genome.cluster_config(),
+        genome.workload_config(),
+        duration_us=genome.duration_us,
+        drain_us=genome.drain_us,
+    )
+
+
+def finding_fingerprint(genome: ScenarioGenome, category: str) -> str:
+    """Dedup key for a finding: the protocol and what went wrong.
+
+    Deliberately coarse — "sss stalls" is one finding however many genomes
+    trigger it — so nightly CI can fail only on *new* fingerprints while a
+    known issue is being worked on (``known_findings.json``).
+    """
+    return f"{genome.protocol}:{category}"

@@ -1,0 +1,191 @@
+"""End-to-end scenario search: scoring, campaign, planted bug, replay.
+
+The expensive guarantees live here:
+
+* **Scoring determinism** — the same genome scores to the identical signal
+  vector in a fresh process under a different ``PYTHONHASHSEED``; without
+  this, corpus decisions and repro bundles would be unstable.
+* **Committed SSS-stall corpus genome** — the known post-restart
+  ambiguous-wait stall (ROADMAP) reproduces from the checked-in corpus and
+  a search campaign seeded with it emits a minimized repro bundle.
+* **Planted-regression discovery** — with the PR-6 coordinator-crash
+  teardown guard reverted (test-only env flag), a fixed-seed campaign
+  rediscovers the historical Walter ``TransactionStateError`` crash from
+  scratch, minimizes it, and the bundle replays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.session import PLANTED_REGRESSION_ENV
+from repro.search.corpus import Corpus
+from repro.search.driver import SearchSettings, run_search
+from repro.search.genome import ScenarioGenome
+from repro.search.replay import replay_bundle
+from repro.search.scoring import score_genome
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+COMMITTED_CORPUS = REPO_ROOT / "benchmarks" / "search_corpus"
+
+STALL_GENOME = ScenarioGenome(
+    protocol="sss",
+    n_nodes=3,
+    n_keys=120,
+    replication_degree=2,
+    clients_per_node=3,
+    seed=1,
+    duration_us=30_000.0,
+    drain_us=30_000.0,
+    fault_specs=("crash node=1 at=3750 for=2250",),
+).normalize()
+
+
+class TestScoringDeterminism:
+    def test_same_genome_same_signal_across_processes(self):
+        """Signal vectors must not depend on process state or hash seed."""
+        local = score_genome(STALL_GENOME)
+        script = (
+            "import json, sys\n"
+            "from repro.search.genome import ScenarioGenome\n"
+            "from repro.search.scoring import score_genome\n"
+            "genome = ScenarioGenome.from_json(sys.stdin.read())\n"
+            "print(json.dumps(score_genome(genome).as_dict(), sort_keys=True))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = "12345"
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop(PLANTED_REGRESSION_ENV, None)
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            input=STALL_GENOME.to_json(),
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        remote = json.loads(completed.stdout)
+        assert remote == local.as_dict()
+
+    def test_repeated_scoring_is_identical(self):
+        first = score_genome(STALL_GENOME)
+        second = score_genome(STALL_GENOME)
+        assert first.as_dict() == second.as_dict()
+
+
+class TestKnownStall:
+    def test_committed_corpus_genome_reproduces_the_stall(self):
+        corpus_genomes = Corpus.load_genomes(COMMITTED_CORPUS)
+        stall_seeds = [
+            genome
+            for genome in corpus_genomes
+            if "crash node=1 at=3750 for=2250" in genome.fault_specs
+        ]
+        assert len(stall_seeds) >= 2, "SSS-stall genomes missing from committed corpus"
+        outcome = score_genome(stall_seeds[0])
+        assert "stall" in outcome.failures
+        assert outcome.signal["excess_commit_gap_us"] > 40_000.0
+
+    def test_campaign_seeded_with_stall_genome_emits_replayable_bundle(self, tmp_path):
+        corpus_dir = tmp_path / "corpus"
+        corpus_dir.mkdir()
+        (corpus_dir / "stall.genome.json").write_text(STALL_GENOME.to_json() + "\n")
+        out_dir = tmp_path / "out"
+        settings = SearchSettings(
+            protocols=("sss",),
+            budget_runs=0,  # seed phase only: the committed genome IS the finding
+            search_seed=1,
+            corpus_dirs=(corpus_dir,),
+            out_dir=out_dir,
+            minimize_budget=25,
+        )
+        summary = run_search(settings)
+        fingerprints = {finding.fingerprint for finding in summary.findings}
+        assert "sss:stall" in fingerprints
+        bundle = next(
+            finding.bundle_path
+            for finding in summary.findings
+            if finding.fingerprint == "sss:stall"
+        )
+        assert bundle is not None and bundle.is_file()
+        assert replay_bundle(bundle, out=open(os.devnull, "w")) == 0
+        assert (out_dir / "search-summary.json").is_file()
+
+
+class TestPlantedRegression:
+    @pytest.fixture
+    def planted(self, monkeypatch):
+        monkeypatch.setenv(PLANTED_REGRESSION_ENV, "1")
+
+    def test_searcher_rediscovers_reverted_crash_guard(self, planted, tmp_path, monkeypatch):
+        """Fixed-seed campaign finds the historical Walter crash and minimizes it.
+
+        The budget here is a couple dozen runs (well under the 5-minute CI
+        box); the campaign must produce the ``walter:exception:
+        TransactionStateError`` fingerprint, write a bundle, the bundle must
+        replay while the regression is planted — and stop reproducing the
+        moment the guard is restored.
+        """
+        out_dir = tmp_path / "out"
+        settings = SearchSettings(
+            protocols=("walter",),
+            budget_runs=20,
+            search_seed=5,
+            out_dir=out_dir,
+            minimize_budget=20,
+        )
+        summary = run_search(settings)
+        target = "walter:exception:TransactionStateError"
+        fingerprints = {finding.fingerprint for finding in summary.findings}
+        assert target in fingerprints, (
+            f"searcher missed the planted regression; found {sorted(fingerprints)}"
+        )
+        finding = next(f for f in summary.findings if f.fingerprint == target)
+        # minimization produced a strictly-no-larger scenario that still fails
+        assert finding.minimized.n_keys <= finding.genome.n_keys
+        assert finding.minimized.duration_us <= finding.genome.duration_us
+        assert finding.bundle_path is not None
+        bundle = json.loads(finding.bundle_path.read_text())
+        assert bundle["category"] == "exception:TransactionStateError"
+        assert replay_bundle(finding.bundle_path, out=open(os.devnull, "w")) == 0
+        # ... and with the fix back in place the bundle reports NOT REPRODUCED
+        monkeypatch.delenv(PLANTED_REGRESSION_ENV)
+        assert replay_bundle(finding.bundle_path, out=open(os.devnull, "w")) == 2
+
+
+class TestCampaignDeterminism:
+    def test_same_settings_same_findings_and_corpus(self, tmp_path):
+        results = []
+        for tag in ("a", "b"):
+            out_dir = tmp_path / tag
+            settings = SearchSettings(
+                protocols=("rococo",),
+                budget_runs=6,
+                search_seed=11,
+                out_dir=out_dir,
+                minimize_budget=10,
+                save_corpus=out_dir / "corpus",
+            )
+            summary = run_search(settings)
+            corpus_files = sorted(
+                path.name for path in (out_dir / "corpus").glob("*.genome.json")
+            )
+            corpus_bytes = [
+                (out_dir / "corpus" / name).read_text() for name in corpus_files
+            ]
+            results.append(
+                (
+                    summary.runs,
+                    [finding.fingerprint for finding in summary.findings],
+                    corpus_files,
+                    corpus_bytes,
+                    (out_dir / "search-summary.json").read_text(),
+                )
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,191 @@
+"""Property: plan serialization is the inverse of parsing.
+
+The scenario searcher stores plans as canonical DSL strings
+(``fault.to_spec()`` / ``phase.to_spec()``) and rebuilds them through the
+real parsers, so ``parse(plan.specs()) == plan`` must hold for *every*
+constructible plan — not just the handful in the unit tests.  Hypothesis
+builds random structurally-valid plans and checks the round-trip both ways:
+
+* object -> spec -> object is the identity, and
+* spec -> object -> spec is stable (canonical form is a fixed point).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import (
+    CrashFault,
+    FaultPlan,
+    PartitionFault,
+    SlowLinkFault,
+)
+from repro.traffic.plan import (
+    OVERRIDE_FIELDS,
+    BurstArrivals,
+    ConstArrivals,
+    PiecewiseArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    TrafficPhase,
+    TrafficPlan,
+)
+
+N_NODES = 6
+
+# --------------------------------------------------------------------------
+# Strategies: structurally valid plan objects.  Times/rates use plain
+# floats in sane ranges (including awkward non-integral values) — the
+# serializer must round-trip them exactly via repr().
+# --------------------------------------------------------------------------
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+durations = st.floats(
+    min_value=1.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+rates = st.floats(min_value=1.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+nodes = st.integers(min_value=0, max_value=N_NODES - 1)
+
+crash_faults = st.builds(
+    CrashFault,
+    node=nodes,
+    at_us=times,
+    duration_us=st.one_of(st.none(), durations),
+)
+
+
+@st.composite
+def partition_faults(draw):
+    node_ids = list(range(N_NODES))
+    cut = draw(st.integers(min_value=1, max_value=N_NODES - 1))
+    shuffled = draw(st.permutations(node_ids))
+    groups = (tuple(sorted(shuffled[:cut])), tuple(sorted(shuffled[cut:])))
+    return PartitionFault(
+        groups=groups,
+        at_us=draw(times),
+        duration_us=draw(durations),
+        mode=draw(st.sampled_from(["buffer", "drop"])),
+    )
+
+
+@st.composite
+def slowlink_faults(draw):
+    src = draw(nodes)
+    dst = draw(nodes.filter(lambda node: node != src))
+    return SlowLinkFault(
+        src=src,
+        dst=dst,
+        at_us=draw(times),
+        duration_us=draw(durations),
+        factor=draw(st.floats(min_value=1.0, max_value=64.0, allow_nan=False)),
+        extra_us=draw(st.floats(min_value=0.0, max_value=1e5, allow_nan=False)),
+        bidirectional=draw(st.booleans()),
+    )
+
+
+@st.composite
+def fault_plans(draw):
+    # The transport supports at most one active partition, so plans carry
+    # any number of crash/slowlink faults but at most one partition.
+    faults = draw(st.lists(st.one_of(crash_faults, slowlink_faults()), max_size=4))
+    if draw(st.booleans()):
+        position = draw(st.integers(min_value=0, max_value=len(faults)))
+        faults.insert(position, draw(partition_faults()))
+    return FaultPlan(faults=tuple(faults))
+
+
+@settings(max_examples=200)
+@given(plan=fault_plans())
+def test_fault_plan_round_trips(plan):
+    plan.validate(N_NODES)
+    specs = plan.specs()
+    reparsed = FaultPlan.parse(specs)
+    assert reparsed == plan
+    # canonical form is a fixed point
+    assert reparsed.specs() == specs
+
+
+# --------------------------------------------------------------------------
+# Traffic plans
+# --------------------------------------------------------------------------
+@st.composite
+def burst_arrivals(draw):
+    base = draw(st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    peak = draw(st.floats(min_value=max(base, 1.0), max_value=1e5, allow_nan=False))
+    every = draw(st.floats(min_value=2.0, max_value=1e5, allow_nan=False))
+    width = draw(st.floats(min_value=0.5, max_value=every * 0.9, allow_nan=False))
+    return BurstArrivals(base_tps=base, peak_tps=peak, every_us=every, for_us=width)
+
+
+@st.composite
+def piecewise_arrivals(draw):
+    pieces = draw(
+        st.lists(
+            st.tuples(durations, rates, rates),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return PiecewiseArrivals(pieces=tuple(pieces), repeat=draw(st.booleans()))
+
+
+arrivals = st.one_of(
+    st.builds(ConstArrivals, rate_tps=rates),
+    st.builds(PoissonArrivals, rate_tps=rates),
+    burst_arrivals(),
+    st.builds(RampArrivals, start_tps=rates, end_tps=rates, over_us=durations),
+    piecewise_arrivals(),
+)
+
+override_items = st.fixed_dictionaries(
+    {},
+    optional={
+        "read_only": st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        "locality": st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        "dist": st.sampled_from(["uniform", "zipfian"]),
+        "zipf": st.floats(min_value=0.01, max_value=0.999, allow_nan=False),
+        "ro_keys": st.integers(min_value=1, max_value=6),
+        "update_keys": st.integers(min_value=1, max_value=6),
+    },
+)
+
+
+@st.composite
+def traffic_phases(draw, final, until_after):
+    """One phase ending strictly after ``until_after`` (or open-ended if final)."""
+    if final and draw(st.booleans()):
+        until = None
+    else:
+        until = until_after + draw(durations)
+    drawn = draw(override_items)
+    # The parser normalizes overrides to OVERRIDE_FIELDS order; build them
+    # that way so object -> spec -> object compares equal.
+    overrides = tuple((key, drawn[key]) for key in OVERRIDE_FIELDS if key in drawn)
+    return TrafficPhase(
+        arrival=draw(arrivals),
+        until_us=until,
+        sampling=draw(st.sampled_from([None, "poisson", "deterministic"])),
+        overrides=overrides,
+    )
+
+
+@st.composite
+def traffic_plans(draw):
+    size = draw(st.integers(min_value=0, max_value=4))
+    phases = []
+    until_after = 0.0
+    for index in range(size):
+        phase = draw(traffic_phases(final=(index == size - 1), until_after=until_after))
+        if phase.until_us is not None:
+            until_after = phase.until_us
+        phases.append(phase)
+    return TrafficPlan(phases=tuple(phases))
+
+
+@settings(max_examples=200)
+@given(plan=traffic_plans())
+def test_traffic_plan_round_trips(plan):
+    plan.validate()
+    specs = plan.specs()
+    reparsed = TrafficPlan.parse(specs)
+    assert reparsed == plan
+    assert reparsed.specs() == specs

@@ -1,0 +1,98 @@
+"""ScenarioGenome: serialization, normalization, validation."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import FaultPlan
+from repro.common.errors import ConfigurationError
+from repro.search.genome import ScenarioGenome
+from repro.traffic.plan import TrafficPlan
+
+FULL = ScenarioGenome(
+    protocol="walter",
+    n_nodes=4,
+    n_keys=60,
+    replication_degree=2,
+    clients_per_node=2,
+    seed=9,
+    duration_us=15_000.0,
+    drain_us=20_000.0,
+    read_only_fraction=0.25,
+    key_distribution="zipfian",
+    zipf_theta=0.9,
+    fault_specs=(
+        "crash node=1 at=3750 for=2250",
+        "partition groups=0,1|2,3 at=8000 for=2000 mode=drop",
+        "slowlink src=0 dst=3 at=1000 for=5000 factor=4",
+    ),
+    traffic_specs=(
+        "poisson rate=2000 until=8000 read_only=0.9",
+        "burst base=500 peak=6000 every=3000 for=1000",
+    ),
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        assert ScenarioGenome.from_dict(FULL.to_dict()) == FULL.normalize()
+
+    def test_json_round_trip(self):
+        assert ScenarioGenome.from_json(FULL.to_json()) == FULL.normalize()
+
+    def test_json_is_stable(self):
+        once = ScenarioGenome.from_json(FULL.to_json())
+        assert once.to_json() == ScenarioGenome.from_json(once.to_json()).to_json()
+
+    def test_to_dict_is_json_serializable(self):
+        json.dumps(FULL.to_dict())
+
+
+class TestNormalize:
+    def test_equivalent_spellings_share_key(self):
+        a = replace(FULL, fault_specs=("crash node=1 at=3ms for=2250us",) + FULL.fault_specs[1:])
+        b = replace(FULL, fault_specs=("crash  at=3000 node=1 for=2250",) + FULL.fault_specs[1:])
+        assert a.key() == b.key()
+
+    def test_normalized_specs_reparse_to_same_plans(self):
+        normal = FULL.normalize()
+        assert FaultPlan.parse(list(normal.fault_specs)) == FaultPlan.parse(
+            list(FULL.fault_specs)
+        )
+        assert TrafficPlan.parse(list(normal.traffic_specs)) == TrafficPlan.parse(
+            list(FULL.traffic_specs)
+        )
+
+    def test_normalize_is_idempotent(self):
+        assert FULL.normalize() == FULL.normalize().normalize()
+
+
+class TestValidate:
+    def test_full_genome_validates(self):
+        FULL.validate()
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replace(FULL, protocol="spanner").validate()
+
+    def test_bad_fault_spec_rejected_at_materialization(self):
+        with pytest.raises(ConfigurationError):
+            replace(FULL, fault_specs=("crash node=banana",)).cluster_config()
+
+    def test_fault_targeting_missing_node_rejected(self):
+        bad = replace(FULL, fault_specs=("crash node=9 at=100 for=100",))
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_loadless_genome_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replace(FULL, clients_per_node=0, traffic_specs=()).validate()
+
+    def test_configs_materialize(self):
+        config = FULL.cluster_config()
+        assert config.n_nodes == 4
+        assert len(config.faults.faults) == 3
+        assert len(config.traffic.phases) == 2
+        workload = FULL.workload_config()
+        assert workload.key_distribution == "zipfian"

@@ -1,0 +1,99 @@
+"""Minimizer convergence on planted (pure-predicate) bugs.
+
+These tests never run a simulation: the predicate is a function of the
+genome alone, so they pin the ddmin/shrinking *algorithm* — phase-list
+minimality, budget respect, memoization — independent of scenario cost.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.search.genome import ScenarioGenome
+from repro.search.minimize import minimize_genome
+
+TRIGGER = "crash node=1 at=5000 for=3000"
+
+BLOATED = ScenarioGenome(
+    protocol="sss",
+    n_nodes=4,
+    n_keys=500,
+    clients_per_node=6,
+    duration_us=40_000.0,
+    fault_specs=(
+        "crash node=0 at=1000 for=500",
+        "slowlink src=0 dst=1 at=2000 for=1000 factor=2",
+        TRIGGER,
+        "partition groups=0|1,2,3 at=9000 for=2000",
+        "crash node=2 at=15000 for=1000",
+    ),
+    traffic_specs=(
+        "const rate=1000 until=5000",
+        "poisson rate=2000 until=10000",
+        "burst base=500 peak=4000 every=3000 for=1000",
+    ),
+).normalize()
+
+
+def needs_trigger(genome: ScenarioGenome) -> bool:
+    """Planted bug: fails iff the trigger crash survives in the plan."""
+    return TRIGGER in genome.fault_specs
+
+
+def test_ddmin_converges_to_single_trigger_phase():
+    minimized, used = minimize_genome(BLOATED, needs_trigger, budget=200)
+    assert minimized.fault_specs == (TRIGGER,)
+    assert minimized.traffic_specs == ()
+    assert used <= 200
+
+
+def test_field_shrinking_reduces_cluster_and_run():
+    minimized, _ = minimize_genome(BLOATED, needs_trigger, budget=200)
+    assert minimized.clients_per_node < BLOATED.clients_per_node
+    assert minimized.n_keys < BLOATED.n_keys
+    assert minimized.duration_us < BLOATED.duration_us
+    # shrinking must never hand back a genome the predicate rejects
+    assert needs_trigger(minimized)
+    minimized.validate()
+
+
+def test_conjunctive_trigger_keeps_both_phases():
+    """ddmin on a two-phase bug must retain exactly the two culprits."""
+    both = ("crash node=0 at=1000 for=500", TRIGGER)
+
+    def needs_both(genome: ScenarioGenome) -> bool:
+        return all(spec in genome.fault_specs for spec in both)
+
+    minimized, _ = minimize_genome(BLOATED, needs_both, budget=200)
+    assert sorted(minimized.fault_specs) == sorted(both)
+    assert len(minimized.fault_specs) <= 2
+
+
+def test_budget_exhaustion_returns_valid_repro():
+    calls = []
+
+    def counting(genome: ScenarioGenome) -> bool:
+        calls.append(1)
+        return needs_trigger(genome)
+
+    minimized, used = minimize_genome(BLOATED, counting, budget=5)
+    assert used <= 5
+    assert len(calls) <= 5
+    assert needs_trigger(minimized)
+
+
+def test_memoization_never_reruns_a_candidate():
+    seen = {}
+
+    def tracking(genome: ScenarioGenome) -> bool:
+        key = genome.key()
+        assert key not in seen, "predicate re-evaluated a cached candidate"
+        seen[key] = True
+        return needs_trigger(genome)
+
+    minimize_genome(BLOATED, tracking, budget=200)
+
+
+def test_non_failing_input_rejected():
+    healthy = ScenarioGenome(protocol="sss").normalize()
+    with pytest.raises(ConfigurationError):
+        minimize_genome(healthy, needs_trigger, budget=10)

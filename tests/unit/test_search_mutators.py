@@ -1,0 +1,97 @@
+"""Mutator validity: every mutant re-parses, validates, and differs.
+
+The searcher's core invariant is that mutation can never leave the space
+of runnable scenarios: whatever sequence of mutators fires, the resulting
+genome's plan strings are accepted by the real ``FaultPlan`` /
+``TrafficPlan`` parsers and the materialized configs validate.
+"""
+
+import random
+from dataclasses import replace
+
+from repro.common.config import FaultPlan
+from repro.search.genome import ScenarioGenome
+from repro.search.mutators import MUTATORS, mutate
+from repro.traffic.plan import TrafficPlan
+
+BASE = ScenarioGenome(
+    protocol="sss",
+    fault_specs=("crash node=1 at=5000 for=3000",),
+    traffic_specs=("poisson rate=2000 until=10000",),
+).normalize()
+
+
+def test_mutation_chain_stays_valid():
+    """A long random mutation walk never produces an invalid genome."""
+    rng = random.Random(42)
+    genome = BASE
+    seen_mutators = set()
+    for _ in range(120):
+        name, genome = mutate(genome, rng)
+        seen_mutators.add(name)
+        genome.validate()  # raises on any invalid mutant
+        # plan strings must be in canonical form (normalize is identity)
+        assert genome == genome.normalize()
+        FaultPlan.parse(list(genome.fault_specs)).validate(genome.n_nodes)
+        TrafficPlan.parse(list(genome.traffic_specs)).validate()
+    # the walk should exercise a healthy spread of the mutator table
+    assert len(seen_mutators) >= len(MUTATORS) // 2
+
+
+def test_mutants_differ_from_parent():
+    rng = random.Random(7)
+    for _ in range(40):
+        _, mutant = mutate(BASE, rng)
+        assert mutant.key() != BASE.key()
+
+
+def test_every_mutator_produces_valid_output_when_applicable():
+    """Drive each mutator directly (not via mutate) on a rich genome."""
+    rich = ScenarioGenome(
+        protocol="walter",
+        n_nodes=4,
+        fault_specs=(
+            "crash node=1 at=5000 for=3000",
+            "partition groups=0|1,2,3 at=9000 for=2000",
+        ),
+        traffic_specs=(
+            "const rate=1500 until=6000",
+            "ramp 500..4000 over=8000",
+        ),
+    ).normalize()
+    rng = random.Random(3)
+    applied = 0
+    for name, mutator in MUTATORS:
+        for attempt in range(12):
+            mutant = mutator(rich, rng)
+            if mutant is None:
+                continue
+            mutant = mutant.normalize()
+            try:
+                mutant.validate()
+            except Exception as exc:  # pragma: no cover - failure reporting
+                raise AssertionError(f"mutator {name} produced invalid genome: {exc}")
+            applied += 1
+            break
+        else:
+            raise AssertionError(f"mutator {name} never applied to a rich genome")
+    assert applied == len(MUTATORS)
+
+
+def test_mutate_is_deterministic_per_rng_seed():
+    first = mutate(BASE, random.Random(11))
+    second = mutate(BASE, random.Random(11))
+    assert first == second
+
+
+def test_remove_last_traffic_phase_restores_closed_loop_load():
+    from repro.search.mutators import remove_traffic_phase
+
+    open_loop = replace(
+        BASE, clients_per_node=0, traffic_specs=("poisson rate=2000",)
+    ).normalize()
+    rng = random.Random(0)
+    mutant = remove_traffic_phase(open_loop, rng)
+    assert mutant is not None
+    mutant.normalize().validate()
+    assert mutant.clients_per_node > 0
