@@ -603,6 +603,8 @@ class RococoNode(ProtocolRuntime):
         reply = yield from self.reliable_request(
             self.primary(key),
             lambda: SnapshotRead(txn_id=meta.txn_id, key=key, wait_for_pending=meta.is_read_only),
+            trace_txn=meta.txn_id,
+            trace_name="read",
         )
         meta.record_read(
             key=key,
@@ -630,6 +632,8 @@ class RococoNode(ProtocolRuntime):
             replies = yield from self._piece_round(
                 list(meta.read_set),
                 lambda key: SnapshotRead(txn_id=meta.txn_id, key=key, wait_for_pending=True),
+                trace_txn=meta.txn_id,
+                trace_name="validate",
             )
             for key in meta.read_set:
                 first_version = getattr(meta.read_set[key], "version_number", 0)
@@ -651,7 +655,7 @@ class RococoNode(ProtocolRuntime):
                 return self._finish_abort(meta, reason="read-only-validation")
         return self._finish_commit(meta, "read_only_commits")
 
-    def _piece_round(self, keys, make_message):
+    def _piece_round(self, keys, make_message, trace_txn=None, trace_name="round"):
         """One per-key piece round routed to each key's primary.
 
         The shared :meth:`ProtocolRuntime.request_round` provides the wave
@@ -659,7 +663,13 @@ class RococoNode(ProtocolRuntime):
         and commit handlers are idempotent so a primary that crashed and
         restarted simply answers the re-send.  Returns ``{key: reply}``.
         """
-        replies = yield from self.request_round(list(keys), self.primary, make_message)
+        replies = yield from self.request_round(
+            list(keys),
+            self.primary,
+            make_message,
+            trace_txn=trace_txn,
+            trace_name=trace_name,
+        )
         return replies
 
     def _commit_update(self, meta: TransactionMeta):
@@ -683,6 +693,8 @@ class RococoNode(ProtocolRuntime):
                 is_write=pieces[key],
                 write_value=meta.write_set.get(key),
             ),
+            trace_txn=txn_id,
+            trace_name="dispatch",
         )
 
         # Order position: the dispatch-round completion instant is unique per
@@ -704,6 +716,8 @@ class RococoNode(ProtocolRuntime):
                 is_write=pieces[key],
                 write_value=meta.write_set.get(key),
             ),
+            trace_txn=txn_id,
+            trace_name="commit",
         )
         for executed in executed_replies.values():
             if executed.key in meta.read_set:
@@ -742,6 +756,8 @@ class RococoNode(ProtocolRuntime):
                 is_write=pieces[key],
                 write_value=meta.write_set.get(key),
             ),
+            trace_txn=txn_id,
+            trace_name="redo-commit",
         )
         # Fold the execution observations into the recorded reads, exactly as
         # the fail-free commit round does: the durable replies carry what the

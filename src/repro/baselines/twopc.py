@@ -167,7 +167,7 @@ class TwoPCNode(ProtocolRuntime):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self._data: Dict[object, _KeyState] = {}
-        self.locks = LockTable(self.sim, name=f"2pc-locks@{self.node_id}")
+        self.locks = LockTable(self.sim, name=f"2pc-locks@{self.node_id}", owner=self.node_id)
         # Participant state for in-flight rounds.
         self._prepared: Dict[TransactionId, Prepare2PC] = {}
         self.register_handler(ReadRequest2PC, self.on_read_request)
@@ -315,6 +315,7 @@ class TwoPCNode(ProtocolRuntime):
         reply, _events = yield from self.fastest_round(
             self.replicas(key),
             lambda _replica: ReadRequest2PC(txn_id=meta.txn_id, key=key),
+            trace_txn=meta.txn_id,
         )
         meta.record_read(
             key=key,
@@ -355,6 +356,7 @@ class TwoPCNode(ProtocolRuntime):
                 write_items=write_items,
             ),
             self.config.timeouts.prepare_timeout_us,
+            trace_txn=txn_id,
         )
 
         # Decide phase; wait for every participant's acknowledgement so the
@@ -369,6 +371,8 @@ class TwoPCNode(ProtocolRuntime):
         acks = yield from self.request_all(
             ordered_participants,
             lambda _participant: Decide2PC(txn_id=txn_id, outcome=outcome),
+            trace_txn=txn_id,
+            trace_name="decide",
         )
 
         if not outcome:

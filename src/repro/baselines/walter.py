@@ -249,7 +249,7 @@ class WalterNode(ProtocolRuntime):
         # sequence counter (the historical ``_local_seq``), so a restarted
         # preferred site never reuses a seqno it already handed out.
         self.plog = PropagationLog()
-        self.locks = LockTable(self.sim, name=f"walter-locks@{self.node_id}")
+        self.locks = LockTable(self.sim, name=f"walter-locks@{self.node_id}", owner=self.node_id)
         self._prepared: Dict[TransactionId, Tuple[Tuple[object, object], ...]] = {}
         # Fault mode only — durable slow-path state: coordinator decisions
         # awaiting reliable delivery, recorded votes (for idempotent prepare
@@ -626,6 +626,8 @@ class WalterNode(ProtocolRuntime):
                 site=self.node_id,
                 seqno=decision.seqno,
             ),
+            trace_txn=txn_id,
+            trace_name="decide",
         )
         self.decisions.discard(txn_id)
 
@@ -652,6 +654,7 @@ class WalterNode(ProtocolRuntime):
             reply, _events = yield from self.fastest_round(
                 replicas,
                 lambda _replica: WalterRead(txn_id=meta.txn_id, key=key, start_vts=meta.vc),
+                trace_txn=meta.txn_id,
             )
             reply_value, writer, served_by = reply.value, reply.writer, reply.sender
             version_seq = reply.seqno
@@ -733,6 +736,7 @@ class WalterNode(ProtocolRuntime):
                 make_prepare,
                 retry_us=self.config.timeouts.crash_resubscribe_us,
                 max_resends=self.config.timeouts.prepare_retry_limit,
+                trace_txn=txn_id,
             )
             seqno = self.plog.next_seqno()
             self.decisions.record(txn_id, outcome, seqno, tuple(sites))
@@ -745,6 +749,7 @@ class WalterNode(ProtocolRuntime):
             sites,
             make_prepare,
             self.config.timeouts.prepare_timeout_us,
+            trace_txn=txn_id,
         )
 
         seqno = self.plog.next_seqno()

@@ -87,6 +87,7 @@ class CoordinatorMixin:
                 has_read=has_read,
                 is_update=meta.is_update,
             ),
+            trace_txn=meta.txn_id,
         )
         if len(request_events) > 1 and not meta.is_update:
             # Replicas that lose the fastest-answer race still inserted a
@@ -270,6 +271,9 @@ class CoordinatorMixin:
         if not still_pending:
             return True
         self.counters["external_dependency_waits"] += 1
+        tracer = self.sim.tracer
+        trace_start = self.sim.now if tracer is not None else 0.0
+        trace_links = tuple(still_pending) if tracer is not None else ()
         timeouts = self.config.timeouts
         if not self._fault_mode and not meta.is_read_only:
             events = [self.external_done_event(writer) for writer in still_pending]
@@ -277,6 +281,10 @@ class CoordinatorMixin:
                 yield events[0]
             else:
                 yield self.sim.all_of(events)
+            if tracer is not None:
+                tracer.span(
+                    "wait.pending_writers", trace_start, txn=meta.txn_id, link=trace_links
+                )
             return True
         # Bounded waves.  Fault mode re-subscribes between waves — a crash
         # can swallow both the subscription and the notification, and a
@@ -300,11 +308,19 @@ class CoordinatorMixin:
                 if writer not in self._externally_done
             ]
             if not still_pending:
+                if tracer is not None:
+                    tracer.span(
+                        "wait.pending_writers", trace_start, txn=meta.txn_id, link=trace_links
+                    )
                 return True
             events = [self.external_done_event(writer) for writer in still_pending]
             done = events[0] if len(events) == 1 else self.sim.all_of(events)
             yield self.sim.any_of([done, self.sim.timeout(wave_us)])
             if done.triggered:
+                if tracer is not None:
+                    tracer.span(
+                        "wait.pending_writers", trace_start, txn=meta.txn_id, link=trace_links
+                    )
                 return True
             if self._fault_mode:
                 self.counters["crash_resubscribes"] += 1
@@ -339,6 +355,14 @@ class CoordinatorMixin:
                 and self.sim.now >= restart_deadline
                 and confirmed_pending
             ):
+                if tracer is not None:
+                    tracer.span(
+                        "wait.pending_writers",
+                        trace_start,
+                        txn=meta.txn_id,
+                        link=trace_links,
+                        args={"outcome": "restart"},
+                    )
                 return False
 
     def _restart_read_only(self, meta: TransactionMeta) -> None:
@@ -436,6 +460,7 @@ class CoordinatorMixin:
                 write_items=write_items,
             ),
             self.config.timeouts.prepare_timeout_us,
+            trace_txn=txn_id,
         )
 
         commit_vc = meta.vc
@@ -497,6 +522,8 @@ class CoordinatorMixin:
         # External commit: wait for every write replica's pre-commit ack and
         # for every observed still-pre-committing writer's external commit.
         meta.phase = TransactionPhase.PRE_COMMIT
+        tracer = self.sim.tracer
+        trace_start = self.sim.now if tracer is not None else 0.0
         if not self._fault_mode:
             yield ack_event
         else:
@@ -525,11 +552,21 @@ class CoordinatorMixin:
                             propagated=self._propagated_for_decide(meta),
                         ),
                     )
+        if tracer is not None:
+            tracer.span(
+                "wait.precommit_ack",
+                trace_start,
+                txn=txn_id,
+                args={"replicas": len(write_replicas)},
+            )
         yield from self._wait_pending_writers(meta)
         # Ordered external-commit resolution: readers that ambiguously
         # excluded this writer gated its client answer behind their own
         # completion — hold the answer until every gate is released.
+        trace_start = self.sim.now if tracer is not None else 0.0
         yield from self._wait_answer_gates(txn_id)
+        if tracer is not None and self.sim.now > trace_start:
+            tracer.span("wait.answer_gate", trace_start, txn=txn_id)
         self._finish_commit(meta, "update_commits")
         self._external_commit_completed(txn_id, sorted(write_replicas))
         return True

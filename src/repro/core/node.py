@@ -100,7 +100,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
 
         # Data plane.
         self.store = MultiVersionStore(node_id, sim=sim)
-        self.locks = LockTable(sim, name=f"locks@{node_id}")
+        self.locks = LockTable(sim, name=f"locks@{node_id}", owner=node_id)
         self.nlog = NLog(node_id, n_nodes, sim=sim)
         self.commit_queue = CommitQueue(node_id, sim=sim)
         # Durable redo log of write-replica votes: survives crashes, closes
@@ -241,7 +241,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         # stuck in the snapshot queue for longer than the threshold, giving
         # them a chance to externally commit before we enqueue yet another
         # reader in front of them.
-        yield from self._starvation_backoff(key, squeue)
+        yield from self._starvation_backoff(key, squeue, txn_id=message.txn_id)
 
         # Line 5: wait until every transaction already inside the reader's
         # visibility bound has internally committed locally.  The NLog scalar
@@ -256,6 +256,14 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             or self.commit_queue.has_entry_at_or_below(target)
         ):
             self.counters["read_waits"] += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                wait_start = self.sim.now
+                blocked_on = sorted(
+                    entry.txn_id
+                    for entry in self.commit_queue.entries()
+                    if entry.txn_id != message.txn_id
+                )
             yield self.sim.condition(
                 lambda: (
                     self.nlog.most_recent_vc[i] >= target
@@ -264,6 +272,15 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                 [self.nlog.signal, self.commit_queue.signal],
                 name=f"read-wait:{message.txn_id}",
             )
+            if tracer is not None:
+                tracer.span(
+                    "wait.commit_queue",
+                    wait_start,
+                    txn=message.txn_id,
+                    node=i,
+                    link=blocked_on,
+                    args={"key": str(key)},
+                )
 
         if not has_read[i]:
             yield self.cpu(service.read_local_us)
@@ -598,11 +615,27 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                 deadline = None
                 continue
             self.counters["ambiguous_waits"] += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                wait_start = self.sim.now
+                blocked_on = sorted(writer for writer, _local in pending)
             events = [
                 self.external_done_event(writer) for writer, _local in pending
             ]
             events.append(self.sim.timeout(remaining))
             yield self.sim.any_of(events)
+            if tracer is not None:
+                tracer.span(
+                    "wait.ambiguous",
+                    wait_start,
+                    txn=reader,
+                    node=self.node_id,
+                    link=blocked_on,
+                    args={
+                        "key": str(key),
+                        "outcome": "expired" if self.sim.now >= deadline else "notified",
+                    },
+                )
 
     def _query_external_status(self, writers, reader=None, gate_writers=frozenset()):
         """Resolve writers' fates definitively at their coordinators.
@@ -643,6 +676,8 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         retry_us = self.config.timeouts.crash_resubscribe_us
         while outstanding:
             self.counters["external_status_queries"] += 1
+            tracer = self.sim.tracer
+            round_start = self.sim.now if tracer is not None else 0.0
             probes = [
                 (
                     writer,
@@ -678,6 +713,19 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
                     # flight): retire the stale correlation entry and retry.
                     self._pending_replies.pop(message.msg_id, None)
                     next_round.append(writer)
+            if tracer is not None:
+                # A round that the resubscribe guard timed out (coordinator
+                # down or reply lost) is the stall signature ROADMAP.md calls
+                # out: the reader waits out the guard timer instead of being
+                # re-driven on the coordinator's restart.
+                tracer.span(
+                    "wait.ambiguous_guard" if next_round else "wait.external_status",
+                    round_start,
+                    txn=reader,
+                    node=self.node_id,
+                    link=sorted(writer for writer, _m, _e in events),
+                    args={"outcome": "guard-timeout" if next_round else "answered"},
+                )
             outstanding = next_round
         return confirmed_pending, gated, refused
 
@@ -877,7 +925,7 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
         self.store.squeue(key).insert(SQueueEntry(txn_id, snapshot, READ_KIND))
         self._reader_keys[txn_id].add(key)
 
-    def _starvation_backoff(self, key: object, squeue):
+    def _starvation_backoff(self, key: object, squeue, txn_id=None):
         """Exponential back-off of read-only reads on starving keys."""
         timeouts = self.config.timeouts
         age = squeue.oldest_writer_age(self.sim.now)
@@ -886,7 +934,20 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             delay = min(timeouts.backoff_initial_us * (2**level), timeouts.backoff_max_us)
             self._backoff_level[key] += 1
             self.counters["starvation_backoffs"] += 1
+            tracer = self.sim.tracer
+            backoff_start = self.sim.now if tracer is not None else 0.0
             yield self.sim.timeout(delay)
+            if tracer is not None:
+                tracer.span(
+                    "wait.backoff",
+                    backoff_start,
+                    txn=txn_id,
+                    node=self.node_id,
+                    link=sorted(
+                        {entry.txn_id for entry in squeue.writers() if entry.txn_id != txn_id}
+                    ),
+                    args={"key": str(key), "level": level},
+                )
         else:
             self._backoff_level[key] = 0
         return None
@@ -1077,11 +1138,30 @@ class SSSNode(CoordinatorMixin, ProtocolRuntime):
             # consistency hole, not just wasted latency).
             while squeue.has_entry_below(snapshot, exclude_txn=txn_id):
                 self.counters["precommit_waits"] += 1
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    wait_start = self.sim.now
+                    blocked_on = sorted(
+                        {
+                            entry.txn_id
+                            for entry in squeue.entries()
+                            if entry.insertion_snapshot < snapshot and entry.txn_id != txn_id
+                        }
+                    )
                 yield self.sim.condition(
                     lambda sq=squeue: not sq.has_entry_below(snapshot, exclude_txn=txn_id),
                     squeue.signal,
                     name=f"precommit-wait:{txn_id}",
                 )
+                if tracer is not None:
+                    tracer.span(
+                        "wait.precommit_queue",
+                        wait_start,
+                        txn=txn_id,
+                        node=i,
+                        link=blocked_on,
+                        args={"key": str(key)},
+                    )
             squeue.remove(txn_id)
 
         self.counters["external_acks_sent"] += 1

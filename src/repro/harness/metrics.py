@@ -438,6 +438,39 @@ class ExperimentMetrics:
         """
         return self.extra.get("quiescence_leaked_writers")
 
+    # ------------------------------------------------------------ trace plane
+    @property
+    def traced_txns(self) -> float:
+        """Sampled transactions kept by a traced run (0 when untraced)."""
+        return self.extra.get("trace.txns", 0.0)
+
+    @property
+    def trace_critical_path_us(self) -> Dict[str, float]:
+        """Critical-path attribution histogram of a traced run.
+
+        Maps span name (``wait.lock``, ``rpc.prepare``, ``phase.execute``,
+        the residual ``run`` bucket, ...) to total microseconds that span
+        kind spent *on the critical path* of sampled transactions — the
+        ``trace.crit_us.*`` keys the runner folds into ``extra``, with the
+        prefix stripped.  Empty for untraced runs.
+        """
+        prefix = "trace.crit_us."
+        return {
+            key[len(prefix) :]: value
+            for key, value in self.extra.items()
+            if key.startswith(prefix)
+        }
+
+    @property
+    def trace_dominant(self) -> Dict[str, float]:
+        """Per-span-name count of transactions it dominated (``trace.dominant.*``)."""
+        prefix = "trace.dominant."
+        return {
+            key[len(prefix) :]: value
+            for key, value in self.extra.items()
+            if key.startswith(prefix)
+        }
+
     @property
     def precommit_fraction(self) -> float:
         """Share of update-transaction latency spent between internal and

@@ -60,6 +60,7 @@ from repro.sim.shard import (
     shard_node_ids,
     shard_of,
 )
+from repro.trace.spec import TraceSpec
 from repro.workload.profiles import WorkloadGenerator
 from repro.workload.ycsb import ClientStats, closed_loop_client
 
@@ -88,6 +89,10 @@ class ParallelSpec:
     shards: int
     keys: Optional[Tuple[object, ...]] = None
     phase_windows: Optional[Tuple[Tuple[str, float, float], ...]] = None
+    #: Optional causal-tracing spec; each shard records its own slice and
+    #: ships the payload home for the deterministic merge (frozen dataclass,
+    #: picklable like the rest of the spec).
+    trace: Optional[TraceSpec] = None
 
     @property
     def horizon_us(self) -> float:
@@ -118,6 +123,8 @@ class ShardReport:
     imported_messages: int
     busy_seconds: float
     walter_chains: Optional[Dict[object, Dict[int, set]]] = None
+    #: ``TraceRecorder.payload()`` of this shard when tracing was on.
+    trace_payload: Optional[Tuple] = None
 
 
 @dataclass
@@ -150,6 +157,7 @@ class _ShardRuntime:
             network=self.network,
             owned_node_ids=owned,
         )
+        self.tracer = self.cluster.attach_tracer(spec.trace)
         self.sink: Optional[StreamingAccumulator] = None
         if spec.streaming_metrics:
             self.sink = StreamingAccumulator(
@@ -245,6 +253,7 @@ class _ShardRuntime:
             imported_messages=self.network.imported_messages,
             busy_seconds=self.busy_seconds,
             walter_chains=walter_chains,
+            trace_payload=self.tracer.payload() if self.tracer is not None else None,
         )
 
 
@@ -542,6 +551,7 @@ def run_parallel_experiment(
     streaming_metrics: bool = False,
     shards: Optional[int] = None,
     mode: str = "process",
+    trace=None,
 ):
     """Run one experiment on the node-sharded parallel engine.
 
@@ -578,6 +588,7 @@ def run_parallel_experiment(
         raise ConfigurationError("shards must be >= 1")
     shards = min(shards, config.n_nodes)
     phase_windows = _experiment_phase_windows(config, duration_us)
+    trace_spec = TraceSpec.coerce(trace)
     spec = ParallelSpec(
         protocol=protocol,
         config=config,
@@ -590,6 +601,7 @@ def run_parallel_experiment(
         shards=shards,
         keys=tuple(keys) if keys is not None else None,
         phase_windows=tuple(phase_windows) if phase_windows else None,
+        trace=trace_spec,
     )
     # Validates the lookahead before any worker is spawned.
     safe_lookahead(config)
@@ -682,6 +694,24 @@ def run_parallel_experiment(
         max(report.busy_seconds for report in reports), 4
     )
 
+    trace_result = None
+    if trace_spec is not None:
+        from repro.trace import (
+            analyze_trace,
+            attribution_extra,
+            merge_trace_payloads,
+            write_chrome_trace,
+        )
+
+        trace_result = merge_trace_payloads(
+            trace_spec,
+            [report.trace_payload for report in reports if report.trace_payload is not None],
+        )
+        paths = analyze_trace(trace_result)
+        extra.update(attribution_extra(paths, trace_result))
+        if trace_spec.path:
+            write_chrome_trace(trace_spec.path, trace_result, paths)
+
     measured = max(duration_us - warmup_us, 1.0)
     if sink is not None:
         metrics = ExperimentMetrics.from_streaming(
@@ -724,6 +754,7 @@ def run_parallel_experiment(
         clients=clients,
         node_counters=node_counters,
         cluster=cluster,
+        trace=trace_result,
     )
 
 

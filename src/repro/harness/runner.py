@@ -49,6 +49,9 @@ class ExperimentResult:
     clients: List[ClientStats] = field(default_factory=list)
     node_counters: Dict[str, int] = field(default_factory=dict)
     cluster: Optional[object] = None
+    #: Merged :class:`~repro.trace.recorder.TraceResult` when the run was
+    #: traced (``trace=`` argument), else ``None``.
+    trace: Optional[object] = None
 
     @property
     def throughput_ktps(self) -> float:
@@ -69,6 +72,7 @@ def run_experiment(
     engine: str = "serial",
     shards: Optional[int] = None,
     parallel_mode: str = "process",
+    trace=None,
 ) -> ExperimentResult:
     """Run one (protocol, configuration, workload) experiment.
 
@@ -120,6 +124,17 @@ def run_experiment(
         ``"process"`` (default) runs one worker process per shard;
         ``"inline"`` runs every shard in-process (debugging, equivalence
         tests — same results, no parallel speed-up).
+    trace:
+        Causal-tracing plane (see :mod:`repro.trace` and
+        ``docs/OBSERVABILITY.md``).  ``None``/``False`` (default) disables
+        tracing — zero overhead beyond one pointer check per instrumented
+        site.  ``True`` traces every transaction, a string is shorthand for
+        "trace everything and write the Perfetto JSON to this path", and a
+        :class:`~repro.trace.spec.TraceSpec` selects sampling
+        (``sample_every`` / ``slower_than_us`` / ``txn_ids``) and the output
+        path.  The merged :class:`~repro.trace.recorder.TraceResult` lands
+        on ``ExperimentResult.trace`` and the critical-path attribution
+        histogram in ``metrics.extra`` (``trace.*`` keys).
     """
     if engine == "parallel":
         from repro.harness.parallel import run_parallel_experiment
@@ -137,6 +152,7 @@ def run_experiment(
             streaming_metrics=streaming_metrics,
             shards=shards,
             mode=parallel_mode,
+            trace=trace,
         )
     if engine != "serial":
         raise ConfigurationError(f"unknown engine {engine!r}; expected 'serial' or 'parallel'")
@@ -147,6 +163,7 @@ def run_experiment(
     if drain_us is None:
         drain_us = 25_000.0 if config.faults else 0.0
     cluster = build_cluster(protocol, config=config, keys=keys, record_history=record_history)
+    recorder = cluster.attach_tracer(trace)
 
     all_stats: List[ClientStats] = []
     sessions = []
@@ -290,6 +307,20 @@ def run_experiment(
                 encoded / messages_sent if messages_sent else 0.0, 2
             )
             extra["clock_compression_ratio"] = round(encoded / clock_stats["dense_bytes_total"], 4)
+    trace_result = None
+    if recorder is not None:
+        from repro.trace import (
+            analyze_trace,
+            attribution_extra,
+            merge_trace_payloads,
+            write_chrome_trace,
+        )
+
+        trace_result = merge_trace_payloads(recorder.spec, [recorder.payload()])
+        paths = analyze_trace(trace_result)
+        extra.update(attribution_extra(paths, trace_result))
+        if recorder.spec.path:
+            write_chrome_trace(recorder.spec.path, trace_result, paths)
     if sink is not None:
         # Streaming path: sketches and online bins instead of raw samples
         # (the per-phase offered/shed accounting was binned online too).
@@ -327,6 +358,7 @@ def run_experiment(
         clients=all_stats,
         node_counters=dict(counters),
         cluster=cluster if keep_cluster else None,
+        trace=trace_result,
     )
 
 

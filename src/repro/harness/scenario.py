@@ -61,6 +61,10 @@ class ScenarioOutcome:
     failures: Tuple[str, ...] = ()
     failure_detail: Tuple[str, ...] = ()
     error: Optional[str] = None
+    #: Merged :class:`~repro.trace.recorder.TraceResult` when the scenario
+    #: was run with tracing (replay ``--trace``); excluded from ``as_dict``
+    #: and from equality, so traced and untraced outcomes stay comparable.
+    trace: Optional[object] = field(default=None, compare=False)
 
     @property
     def failed(self) -> bool:
@@ -158,6 +162,7 @@ def run_scenario(
     workload: WorkloadConfig,
     duration_us: float = 20_000.0,
     drain_us: float = 30_000.0,
+    trace=None,
 ) -> ScenarioOutcome:
     """Run one scenario and reduce it to signal + coverage + failures.
 
@@ -167,6 +172,11 @@ def run_scenario(
     construction), and an explicit drain so stalls and leaks are visible.
     A run that raises is itself a failure — the root cause type becomes an
     ``exception:<Type>`` category instead of propagating.
+
+    ``trace`` enables the causal-tracing plane for the run
+    (``run_experiment(trace=...)`` semantics); the merged trace rides on
+    ``outcome.trace``.  The recorder is passive, so signal vectors and
+    coverage are byte-identical with tracing on or off.
     """
     from repro.harness.runner import run_experiment
 
@@ -180,6 +190,7 @@ def run_scenario(
             record_history=True,
             keep_cluster=True,
             drain_us=drain_us,
+            trace=trace,
         )
     except ConfigurationError:
         # An invalid scenario is the caller's bug, not a finding.
@@ -321,6 +332,7 @@ def run_scenario(
         failures=tuple(failures),
         failure_detail=tuple(detail),
         error=None,
+        trace=result.trace,
     )
 
 

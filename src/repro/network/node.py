@@ -139,6 +139,14 @@ class NetworkedNode:
         # only ever reached in fault mode).
         if self._fault_mode and self.crashed:
             return
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.message(
+                "msg.handle",
+                getattr(message, "txn_id", None),
+                self.node_id,
+                kind=message.type_name,
+            )
         # Replies to outstanding requests complete the request event directly
         # and bypass handler dispatch.  A reply with no matching request is
         # stale — its request state died with a crash — and is dropped (a

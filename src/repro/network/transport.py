@@ -156,25 +156,49 @@ class _Channel:
         if pending[0][0] <= now:
             stats = network.stats
             node = self.node
+            tracer = network.sim.tracer
             if network._crashed and node.node_id in network._crashed:
                 dropped = stats.dropped
                 while pending and pending[0][0] <= now:
                     message = heappop(pending)[2]
                     dropped[message.type_name] += 1
+                    if tracer is not None:
+                        tracer.message(
+                            "msg.dropped",
+                            getattr(message, "txn_id", None),
+                            self.unit,
+                            kind=message.type_name,
+                        )
             elif len(pending) == 1:
                 # Singleton fast path: the only in-flight message is due.
-                message = pending.pop()[2]
+                _at, skey, message = pending.pop()
                 message.deliver_time = now
                 stats.delivered[message.type_name] += 1
+                if tracer is not None:
+                    tracer.message(
+                        "msg.recv",
+                        getattr(message, "txn_id", None),
+                        self.unit,
+                        flow=skey,
+                        kind=message.type_name,
+                    )
                 node.enqueue(message)
                 return
             else:
                 delivered = stats.delivered
                 enqueue = node.enqueue
                 while pending and pending[0][0] <= now:
-                    message = heappop(pending)[2]
+                    _at, skey, message = heappop(pending)
                     message.deliver_time = now
                     delivered[message.type_name] += 1
+                    if tracer is not None:
+                        tracer.message(
+                            "msg.recv",
+                            getattr(message, "txn_id", None),
+                            self.unit,
+                            flow=skey,
+                            kind=message.type_name,
+                        )
                     enqueue(message)
         if pending:
             head_time = pending[0][0]
@@ -354,6 +378,7 @@ class Network:
         now = sim.now
         message.send_time = now
         stats = self.stats
+        tracer = sim.tracer
         type_name = message.type_name
         stats.sent[type_name] += 1
         codec = self._codecs.get(sender)
@@ -363,6 +388,14 @@ class Network:
 
         if self._crashed and (sender in self._crashed or destination in self._crashed):
             stats.dropped[type_name] += 1
+            if tracer is not None:
+                tracer.message(
+                    "msg.dropped",
+                    getattr(message, "txn_id", None),
+                    sender,
+                    peer=destination,
+                    kind=type_name,
+                )
             return
 
         # Outgoing-link congestion: each message occupies the link for
@@ -404,12 +437,33 @@ class Network:
             if partition.get(sender) != partition.get(destination):
                 if self._partition_mode == "drop":
                     stats.dropped[type_name] += 1
+                    if tracer is not None:
+                        tracer.message(
+                            "msg.dropped",
+                            getattr(message, "txn_id", None),
+                            sender,
+                            peer=destination,
+                            kind=type_name,
+                        )
                     return
                 # Eventual delivery: hold the message until the heal.  Held
                 # messages live at the *destination* side so a mirrored heal
                 # releases them with purely local state.
                 stats.held += 1
                 held = True
+
+        if tracer is not None:
+            # One lifecycle point per send: ``msg.send`` (or ``msg.held``
+            # when a buffering partition intercepts it) with the sender-
+            # local delivery key as the flow id binding it to the delivery.
+            tracer.message(
+                "msg.held" if held else "msg.send",
+                getattr(message, "txn_id", None),
+                sender,
+                flow=skey,
+                peer=destination,
+                kind=type_name,
+            )
 
         channel = self._channels.get(destination)
         if channel is None:

@@ -186,6 +186,29 @@ class ProtocolCluster:
         return self.sim.run(until=until)
 
     # ------------------------------------------------------------------
+    # Trace plane
+    # ------------------------------------------------------------------
+    def attach_tracer(self, spec) -> "object":
+        """Enable causal tracing on this cluster's engine.
+
+        ``spec`` is a :class:`repro.trace.spec.TraceSpec` (or anything its
+        ``coerce`` accepts).  Returns the installed
+        :class:`~repro.trace.recorder.TraceRecorder`; must be called before
+        the run starts.  The recorder is passive — attaching it never
+        changes histories or metrics (see ``docs/OBSERVABILITY.md``).
+        """
+        from repro.trace.recorder import TraceRecorder
+        from repro.trace.spec import TraceSpec
+
+        resolved = TraceSpec.coerce(spec)
+        if resolved is None:
+            self.sim.tracer = None
+            return None
+        recorder = TraceRecorder(self.sim, resolved)
+        self.sim.tracer = recorder
+        return recorder
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

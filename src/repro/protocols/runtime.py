@@ -147,6 +147,9 @@ class ProtocolRuntime(NetworkedNode):
         meta.begin_time = self.sim.now
         self.coordinated[meta.txn_id] = meta
         self.counters["begun"] += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.txn_begin(meta.txn_id, self.node_id)
         return meta
 
     def txn_write(self, meta: TransactionMeta, key: object, value: object) -> None:
@@ -188,6 +191,8 @@ class ProtocolRuntime(NetworkedNode):
         self.counters[counter] += 1
         if self.history is not None:
             self.history.record_commit(meta)
+        if self.sim.tracer is not None:
+            self._trace_txn_end(meta, "commit")
         return True
 
     def _finish_abort(self, meta: TransactionMeta, reason: str, counter: str = "aborts") -> bool:
@@ -197,7 +202,38 @@ class ProtocolRuntime(NetworkedNode):
         self.counters[counter] += 1
         if self.history is not None:
             self.history.record_abort(meta)
+        if self.sim.tracer is not None:
+            self._trace_txn_end(meta, f"abort:{reason}")
         return False
+
+    def _trace_txn_end(self, meta: TransactionMeta, outcome: str) -> None:
+        """Record the transaction's end plus its phase timeline (trace plane).
+
+        Phases are derived post hoc from the metadata timestamps so no
+        per-phase bookkeeping runs when tracing is off: execute =
+        [begin, prepare), prepare = [prepare, internal commit), precommit =
+        [internal commit, end].  Timestamps a protocol never sets (2PC has
+        no separate internal-commit point, read-only transactions skip
+        prepare) simply merge into the preceding phase.
+        """
+        tracer = self.sim.tracer
+        if tracer is None or not tracer.wants(meta.txn_id):
+            return
+        begin = meta.begin_time
+        end = self.sim.now
+        cuts = [("phase.execute", begin)]
+        prepare = meta.prepare_time
+        if prepare is not None and prepare >= begin:
+            cuts.append(("phase.prepare", prepare))
+        internal = meta.internal_commit_time
+        if internal is not None and internal >= cuts[-1][1]:
+            cuts.append(("phase.precommit", internal))
+        phases = []
+        for index, (name, start) in enumerate(cuts):
+            stop = cuts[index + 1][1] if index + 1 < len(cuts) else end
+            if stop > start:
+                phases.append((name, start, stop))
+        tracer.txn_end(meta.txn_id, outcome, begin, phases)
 
     # ------------------------------------------------------------------
     # Replica fan-out and vote collection
@@ -227,8 +263,20 @@ class ProtocolRuntime(NetworkedNode):
         yield self.sim.any_of(events)
         return next(event.value for event in events if event.triggered)
 
-    def fastest_round(self, destinations, make_message):
-        """Process generator: fastest-answer fan-out with fault-mode retries.
+    def _traced_round(self, inner, tracer, txn_id: TransactionId, name: str):
+        """Wrap an RPC-round generator with an ``rpc.<name>`` trace span.
+
+        Only instantiated when tracing is on *and* the caller attributed the
+        round to a transaction — the untraced path returns the inner
+        generator directly, adding no delegation frame.
+        """
+        start = self.sim.now
+        result = yield from inner
+        tracer.span(name, start, txn=txn_id)
+        return result
+
+    def fastest_round(self, destinations, make_message, trace_txn=None, trace_name="read"):
+        """RPC-round generator: fastest-answer fan-out with fault-mode retries.
 
         Sends ``make_message(destination)`` to every destination and returns
         ``(reply, events)`` — the fastest answer plus the reply events of the
@@ -240,7 +288,18 @@ class ProtocolRuntime(NetworkedNode):
         replica answers after its restart; read handlers are naturally
         idempotent, and a crash of *this* node fails the wave's events and
         propagates to the waiting client like any in-flight RPC.
+
+        ``trace_txn`` attributes the round to a transaction's trace as an
+        ``rpc.<trace_name>`` span (no effect when tracing is off); the same
+        pair works on every round helper below.
         """
+        inner = self._fastest_round(destinations, make_message)
+        tracer = self.sim.tracer
+        if tracer is None or trace_txn is None:
+            return inner
+        return self._traced_round(inner, tracer, trace_txn, f"rpc.{trace_name}")
+
+    def _fastest_round(self, destinations, make_message):
         destinations = list(destinations)
         if not self._fault_mode:
             events = self.request_each(destinations, make_message)
@@ -264,8 +323,8 @@ class ProtocolRuntime(NetworkedNode):
                 self._pending_replies.pop(message.msg_id, None)
             self.counters["read_wave_retries"] += 1
 
-    def vote_round(self, participants, make_message, timeout_us: float):
-        """Process generator: one 2PC-style vote wave over ``participants``.
+    def vote_round(self, participants, make_message, timeout_us: float, trace_txn=None):
+        """RPC-round generator: one 2PC-style vote wave over ``participants``.
 
         Sends one request per participant, arms a shared coarse crash-guard
         deadline (see :meth:`Simulation.deadline` — a guard against crashed
@@ -273,16 +332,47 @@ class ProtocolRuntime(NetworkedNode):
         :class:`VoteCollector`.  Returns ``(outcome, votes)``; ``outcome`` is
         ``False`` when any participant voted no or the deadline expired.
         """
+        inner = self._vote_round(participants, make_message, timeout_us, trace_txn)
+        tracer = self.sim.tracer
+        if tracer is None or trace_txn is None:
+            return inner
+        return self._traced_round(inner, tracer, trace_txn, "rpc.prepare")
+
+    def _vote_round(self, participants, make_message, timeout_us: float, trace_txn=None):
+        participants = list(participants)
         vote_events = self.request_each(participants, make_message)
         timeout = self.sim.deadline(timeout_us)
         votes = VoteCollector(self.sim, vote_events)
+        tracer = self.sim.tracer
+        start = self.sim.now if tracer is not None else 0.0
         yield self.sim.any_of([votes, timeout])
         if votes.triggered:
             return votes.value
+        if tracer is not None and trace_txn is not None:
+            # The round resolved by *waiting out the crash-guard deadline*,
+            # not by votes: some participant's fate stayed ambiguous (its
+            # prepare or vote was swallowed by a crash) for the whole guard
+            # window.  Same span name as the reader-side external-status
+            # guard rounds — both are the ROADMAP stall: ambiguity resolved
+            # by a guard timer instead of being re-driven on restart.
+            silent = [
+                str(participant)
+                for participant, event in zip(participants, vote_events)
+                if not event.triggered
+            ]
+            tracer.span(
+                "wait.ambiguous_guard",
+                start,
+                txn=trace_txn,
+                node=self.node_id,
+                args={"outcome": "guard-timeout", "round": "prepare", "silent": silent},
+            )
         return False, []
 
-    def vote_round_retry(self, participants, make_message, retry_us: float, max_resends: int):
-        """Process generator: a vote round with fault-mode re-send cadence.
+    def vote_round_retry(
+        self, participants, make_message, retry_us: float, max_resends: int, trace_txn=None
+    ):
+        """RPC-round generator: a vote round with fault-mode re-send cadence.
 
         The fault-mode counterpart of :meth:`vote_round`: prepares left
         unanswered for ``retry_us`` are re-sent (a briefly-crashed or
@@ -294,6 +384,13 @@ class ProtocolRuntime(NetworkedNode):
         prepare timeout.  Negative votes still fail fast within a wave (the
         :class:`VoteCollector` semantics).  Returns ``(outcome, votes)``.
         """
+        inner = self._vote_round_retry(participants, make_message, retry_us, max_resends)
+        tracer = self.sim.tracer
+        if tracer is None or trace_txn is None:
+            return inner
+        return self._traced_round(inner, tracer, trace_txn, "rpc.prepare")
+
+    def _vote_round_retry(self, participants, make_message, retry_us: float, max_resends: int):
         remaining = list(participants)
         votes_collected: List[object] = []
         resends = 0
@@ -327,14 +424,21 @@ class ProtocolRuntime(NetworkedNode):
             self.counters["prepare_retries"] += 1
             remaining = silent
 
-    def reliable_request(self, destination, make_message):
-        """Process generator: one request, re-sent in fault mode until answered.
+    def reliable_request(self, destination, make_message, trace_txn=None, trace_name="request"):
+        """RPC generator: one request, re-sent in fault mode until answered.
 
         Fail-free this is exactly a plain ``yield self.request(...)``.  In
         fault mode the request is re-sent every ``crash_resubscribe_us``
         until a reply arrives — a crashed destination answers after its
         restart (the handler must be idempotent).  Returns the reply.
         """
+        inner = self._reliable_request(destination, make_message)
+        tracer = self.sim.tracer
+        if tracer is None or trace_txn is None:
+            return inner
+        return self._traced_round(inner, tracer, trace_txn, f"rpc.{trace_name}")
+
+    def _reliable_request(self, destination, make_message):
         if not self._fault_mode:
             reply = yield self.request(destination, make_message())
             return reply
@@ -348,8 +452,10 @@ class ProtocolRuntime(NetworkedNode):
             self._pending_replies.pop(message.msg_id, None)
             self.counters["round_retries"] += 1
 
-    def request_round(self, items, destination_of, make_message):
-        """Process generator: one request per item, all replies awaited.
+    def request_round(
+        self, items, destination_of, make_message, trace_txn=None, trace_name="round"
+    ):
+        """RPC-round generator: one request per item, all replies awaited.
 
         ``destination_of(item)`` routes each item (several items may share a
         destination — ROCOCO's per-key pieces do).  Fail-free this is
@@ -358,6 +464,13 @@ class ProtocolRuntime(NetworkedNode):
         destination answers after its restart, so handlers of messages sent
         through this helper must be idempotent.  Returns ``{item: reply}``.
         """
+        inner = self._request_round(items, destination_of, make_message)
+        tracer = self.sim.tracer
+        if tracer is None or trace_txn is None:
+            return inner
+        return self._traced_round(inner, tracer, trace_txn, f"rpc.{trace_name}")
+
+    def _request_round(self, items, destination_of, make_message):
         items = list(items)
         if not self._fault_mode:
             events = [
@@ -391,12 +504,15 @@ class ProtocolRuntime(NetworkedNode):
                 message = make_message(item)
                 pending.append((item, message, self.request(destination_of(item), message)))
 
-    def request_all(self, destinations, make_message):
+    def request_all(self, destinations, make_message, trace_txn=None, trace_name="round"):
         """:meth:`request_round` specialized to one request per destination."""
-        replies = yield from self.request_round(
-            destinations, lambda destination: destination, make_message
+        return self.request_round(
+            destinations,
+            lambda destination: destination,
+            make_message,
+            trace_txn=trace_txn,
+            trace_name=trace_name,
         )
-        return replies
 
     # ------------------------------------------------------------------
     # Fault plane: crash / restart
@@ -416,6 +532,10 @@ class ProtocolRuntime(NetworkedNode):
         self.crashed = True
         self._epoch += 1
         self.counters["crashes"] += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("node.crash", node=self.node_id)
+            self._trace_down_since = self.sim.now
         self.network.crash(self.node_id)
         self.counters["crash_dropped_inbound"] += self._inbound.clear()
         # Fail in-flight RPCs: waiting handler processes die through the
@@ -443,6 +563,11 @@ class ProtocolRuntime(NetworkedNode):
             meta.abort_reason = "coordinator-crash"
             meta.abort_time = self.sim.now
             self.counters["coordinator_crash_aborts"] += 1
+            if tracer is not None:
+                # These teardowns bypass _finish_abort, so close their
+                # traces here — a torn-down transaction would otherwise
+                # look identical to a genuinely stuck one.
+                self._trace_txn_end(meta, "torn-down")
         self.on_crash()
 
     def restart(self) -> None:
@@ -452,7 +577,18 @@ class ProtocolRuntime(NetworkedNode):
         self.crashed = False
         self.counters["restarts"] += 1
         self.network.recover(self.node_id)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            down_since = getattr(self, "_trace_down_since", None)
+            if down_since is not None:
+                tracer.span("node.down", down_since, node=self.node_id)
+                self._trace_down_since = None
+            tracer.instant("node.restart", node=self.node_id)
         self.on_restart()
+        if tracer is not None:
+            # Durable-state replay runs synchronously inside on_restart, so
+            # this marks its completion point on the node track.
+            tracer.instant("node.recovered", node=self.node_id)
 
     def on_crash(self) -> None:
         """Protocol hook: drop volatile state (lock tables, prepare buffers)."""

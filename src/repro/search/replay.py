@@ -12,6 +12,13 @@ finding still reproduces:
 
 Plain ``*.genome.json`` files (corpus entries) are accepted too; those
 "reproduce" when the run fails in *any* category.
+
+``--trace out.json`` additionally re-runs the genome with the causal
+tracing plane on (every transaction sampled), writes a Perfetto-loadable
+Chrome trace-event JSON next to the verdict, and prints the critical-path
+summary — which wait dominated each slow or stalled transaction.  Tracing
+is passive, so the reproduce verdict is identical with or without it.
+With several bundles, each gets a derived path (``out-<stem>.json``).
 """
 
 from __future__ import annotations
@@ -28,7 +35,12 @@ from repro.search.genome import ScenarioGenome
 from repro.search.scoring import score_genome
 
 
-def replay_bundle(path: Path, out=sys.stdout) -> int:
+def replay_bundle(
+    path: Path,
+    out=sys.stdout,
+    trace_path: Optional[Path] = None,
+    trace_slower_than_us: Optional[float] = None,
+) -> int:
     """Replay one bundle or genome file; returns the process exit code."""
     try:
         data = json.loads(Path(path).read_text())
@@ -50,7 +62,19 @@ def replay_bundle(path: Path, out=sys.stdout) -> int:
         return 1
 
     print(f"scenario: {genome.describe()}", file=out)
-    outcome = score_genome(genome)
+    trace_spec = None
+    if trace_path is not None:
+        from repro.trace import TraceSpec
+
+        trace_spec = TraceSpec(path=str(trace_path), slower_than_us=trace_slower_than_us)
+    outcome = score_genome(genome, trace=trace_spec)
+    if outcome.trace is not None:
+        from repro.trace import render_summary
+
+        print(f"trace: {trace_path}", file=out)
+        print(render_summary(outcome.trace), file=out)
+    elif trace_path is not None:
+        print("trace: run crashed before completion; no trace written", file=out)
     for key in sorted(outcome.signal):
         print(f"  signal {key} = {outcome.signal[key]:g}", file=out)
     for line in outcome.failure_detail:
@@ -79,10 +103,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Re-run a minimized repro bundle and verify the finding.",
     )
     parser.add_argument("bundle", type=Path, nargs="+", help="bundle or genome JSON file(s)")
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="OUT.json",
+        help="also capture a Perfetto trace of the replay run and print its "
+        "critical-path summary (with several bundles, each gets OUT-<stem>.json)",
+    )
+    parser.add_argument(
+        "--trace-slower-than-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="keep only finished transactions at least this slow in the trace "
+        "(unfinished ones are always kept) — the committed docs/traces/ "
+        "artifacts use this to stay small",
+    )
     arguments = parser.parse_args(argv)
     worst = 0
     for path in arguments.bundle:
-        worst = max(worst, replay_bundle(path))
+        trace_path = arguments.trace
+        if trace_path is not None and len(arguments.bundle) > 1:
+            trace_path = trace_path.with_name(
+                f"{trace_path.stem}-{Path(path).stem}{trace_path.suffix or '.json'}"
+            )
+        worst = max(
+            worst,
+            replay_bundle(
+                path,
+                trace_path=trace_path,
+                trace_slower_than_us=arguments.trace_slower_than_us,
+            ),
+        )
     return worst
 
 

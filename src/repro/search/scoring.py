@@ -16,8 +16,13 @@ from repro.harness.scenario import ScenarioOutcome, run_scenario
 from repro.search.genome import ScenarioGenome
 
 
-def score_genome(genome: ScenarioGenome) -> ScenarioOutcome:
-    """Run one genome and return its signal/coverage/failure outcome."""
+def score_genome(genome: ScenarioGenome, trace=None) -> ScenarioOutcome:
+    """Run one genome and return its signal/coverage/failure outcome.
+
+    ``trace`` forwards to :func:`run_scenario` (replay's ``--trace`` path);
+    scoring is unaffected — the trace recorder is passive, so signal and
+    coverage stay byte-identical with tracing on or off.
+    """
     genome.validate()
     return run_scenario(
         genome.protocol,
@@ -25,6 +30,7 @@ def score_genome(genome: ScenarioGenome) -> ScenarioOutcome:
         genome.workload_config(),
         duration_us=genome.duration_us,
         drain_us=genome.drain_us,
+        trace=trace,
     )
 
 

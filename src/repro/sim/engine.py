@@ -88,6 +88,7 @@ class Simulation:
         "_event_count",
         "_deadline_buckets",
         "fault_log",
+        "tracer",
     )
 
     def __init__(self, seed: int = 1):
@@ -106,6 +107,10 @@ class Simulation:
         self._deadline_buckets: dict[Tuple[int, float], Event] = {}
         #: Scripted fault-plane events (time, label), in scheduling order.
         self.fault_log: List[Tuple[float, str]] = []
+        #: Optional :class:`repro.trace.recorder.TraceRecorder`.  ``None``
+        #: (the default) keeps tracing at a single identity check per
+        #: instrumented site; the kernel itself never consults it.
+        self.tracer = None
 
     # ------------------------------------------------------------------ time
     @property

@@ -83,28 +83,28 @@ def safe_lookahead(config) -> float:
     return lookahead
 
 
-class ShardHistoryRecorder(HistoryRecorder):
-    """History recorder that tags records for deterministic shard-merge.
+class EngineTagSequencer:
+    """Issues ``(time, key, sub)`` tags for deterministic shard-merge.
 
-    Every committed/aborted record is stamped with ``(time, key, sub)`` —
-    the engine key of the event that recorded it plus a within-event
-    counter.  Engine keys are unique and totally ordered across shards
-    (unit-local keys; control-unit keys shared identically by all shards),
-    so sorting the concatenated per-shard records by tag reproduces the
-    exact order a serial :class:`HistoryRecorder` would have appended them
-    in.
+    ``(time, key)`` is the engine key of the event currently executing on
+    ``sim`` and ``sub`` a within-event counter.  Engine keys are unique and
+    totally ordered across shards (unit-local keys; control-unit keys shared
+    identically by all shards), so any record stream tagged through one
+    sequencer per shard can be concatenated and sorted by tag to reproduce
+    the exact order a serial recorder would have appended in.  Shared by
+    :class:`ShardHistoryRecorder` and the trace plane's
+    :class:`repro.trace.recorder.TraceRecorder`.
     """
 
+    __slots__ = ("sim", "_tag_time", "_tag_key", "_tag_sub")
+
     def __init__(self, sim):
-        super().__init__()
         self.sim = sim
-        self.committed_tags: List[Tuple[float, int, int]] = []
-        self.aborted_tags: List[Tuple[float, int, int]] = []
         self._tag_time = -1.0
         self._tag_key = -1
         self._tag_sub = 0
 
-    def _next_tag(self) -> Tuple[float, int, int]:
+    def next_tag(self) -> Tuple[float, int, int]:
         sim = self.sim
         time, key = sim._ekey_time, sim._ekey_key
         if time == self._tag_time and key == self._tag_key:
@@ -114,6 +114,26 @@ class ShardHistoryRecorder(HistoryRecorder):
             self._tag_key = key
             self._tag_sub = 0
         return (time, key, self._tag_sub)
+
+
+class ShardHistoryRecorder(HistoryRecorder):
+    """History recorder that tags records for deterministic shard-merge.
+
+    Every committed/aborted record is stamped with an
+    :class:`EngineTagSequencer` tag; sorting the concatenated per-shard
+    records by tag reproduces the exact order a serial
+    :class:`HistoryRecorder` would have appended them in.
+    """
+
+    def __init__(self, sim):
+        super().__init__()
+        self.sim = sim
+        self.committed_tags: List[Tuple[float, int, int]] = []
+        self.aborted_tags: List[Tuple[float, int, int]] = []
+        self._tags = EngineTagSequencer(sim)
+
+    def _next_tag(self) -> Tuple[float, int, int]:
+        return self._tags.next_tag()
 
     def record_commit(self, meta) -> None:
         if not self.enabled:
@@ -206,6 +226,7 @@ class ShardNetwork(Network):
 
 
 __all__ = [
+    "EngineTagSequencer",
     "ExportEntry",
     "ShardHistoryRecorder",
     "ShardNetwork",

@@ -56,9 +56,11 @@ class _KeyLockState:
 class LockTable:
     """Lock manager for the keys stored by one node."""
 
-    def __init__(self, sim: "Simulation", name: str = ""):
+    def __init__(self, sim: "Simulation", name: str = "", owner=None):
         self.sim = sim
         self.name = name
+        #: Owning node id, used to place lock-wait trace spans on its track.
+        self.owner = owner
         self._keys: Dict[object, _KeyLockState] = {}
         self.acquired_count = 0
         self.timeout_count = 0
@@ -181,6 +183,12 @@ class LockTable:
                 self._abandon(txn_id, acquired)
                 return False
             state = self._state(key)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                wait_start = self.sim.now
+                # The holders at queue time are who this transaction is
+                # blocked behind — the causal links of the wait span.
+                blocked_on = sorted(t for t in state.holders if t != txn_id)
             grant = self.sim.event(name=f"lock-wait:{key}")
             state.waiters.append((txn_id, mode, grant))
             expiry = self.sim.timeout(remaining)
@@ -190,10 +198,28 @@ class LockTable:
             # timeout fired, and it must not be leaked in that case.
             if grant.triggered:
                 acquired.add(key)
+                if tracer is not None:
+                    tracer.span(
+                        "wait.lock",
+                        wait_start,
+                        txn=txn_id,
+                        node=self.owner,
+                        link=blocked_on,
+                        args={"key": str(key), "outcome": "granted"},
+                    )
             else:
                 # Timed out while queued: withdraw the waiter and give up.
                 state.waiters = deque(waiter for waiter in state.waiters if waiter[2] is not grant)
                 self.timeout_count += 1
+                if tracer is not None:
+                    tracer.span(
+                        "wait.lock_timeout",
+                        wait_start,
+                        txn=txn_id,
+                        node=self.owner,
+                        link=blocked_on,
+                        args={"key": str(key), "outcome": "timeout"},
+                    )
                 self._abandon(txn_id, acquired)
                 return False
         return True

@@ -1,0 +1,72 @@
+"""Capture a sampled trace of one small experiment.
+
+``python -m repro.trace --protocol sss --out sss.trace.json`` runs a short
+closed-loop experiment with the causal-tracing plane on, writes the
+Perfetto-loadable Chrome trace-event JSON, and prints the critical-path
+summary.  The CI benchmark-smoke job runs this once per protocol and
+validates the artifacts with ``python -m repro.trace.schema``; it is also
+the quickest way to produce a trace to poke at in the Perfetto UI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.harness.runner import run_experiment
+from repro.trace.export import render_summary
+from repro.trace.spec import TraceSpec
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Run a small experiment with causal tracing and export a Perfetto trace.",
+    )
+    parser.add_argument("--protocol", default="sss", help="protocol registry name (default sss)")
+    parser.add_argument("--out", required=True, help="output path for the Chrome trace JSON")
+    parser.add_argument("--n-nodes", type=int, default=3)
+    parser.add_argument("--clients-per-node", type=int, default=2)
+    parser.add_argument("--n-keys", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--duration-us", type=float, default=10_000.0)
+    parser.add_argument("--warmup-us", type=float, default=0.0)
+    parser.add_argument(
+        "--sample-every", type=int, default=1, help="trace every Nth transaction per client node"
+    )
+    parser.add_argument(
+        "--slower-than-us",
+        type=float,
+        default=None,
+        help="keep only finished transactions at least this slow (stalled ones always kept)",
+    )
+    arguments = parser.parse_args(argv)
+
+    spec = TraceSpec(
+        sample_every=arguments.sample_every,
+        slower_than_us=arguments.slower_than_us,
+        path=arguments.out,
+    )
+    config = ClusterConfig(
+        n_nodes=arguments.n_nodes,
+        n_keys=arguments.n_keys,
+        clients_per_node=arguments.clients_per_node,
+        seed=arguments.seed,
+    )
+    result = run_experiment(
+        arguments.protocol,
+        config,
+        WorkloadConfig(),
+        duration_us=arguments.duration_us,
+        warmup_us=arguments.warmup_us,
+        trace=spec,
+    )
+    print(f"trace: {arguments.out}")
+    print(render_summary(result.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Post-hoc critical-path analysis over a merged trace.
+
+For each traced transaction the analyzer attributes every microsecond of
+the lifetime ``[begin, end]`` to the most specific recorded activity
+covering it, with blocking waits taking precedence over RPC rounds, which
+take precedence over the coarse protocol phases:
+
+* priority 3 — ``wait.*`` spans and client backoff (the transaction was
+  *blocked*, on the linked transactions where recorded);
+* priority 2 — ``rpc.*`` spans (waiting on replica round-trips);
+* priority 1 — protocol phases (execute / prepare / precommit) derived
+  from the transaction metadata timestamps;
+* priority 0 — anything uncovered is ``run`` (compute, think, queueing
+  between recorded activities).
+
+Among same-priority overlapping spans the latest-started (innermost) wins,
+so a guard-timeout wait nested inside a longer ambiguous wait is charged to
+the guard, not the envelope.  The *dominant* span of a transaction is the
+largest single attribution bucket — "which wait dominated commit latency".
+
+:func:`attribution_extra` folds the per-transaction attributions into flat
+``ExperimentMetrics.extra`` keys (``trace.crit_us.<name>`` sums,
+``trace.dominant.<name>`` counts, ``trace.phase_us.<phase>`` sums) so the
+histograms travel with every experiment result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.ids import TransactionId
+from repro.trace.recorder import TraceEvent, TraceResult
+
+#: Attribution priority classes (higher = more specific).
+_PRIORITY_WAIT = 3
+_PRIORITY_RPC = 2
+_PRIORITY_PHASE = 1
+
+#: The bucket for time not covered by any recorded span.
+RUN_BUCKET = "run"
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Attributed lifetime of one traced transaction."""
+
+    txn: TransactionId
+    begin: float
+    end: float
+    outcome: str  # "commit", "abort", "torn-down" or "unfinished"
+    attribution: Dict[str, float] = field(default_factory=dict)
+    phase_us: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.begin
+
+    @property
+    def dominant(self) -> Tuple[str, float]:
+        """``(bucket name, microseconds)`` of the largest attribution."""
+        if not self.attribution:
+            return (RUN_BUCKET, 0.0)
+        name = max(self.attribution, key=lambda key: (self.attribution[key], key))
+        return (name, self.attribution[name])
+
+
+def _span_priority(name: str) -> Optional[int]:
+    if name.startswith("wait.") or name == "client.backoff":
+        return _PRIORITY_WAIT
+    if name.startswith("rpc."):
+        return _PRIORITY_RPC
+    return None
+
+
+def _txn_path(
+    txn: TransactionId,
+    rows: List[TraceEvent],
+    summary: Optional[tuple],
+) -> CriticalPath:
+    if summary is not None:
+        begin, end, outcome, phases = summary
+    else:
+        begin = min(row.ts for row in rows)
+        end = max(row.ts + row.dur for row in rows)
+        outcome, phases = "unfinished", ()
+        for row in rows:
+            if row.name == "txn.begin":
+                begin = row.ts
+                break
+    if end <= begin:
+        return CriticalPath(txn, begin, end, outcome)
+
+    # (start, end, priority, name) intervals clipped to the lifetime.
+    intervals: List[Tuple[float, float, int, str]] = []
+    for name, start, stop in phases:
+        intervals.append((max(start, begin), min(stop, end), _PRIORITY_PHASE, name))
+    for row in rows:
+        if row.kind != "span":
+            continue
+        priority = _span_priority(row.name)
+        if priority is None:
+            continue
+        start = max(row.ts, begin)
+        stop = min(row.ts + row.dur, end)
+        if stop > start:
+            intervals.append((start, stop, priority, row.name))
+
+    bounds = sorted({begin, end, *(i[0] for i in intervals), *(i[1] for i in intervals)})
+    attribution: Dict[str, float] = {}
+    phase_us: Dict[str, float] = {}
+    for low, high in zip(bounds, bounds[1:]):
+        if high <= begin or low >= end:
+            continue
+        best: Optional[Tuple[float, float, int, str]] = None
+        phase_name = None
+        for interval in intervals:
+            if interval[0] <= low and interval[1] >= high:
+                if interval[2] == _PRIORITY_PHASE:
+                    phase_name = interval[3]
+                # Most specific first, then innermost (latest start), then
+                # name for a deterministic tie-break.
+                if best is None or (interval[2], interval[0], interval[3]) > (
+                    best[2],
+                    best[0],
+                    best[3],
+                ):
+                    best = interval
+        width = high - low
+        bucket = best[3] if best is not None else RUN_BUCKET
+        attribution[bucket] = attribution.get(bucket, 0.0) + width
+        if phase_name is not None:
+            phase_us[phase_name] = phase_us.get(phase_name, 0.0) + width
+    return CriticalPath(txn, begin, end, outcome, attribution, phase_us)
+
+
+def analyze_trace(result: TraceResult) -> List[CriticalPath]:
+    """Critical paths for every kept transaction, slowest first.
+
+    Deterministic: ties broken by transaction id.
+    """
+    paths = [
+        _txn_path(txn, rows, result.finished.get(txn)) for txn, rows in sorted(result.txns.items())
+    ]
+    paths.sort(key=lambda path: (-path.duration, path.txn))
+    return paths
+
+
+def attribution_extra(paths: List[CriticalPath], result: TraceResult) -> Dict[str, float]:
+    """Flatten the analysis into ``ExperimentMetrics.extra`` keys."""
+    extra: Dict[str, float] = {
+        "trace.txns": float(len(result.txns)),
+        "trace.unfinished": float(len(result.unfinished)),
+        "trace.events": float(
+            len(result.events) + sum(len(rows) for rows in result.txns.values())
+        ),
+    }
+    for path in paths:
+        for name, micros in path.attribution.items():
+            key = f"trace.crit_us.{name}"
+            extra[key] = extra.get(key, 0.0) + micros
+        for name, micros in path.phase_us.items():
+            key = f"trace.phase_us.{name}"
+            extra[key] = extra.get(key, 0.0) + micros
+        dominant, _ = path.dominant
+        key = f"trace.dominant.{dominant}"
+        extra[key] = extra.get(key, 0.0) + 1.0
+    return extra
+
+
+__all__ = ["RUN_BUCKET", "CriticalPath", "analyze_trace", "attribution_extra"]

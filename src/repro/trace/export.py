@@ -1,0 +1,258 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Layout (open in https://ui.perfetto.dev or ``chrome://tracing``):
+
+* **pid 1 — "cluster"**: one thread track per node.  Message lifecycle
+  points (``msg.send`` / ``msg.recv`` / ``msg.handle``) are zero-duration
+  complete slices carrying flow arrows (``s``/``f`` bound by the sender-
+  local delivery key) from each send to its delivery; crash/restart and
+  dropped/held messages are instants; node-side waits (locks, commit
+  queues, ambiguous resolution) and node-down windows are async spans —
+  async because replica-side waits of different transactions overlap
+  freely on one node track.
+
+* **pid 2 — "transactions"**: one thread track per kept transaction.  The
+  root complete slice spans begin → commit/abort (or the last recorded
+  event for an unfinished transaction), with the protocol phases nested
+  inside as complete slices and coordinator-side waits / RPC rounds as
+  async spans.  Causal links (the awaited transaction ids) ride in each
+  span's ``args.link``.
+
+The output is byte-deterministic for a given trace: events are emitted in
+a canonical sort order, timestamps are rounded to nanoseconds, and the
+JSON is dumped with sorted keys — the determinism tests compare files
+across processes, hash seeds and serial-vs-parallel engines byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.trace.analysis import CriticalPath, analyze_trace
+from repro.trace.recorder import TraceEvent, TraceResult
+
+_PH_RANK = {"M": 0, "b": 1, "X": 2, "s": 3, "f": 4, "e": 5, "i": 6}
+
+_CLUSTER_PID = 1
+_TXN_PID = 2
+
+
+def _ts(value: float) -> float:
+    return round(value, 3)
+
+
+class _Emitter:
+    def __init__(self):
+        self.events: List[dict] = []
+        self._async_id = 0
+
+    def meta(self, pid: int, tid: Optional[int], name: str, value: str) -> None:
+        event = {"name": name, "ph": "M", "pid": pid, "ts": 0, "args": {"name": value}}
+        if tid is not None:
+            event["tid"] = tid
+        self.events.append(event)
+
+    def slice(self, pid: int, tid: int, name: str, ts: float, dur: float, args: dict) -> None:
+        # Round the *endpoints*, not the duration: rounding ts and dur
+        # independently lets a nested slice's rounded end drift past its
+        # parent's, which the schema validator would flag as mis-nesting.
+        start = _ts(ts)
+        end = _ts(ts + dur)
+        event = {
+            "name": name,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": start,
+            "dur": round(end - start, 3),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, pid: int, tid: int, name: str, ts: float, args: dict) -> None:
+        event = {"name": name, "ph": "i", "s": "t", "pid": pid, "tid": tid, "ts": _ts(ts)}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def async_span(
+        self, pid: int, tid: int, name: str, ts: float, dur: float, args: dict
+    ) -> None:
+        self._async_id += 1
+        ident = str(self._async_id)
+        begin = {
+            "name": name,
+            "cat": name,
+            "ph": "b",
+            "id": ident,
+            "pid": pid,
+            "tid": tid,
+            "ts": _ts(ts),
+        }
+        if args:
+            begin["args"] = args
+        self.events.append(begin)
+        self.events.append(
+            {
+                "name": name,
+                "cat": name,
+                "ph": "e",
+                "id": ident,
+                "pid": pid,
+                "tid": tid,
+                "ts": _ts(ts + dur),
+            }
+        )
+
+    def flow(self, pid: int, tid: int, ident: int, ts: float, start: bool) -> None:
+        event = {
+            "name": "msg",
+            "cat": "msg",
+            "ph": "s" if start else "f",
+            "id": str(ident),
+            "pid": pid,
+            "tid": tid,
+            "ts": _ts(ts),
+        }
+        if not start:
+            event["bp"] = "e"
+        self.events.append(event)
+
+
+def _event_args(event: TraceEvent) -> dict:
+    args = dict(event.args) if event.args else {}
+    if event.link:
+        args["link"] = [str(txn) for txn in event.link]
+    if event.txn is not None and event.node is not None:
+        args["txn"] = str(event.txn)
+    return args
+
+
+def _emit_node_event(emitter: _Emitter, event: TraceEvent) -> None:
+    tid = event.node if event.node is not None else 0
+    args = _event_args(event)
+    if event.kind == "msg":
+        flow = args.pop("flow", None)
+        emitter.slice(_CLUSTER_PID, tid, event.name, event.ts, 0.0, args)
+        if flow is not None:
+            emitter.flow(_CLUSTER_PID, tid, flow, event.ts, start=event.name == "msg.send")
+    elif event.kind == "span":
+        emitter.async_span(_CLUSTER_PID, tid, event.name, event.ts, event.dur, args)
+    else:
+        emitter.instant(_CLUSTER_PID, tid, event.name, event.ts, args)
+
+
+def export_chrome_trace(
+    result: TraceResult, paths: Optional[List[CriticalPath]] = None
+) -> dict:
+    """Render ``result`` as a Chrome trace-event JSON document (a dict)."""
+    if paths is None:
+        paths = analyze_trace(result)
+    by_txn = {path.txn: path for path in paths}
+    emitter = _Emitter()
+
+    emitter.meta(_CLUSTER_PID, None, "process_name", "cluster")
+    emitter.meta(_TXN_PID, None, "process_name", "transactions")
+
+    node_ids = {event.node for event in result.events if event.node is not None}
+    for rows in result.txns.values():
+        node_ids.update(event.node for event in rows if event.node is not None)
+    for node in sorted(node_ids):
+        emitter.meta(_CLUSTER_PID, node, "thread_name", f"node {node}")
+
+    for event in result.events:
+        _emit_node_event(emitter, event)
+
+    for tid, (txn, rows) in enumerate(sorted(result.txns.items())):
+        path = by_txn.get(txn)
+        outcome = path.outcome if path is not None else "unfinished"
+        if path is not None and path.end > path.begin:
+            begin, end = path.begin, path.end
+        else:
+            begin = min(row.ts for row in rows)
+            end = max(row.ts + row.dur for row in rows)
+        label = f"{txn} ({outcome}, {end - begin:.0f}us)"
+        emitter.meta(_TXN_PID, tid, "thread_name", label)
+        root_args: Dict[str, object] = {"outcome": outcome}
+        if path is not None:
+            dominant, micros = path.dominant
+            root_args["dominant"] = dominant
+            root_args["dominant_us"] = round(micros, 3)
+        emitter.slice(_TXN_PID, tid, str(txn), begin, max(end - begin, 0.0), root_args)
+        summary = result.finished.get(txn)
+        if summary is not None:
+            for name, start, stop in summary[3]:
+                if stop > start:
+                    emitter.slice(_TXN_PID, tid, name, start, stop - start, {})
+        for event in rows:
+            if event.node is not None:
+                _emit_node_event(emitter, event)
+            elif event.kind == "span":
+                emitter.async_span(
+                    _TXN_PID, tid, event.name, event.ts, event.dur, _event_args(event)
+                )
+            elif event.name not in ("txn.begin", "txn.end"):
+                emitter.instant(_TXN_PID, tid, event.name, event.ts, _event_args(event))
+
+    events = emitter.events
+    # Global time order (then phase rank, so a flow start precedes its step
+    # even at equal timestamps) keeps per-track timestamps monotonic AND
+    # cross-track orderings — flow s before f — valid in file order.
+    events.sort(
+        key=lambda e: (
+            e["ts"],
+            _PH_RANK.get(e["ph"], 9),
+            e["pid"],
+            e.get("tid", -1),
+            json.dumps(e, sort_keys=True),
+        )
+    )
+    return {"traceEvents": events, "otherData": {"exporter": "repro.trace", "unit": "us"}}
+
+
+def trace_to_bytes(document: dict) -> bytes:
+    """Canonical byte encoding (what the determinism tests compare)."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode("ascii")
+
+
+def write_chrome_trace(
+    path: str, result: TraceResult, paths: Optional[List[CriticalPath]] = None
+) -> dict:
+    """Export ``result`` to ``path``; returns the document."""
+    document = export_chrome_trace(result, paths)
+    with open(path, "wb") as handle:
+        handle.write(trace_to_bytes(document))
+    return document
+
+
+def render_summary(result: TraceResult, paths: Optional[List[CriticalPath]] = None) -> str:
+    """Human-readable critical-path summary (printed by the replay CLI)."""
+    if paths is None:
+        paths = analyze_trace(result)
+    lines = [
+        f"traced txns: {len(result.txns)} "
+        f"({len(result.finished)} finished, {len(result.unfinished)} unfinished)"
+    ]
+    dominant_counts: Dict[str, int] = {}
+    for path in paths:
+        name, _ = path.dominant
+        dominant_counts[name] = dominant_counts.get(name, 0) + 1
+    for name in sorted(dominant_counts, key=lambda n: (-dominant_counts[n], n)):
+        lines.append(f"  dominant {name}: {dominant_counts[name]} txn(s)")
+    for path in paths[:10]:
+        name, micros = path.dominant
+        lines.append(
+            f"  {path.txn}: {path.duration:.0f}us {path.outcome}, "
+            f"critical path {name} ({micros:.0f}us)"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "export_chrome_trace",
+    "render_summary",
+    "trace_to_bytes",
+    "write_chrome_trace",
+]

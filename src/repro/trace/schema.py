@@ -1,0 +1,158 @@
+"""Structural validation of exported Chrome trace-event JSON.
+
+``python -m repro.trace.schema trace.json [...]`` — exit 0 when every file
+is well-formed, 1 otherwise.  CI runs this over the traces exported by the
+benchmark-smoke job, pinning three invariants:
+
+* **spans nest** — complete (``X``) slices on each track form a proper
+  stack (a child never outlives its parent), and every async ``b`` has a
+  matching ``e`` with a non-negative duration;
+* **links resolve** — every flow step (``f``) refers to a flow start
+  (``s``) with the same id earlier on the timeline, and every causal
+  ``args.link`` entry is a well-formed transaction id;
+* **timestamps are monotonic per track** — events appear in
+  non-decreasing ``ts`` order within each ``(pid, tid)`` track.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+_TXN_ID = re.compile(r"^T\d+\.\d+$")
+
+# Timestamps are microseconds rounded to nanoseconds; slice ends are
+# reconstructed as ts + dur, so allow sub-nanosecond float error.
+_EPS = 1e-6
+
+
+def validate_trace(document: object) -> List[str]:
+    """Return the list of structural problems (empty == valid)."""
+    problems: List[str] = []
+    if not isinstance(document, dict) or not isinstance(document.get("traceEvents"), list):
+        return ["document is not an object with a traceEvents list"]
+    events = document["traceEvents"]
+
+    last_ts: Dict[Tuple[int, int], float] = {}
+    stacks: Dict[Tuple[int, int], List[Tuple[float, float, str]]] = {}
+    async_open: Dict[Tuple[int, str, str], float] = {}
+    flow_starts: Dict[str, float] = {}
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or "ph" not in event:
+            problems.append(f"event {index}: missing ph")
+            continue
+        ph = event["ph"]
+        if ph == "M":
+            continue
+        if "pid" not in event or "tid" not in event or "ts" not in event:
+            problems.append(f"event {index}: missing pid/tid/ts ({event.get('name')!r})")
+            continue
+        track = (event["pid"], event["tid"])
+        ts = float(event["ts"])
+
+        previous = last_ts.get(track)
+        if previous is not None and ts < previous:
+            problems.append(
+                f"event {index}: ts {ts} goes backwards on track {track} (after {previous})"
+            )
+        last_ts[track] = ts
+
+        if ph == "X":
+            dur = float(event.get("dur", 0.0))
+            if dur < 0:
+                problems.append(f"event {index}: negative duration {dur}")
+                continue
+            stack = stacks.setdefault(track, [])
+            while stack and stack[-1][1] <= ts + _EPS and stack[-1][1] < ts + dur - _EPS:
+                stack.pop()
+            if stack and ts + dur > stack[-1][1] + _EPS:
+                problems.append(
+                    f"event {index}: slice {event.get('name')!r} [{ts}, {ts + dur}] "
+                    f"escapes enclosing {stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]}] "
+                    f"on track {track}"
+                )
+                continue
+            stack.append((ts, ts + dur, str(event.get("name"))))
+        elif ph == "b":
+            key = (event["pid"], str(event.get("cat")), str(event.get("id")))
+            if key in async_open:
+                problems.append(f"event {index}: async span {key} opened twice")
+            async_open[key] = ts
+        elif ph == "e":
+            key = (event["pid"], str(event.get("cat")), str(event.get("id")))
+            start = async_open.pop(key, None)
+            if start is None:
+                problems.append(f"event {index}: async end {key} without begin")
+            elif ts < start:
+                problems.append(f"event {index}: async span {key} ends before it begins")
+        elif ph == "s":
+            ident = str(event.get("id"))
+            if ident in flow_starts:
+                problems.append(f"event {index}: flow {ident} started twice")
+            flow_starts[ident] = ts
+        elif ph == "f":
+            ident = str(event.get("id"))
+            start = flow_starts.get(ident)
+            if start is None:
+                problems.append(f"event {index}: flow step {ident} without a start")
+            elif ts < start:
+                problems.append(f"event {index}: flow {ident} arrives before it was sent")
+        elif ph != "i":
+            problems.append(f"event {index}: unknown phase {ph!r}")
+
+        args = event.get("args")
+        if isinstance(args, dict):
+            for link in args.get("link", ()):
+                if not _TXN_ID.match(str(link)):
+                    problems.append(f"event {index}: malformed causal link {link!r}")
+            txn = args.get("txn")
+            if txn is not None and not _TXN_ID.match(str(txn)):
+                problems.append(f"event {index}: malformed txn id {txn!r}")
+
+    for key, start in sorted(async_open.items()):
+        problems.append(f"async span {key} (begun at {start}) never ended")
+    return problems
+
+
+def validate_file(path: Path, out=sys.stdout) -> int:
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"{path}: unreadable: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_trace(document)
+    if problems:
+        for problem in problems[:20]:
+            print(f"{path}: {problem}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"{path}: ... and {len(problems) - 20} more", file=sys.stderr)
+        return 1
+    events = document["traceEvents"]
+    tracks = {(e.get("pid"), e.get("tid")) for e in events if e.get("ph") != "M"}
+    print(f"{path}: OK ({len(events)} events, {len(tracks)} tracks)", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace.schema",
+        description="Validate exported Chrome trace-event JSON files.",
+    )
+    parser.add_argument("trace", type=Path, nargs="+", help="trace JSON file(s)")
+    arguments = parser.parse_args(argv)
+    worst = 0
+    for path in arguments.trace:
+        worst = max(worst, validate_file(path))
+    return worst
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())
+
+
+__all__ = ["main", "validate_file", "validate_trace"]

@@ -1,0 +1,102 @@
+"""Sampling configuration for the trace plane.
+
+A :class:`TraceSpec` decides *which* transactions get full causal records.
+Selection must be computable on any shard without communication, so it is a
+pure function of the transaction id: ``TransactionId`` is ``(node, seq)``
+with a per-node monotonic ``seq``, which makes ``seq % sample_every`` a
+deterministic, coordination-free every-Nth filter per client node.
+
+The ``slower_than_us`` knob is applied at merge time (a transaction's
+duration is only known once it finishes); transactions that never finished
+— the interesting ones in a stall — are always kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Union
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import TransactionId
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """What to trace and where to write it.
+
+    Parameters
+    ----------
+    sample_every:
+        Keep every Nth transaction per client node (``seq % N == 0``).
+        ``1`` traces everything; large values keep full-fidelity tracing
+        viable at the 256-server parallel scale.
+    slower_than_us:
+        If set, drop finished transactions faster than this threshold at
+        merge time.  Unfinished (stalled) transactions are always kept.
+    txn_ids:
+        Explicit allow-list of transaction ids (``"T<node>.<seq>"``
+        strings).  When set it replaces the ``sample_every`` filter.
+    path:
+        If set, :func:`repro.harness.runner.run_experiment` writes the
+        Chrome trace-event JSON here after the run.
+    """
+
+    sample_every: int = 1
+    slower_than_us: Optional[float] = None
+    txn_ids: Optional[FrozenSet[str]] = None
+    path: Optional[str] = None
+    _txn_keys: Optional[FrozenSet[tuple]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self):
+        if self.sample_every < 1:
+            raise ConfigurationError(f"trace sample_every must be >= 1, got {self.sample_every}")
+        if self.slower_than_us is not None and self.slower_than_us < 0:
+            raise ConfigurationError(
+                f"trace slower_than_us must be >= 0, got {self.slower_than_us}"
+            )
+        if self.txn_ids is not None:
+            keys = frozenset(_parse_txn_id(text) for text in self.txn_ids)
+            object.__setattr__(self, "txn_ids", frozenset(self.txn_ids))
+            object.__setattr__(self, "_txn_keys", keys)
+
+    # ------------------------------------------------------------------
+    def selects(self, txn_id: TransactionId) -> bool:
+        """Whether ``txn_id`` is traced (pure function, shard-independent)."""
+        if self._txn_keys is not None:
+            return (txn_id.node, txn_id.seq) in self._txn_keys
+        return txn_id.seq % self.sample_every == 0
+
+    @staticmethod
+    def coerce(value: Union[None, bool, str, "TraceSpec"]) -> Optional["TraceSpec"]:
+        """Normalize ``run_experiment(trace=...)`` inputs.
+
+        ``None``/``False`` disable tracing; ``True`` traces everything with
+        no export path; a string is an export path with default sampling.
+        """
+        if value is None or value is False:
+            return None
+        if value is True:
+            return TraceSpec()
+        if isinstance(value, str):
+            return TraceSpec(path=value)
+        if isinstance(value, TraceSpec):
+            return value
+        raise ConfigurationError(
+            f"trace must be a TraceSpec, a path, True/False or None, got {value!r}"
+        )
+
+
+def _parse_txn_id(text: str) -> tuple:
+    """``"T3.17"`` -> ``(3, 17)`` (the str() form of a TransactionId)."""
+    try:
+        node_text, seq_text = text.lstrip("T").split(".", 1)
+        return (int(node_text), int(seq_text))
+    except (AttributeError, ValueError):
+        raise ConfigurationError(
+            f"trace txn id {text!r} is not of the form 'T<node>.<seq>'"
+        ) from None
+
+
+__all__ = ["TraceSpec"]

@@ -256,6 +256,12 @@ class OpenLoopSource:
                     stats.timed_out += 1
                 continue
             self._pending -= 1
+            tracer = self.sim.tracer
+            if tracer is not None and now > arrival_us:
+                # Admission-queue wait of the arrival we are about to issue;
+                # the transaction id does not exist yet, so the span lives on
+                # the node's track.
+                tracer.span("client.queue", arrival_us, node=self.node_id, end=now)
             self._start(session, spec, arrival_us)
             return
         self._pending -= 1

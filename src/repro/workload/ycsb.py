@@ -152,7 +152,18 @@ def execute_spec(session: Session, spec: TransactionSpec):
             # break.
             stagger = ((session.node_id * 7 + session.client_index * 3) % 37) * (base_us / 4.0)
             delay = min(base_us * (2 ** min(attempt, 4)), 16_000.0) + stagger
-            yield session.node.sim.timeout(delay)
+            sim = session.node.sim
+            tracer = sim.tracer
+            backoff_start = sim.now if tracer is not None else 0.0
+            yield sim.timeout(delay)
+            if tracer is not None:
+                tracer.span(
+                    "client.backoff",
+                    backoff_start,
+                    node=session.node_id,
+                    link=[meta.txn_id],
+                    args={"attempt": attempt},
+                )
             continue
         return committed, meta
 
@@ -193,10 +204,23 @@ def closed_loop_client(
             meta = session.last
             if sim.now >= warmup_us and meta is not None:
                 stats.record(meta, False)
+            tracer = sim.tracer
+            backoff_start = sim.now if tracer is not None else 0.0
             yield sim.timeout(crash_backoff_us)
+            if tracer is not None:
+                tracer.span(
+                    "client.crash_backoff",
+                    backoff_start,
+                    node=session.node_id,
+                    link=[meta.txn_id] if meta is not None else (),
+                )
             continue
         if sim.now >= warmup_us:
             stats.record(meta, committed)
         if think_time_us > 0:
+            tracer = sim.tracer
+            think_start = sim.now if tracer is not None else 0.0
             yield sim.timeout(think_time_us)
+            if tracer is not None:
+                tracer.span("client.think", think_start, node=session.node_id)
     return stats

@@ -24,7 +24,7 @@ from repro.common.config import FaultPlan
 from repro.traffic.plan import TrafficPlan
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
-DOC_FILES = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")])
+DOC_FILES = sorted([REPO_ROOT / "README.md", *(REPO_ROOT / "docs").rglob("*.md")])
 
 _FENCE_RE = re.compile(r"^```(\S*)\s*$")
 _LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")

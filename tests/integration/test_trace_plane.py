@@ -1,0 +1,207 @@
+"""The trace plane end to end: passivity, metrics plumbing, the diagnosis.
+
+Three contracts:
+
+* **Passivity / zero overhead** — the recorder never schedules events and
+  never draws from the RNG registry, so enabling tracing cannot perturb
+  the simulation: fail-free histories with tracing *on* still match the
+  committed golden fingerprints (``tests/golden/history_hashes.json``),
+  which simultaneously proves the tracing-off path unchanged (the goldens
+  predate the trace plane).
+* **Plumbing** — ``run_experiment(trace=...)`` populates
+  ``ExperimentMetrics.extra`` with the critical-path histograms, the
+  metrics properties expose them, the export path writes schema-valid
+  Chrome trace JSON, and ``replay --trace`` produces the same artifact
+  for a bundle run.
+* **The stall diagnosis** — a traced run of the committed SSS
+  post-restart stall genome names ``wait.ambiguous_guard`` (the crash
+  guard timer waited out against a silent restarted participant) as the
+  dominant critical-path span of every stalled transaction.  This is the
+  artifact committed under ``docs/traces/`` — see its README for the full
+  causal chain — and the test that flips when the defect is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import ClusterConfig, WorkloadConfig
+from repro.harness.runner import run_experiment
+from repro.search.genome import ScenarioGenome
+from repro.search.replay import replay_bundle
+from repro.search.scoring import score_genome
+from repro.trace import TraceSpec, analyze_trace
+from repro.trace.schema import validate_trace
+
+from test_golden_histories import GOLDEN_POINTS, history_fingerprint, load_golden
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+STALL_GENOME_PATH = (
+    REPO_ROOT / "benchmarks" / "search_corpus" / "sss-restart-stall-seed1.genome.json"
+)
+COMMITTED_TRACE = REPO_ROOT / "docs" / "traces" / "sss-restart-stall-seed1.trace.json"
+
+
+class TestPassivity:
+    @pytest.mark.parametrize(
+        "protocol,seed,replication_degree",
+        GOLDEN_POINTS[:4],
+        ids=[f"{p}/seed={s}" for p, s, _ in GOLDEN_POINTS[:4]],
+    )
+    def test_tracing_on_preserves_golden_histories(self, protocol, seed, replication_degree):
+        """Same run as the golden suite, but with full tracing enabled."""
+        config = ClusterConfig(
+            n_nodes=3,
+            n_keys=24,
+            replication_degree=replication_degree,
+            clients_per_node=2,
+            seed=seed,
+        )
+        result = run_experiment(
+            protocol,
+            config,
+            WorkloadConfig(read_only_fraction=0.5),
+            duration_us=15_000,
+            warmup_us=0,
+            record_history=True,
+            keep_cluster=True,
+            trace=TraceSpec(),
+        )
+        golden = load_golden()
+        key = f"{protocol}/seed={seed}/rf={replication_degree}"
+        assert history_fingerprint(result.cluster.history) == golden["fingerprints"][key], (
+            "enabling tracing changed the fail-free history — the recorder "
+            "must be passive (no events scheduled, no RNG draws)"
+        )
+        assert result.trace is not None and result.metrics.traced_txns > 0
+
+
+class TestPlumbing:
+    def _traced_run(self, tmp_path=None, **trace_kwargs):
+        spec = TraceSpec(**trace_kwargs)
+        return run_experiment(
+            "sss",
+            ClusterConfig(n_nodes=3, n_keys=32, clients_per_node=2, seed=3),
+            WorkloadConfig(read_only_fraction=0.5),
+            duration_us=6_000,
+            warmup_us=0,
+            trace=spec,
+        )
+
+    def test_metrics_carry_the_attribution_histograms(self):
+        result = self._traced_run()
+        metrics = result.metrics
+        assert metrics.traced_txns == metrics.extra["trace.txns"] > 0
+        assert metrics.trace_critical_path_us  # at least one bucket
+        assert sum(metrics.trace_dominant.values()) == metrics.traced_txns
+        assert all(key.startswith("trace.") is False for key in metrics.trace_dominant)
+
+    def test_disabled_tracing_adds_nothing(self):
+        result = run_experiment(
+            "sss",
+            ClusterConfig(n_nodes=3, n_keys=32, clients_per_node=2, seed=3),
+            WorkloadConfig(read_only_fraction=0.5),
+            duration_us=6_000,
+            warmup_us=0,
+        )
+        assert result.trace is None
+        assert result.metrics.traced_txns == 0
+        assert not any(key.startswith("trace.") for key in result.metrics.extra)
+
+    def test_export_path_writes_schema_valid_json(self, tmp_path):
+        out = tmp_path / "run.trace.json"
+        result = run_experiment(
+            "sss",
+            ClusterConfig(n_nodes=3, n_keys=32, clients_per_node=2, seed=3),
+            WorkloadConfig(read_only_fraction=0.5),
+            duration_us=6_000,
+            warmup_us=0,
+            trace=str(out),
+        )
+        assert result.trace is not None and out.is_file()
+        assert validate_trace(json.loads(out.read_text())) == []
+
+    def test_replay_trace_flag_writes_the_artifact(self, tmp_path):
+        genome = ScenarioGenome(
+            protocol="sss",
+            n_nodes=3,
+            n_keys=32,
+            clients_per_node=2,
+            seed=3,
+            duration_us=5_000.0,
+            drain_us=5_000.0,
+        ).normalize()
+        genome_path = tmp_path / "small.genome.json"
+        genome_path.write_text(genome.to_json() + "\n")
+        out = tmp_path / "small.trace.json"
+        code = replay_bundle(genome_path, out=open(os.devnull, "w"), trace_path=out)
+        assert code in (0, 2)  # a clean run "does not reproduce" — still traced
+        assert validate_trace(json.loads(out.read_text())) == []
+
+
+class TestStallDiagnosis:
+    def test_stall_genome_guard_timeout_dominates(self):
+        """The committed diagnosis: stalled txns wait out the crash guard.
+
+        Re-runs the committed SSS-stall genome traced and asserts every
+        stalled transaction (unfinished past the run's stall threshold)
+        has ``wait.ambiguous_guard`` as its dominant critical-path span —
+        the prepare fan-out swallowed by the node-1 crash, resolved only
+        by idling out the coarse crash-guard deadline instead of being
+        re-driven when the node restarts (the ROADMAP defect).  When that
+        defect is fixed this test flips and the ``docs/traces/`` artifact
+        must be re-captured.
+        """
+        genome = ScenarioGenome.from_dict(json.loads(STALL_GENOME_PATH.read_text()))
+        outcome = score_genome(genome, trace=TraceSpec())
+        assert "stall" in outcome.failures, "the committed stall genome no longer stalls"
+        assert outcome.trace is not None
+
+        threshold = outcome.signal["stall_threshold_us"]
+        paths = analyze_trace(outcome.trace)
+        stalled = [
+            path
+            for path in paths
+            if path.outcome == "unfinished" and path.duration > threshold
+        ]
+        assert stalled, "stall reproduced but no transaction is stalled past the threshold"
+        for path in stalled:
+            name, micros = path.dominant
+            assert name == "wait.ambiguous_guard", (
+                f"{path.txn}: expected the ambiguous-wait guard timeout to dominate, "
+                f"got {name} ({micros:.0f}us of {path.duration:.0f}us)"
+            )
+            assert micros > 0.9 * path.duration, (
+                f"{path.txn}: guard wait covers only {micros:.0f}us "
+                f"of a {path.duration:.0f}us stall"
+            )
+
+    def test_committed_artifact_matches_the_diagnosis(self):
+        """The checked-in trace still says what the README claims it says."""
+        document = json.loads(COMMITTED_TRACE.read_text())
+        assert validate_trace(document) == []
+        guard_spans = [
+            event
+            for event in document["traceEvents"]
+            if event.get("name") == "wait.ambiguous_guard" and event["ph"] == "b"
+        ]
+        assert guard_spans, "committed trace lost its wait.ambiguous_guard spans"
+        for span in guard_spans:
+            assert span["args"]["outcome"] == "guard-timeout"
+            assert span["args"]["round"] == "prepare"
+        roots = [
+            event
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+            and event.get("args", {}).get("outcome") == "unfinished"
+            and event.get("args", {}).get("dominant") is not None
+        ]
+        stalled_roots = [event for event in roots if event["dur"] > 10_500.0]
+        assert stalled_roots
+        assert all(
+            event["args"]["dominant"] == "wait.ambiguous_guard" for event in stalled_roots
+        )

@@ -1,0 +1,253 @@
+"""Unit coverage of the trace plane: spec, recorder, analysis, export, schema.
+
+The integration suites pin the expensive guarantees (byte-determinism across
+engines and processes, zero overhead when off, the stall diagnosis); this
+module pins the component semantics those suites build on — sampling is a
+pure function of the transaction id, the recorder stages per-transaction,
+the shard merge reproduces serial order, the critical-path attribution
+prefers waits over RPC envelopes, and the exporter emits schema-valid
+Chrome trace JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.ids import TransactionId
+from repro.sim.engine import Simulation
+from repro.trace import (
+    TraceRecorder,
+    TraceSpec,
+    analyze_trace,
+    attribution_extra,
+    export_chrome_trace,
+    merge_trace_payloads,
+    trace_to_bytes,
+)
+from repro.trace.schema import validate_trace
+
+T = TransactionId
+
+
+class TestTraceSpec:
+    def test_default_samples_everything(self):
+        spec = TraceSpec()
+        assert spec.selects(T(0, 0)) and spec.selects(T(3, 17))
+
+    def test_sample_every_is_pure_in_the_seq(self):
+        spec = TraceSpec(sample_every=4)
+        assert spec.selects(T(1, 8)) and spec.selects(T(2, 8))
+        assert not spec.selects(T(1, 9))
+
+    def test_explicit_ids_replace_sampling(self):
+        spec = TraceSpec(sample_every=1000, txn_ids=frozenset({"T1.3", "T0.7"}))
+        assert spec.selects(T(1, 3)) and spec.selects(T(0, 7))
+        assert not spec.selects(T(1, 0))  # sample_every no longer applies
+
+    def test_coerce_forms(self):
+        assert TraceSpec.coerce(None) is None
+        assert TraceSpec.coerce(False) is None
+        assert TraceSpec.coerce(True) == TraceSpec()
+        assert TraceSpec.coerce("out.json").path == "out.json"
+        spec = TraceSpec(sample_every=2)
+        assert TraceSpec.coerce(spec) is spec
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_every": 0},
+            {"slower_than_us": -1.0},
+            {"txn_ids": frozenset({"banana"})},
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TraceSpec(**kwargs)
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpec.coerce(42)
+
+
+class TestRecorder:
+    def _recorder(self, spec=TraceSpec()):
+        return TraceRecorder(Simulation(seed=1), spec)
+
+    def test_txn_events_are_staged_per_transaction(self):
+        recorder = self._recorder()
+        recorder.span("wait.lock", 1.0, txn=T(0, 0), node=2, link=[T(1, 4)], end=5.0)
+        recorder.instant("node.crash", 3.0, node=1)
+        assert list(recorder.staged) == [T(0, 0)]
+        (row,) = recorder.staged[T(0, 0)]
+        assert (row.name, row.ts, row.dur, row.link) == ("wait.lock", 1.0, 4.0, (T(1, 4),))
+        (node_row,) = recorder.events
+        assert (node_row.name, node_row.txn) == ("node.crash", None)
+
+    def test_unsampled_transactions_record_nothing(self):
+        recorder = self._recorder(TraceSpec(sample_every=2))
+        recorder.span("wait.lock", 0.0, txn=T(0, 1), end=1.0)
+        recorder.txn_end(T(0, 1), "commit", 0.0)
+        assert not recorder.staged and not recorder.finished
+
+    def test_txn_end_stores_the_summary(self):
+        recorder = self._recorder()
+        phases = (("phase.execute", 0.0, 2.0),)
+        recorder.txn_end(T(2, 4), "commit", 0.0, phases)
+        assert recorder.finished[T(2, 4)][2:] == ("commit", phases)
+
+
+class TestMerge:
+    def test_shard_payloads_merge_in_tag_order(self):
+        spec = TraceSpec()
+        a, b = TraceRecorder(Simulation(seed=1), spec), TraceRecorder(Simulation(seed=1), spec)
+        # Simulate two shards recording interleaved engine events by faking
+        # the executing-event keys (what the engine sets before callbacks).
+        a.sim._ekey_time, a.sim._ekey_key = 10.0, 1
+        a.span("wait.lock", 9.0, txn=T(0, 0), end=10.0)
+        b.sim._ekey_time, b.sim._ekey_key = 5.0, 7
+        b.span("rpc.read", 4.0, txn=T(0, 0), end=5.0)
+        result = merge_trace_payloads(spec, [a.payload(), b.payload()])
+        assert [row.name for row in result.txns[T(0, 0)]] == ["rpc.read", "wait.lock"]
+
+    def test_slower_than_filter_keeps_unfinished(self):
+        spec = TraceSpec(slower_than_us=100.0)
+        recorder = TraceRecorder(Simulation(seed=1), spec)
+        recorder.span("wait.lock", 0.0, txn=T(0, 0), end=5.0)  # finished fast
+        recorder.txn_end(T(0, 0), "commit", 0.0)
+        recorder.span("wait.lock", 0.0, txn=T(0, 1), end=5.0)  # never finished
+        result = merge_trace_payloads(spec, [recorder.payload()])
+        assert list(result.txns) == [T(0, 1)]
+        assert result.unfinished == [T(0, 1)]
+
+
+def _result(spec=TraceSpec(), events=(), txns=None, finished=None):
+    return merge_trace_payloads(spec, [(list(events), dict(txns or {}), dict(finished or {}))])
+
+
+def _row(sim_tag, kind, name, ts, dur, txn=None, node=None, link=(), args=None):
+    from repro.trace.recorder import TraceEvent
+
+    return TraceEvent(sim_tag, kind, name, ts, dur, txn, node, tuple(link), args)
+
+
+class TestAnalysis:
+    def test_waits_beat_rpc_beat_phases_and_run_fills_gaps(self):
+        txn = T(0, 0)
+        rows = [
+            _row((0.0, 0, 0), "span", "rpc.prepare", 10.0, 80.0, txn=txn),
+            _row((0.0, 0, 1), "span", "wait.lock", 40.0, 20.0, txn=txn),
+        ]
+        finished = {txn: (0.0, 100.0, "commit", (("phase.execute", 0.0, 100.0),))}
+        (path,) = analyze_trace(_result(txns={txn: rows}, finished=finished))
+        # 0-10 phase, 10-40 rpc, 40-60 wait, 60-90 rpc, 90-100 phase.
+        assert path.attribution == {
+            "phase.execute": pytest.approx(20.0),
+            "rpc.prepare": pytest.approx(60.0),
+            "wait.lock": pytest.approx(20.0),
+        }
+        assert path.dominant[0] == "rpc.prepare"
+        assert path.phase_us == {"phase.execute": pytest.approx(100.0)}
+
+    def test_innermost_same_priority_span_wins(self):
+        txn = T(0, 0)
+        rows = [
+            _row((0.0, 0, 0), "span", "wait.ambiguous", 0.0, 100.0, txn=txn),
+            _row((0.0, 0, 1), "span", "wait.ambiguous_guard", 50.0, 50.0, txn=txn),
+        ]
+        finished = {txn: (0.0, 100.0, "commit", ())}
+        (path,) = analyze_trace(_result(txns={txn: rows}, finished=finished))
+        assert path.attribution["wait.ambiguous_guard"] == pytest.approx(50.0)
+        assert path.attribution["wait.ambiguous"] == pytest.approx(50.0)
+
+    def test_unfinished_txn_spans_to_last_event(self):
+        txn = T(0, 0)
+        rows = [
+            _row((0.0, 0, 0), "instant", "txn.begin", 5.0, 0.0, txn=txn),
+            _row((0.0, 0, 1), "span", "wait.commit_queue", 10.0, 90.0, txn=txn),
+        ]
+        (path,) = analyze_trace(_result(txns={txn: rows}))
+        assert (path.begin, path.end, path.outcome) == (5.0, 100.0, "unfinished")
+        assert path.dominant[0] == "wait.commit_queue"
+
+    def test_attribution_extra_flattens_histograms(self):
+        txn = T(0, 0)
+        rows = [_row((0.0, 0, 0), "span", "wait.lock", 0.0, 10.0, txn=txn)]
+        finished = {txn: (0.0, 10.0, "commit", ())}
+        result = _result(txns={txn: rows}, finished=finished)
+        extra = attribution_extra(analyze_trace(result), result)
+        assert extra["trace.txns"] == 1.0
+        assert extra["trace.dominant.wait.lock"] == 1.0
+        assert extra["trace.crit_us.wait.lock"] == pytest.approx(10.0)
+
+
+class TestExportAndSchema:
+    def _synthetic_result(self):
+        txn = T(0, 0)
+        events = [
+            _row((3.0, 2, 0), "instant", "node.crash", 3.0, 0.0, node=1),
+        ]
+        rows = [
+            _row((0.5, 0, 0), "instant", "txn.begin", 0.5, 0.0, txn=txn),
+            _row((1.0, 0, 1), "msg", "msg.send", 1.0, 0.0, txn=txn, node=0, args={"flow": 7}),
+            _row((2.0, 1, 0), "msg", "msg.recv", 2.0, 0.0, txn=txn, node=1, args={"flow": 7}),
+            _row((4.0, 3, 0), "span", "wait.lock", 1.0, 3.0, txn=txn, link=[T(1, 2)]),
+            _row((5.0, 4, 0), "instant", "txn.end", 5.0, 0.0, txn=txn),
+        ]
+        return _result(
+            events=events,
+            txns={txn: rows},
+            finished={txn: (0.5, 5.0, "commit", (("phase.execute", 0.5, 5.0),))},
+        )
+
+    def test_export_is_schema_valid_and_deterministic(self):
+        result = self._synthetic_result()
+        document = export_chrome_trace(result)
+        assert validate_trace(document) == []
+        assert trace_to_bytes(document) == trace_to_bytes(export_chrome_trace(result))
+
+    def test_flow_start_precedes_step_in_file_order(self):
+        document = export_chrome_trace(self._synthetic_result())
+        phases = [e["ph"] for e in document["traceEvents"] if e["ph"] in ("s", "f")]
+        assert phases and phases.index("s") < phases.index("f")
+
+    def test_schema_rejects_broken_documents(self):
+        base = {"pid": 1, "tid": 0, "cat": "x", "id": "1"}
+        cases = {
+            "without a start": [{"name": "m", "ph": "f", "ts": 1, "bp": "e", **base}],
+            "goes backwards": [
+                {"name": "a", "ph": "i", "s": "t", "ts": 5, "pid": 1, "tid": 0},
+                {"name": "b", "ph": "i", "s": "t", "ts": 4, "pid": 1, "tid": 0},
+            ],
+            "escapes enclosing": [
+                {"name": "outer", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 0},
+                {"name": "inner", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": 0},
+            ],
+            "never ended": [{"name": "w", "ph": "b", "ts": 1, **base}],
+            "malformed causal link": [
+                {
+                    "name": "w",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": 1,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": {"link": ["nope"]},
+                }
+            ],
+        }
+        for expected, events in cases.items():
+            problems = validate_trace({"traceEvents": events})
+            assert any(expected in problem for problem in problems), (expected, problems)
+
+    def test_schema_accepts_the_committed_artifact(self, repo_root=None):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "docs" / "traces"
+        artifacts = sorted(path.glob("*.trace.json"))
+        assert artifacts, "no committed trace artifacts under docs/traces/"
+        for artifact in artifacts:
+            document = json.loads(artifact.read_text())
+            assert validate_trace(document) == [], artifact
